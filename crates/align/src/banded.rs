@@ -1,0 +1,343 @@
+//! Banded dynamic programming.
+//!
+//! "To further limit work, we use banded dynamic programming, where the
+//! band size is determined by the number of errors tolerated" (§3.3).
+//! Cells with `|i − j| > radius` are never touched, so aligning two
+//! segments of length `L` costs `O(L·radius)` instead of `O(L²)`.
+
+use crate::nw::NEG_INF;
+use crate::scoring::Scoring;
+
+/// Result of a banded extension from an anchor corner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExtensionResult {
+    /// Best score of the extension (0 when nothing extends).
+    pub score: i32,
+    /// Bases of `a` consumed by the chosen extension path.
+    pub a_consumed: usize,
+    /// Bases of `b` consumed by the chosen extension path.
+    pub b_consumed: usize,
+}
+
+/// Banded *global* alignment score (both ends pinned).
+///
+/// Returns `None` when the band cannot connect the two corners, i.e. when
+/// `|a.len() − b.len()| > radius`. With `radius ≥ max(len)` this equals
+/// [`crate::nw::global_score`] — the property the tests pin down.
+pub fn banded_global_score(a: &[u8], b: &[u8], scoring: &Scoring, radius: usize) -> Option<i32> {
+    let (la, lb) = (a.len(), b.len());
+    if la.abs_diff(lb) > radius {
+        return None;
+    }
+    let (m, x, y) = banded_fill(a, b, scoring, radius);
+    let w = 2 * radius + 1;
+    // Cell (la, lb) lives at band offset lb - la + radius.
+    let off = (lb + radius) - la; // in range because |la-lb| <= radius
+    let v = m[band_idx(la, off, w)]
+        .max(x[band_idx(la, off, w)])
+        .max(y[band_idx(la, off, w)]);
+    Some(v)
+}
+
+/// Banded extension: the path starts pinned at `(0, 0)` (the anchor edge)
+/// and ends wherever it reaches the *far edge of either string* within the
+/// band — i.e. the overlap continues until one of the two sequences is
+/// exhausted, which is exactly how the paper's Figure 5a extension works.
+///
+/// Tie-breaking is deterministic: highest score, then most total bases
+/// consumed, then most bases of `a`.
+pub fn banded_extension(a: &[u8], b: &[u8], scoring: &Scoring, radius: usize) -> ExtensionResult {
+    let (la, lb) = (a.len(), b.len());
+    if la == 0 || lb == 0 {
+        // One side has nothing left: the anchor already touches its end
+        // (containment / flush overlap). Nothing to extend, score 0.
+        return ExtensionResult {
+            score: 0,
+            a_consumed: 0,
+            b_consumed: 0,
+        };
+    }
+    let (m, x, y) = banded_fill(a, b, scoring, radius);
+    let w = 2 * radius + 1;
+
+    let mut best = ExtensionResult {
+        score: NEG_INF,
+        a_consumed: 0,
+        b_consumed: 0,
+    };
+    let mut consider = |i: usize, j: usize| {
+        if i > la || j > lb {
+            return;
+        }
+        let (lo, hi) = band_bounds(i, lb, radius);
+        if j < lo || j > hi {
+            return;
+        }
+        let off = j + radius - i;
+        let idx = band_idx(i, off, w);
+        let v = m[idx].max(x[idx]).max(y[idx]);
+        if v <= NEG_INF {
+            return;
+        }
+        let cand = ExtensionResult {
+            score: v,
+            a_consumed: i,
+            b_consumed: j,
+        };
+        let better = cand.score > best.score
+            || (cand.score == best.score
+                && (cand.a_consumed + cand.b_consumed > best.a_consumed + best.b_consumed
+                    || (cand.a_consumed + cand.b_consumed == best.a_consumed + best.b_consumed
+                        && cand.a_consumed > best.a_consumed)));
+        if better {
+            best = cand;
+        }
+    };
+    // Far edge of `a` (i == la) and far edge of `b` (j == lb).
+    for j in 0..=lb {
+        consider(la, j);
+    }
+    for i in 0..=la {
+        consider(i, lb);
+    }
+    if best.score <= NEG_INF {
+        // The band reached neither far edge (can happen only for radius 0
+        // pathologies); fall back to "no extension".
+        best = ExtensionResult {
+            score: 0,
+            a_consumed: 0,
+            b_consumed: 0,
+        };
+    }
+    best
+}
+
+#[inline]
+fn band_idx(i: usize, off: usize, w: usize) -> usize {
+    i * w + off
+}
+
+/// Valid `j` range (inclusive) for row `i` under the band constraint.
+#[inline]
+fn band_bounds(i: usize, lb: usize, radius: usize) -> (usize, usize) {
+    let lo = i.saturating_sub(radius);
+    let hi = (i + radius).min(lb);
+    (lo, hi)
+}
+
+/// Fill the three Gotoh matrices over the band. Matrices are stored
+/// row-major with `2·radius + 1` offsets per row; offset `o` in row `i`
+/// holds column `j = i + o − radius`.
+fn banded_fill(
+    a: &[u8],
+    b: &[u8],
+    scoring: &Scoring,
+    radius: usize,
+) -> (Vec<i32>, Vec<i32>, Vec<i32>) {
+    let (la, lb) = (a.len(), b.len());
+    let w = 2 * radius + 1;
+    let size = (la + 1) * w;
+    let mut m = vec![NEG_INF; size];
+    let mut x = vec![NEG_INF; size];
+    let mut y = vec![NEG_INF; size];
+
+    // Row 0: j in [0, radius].
+    m[band_idx(0, radius, w)] = 0;
+    for j in 1..=radius.min(lb) {
+        y[band_idx(0, j + radius, w)] = scoring.gap_open + (j as i32 - 1) * scoring.gap_extend;
+    }
+
+    for i in 1..=la {
+        let (lo, hi) = band_bounds(i, lb, radius);
+        for j in lo..=hi {
+            let off = j + radius - i;
+            let idx = band_idx(i, off, w);
+            if j == 0 {
+                // First column: only a vertical gap run can reach it.
+                x[idx] = scoring.gap_open + (i as i32 - 1) * scoring.gap_extend;
+                continue;
+            }
+            // Diagonal predecessor (i-1, j-1) keeps the same offset.
+            let pidx = band_idx(i - 1, off, w);
+            let diag = m[pidx].max(x[pidx]).max(y[pidx]);
+            m[idx] = diag.saturating_add(scoring.pair(a[i - 1], b[j - 1]));
+            // Vertical predecessor (i-1, j) sits one offset to the right.
+            if off + 1 < w {
+                let vidx = band_idx(i - 1, off + 1, w);
+                x[idx] = (m[vidx] + scoring.gap_open)
+                    .max(x[vidx] + scoring.gap_extend)
+                    .max(y[vidx] + scoring.gap_open)
+                    .max(NEG_INF);
+            }
+            // Horizontal predecessor (i, j-1) sits one offset to the left.
+            if off >= 1 {
+                let hidx = band_idx(i, off - 1, w);
+                y[idx] = (m[hidx] + scoring.gap_open)
+                    .max(y[hidx] + scoring.gap_extend)
+                    .max(x[hidx] + scoring.gap_open)
+                    .max(NEG_INF);
+            }
+        }
+    }
+    (m, x, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nw::global_score;
+    use proptest::prelude::*;
+
+    #[test]
+    fn wide_band_equals_global() {
+        let s = Scoring::default_est();
+        for (a, b) in [
+            (&b"GATTACA"[..], &b"GATCACA"[..]),
+            (b"ACGT", b"ACCCGT"),
+            (b"AAAA", b"TTTT"),
+        ] {
+            let banded = banded_global_score(a, b, &s, a.len().max(b.len())).unwrap();
+            assert_eq!(banded, global_score(a, b, &s));
+        }
+    }
+
+    #[test]
+    fn band_too_narrow_returns_none() {
+        let s = Scoring::unit();
+        assert_eq!(banded_global_score(b"ACGTACGT", b"AC", &s, 2), None);
+    }
+
+    #[test]
+    fn zero_radius_is_hamming_like() {
+        // radius 0 allows only the main diagonal: pure match/mismatch.
+        let s = Scoring::unit();
+        assert_eq!(banded_global_score(b"ACGT", b"AGGT", &s, 0), Some(2));
+        assert_eq!(banded_global_score(b"ACGT", b"ACGT", &s, 0), Some(4));
+    }
+
+    #[test]
+    fn narrow_band_never_beats_global() {
+        let s = Scoring::default_est();
+        let (a, b) = (&b"ACGTACGTAACC"[..], &b"ACGACGTTAACC"[..]);
+        let full = global_score(a, b, &s);
+        for r in 1..6 {
+            if let Some(banded) = banded_global_score(a, b, &s, r) {
+                assert!(banded <= full, "radius {r}: banded {banded} > full {full}");
+            }
+        }
+    }
+
+    #[test]
+    fn extension_consumes_matching_prefixes() {
+        let s = Scoring::unit();
+        // a fully matches a prefix of b: path should run to a's far edge.
+        let r = banded_extension(b"ACGT", b"ACGTTTTT", &s, 3);
+        assert_eq!(r.score, 4);
+        assert_eq!(r.a_consumed, 4);
+        assert_eq!(r.b_consumed, 4);
+    }
+
+    #[test]
+    fn extension_with_empty_side_is_zero() {
+        let s = Scoring::unit();
+        let r = banded_extension(b"", b"ACGT", &s, 3);
+        assert_eq!(
+            r,
+            ExtensionResult {
+                score: 0,
+                a_consumed: 0,
+                b_consumed: 0
+            }
+        );
+        let r = banded_extension(b"ACGT", b"", &s, 3);
+        assert_eq!(r.score, 0);
+    }
+
+    #[test]
+    fn extension_tolerates_one_error() {
+        let s = Scoring::default_est();
+        // One substitution mid-way; extension should still span everything.
+        let r = banded_extension(b"ACGTACGT", b"ACGAACGT", &s, 2);
+        assert_eq!(r.a_consumed, 8);
+        assert_eq!(r.b_consumed, 8);
+        assert_eq!(r.score, 7 * 2 - 3);
+    }
+
+    #[test]
+    fn extension_handles_indel_within_band() {
+        let s = Scoring::default_est();
+        // b has one extra base; needs radius >= 1.
+        let r = banded_extension(b"ACGTACGT", b"ACGTTACGT", &s, 1);
+        assert_eq!(r.a_consumed, 8);
+        assert_eq!(r.b_consumed, 9);
+        assert_eq!(r.score, 8 * 2 - 4);
+    }
+
+    #[test]
+    fn extension_stops_at_shorter_string_end() {
+        let s = Scoring::unit();
+        // b is a short prefix match; the path must end at j == lb.
+        let r = banded_extension(b"ACGTACGT", b"ACG", &s, 2);
+        assert_eq!(r.b_consumed, 3);
+        assert!(r.a_consumed <= 5);
+        assert_eq!(r.score, 3);
+    }
+
+    fn dna(max: usize) -> impl Strategy<Value = Vec<u8>> {
+        proptest::collection::vec(proptest::sample::select(vec![b'A', b'C', b'G', b'T']), 0..max)
+    }
+
+    proptest! {
+        /// A band at least as wide as both strings is exact.
+        #[test]
+        fn full_width_band_is_exact(a in dna(30), b in dna(30)) {
+            let s = Scoring::default_est();
+            let r = a.len().max(b.len());
+            prop_assert_eq!(
+                banded_global_score(&a, &b, &s, r).unwrap(),
+                global_score(&a, &b, &s)
+            );
+        }
+
+        /// Widening the band never lowers the score.
+        #[test]
+        fn band_monotonic_in_radius(a in dna(25), b in dna(25)) {
+            let s = Scoring::default_est();
+            let mut prev = None;
+            for r in 0..=a.len().max(b.len()) {
+                let cur = banded_global_score(&a, &b, &s, r);
+                if let (Some(p), Some(c)) = (prev, cur) {
+                    prop_assert!(c >= p, "radius {} score {} < previous {}", r, c, p);
+                }
+                if cur.is_some() {
+                    prev = cur;
+                }
+            }
+        }
+
+        /// The extension score is never negative-infinite, and consumed
+        /// lengths stay within bounds and the band constraint.
+        #[test]
+        fn extension_result_well_formed(a in dna(25), b in dna(25), radius in 0usize..6) {
+            let s = Scoring::default_est();
+            let r = banded_extension(&a, &b, &s, radius);
+            prop_assert!(r.a_consumed <= a.len());
+            prop_assert!(r.b_consumed <= b.len());
+            if !(a.is_empty() || b.is_empty()) {
+                prop_assert!(r.a_consumed == a.len() || r.b_consumed == b.len()
+                    || (r.a_consumed == 0 && r.b_consumed == 0));
+            }
+            prop_assert!(r.a_consumed.abs_diff(r.b_consumed) <= radius);
+        }
+
+        /// Extending identical strings consumes both fully at ideal score.
+        #[test]
+        fn extension_of_identical(a in dna(25)) {
+            let s = Scoring::default_est();
+            let r = banded_extension(&a, &a, &s, 2);
+            prop_assert_eq!(r.a_consumed, a.len());
+            prop_assert_eq!(r.b_consumed, a.len());
+            prop_assert_eq!(r.score, s.ideal(a.len()));
+        }
+    }
+}

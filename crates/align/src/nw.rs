@@ -1,0 +1,377 @@
+//! Full-matrix global alignment (Needleman–Wunsch, affine gaps via Gotoh).
+//!
+//! These are the reference kernels: the baseline clusterer uses them
+//! directly (that is exactly the "expensive to run for all pairs" cost the
+//! paper is engineered to avoid), and the banded/anchored fast paths are
+//! property-tested against them.
+
+use crate::scoring::Scoring;
+
+/// Effectively −∞ for DP cells, far from i32 overflow when added to.
+pub(crate) const NEG_INF: i32 = i32::MIN / 4;
+
+/// One column of an explicit alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlignOp {
+    /// Identical bases aligned.
+    Match,
+    /// Differing bases aligned (substitution).
+    Sub,
+    /// Base of `a` aligned to a gap in `b` (deletion w.r.t. `b`).
+    Del,
+    /// Base of `b` aligned to a gap in `a` (insertion w.r.t. `b`).
+    Ins,
+}
+
+/// A fully traced global alignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alignment {
+    /// Total score under the scheme used.
+    pub score: i32,
+    /// Alignment columns from left to right.
+    pub ops: Vec<AlignOp>,
+}
+
+impl Alignment {
+    /// Number of `Match` columns.
+    pub fn matches(&self) -> usize {
+        self.ops.iter().filter(|o| matches!(o, AlignOp::Match)).count()
+    }
+
+    /// Number of `Sub` columns.
+    pub fn substitutions(&self) -> usize {
+        self.ops.iter().filter(|o| matches!(o, AlignOp::Sub)).count()
+    }
+
+    /// Number of gap columns (`Ins` + `Del`).
+    pub fn gap_columns(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|o| matches!(o, AlignOp::Ins | AlignOp::Del))
+            .count()
+    }
+
+    /// Fraction of columns that are matches, in `[0, 1]`.
+    pub fn identity(&self) -> f64 {
+        if self.ops.is_empty() {
+            1.0
+        } else {
+            self.matches() as f64 / self.ops.len() as f64
+        }
+    }
+}
+
+/// Global alignment score of `a` vs `b` (no traceback, rolling rows).
+///
+/// Affine gaps: a run of `k` gap columns costs `gap_open + (k-1)·gap_extend`.
+pub fn global_score(a: &[u8], b: &[u8], scoring: &Scoring) -> i32 {
+    let (la, lb) = (a.len(), b.len());
+    // m = ends in pair, x = ends in gap consuming `a`, y = gap consuming `b`.
+    let mut m_prev = vec![NEG_INF; lb + 1];
+    let mut x_prev = vec![NEG_INF; lb + 1];
+    let mut y_prev = vec![NEG_INF; lb + 1];
+    m_prev[0] = 0;
+    for j in 1..=lb {
+        y_prev[j] = scoring.gap_open + (j as i32 - 1) * scoring.gap_extend;
+    }
+
+    let mut m_cur = vec![NEG_INF; lb + 1];
+    let mut x_cur = vec![NEG_INF; lb + 1];
+    let mut y_cur = vec![NEG_INF; lb + 1];
+
+    for i in 1..=la {
+        m_cur[0] = NEG_INF;
+        y_cur[0] = NEG_INF;
+        x_cur[0] = scoring.gap_open + (i as i32 - 1) * scoring.gap_extend;
+        for j in 1..=lb {
+            let diag = m_prev[j - 1].max(x_prev[j - 1]).max(y_prev[j - 1]);
+            m_cur[j] = diag.saturating_add(scoring.pair(a[i - 1], b[j - 1]));
+            x_cur[j] = (m_prev[j] + scoring.gap_open)
+                .max(x_prev[j] + scoring.gap_extend)
+                .max(y_prev[j] + scoring.gap_open);
+            y_cur[j] = (m_cur[j - 1] + scoring.gap_open)
+                .max(y_cur[j - 1] + scoring.gap_extend)
+                .max(x_cur[j - 1] + scoring.gap_open);
+        }
+        std::mem::swap(&mut m_prev, &mut m_cur);
+        std::mem::swap(&mut x_prev, &mut x_cur);
+        std::mem::swap(&mut y_prev, &mut y_cur);
+    }
+    m_prev[lb].max(x_prev[lb]).max(y_prev[lb])
+}
+
+/// Global alignment with full traceback.
+///
+/// Keeps the three Gotoh matrices in memory: O(|a|·|b|) space, intended for
+/// EST-length inputs (hundreds of bases), tests and examples — the
+/// production path is [`crate::anchored`].
+pub fn global_align(a: &[u8], b: &[u8], scoring: &Scoring) -> Alignment {
+    let (la, lb) = (a.len(), b.len());
+    let w = lb + 1;
+    let idx = |i: usize, j: usize| i * w + j;
+
+    let mut m = vec![NEG_INF; (la + 1) * w];
+    let mut x = vec![NEG_INF; (la + 1) * w];
+    let mut y = vec![NEG_INF; (la + 1) * w];
+    m[idx(0, 0)] = 0;
+    for j in 1..=lb {
+        y[idx(0, j)] = scoring.gap_open + (j as i32 - 1) * scoring.gap_extend;
+    }
+    for i in 1..=la {
+        x[idx(i, 0)] = scoring.gap_open + (i as i32 - 1) * scoring.gap_extend;
+    }
+
+    for i in 1..=la {
+        for j in 1..=lb {
+            let diag = m[idx(i - 1, j - 1)]
+                .max(x[idx(i - 1, j - 1)])
+                .max(y[idx(i - 1, j - 1)]);
+            m[idx(i, j)] = diag.saturating_add(scoring.pair(a[i - 1], b[j - 1]));
+            x[idx(i, j)] = (m[idx(i - 1, j)] + scoring.gap_open)
+                .max(x[idx(i - 1, j)] + scoring.gap_extend)
+                .max(y[idx(i - 1, j)] + scoring.gap_open);
+            y[idx(i, j)] = (m[idx(i, j - 1)] + scoring.gap_open)
+                .max(y[idx(i, j - 1)] + scoring.gap_extend)
+                .max(x[idx(i, j - 1)] + scoring.gap_open);
+        }
+    }
+
+    // Traceback: follow which matrix holds the optimum at each step.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mat {
+        M,
+        X,
+        Y,
+    }
+    let (mut i, mut j) = (la, lb);
+    let score = m[idx(i, j)].max(x[idx(i, j)]).max(y[idx(i, j)]);
+    let mut state = if score == m[idx(i, j)] {
+        Mat::M
+    } else if score == x[idx(i, j)] {
+        Mat::X
+    } else {
+        Mat::Y
+    };
+
+    let mut ops = Vec::with_capacity(la + lb);
+    while i > 0 || j > 0 {
+        match state {
+            Mat::M => {
+                debug_assert!(i > 0 && j > 0);
+                ops.push(if a[i - 1] == b[j - 1] {
+                    AlignOp::Match
+                } else {
+                    AlignOp::Sub
+                });
+                let target = m[idx(i, j)] - scoring.pair(a[i - 1], b[j - 1]);
+                i -= 1;
+                j -= 1;
+                state = if (i == 0 && j == 0 && target == 0) || target == m[idx(i, j)] {
+                    Mat::M
+                } else if target == x[idx(i, j)] {
+                    Mat::X
+                } else {
+                    Mat::Y
+                };
+            }
+            Mat::X => {
+                debug_assert!(i > 0);
+                ops.push(AlignOp::Del);
+                let cur = x[idx(i, j)];
+                i -= 1;
+                state = if cur == x[idx(i, j)] + scoring.gap_extend {
+                    Mat::X
+                } else if cur == m[idx(i, j)] + scoring.gap_open {
+                    Mat::M
+                } else {
+                    Mat::Y
+                };
+            }
+            Mat::Y => {
+                debug_assert!(j > 0);
+                ops.push(AlignOp::Ins);
+                let cur = y[idx(i, j)];
+                j -= 1;
+                state = if cur == y[idx(i, j)] + scoring.gap_extend {
+                    Mat::Y
+                } else if cur == m[idx(i, j)] + scoring.gap_open {
+                    Mat::M
+                } else {
+                    Mat::X
+                };
+            }
+        }
+    }
+    ops.reverse();
+    Alignment { score, ops }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn unit() -> Scoring {
+        Scoring::unit()
+    }
+
+    #[test]
+    fn identical_strings_score_full_matches() {
+        let s = unit();
+        assert_eq!(global_score(b"ACGT", b"ACGT", &s), 4);
+        let aln = global_align(b"ACGT", b"ACGT", &s);
+        assert_eq!(aln.score, 4);
+        assert_eq!(aln.matches(), 4);
+        assert_eq!(aln.identity(), 1.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let s = unit();
+        assert_eq!(global_score(b"", b"", &s), 0);
+        assert_eq!(global_align(b"", b"", &s).ops.len(), 0);
+        // Aligning against empty = one gap run.
+        let est = Scoring::default_est();
+        assert_eq!(
+            global_score(b"ACG", b"", &est),
+            est.gap_open + 2 * est.gap_extend
+        );
+        assert_eq!(global_align(b"", b"AC", &est).gap_columns(), 2);
+    }
+
+    #[test]
+    fn single_substitution() {
+        let s = unit();
+        assert_eq!(global_score(b"ACGT", b"AGGT", &s), 2); // 3 matches - 1 sub
+        let aln = global_align(b"ACGT", b"AGGT", &s);
+        assert_eq!(aln.substitutions(), 1);
+        assert_eq!(aln.matches(), 3);
+    }
+
+    #[test]
+    fn affine_prefers_one_long_gap() {
+        // With affine costs, deleting "CC" as one run beats two separate
+        // gaps: ACGT vs ACCCGT.
+        let s = Scoring::default_est(); // open -4, extend -2
+        let aln = global_align(b"ACGT", b"ACCCGT", &s);
+        assert_eq!(aln.score, 4 * 2 - 4 - 2); // 4 matches, gap run of 2
+        assert_eq!(aln.gap_columns(), 2);
+        assert_eq!(aln.matches(), 4);
+    }
+
+    #[test]
+    fn score_matches_align_score() {
+        let s = Scoring::default_est();
+        for (a, b) in [
+            (&b"GATTACA"[..], &b"GCATGCT"[..]),
+            (b"AAAA", b"TTTT"),
+            (b"ACGTACGT", b"ACG"),
+            (b"A", b"ACGTACGTACGT"),
+        ] {
+            assert_eq!(global_score(a, b, &s), global_align(a, b, &s).score);
+        }
+    }
+
+    #[test]
+    fn traceback_ops_reconstruct_inputs() {
+        let s = Scoring::default_est();
+        let (a, b) = (&b"GATTACA"[..], &b"GATCACA"[..]);
+        let aln = global_align(a, b, &s);
+        let mut ra = Vec::new();
+        let mut rb = Vec::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        for op in &aln.ops {
+            match op {
+                AlignOp::Match | AlignOp::Sub => {
+                    ra.push(a[i]);
+                    rb.push(b[j]);
+                    i += 1;
+                    j += 1;
+                }
+                AlignOp::Del => {
+                    ra.push(a[i]);
+                    i += 1;
+                }
+                AlignOp::Ins => {
+                    rb.push(b[j]);
+                    j += 1;
+                }
+            }
+        }
+        assert_eq!(ra, a);
+        assert_eq!(rb, b);
+    }
+
+    fn dna(max: usize) -> impl Strategy<Value = Vec<u8>> {
+        proptest::collection::vec(proptest::sample::select(vec![b'A', b'C', b'G', b'T']), 0..max)
+    }
+
+    /// Independent O(n·m) reference with linear gaps for cross-checking.
+    fn naive_linear(a: &[u8], b: &[u8], s: &Scoring) -> i32 {
+        let gap = s.gap_open; // linear: open == extend
+        let mut prev: Vec<i32> = (0..=b.len() as i32).map(|j| j * gap).collect();
+        for i in 1..=a.len() {
+            let mut cur = vec![0; b.len() + 1];
+            cur[0] = i as i32 * gap;
+            for j in 1..=b.len() {
+                cur[j] = (prev[j - 1] + s.pair(a[i - 1], b[j - 1]))
+                    .max(prev[j] + gap)
+                    .max(cur[j - 1] + gap);
+            }
+            prev = cur;
+        }
+        prev[b.len()]
+    }
+
+    proptest! {
+        /// With linear gap costs the Gotoh recurrence must equal plain NW.
+        #[test]
+        fn gotoh_equals_nw_for_linear_gaps(a in dna(40), b in dna(40)) {
+            let s = Scoring::linear(2, -3, -2);
+            prop_assert_eq!(global_score(&a, &b, &s), naive_linear(&a, &b, &s));
+        }
+
+        /// Score function is symmetric in its arguments.
+        #[test]
+        fn score_is_symmetric(a in dna(30), b in dna(30)) {
+            let s = Scoring::default_est();
+            prop_assert_eq!(global_score(&a, &b, &s), global_score(&b, &a, &s));
+        }
+
+        /// Traceback score always equals the score-only kernel.
+        #[test]
+        fn traceback_score_consistent(a in dna(30), b in dna(30)) {
+            let s = Scoring::default_est();
+            let aln = global_align(&a, &b, &s);
+            prop_assert_eq!(aln.score, global_score(&a, &b, &s));
+            // Recompute the score from the ops.
+            let mut score = 0i32;
+            let mut prev_gap: Option<AlignOp> = None;
+            let (mut i, mut j) = (0usize, 0usize);
+            for &op in &aln.ops {
+                match op {
+                    AlignOp::Match | AlignOp::Sub => {
+                        score += s.pair(a[i], b[j]);
+                        i += 1; j += 1;
+                        prev_gap = None;
+                    }
+                    AlignOp::Del | AlignOp::Ins => {
+                        score += if prev_gap == Some(op) { s.gap_extend } else { s.gap_open };
+                        if op == AlignOp::Del { i += 1 } else { j += 1 };
+                        prev_gap = Some(op);
+                    }
+                }
+            }
+            prop_assert_eq!(score, aln.score);
+        }
+
+        /// Self-alignment is all matches with the ideal score.
+        #[test]
+        fn self_alignment_is_ideal(a in dna(50)) {
+            let s = Scoring::default_est();
+            let aln = global_align(&a, &a, &s);
+            prop_assert_eq!(aln.score, s.ideal(a.len()));
+            prop_assert_eq!(aln.matches(), a.len());
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Overlap pattern classification and the accept decision.
+//!
+//! Figure 5b of the paper shows the four alignment patterns accepted as
+//! evidence to merge clusters: the two suffix–prefix overlaps (one string's
+//! tail aligns the other's head) and the two containments. An alignment of
+//! any other shape — e.g. a strong match strictly internal to both
+//! sequences — is *not* merge evidence for ESTs, because reads from the
+//! same transcript must be collinear fragments of it.
+
+use crate::scoring::Scoring;
+use std::ops::Range;
+
+/// The four accepted overlap patterns (Figure 5b), from the perspective of
+/// the pair `(a, b)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OverlapKind {
+    /// A suffix of `a` aligns a prefix of `b` (`a` extends left of `b`).
+    SuffixAPrefixB,
+    /// A prefix of `a` aligns a suffix of `b` (`b` extends left of `a`).
+    PrefixASuffixB,
+    /// `b` is contained within `a`.
+    ContainsB,
+    /// `a` is contained within `b`.
+    ContainedInB,
+    /// The overlap region does not reach the required sequence ends; not
+    /// merge evidence.
+    None,
+}
+
+impl OverlapKind {
+    /// Whether this pattern is one of the four accepted by the paper.
+    pub fn is_accepted_pattern(self) -> bool {
+        !matches!(self, OverlapKind::None)
+    }
+}
+
+/// Classify an overlap given the aligned regions of both sequences.
+///
+/// `a_region`/`b_region` are the half-open ranges of each sequence covered
+/// by the alignment; `a_len`/`b_len` the full sequence lengths. Containment
+/// takes priority over the dovetail patterns (a containment also touches
+/// three ends, but is the stronger statement).
+pub fn classify_overlap(
+    a_len: usize,
+    b_len: usize,
+    a_region: Range<usize>,
+    b_region: Range<usize>,
+) -> OverlapKind {
+    let a_head = a_region.start == 0;
+    let a_tail = a_region.end == a_len;
+    let b_head = b_region.start == 0;
+    let b_tail = b_region.end == b_len;
+
+    if a_head && a_tail {
+        OverlapKind::ContainedInB
+    } else if b_head && b_tail {
+        OverlapKind::ContainsB
+    } else if a_tail && b_head {
+        OverlapKind::SuffixAPrefixB
+    } else if a_head && b_tail {
+        OverlapKind::PrefixASuffixB
+    } else {
+        OverlapKind::None
+    }
+}
+
+/// Thresholds controlling which alignments count as merge evidence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverlapParams {
+    /// Minimum ratio of achieved score to the ideal (all-match) score of
+    /// the overlap region, in `[0, 1]`. The paper's "ratio of score
+    /// obtained to the ideal score consisting of all matches".
+    pub min_score_ratio: f64,
+    /// Minimum overlap length in bases; very short overlaps are noise.
+    pub min_overlap_len: usize,
+}
+
+impl Default for OverlapParams {
+    fn default() -> Self {
+        OverlapParams {
+            // Chosen like the paper: the threshold "experimentally found to
+            // result in the least number of false positives and negatives".
+            min_score_ratio: 0.80,
+            min_overlap_len: 40,
+        }
+    }
+}
+
+/// The verdict on one candidate overlap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AcceptDecision {
+    /// The pattern the alignment formed.
+    pub kind: OverlapKind,
+    /// Achieved alignment score.
+    pub score: i32,
+    /// Ideal score of the overlap region.
+    pub ideal: i32,
+    /// `score / ideal`, clamped to 0 when ideal is 0.
+    pub ratio: f64,
+    /// Whether this alignment is evidence to merge the two clusters.
+    pub accepted: bool,
+}
+
+/// Apply the accept criterion to an overlap candidate.
+pub fn decide(
+    kind: OverlapKind,
+    score: i32,
+    overlap_len: usize,
+    scoring: &Scoring,
+    params: &OverlapParams,
+) -> AcceptDecision {
+    let ideal = scoring.ideal(overlap_len);
+    let ratio = if ideal > 0 {
+        (score as f64 / ideal as f64).max(0.0)
+    } else {
+        0.0
+    };
+    let accepted = kind.is_accepted_pattern()
+        && overlap_len >= params.min_overlap_len
+        && ratio >= params.min_score_ratio;
+    AcceptDecision {
+        kind,
+        score,
+        ideal,
+        ratio,
+        accepted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_the_four_patterns() {
+        // a: 0..10, b: 0..10
+        assert_eq!(
+            classify_overlap(10, 10, 4..10, 0..6),
+            OverlapKind::SuffixAPrefixB
+        );
+        assert_eq!(
+            classify_overlap(10, 10, 0..6, 4..10),
+            OverlapKind::PrefixASuffixB
+        );
+        assert_eq!(classify_overlap(20, 8, 5..13, 0..8), OverlapKind::ContainsB);
+        assert_eq!(
+            classify_overlap(8, 20, 0..8, 5..13),
+            OverlapKind::ContainedInB
+        );
+    }
+
+    #[test]
+    fn internal_overlap_is_rejected() {
+        assert_eq!(classify_overlap(20, 20, 5..15, 5..15), OverlapKind::None);
+        assert!(!OverlapKind::None.is_accepted_pattern());
+    }
+
+    #[test]
+    fn full_mutual_overlap_is_containment() {
+        // Identical sequences: both regions span fully; ContainedInB wins
+        // by the documented priority order.
+        assert_eq!(
+            classify_overlap(10, 10, 0..10, 0..10),
+            OverlapKind::ContainedInB
+        );
+    }
+
+    #[test]
+    fn one_sided_touch_is_not_enough() {
+        // Touches a's tail but lands strictly inside b: rejected.
+        assert_eq!(classify_overlap(10, 30, 4..10, 5..11), OverlapKind::None);
+        // Touches b's head but starts strictly inside a... also tail of a
+        // must be involved; starting inside a and inside b tail-less fails.
+        assert_eq!(classify_overlap(10, 30, 2..9, 0..7), OverlapKind::None);
+    }
+
+    #[test]
+    fn decide_accepts_good_dovetail() {
+        let s = Scoring::default_est();
+        let p = OverlapParams::default();
+        // 100-base overlap, 95 matches + 5 mismatches.
+        let score = 95 * s.match_score + 5 * s.mismatch;
+        let d = decide(OverlapKind::SuffixAPrefixB, score, 100, &s, &p);
+        assert!(d.accepted);
+        assert!((d.ratio - 0.875).abs() < 1e-9);
+        assert_eq!(d.ideal, s.ideal(100));
+    }
+
+    #[test]
+    fn decide_rejects_short_overlap() {
+        let s = Scoring::default_est();
+        let p = OverlapParams::default();
+        let d = decide(OverlapKind::SuffixAPrefixB, s.ideal(10), 10, &s, &p);
+        assert!(!d.accepted, "10 bases < min_overlap_len");
+        assert!((d.ratio - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decide_rejects_low_identity() {
+        let s = Scoring::default_est();
+        let p = OverlapParams::default();
+        // Half mismatches: ratio far below threshold.
+        let score = 50 * s.match_score + 50 * s.mismatch;
+        let d = decide(OverlapKind::ContainsB, score, 100, &s, &p);
+        assert!(!d.accepted);
+    }
+
+    #[test]
+    fn decide_rejects_non_pattern() {
+        let s = Scoring::default_est();
+        let p = OverlapParams::default();
+        let d = decide(OverlapKind::None, s.ideal(200), 200, &s, &p);
+        assert!(!d.accepted, "perfect score cannot rescue a non-pattern");
+    }
+
+    #[test]
+    fn decide_zero_length_overlap() {
+        let s = Scoring::default_est();
+        let p = OverlapParams::default();
+        let d = decide(OverlapKind::SuffixAPrefixB, 0, 0, &s, &p);
+        assert!(!d.accepted);
+        assert_eq!(d.ratio, 0.0);
+    }
+
+    #[test]
+    fn negative_score_clamps_ratio() {
+        let s = Scoring::default_est();
+        let p = OverlapParams::default();
+        let d = decide(OverlapKind::SuffixAPrefixB, -50, 100, &s, &p);
+        assert_eq!(d.ratio, 0.0);
+        assert!(!d.accepted);
+    }
+}

@@ -1,0 +1,145 @@
+//! Alignment scoring parameters.
+//!
+//! Quality is controlled "by the usual set of parameters, such as match and
+//! mismatch scores, gap opening and gap continuation penalties, and the
+//! ratio of score obtained to the ideal score consisting of all matches"
+//! (paper, §3.3). All kernels in this crate share this struct.
+
+/// Match/mismatch/gap scoring scheme with affine gaps.
+///
+/// Scores are signed: `match_score` should be positive, the penalties
+/// negative. With `gap_open == gap_extend` the scheme degenerates to linear
+/// gap costs, which is what the banded extension kernel assumes (the paper
+/// bounds errors, not gap structure, so linear costs are faithful there).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scoring {
+    /// Score added for an identical base pair.
+    pub match_score: i32,
+    /// Score added for a substituted base pair (negative).
+    pub mismatch: i32,
+    /// Cost of the first residue of a gap (negative).
+    pub gap_open: i32,
+    /// Cost of each subsequent gap residue (negative).
+    pub gap_extend: i32,
+}
+
+impl Scoring {
+    /// The scheme used throughout the reproduction: +2 match, −3 mismatch,
+    /// −4 open, −2 extend — ordinary EST-assembly-style values.
+    pub const fn default_est() -> Self {
+        Scoring {
+            match_score: 2,
+            mismatch: -3,
+            gap_open: -4,
+            gap_extend: -2,
+        }
+    }
+
+    /// A linear-gap scheme (open == extend), used by the banded kernel.
+    pub const fn linear(match_score: i32, mismatch: i32, gap: i32) -> Self {
+        Scoring {
+            match_score,
+            mismatch,
+            gap_open: gap,
+            gap_extend: gap,
+        }
+    }
+
+    /// Unit-cost scheme handy in tests (+1 match, −1 everything else).
+    pub const fn unit() -> Self {
+        Scoring::linear(1, -1, -1)
+    }
+
+    /// Score of aligning bases `a` and `b`.
+    #[inline]
+    pub fn pair(&self, a: u8, b: u8) -> i32 {
+        if a == b {
+            self.match_score
+        } else {
+            self.mismatch
+        }
+    }
+
+    /// Whether the gap costs are linear (open == extend).
+    #[inline]
+    pub fn is_linear(&self) -> bool {
+        self.gap_open == self.gap_extend
+    }
+
+    /// The "ideal score" of a segment of length `len`: all matches.
+    /// The accept criterion compares achieved score against this.
+    #[inline]
+    pub fn ideal(&self, len: usize) -> i32 {
+        self.match_score * len as i32
+    }
+
+    /// Basic sanity check: match positive, penalties non-positive.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.match_score <= 0 {
+            return Err(format!("match_score must be positive, got {}", self.match_score));
+        }
+        for (name, v) in [
+            ("mismatch", self.mismatch),
+            ("gap_open", self.gap_open),
+            ("gap_extend", self.gap_extend),
+        ] {
+            if v > 0 {
+                return Err(format!("{name} must be non-positive, got {v}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for Scoring {
+    fn default() -> Self {
+        Scoring::default_est()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        Scoring::default().validate().unwrap();
+        Scoring::unit().validate().unwrap();
+    }
+
+    #[test]
+    fn pair_scores() {
+        let s = Scoring::default_est();
+        assert_eq!(s.pair(b'A', b'A'), 2);
+        assert_eq!(s.pair(b'A', b'C'), -3);
+    }
+
+    #[test]
+    fn ideal_scales_with_length() {
+        let s = Scoring::unit();
+        assert_eq!(s.ideal(0), 0);
+        assert_eq!(s.ideal(10), 10);
+    }
+
+    #[test]
+    fn linear_detection() {
+        assert!(Scoring::unit().is_linear());
+        assert!(!Scoring::default_est().is_linear());
+    }
+
+    #[test]
+    fn validate_rejects_bad_schemes() {
+        assert!(Scoring::linear(0, -1, -1).validate().is_err());
+        assert!(Scoring::linear(1, 1, -1).validate().is_err());
+        assert!(
+            Scoring {
+                match_score: 1,
+                mismatch: -1,
+                gap_open: 2,
+                gap_extend: -1
+            }
+            .validate()
+            .is_err()
+        );
+    }
+}

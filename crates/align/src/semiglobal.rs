@@ -1,0 +1,244 @@
+//! Semiglobal ("overlap") alignment: free end gaps on both sequences.
+//!
+//! The classic formulation of assembler overlap detection: the alignment
+//! may begin at any prefix boundary and end at any suffix boundary of
+//! either sequence, with the unaligned overhangs free of charge. This is
+//! what a traditional tool computes when it has *no anchor* — the
+//! anchored extension of [`crate::anchored`] reaches the same kind of
+//! overlap at a fraction of the cost, which the property tests here
+//! exploit: with a full-width band and a true anchor, the two agree.
+
+use crate::overlap::{classify_overlap, OverlapKind};
+use crate::scoring::Scoring;
+
+/// A scored overlap alignment with its coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SemiglobalAlignment {
+    /// Best overlap score (0 for the empty overlap).
+    pub score: i32,
+    /// Half-open aligned range in `a`.
+    pub a_start: usize,
+    /// End of the aligned range in `a`.
+    pub a_end: usize,
+    /// Half-open aligned range in `b`.
+    pub b_start: usize,
+    /// End of the aligned range in `b`.
+    pub b_end: usize,
+    /// Overlap pattern of the aligned region.
+    pub kind: OverlapKind,
+}
+
+impl SemiglobalAlignment {
+    /// Length of the overlap, measured on the longer side.
+    pub fn overlap_len(&self) -> usize {
+        (self.a_end - self.a_start).max(self.b_end - self.b_start)
+    }
+}
+
+/// Compute the best overlap alignment of `a` and `b`.
+///
+/// O(|a|·|b|) time, O(|b|) rolling rows; linear gap costs (uses
+/// `gap_extend` per gap base — end-free overlap alignment with affine
+/// interior gaps adds little here and the baseline does not need it).
+/// Origin coordinates are threaded through the DP so no traceback matrix
+/// is materialized.
+pub fn semiglobal_align(a: &[u8], b: &[u8], scoring: &Scoring) -> SemiglobalAlignment {
+    let (la, lb) = (a.len(), b.len());
+    let gap = scoring.gap_extend;
+
+    // score[j], origin[j] for the current row; origin = (a_start, b_start).
+    let mut score: Vec<i32> = vec![0; lb + 1];
+    let mut origin: Vec<(u32, u32)> = (0..=lb as u32).map(|j| (0, j)).collect();
+
+    let mut best = SemiglobalAlignment {
+        score: 0,
+        a_start: 0,
+        a_end: 0,
+        b_start: lb,
+        b_end: lb,
+        kind: OverlapKind::None,
+    };
+    let mut consider = |s: i32, oi: u32, oj: u32, i: usize, j: usize| {
+        if s > best.score
+            || (s == best.score
+                && (i - oi as usize) + (j - oj as usize)
+                    > (best.a_end - best.a_start) + (best.b_end - best.b_start))
+        {
+            best = SemiglobalAlignment {
+                score: s,
+                a_start: oi as usize,
+                a_end: i,
+                b_start: oj as usize,
+                b_end: j,
+                kind: OverlapKind::None,
+            };
+        }
+    };
+    // Row 0 cells are all candidates (empty overlap is the identity).
+    for i in 1..=la {
+        let mut prev_diag_score = score[0];
+        let mut prev_diag_origin = origin[0];
+        // Column 0: free leading gap in `b`.
+        score[0] = 0;
+        origin[0] = (i as u32, 0);
+        for j in 1..=lb {
+            let diag = prev_diag_score + scoring.pair(a[i - 1], b[j - 1]);
+            let up = score[j] + gap; // consumes a[i-1]
+            let left = score[j - 1] + gap; // consumes b[j-1]
+            prev_diag_score = score[j];
+            let diag_origin = prev_diag_origin;
+            prev_diag_origin = origin[j];
+            if diag >= up && diag >= left {
+                score[j] = diag;
+                origin[j] = diag_origin;
+            } else if up >= left {
+                score[j] = up;
+                // origin[j] unchanged (comes from the row above, same j)
+            } else {
+                score[j] = left;
+                origin[j] = origin[j - 1];
+            }
+        }
+        // Last column is an end boundary of `b`.
+        consider(score[lb], origin[lb].0, origin[lb].1, i, lb);
+    }
+    // Last row: every cell is an end boundary of `a`.
+    for j in 0..=lb {
+        consider(score[j], origin[j].0, origin[j].1, la, j);
+    }
+
+    best.kind = classify_overlap(la, lb, best.a_start..best.a_end, best.b_start..best.b_end);
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn est() -> Scoring {
+        Scoring::default_est()
+    }
+
+    #[test]
+    fn perfect_dovetail() {
+        //   AAAACCCCGGGG
+        //       CCCCGGGGTTTT
+        let a = b"AAAACCCCGGGG";
+        let b = b"CCCCGGGGTTTT";
+        let aln = semiglobal_align(a, b, &est());
+        assert_eq!(aln.score, est().ideal(8));
+        assert_eq!((aln.a_start, aln.a_end), (4, 12));
+        assert_eq!((aln.b_start, aln.b_end), (0, 8));
+        assert_eq!(aln.kind, OverlapKind::SuffixAPrefixB);
+        assert_eq!(aln.overlap_len(), 8);
+    }
+
+    #[test]
+    fn mirror_dovetail() {
+        let a = b"CCCCGGGGTTTT";
+        let b = b"AAAACCCCGGGG";
+        let aln = semiglobal_align(a, b, &est());
+        assert_eq!(aln.kind, OverlapKind::PrefixASuffixB);
+        assert_eq!(aln.score, est().ideal(8));
+    }
+
+    #[test]
+    fn containment() {
+        let a = b"AAAATTTCGCGATCGTTTTT";
+        let b = b"TTCGCGATCG";
+        let aln = semiglobal_align(a, b, &est());
+        assert_eq!(aln.kind, OverlapKind::ContainsB);
+        assert_eq!(aln.score, est().ideal(b.len()));
+        assert_eq!((aln.b_start, aln.b_end), (0, b.len()));
+    }
+
+    #[test]
+    fn unrelated_strings_score_low() {
+        let aln = semiglobal_align(b"AAAAAAAAAA", b"TTTTTTTTTT", &est());
+        assert!(aln.score <= 0, "score {}", aln.score);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let aln = semiglobal_align(b"", b"ACGT", &est());
+        assert_eq!(aln.score, 0);
+        let aln = semiglobal_align(b"", b"", &est());
+        assert_eq!(aln.score, 0);
+    }
+
+    #[test]
+    fn tolerates_interior_errors() {
+        // 20-base overlap with one substitution.
+        let a = b"CCCCCCCCACGTACGTACGTTACG";
+        let b = b"ACGTACGTACGTTACGGGGGGGG"; // note the same 16-suffix/prefix
+        let aln = semiglobal_align(a, b, &est());
+        assert!(aln.score >= est().ideal(16) - 6);
+        assert_eq!(aln.kind, OverlapKind::SuffixAPrefixB);
+    }
+
+    fn dna(min: usize, max: usize) -> impl Strategy<Value = Vec<u8>> {
+        proptest::collection::vec(
+            proptest::sample::select(vec![b'A', b'C', b'G', b'T']),
+            min..max,
+        )
+    }
+
+    proptest! {
+        /// Score is symmetric up to pattern mirroring, never negative,
+        /// and bounded by the ideal score of the overlap.
+        #[test]
+        fn basic_invariants(a in dna(0, 40), b in dna(0, 40)) {
+            let s = est();
+            let fwd = semiglobal_align(&a, &b, &s);
+            let rev = semiglobal_align(&b, &a, &s);
+            prop_assert_eq!(fwd.score, rev.score);
+            prop_assert!(fwd.score >= 0);
+            prop_assert!(fwd.score <= s.ideal(fwd.overlap_len().max(1)));
+            prop_assert!(fwd.a_end <= a.len() && fwd.b_end <= b.len());
+            prop_assert!(fwd.a_start <= fwd.a_end && fwd.b_start <= fwd.b_end);
+        }
+
+        /// On constructed overlaps, the semiglobal score at least matches
+        /// what the anchored extension finds (the anchor restricts the
+        /// search, semiglobal does not).
+        #[test]
+        fn dominates_anchored(template in dna(30, 60), cut in 5usize..20) {
+            prop_assume!(template.len() > 2 * cut + 10);
+            let a = &template[..template.len() - cut];
+            let b = &template[cut..];
+            // Exact anchor: the known template overlap.
+            let overlap = template.len() - 2 * cut;
+            let anchor = crate::anchored::Anchor {
+                a_pos: cut,
+                b_pos: 0,
+                len: overlap,
+            };
+            prop_assume!(anchor.verify(a, b));
+            let s = est();
+            let anchored = crate::anchored::align_anchored(a, b, anchor, &s, 4);
+            let semi = semiglobal_align(a, b, &s);
+            prop_assert!(
+                semi.score >= anchored.score,
+                "semiglobal {} < anchored {}",
+                semi.score,
+                anchored.score
+            );
+            // Both must find at least the clean overlap.
+            prop_assert!(semi.score >= s.ideal(overlap));
+        }
+
+        /// The best overlap of a string with itself is full containment
+        /// at the ideal score.
+        #[test]
+        fn self_overlap_is_ideal(a in dna(1, 40)) {
+            let s = est();
+            let aln = semiglobal_align(&a, &a, &s);
+            prop_assert_eq!(aln.score, s.ideal(a.len()));
+            prop_assert!(matches!(
+                aln.kind,
+                OverlapKind::ContainsB | OverlapKind::ContainedInB
+            ));
+        }
+    }
+}

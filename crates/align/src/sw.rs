@@ -1,0 +1,121 @@
+//! Local alignment score (Smith–Waterman, affine gaps).
+//!
+//! Used by the quality tooling and tests as an upper bound: any overlap
+//! alignment score is at most the best local alignment score.
+
+use crate::scoring::Scoring;
+
+/// Best local alignment score between `a` and `b` (never negative).
+pub fn local_score(a: &[u8], b: &[u8], scoring: &Scoring) -> i32 {
+    const NEG: i32 = i32::MIN / 4;
+    let lb = b.len();
+    let mut m_prev = vec![0i32; lb + 1];
+    let mut x_prev = vec![NEG; lb + 1];
+    let mut y_prev = vec![NEG; lb + 1];
+    let mut best = 0i32;
+
+    for i in 1..=a.len() {
+        let mut m_cur = vec![0i32; lb + 1];
+        let mut x_cur = vec![NEG; lb + 1];
+        let mut y_cur = vec![NEG; lb + 1];
+        for j in 1..=lb {
+            let diag = m_prev[j - 1].max(x_prev[j - 1]).max(y_prev[j - 1]).max(0);
+            m_cur[j] = diag + scoring.pair(a[i - 1], b[j - 1]);
+            x_cur[j] = (m_prev[j] + scoring.gap_open).max(x_prev[j] + scoring.gap_extend);
+            y_cur[j] = (m_cur[j - 1] + scoring.gap_open).max(y_cur[j - 1] + scoring.gap_extend);
+            best = best.max(m_cur[j]).max(x_cur[j]).max(y_cur[j]);
+        }
+        m_prev = m_cur;
+        x_prev = x_cur;
+        y_prev = y_cur;
+    }
+    best
+}
+
+/// Length of the longest exact common substring of `a` and `b`.
+///
+/// O(|a|·|b|) reference used in tests to validate the suffix-tree pair
+/// generator's "maximal common substring" bookkeeping on small inputs.
+pub fn longest_common_substring(a: &[u8], b: &[u8]) -> usize {
+    let mut prev = vec![0usize; b.len() + 1];
+    let mut best = 0;
+    for i in 1..=a.len() {
+        let mut cur = vec![0usize; b.len() + 1];
+        for j in 1..=b.len() {
+            if a[i - 1] == b[j - 1] {
+                cur[j] = prev[j - 1] + 1;
+                best = best.max(cur[j]);
+            }
+        }
+        prev = cur;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn local_finds_embedded_match() {
+        let s = Scoring::unit();
+        // "ACGT" is embedded in both despite hostile flanks.
+        assert_eq!(local_score(b"TTTTACGTTTTT", b"GGGGACGTGGGG", &s), 4);
+    }
+
+    #[test]
+    fn local_never_negative() {
+        let s = Scoring::unit();
+        assert_eq!(local_score(b"AAAA", b"TTTT", &s), 0);
+        assert_eq!(local_score(b"", b"ACGT", &s), 0);
+        assert_eq!(local_score(b"", b"", &s), 0);
+    }
+
+    #[test]
+    fn lcs_basic() {
+        assert_eq!(longest_common_substring(b"ACGT", b"ACGT"), 4);
+        assert_eq!(longest_common_substring(b"AACGTT", b"GGACGG"), 3); // "ACG"
+        assert_eq!(longest_common_substring(b"AAAA", b"TTTT"), 0);
+        assert_eq!(longest_common_substring(b"", b"ACGT"), 0);
+    }
+
+    fn dna(max: usize) -> impl Strategy<Value = Vec<u8>> {
+        proptest::collection::vec(proptest::sample::select(vec![b'A', b'C', b'G', b'T']), 0..max)
+    }
+
+    proptest! {
+        /// Local score dominates global score and is never negative.
+        #[test]
+        fn local_dominates_global(a in dna(30), b in dna(30)) {
+            let s = Scoring::default_est();
+            let local = local_score(&a, &b, &s);
+            prop_assert!(local >= 0);
+            // Local dominates global: any global path restricted to its
+            // best-scoring sub-path is a valid local alignment.
+            let global = crate::nw::global_score(&a, &b, &s);
+            prop_assert!(local >= global);
+        }
+
+        /// LCS length is symmetric and bounded by both lengths; a shared
+        /// planted substring is always found.
+        #[test]
+        fn lcs_properties(a in dna(25), b in dna(25), planted in dna(10)) {
+            prop_assert_eq!(
+                longest_common_substring(&a, &b),
+                longest_common_substring(&b, &a)
+            );
+            let mut ax = a.clone(); ax.extend_from_slice(&planted);
+            let mut bx = planted.clone(); bx.extend_from_slice(&b);
+            prop_assert!(longest_common_substring(&ax, &bx) >= planted.len());
+            prop_assert!(longest_common_substring(&a, &b) <= a.len().min(b.len()));
+        }
+
+        /// The local score of a string against itself is the ideal score.
+        #[test]
+        fn local_self_is_ideal(a in dna(30)) {
+            let s = Scoring::default_est();
+            prop_assert_eq!(local_score(&a, &a, &s), s.ideal(a.len()));
+        }
+    }
+}

@@ -1,0 +1,460 @@
+//! The traditional EST-clustering pipeline (CAP3/Phrap/TIGR stand-in).
+//!
+//! The paper's Table 1 measures three closed-source assemblers and finds
+//! the same two pathologies PaCE is designed to remove:
+//!
+//! 1. a **memory-intensive phase** — all promising pairs are enumerated
+//!    and materialized up front (quadratic-leaning in practice), which is
+//!    what makes the tools die with 512 MB on 81,414 ESTs ("X" entries);
+//! 2. a **time-intensive phase** — pairwise alignment is run on *every*
+//!    enumerated pair, in arbitrary order, with full-width dynamic
+//!    programming and no cluster-aware skipping.
+//!
+//! Since the originals are closed source, this crate implements that
+//! pipeline faithfully from its published descriptions: same promising-
+//! pair definition and same accept criterion as our PaCE implementation
+//! (so quality comparisons are apples-to-apples, as in Table 2), but
+//! materialized pairs, arbitrary order, no skipping, and unbanded
+//! alignment. A configurable memory cap reproduces the out-of-memory
+//! behaviour; [`MemoryModel`] extrapolates the footprint for sizes too
+//! large to run.
+
+use pace_align::{align_anchored, decide_outcome, Anchor, OverlapParams, Scoring};
+use pace_dsu::DisjointSets;
+use pace_gst::build_sequential;
+use pace_pairgen::{CandidatePair, PairGenConfig, PairGenerator, PairOrder};
+use pace_seq::SequenceStore;
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// Baseline configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineConfig {
+    /// Bucket window for the enumeration suffix tree.
+    pub window_w: usize,
+    /// Promising-pair threshold (same meaning as PaCE's ψ).
+    pub psi: u32,
+    /// Alignment scoring.
+    pub scoring: Scoring,
+    /// Accept criterion (kept identical to PaCE for fair quality
+    /// comparison).
+    pub overlap: OverlapParams,
+    /// Abort with [`BaselineError::OutOfMemory`] when the materialized
+    /// state exceeds this many bytes (the paper's machines had 512 MB).
+    pub memory_cap_bytes: Option<usize>,
+    /// Align pairs on all cores (rayon). The *serial* alignment time is
+    /// still reported in the stats, so Table 1's one-processor numbers
+    /// can be derived even when the experiment itself runs parallel.
+    pub parallel_align: bool,
+}
+
+impl Default for BaselineConfig {
+    fn default() -> Self {
+        BaselineConfig {
+            window_w: 8,
+            psi: 20,
+            scoring: Scoring::default_est(),
+            overlap: OverlapParams::default(),
+            memory_cap_bytes: None,
+            parallel_align: true,
+        }
+    }
+}
+
+impl BaselineConfig {
+    /// Settings suited to small test inputs (mirrors
+    /// `ClusterConfig::small`).
+    pub fn small() -> Self {
+        BaselineConfig {
+            window_w: 4,
+            psi: 8,
+            overlap: OverlapParams {
+                min_score_ratio: 0.75,
+                min_overlap_len: 12,
+            },
+            ..BaselineConfig::default()
+        }
+    }
+}
+
+/// Why a baseline run failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BaselineError {
+    /// The materialized pair set (plus index structures) exceeded the cap
+    /// — the paper's "X: insufficient memory to run program".
+    OutOfMemory {
+        /// Bytes the run needed at the point it died.
+        required: usize,
+        /// The configured cap.
+        cap: usize,
+        /// Which phase hit the wall.
+        phase: &'static str,
+    },
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BaselineError::OutOfMemory {
+                required,
+                cap,
+                phase,
+            } => write!(
+                f,
+                "out of memory during {phase}: needs {} MB, cap {} MB",
+                required >> 20,
+                cap >> 20
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+/// Counters and timings of a baseline run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BaselineStats {
+    /// Promising pairs enumerated and materialized.
+    pub pairs_enumerated: u64,
+    /// Alignments computed (== pairs enumerated after dedup; no skipping).
+    pub alignments: u64,
+    /// Alignments accepted as overlaps.
+    pub accepted: u64,
+    /// Cluster merges performed.
+    pub merges: u64,
+    /// Peak accounted memory in bytes.
+    pub peak_memory_bytes: usize,
+    /// Wall-clock of the enumeration (memory-intensive) phase.
+    pub enumerate_secs: f64,
+    /// Wall-clock of the alignment (time-intensive) phase.
+    pub align_secs: f64,
+    /// Sum of per-pair alignment times on one core — the one-processor
+    /// runtime of the phase even when executed with rayon.
+    pub align_serial_secs: f64,
+    /// End-to-end wall clock.
+    pub total_secs: f64,
+}
+
+/// The outcome of a successful baseline run.
+#[derive(Debug, Clone)]
+pub struct BaselineResult {
+    /// Cluster label per EST.
+    pub labels: Vec<usize>,
+    /// Number of clusters.
+    pub num_clusters: usize,
+    /// Run counters.
+    pub stats: BaselineStats,
+}
+
+/// Run the traditional pipeline on `store`.
+pub fn cluster_baseline(
+    store: &SequenceStore,
+    cfg: &BaselineConfig,
+) -> Result<BaselineResult, BaselineError> {
+    let total_started = Instant::now();
+    let mut stats = BaselineStats::default();
+
+    // ---- Phase 1: materialize every promising pair (memory-intensive).
+    let started = Instant::now();
+    let forest = build_sequential(store, cfg.window_w);
+    let mut generator = PairGenerator::new(
+        store,
+        &forest,
+        PairGenConfig {
+            psi: cfg.psi,
+            order: PairOrder::Arbitrary, // "the traditional way"
+        },
+    );
+    let mut pairs = generator.generate_all();
+    stats.pairs_enumerated = pairs.len() as u64;
+
+    // One overlap computation per string pair: dedup by (s1, s2), keeping
+    // the longest witness.
+    pairs.sort_by_key(|p| (p.s1, p.s2, std::cmp::Reverse(p.mcs_len)));
+    pairs.dedup_by_key(|p| (p.s1, p.s2));
+
+    let memory = store.memory_bytes()
+        + forest.memory_bytes()
+        + generator.memory_bytes()
+        + pairs.capacity() * std::mem::size_of::<CandidatePair>();
+    stats.peak_memory_bytes = memory;
+    if let Some(cap) = cfg.memory_cap_bytes {
+        if memory > cap {
+            return Err(BaselineError::OutOfMemory {
+                required: memory,
+                cap,
+                phase: "pair enumeration",
+            });
+        }
+    }
+    stats.enumerate_secs = started.elapsed().as_secs_f64();
+
+    // ---- Phase 2: align everything (time-intensive) — full-width DP
+    // (band as wide as the sequences), arbitrary order, no skipping.
+    let started = Instant::now();
+    let align_one = |p: &CandidatePair| -> (bool, f64) {
+        let t = Instant::now();
+        let a = store.seq(p.s1);
+        let b = store.seq(p.s2);
+        let radius = a.len().max(b.len());
+        let anchor = Anchor {
+            a_pos: p.off1 as usize,
+            b_pos: p.off2 as usize,
+            len: p.mcs_len as usize,
+        };
+        let aln = align_anchored(a, b, anchor, &cfg.scoring, radius);
+        let decision = decide_outcome(&aln, &cfg.scoring, &cfg.overlap);
+        (decision.accepted, t.elapsed().as_secs_f64())
+    };
+    let outcomes: Vec<(bool, f64)> = if cfg.parallel_align {
+        pairs.par_iter().map(align_one).collect()
+    } else {
+        pairs.iter().map(align_one).collect()
+    };
+    stats.alignments = outcomes.len() as u64;
+    stats.align_serial_secs = outcomes.iter().map(|&(_, t)| t).sum();
+    stats.align_secs = started.elapsed().as_secs_f64();
+
+    // ---- Phase 3: single-linkage merging.
+    let mut clusters = DisjointSets::new(store.num_ests());
+    for (pair, &(accepted, _)) in pairs.iter().zip(&outcomes) {
+        if accepted {
+            stats.accepted += 1;
+            let (i, j) = pair.est_indices();
+            if clusters.union(i, j) {
+                stats.merges += 1;
+            }
+        }
+    }
+    stats.total_secs = total_started.elapsed().as_secs_f64();
+
+    Ok(BaselineResult {
+        labels: clusters.labels(),
+        num_clusters: clusters.num_sets(),
+        stats,
+    })
+}
+
+/// Run only the memory-intensive enumeration phase and report its
+/// footprint, without paying for any alignment. Used by the Table 1/2
+/// harness to calibrate the memory cap so the out-of-memory boundary
+/// falls where the paper's did (between the two largest input sizes).
+pub fn enumerate_footprint(store: &SequenceStore, cfg: &BaselineConfig) -> (u64, usize, f64) {
+    let started = Instant::now();
+    let forest = build_sequential(store, cfg.window_w);
+    let mut generator = PairGenerator::new(
+        store,
+        &forest,
+        PairGenConfig {
+            psi: cfg.psi,
+            order: PairOrder::Arbitrary,
+        },
+    );
+    let mut pairs = generator.generate_all();
+    pairs.sort_by_key(|p| (p.s1, p.s2, std::cmp::Reverse(p.mcs_len)));
+    pairs.dedup_by_key(|p| (p.s1, p.s2));
+    let bytes = store.memory_bytes()
+        + forest.memory_bytes()
+        + generator.memory_bytes()
+        + pairs.capacity() * std::mem::size_of::<CandidatePair>();
+    (pairs.len() as u64, bytes, started.elapsed().as_secs_f64())
+}
+
+/// Analytic memory model for the enumeration phase, fitted from measured
+/// runs and used to extrapolate Table 1's "X" entries to sizes that are
+/// impractical to materialize.
+#[derive(Debug, Clone, Copy)]
+pub struct MemoryModel {
+    /// Bytes per input base (sequence store + suffix tree + generator).
+    pub bytes_per_base: f64,
+    /// Bytes per materialized pair.
+    pub bytes_per_pair: f64,
+    /// Pairs per EST (measured pair density at the fitted size).
+    pub pairs_per_est: f64,
+}
+
+impl MemoryModel {
+    /// Fit the model from one measured run.
+    pub fn fit(store: &SequenceStore, stats: &BaselineStats) -> Self {
+        let n = store.num_ests().max(1) as f64;
+        let bases = store.total_input_chars().max(1) as f64;
+        let pairs = stats.pairs_enumerated as f64;
+        let pair_bytes = pairs * std::mem::size_of::<CandidatePair>() as f64;
+        MemoryModel {
+            bytes_per_base: (stats.peak_memory_bytes as f64 - pair_bytes) / bases,
+            bytes_per_pair: std::mem::size_of::<CandidatePair>() as f64,
+            pairs_per_est: pairs / n,
+        }
+    }
+
+    /// Predicted peak bytes for `n` ESTs of average length `avg_len`,
+    /// assuming pair density grows linearly with n (pair counts in EST
+    /// data grow superlinearly with coverage; linear-in-n density per EST
+    /// is the conservative floor).
+    pub fn predict_bytes(&self, n: usize, avg_len: f64) -> usize {
+        let bases = n as f64 * avg_len;
+        let pairs = self.pairs_per_est * n as f64;
+        (self.bytes_per_base * bases + self.bytes_per_pair * pairs) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pace_simulate::{generate, SimConfig};
+
+    fn dataset(n: usize, seed: u64) -> pace_simulate::EstDataset {
+        generate(&SimConfig {
+            num_genes: (n / 12).max(2),
+            num_ests: n,
+            est_len_mean: 220.0,
+            est_len_sd: 25.0,
+            est_len_min: 120,
+            exon_len: (220, 400),
+            exons_per_gene: (1, 2),
+            seed,
+            ..SimConfig::default()
+        })
+    }
+
+    fn small() -> BaselineConfig {
+        let mut c = BaselineConfig::small();
+        c.psi = 16;
+        c.overlap.min_overlap_len = 40;
+        c
+    }
+
+    #[test]
+    fn baseline_clusters_with_good_quality() {
+        let ds = dataset(100, 31);
+        let store = SequenceStore::from_ests(&ds.ests).unwrap();
+        let r = cluster_baseline(&store, &small()).unwrap();
+        let m = pace_quality::assess(&r.labels, &ds.truth);
+        assert!(m.oq > 0.75, "baseline OQ too low: {m}");
+        assert!(m.cc > 0.80, "baseline CC too low: {m}");
+    }
+
+    #[test]
+    fn baseline_and_pace_agree_on_clean_data() {
+        let ds = {
+            let mut c = SimConfig {
+                num_genes: 8,
+                num_ests: 80,
+                est_len_mean: 220.0,
+                est_len_sd: 25.0,
+                est_len_min: 120,
+                exon_len: (220, 400),
+                exons_per_gene: (1, 2),
+                seed: 32,
+                ..SimConfig::default()
+            };
+            c.error_rate = 0.0;
+            generate(&c)
+        };
+        let store = SequenceStore::from_ests(&ds.ests).unwrap();
+        let base = cluster_baseline(&store, &small()).unwrap();
+
+        let mut pace_cfg = pace_cluster::ClusterConfig::small();
+        pace_cfg.psi = 16;
+        pace_cfg.overlap.min_overlap_len = 40;
+        let pace = pace_cluster::cluster_sequential(&store, &pace_cfg);
+
+        let agreement = pace_quality::assess(&base.labels, &pace.labels);
+        assert!(
+            agreement.oq > 0.97,
+            "baseline and PaCE partitions diverge: {agreement}"
+        );
+    }
+
+    #[test]
+    fn baseline_does_more_alignments_than_pace() {
+        let ds = dataset(120, 33);
+        let store = SequenceStore::from_ests(&ds.ests).unwrap();
+        let base = cluster_baseline(&store, &small()).unwrap();
+
+        let mut pace_cfg = pace_cluster::ClusterConfig::small();
+        pace_cfg.psi = 16;
+        pace_cfg.overlap.min_overlap_len = 40;
+        let pace = pace_cluster::cluster_sequential(&store, &pace_cfg);
+
+        assert!(
+            base.stats.alignments > pace.stats.pairs_processed,
+            "baseline {} alignments vs PaCE {}",
+            base.stats.alignments,
+            pace.stats.pairs_processed
+        );
+    }
+
+    #[test]
+    fn memory_cap_triggers_oom() {
+        let ds = dataset(60, 34);
+        let store = SequenceStore::from_ests(&ds.ests).unwrap();
+        let mut cfg = small();
+        cfg.memory_cap_bytes = Some(1024); // 1 KB: guaranteed too small
+        match cluster_baseline(&store, &cfg) {
+            Err(BaselineError::OutOfMemory { required, cap, .. }) => {
+                assert!(required > cap);
+            }
+            other => panic!("expected OOM, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generous_cap_allows_run() {
+        let ds = dataset(40, 35);
+        let store = SequenceStore::from_ests(&ds.ests).unwrap();
+        let mut cfg = small();
+        cfg.memory_cap_bytes = Some(1 << 30);
+        let r = cluster_baseline(&store, &cfg).unwrap();
+        assert!(r.stats.peak_memory_bytes < 1 << 30);
+        assert!(r.stats.peak_memory_bytes > 0);
+    }
+
+    #[test]
+    fn serial_time_at_least_parallel_time_sum() {
+        let ds = dataset(50, 36);
+        let store = SequenceStore::from_ests(&ds.ests).unwrap();
+        let r = cluster_baseline(&store, &small()).unwrap();
+        assert!(r.stats.align_serial_secs >= 0.0);
+        assert!(r.stats.alignments > 0);
+        // Serial sum must be ≥ the wall time only when parallelized with
+        // >1 thread; at minimum both are positive and consistent.
+        assert!(r.stats.align_secs > 0.0);
+    }
+
+    #[test]
+    fn memory_model_extrapolates_monotonically() {
+        let ds = dataset(60, 37);
+        let store = SequenceStore::from_ests(&ds.ests).unwrap();
+        let r = cluster_baseline(&store, &small()).unwrap();
+        let model = MemoryModel::fit(&store, &r.stats);
+        let m1 = model.predict_bytes(1_000, 500.0);
+        let m2 = model.predict_bytes(10_000, 500.0);
+        let m3 = model.predict_bytes(100_000, 500.0);
+        assert!(m1 < m2 && m2 < m3, "model not monotone: {m1} {m2} {m3}");
+        assert!(m3 > 0);
+    }
+
+    #[test]
+    fn footprint_probe_matches_full_run() {
+        let ds = dataset(50, 39);
+        let store = SequenceStore::from_ests(&ds.ests).unwrap();
+        let cfg = small();
+        let (pairs, bytes, _) = enumerate_footprint(&store, &cfg);
+        let full = cluster_baseline(&store, &cfg).unwrap();
+        assert_eq!(pairs, full.stats.alignments);
+        // Footprints agree within allocator slack.
+        let ratio = bytes as f64 / full.stats.peak_memory_bytes as f64;
+        assert!((0.5..2.0).contains(&ratio), "footprints diverge: {ratio}");
+    }
+
+    #[test]
+    fn sequential_align_path_works() {
+        let ds = dataset(30, 38);
+        let store = SequenceStore::from_ests(&ds.ests).unwrap();
+        let mut cfg = small();
+        cfg.parallel_align = false;
+        let r = cluster_baseline(&store, &cfg).unwrap();
+        assert_eq!(r.labels.len(), 30);
+    }
+}

@@ -1,0 +1,135 @@
+//! Criterion micro-benchmarks of the kernels behind each experiment.
+//!
+//! * `gst_build`    — Table 3's "construction of GST" column;
+//! * `node_sort`    — Table 3's "sorting nodes" column (generator setup);
+//! * `pair_generation` — the engine behind Figure 7's generated curve;
+//! * `alignment`    — Table 3's "pairwise alignment" column: anchored
+//!   banded extension vs the full-width DP the baseline uses (Table 1);
+//! * `dsu`          — the master's CLUSTERS operations;
+//! * `quality`      — the Table 2 metric computation;
+//! * `end_to_end`   — one small full clustering run (Figures 6a/6b).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pace_align::{align_anchored, Anchor, Scoring};
+use pace_bench::{dataset, paper_cfg};
+use pace_cluster::cluster_sequential;
+use pace_dsu::DisjointSets;
+use pace_gst::{assign_buckets, build_forest_for_rank, count_buckets};
+use pace_pairgen::{PairGenConfig, PairGenerator};
+use pace_seq::SequenceStore;
+use std::hint::black_box;
+
+fn bench_gst_build(c: &mut Criterion) {
+    let ds = dataset(400, 9101);
+    let store = SequenceStore::from_ests(&ds.ests).unwrap();
+    let counts = count_buckets(&store, 8);
+    let partition = assign_buckets(&counts, 1);
+    c.bench_function("gst_build/400ests", |b| {
+        b.iter(|| black_box(build_forest_for_rank(&store, &partition, 0)))
+    });
+}
+
+fn bench_node_sort_and_pairgen(c: &mut Criterion) {
+    let ds = dataset(400, 9102);
+    let store = SequenceStore::from_ests(&ds.ests).unwrap();
+    let counts = count_buckets(&store, 8);
+    let partition = assign_buckets(&counts, 1);
+    let forest = build_forest_for_rank(&store, &partition, 0);
+
+    c.bench_function("node_sort/400ests", |b| {
+        b.iter(|| black_box(PairGenerator::new(&store, &forest, PairGenConfig::new(20))))
+    });
+
+    c.bench_function("pair_generation/400ests_all", |b| {
+        b.iter_batched(
+            || PairGenerator::new(&store, &forest, PairGenConfig::new(20)),
+            |mut g| black_box(g.generate_all().len()),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_alignment(c: &mut Criterion) {
+    // One realistic promising pair: two 550-base reads overlapping by 300.
+    let ds = dataset(200, 9103);
+    let store = SequenceStore::from_ests(&ds.ests).unwrap();
+    let counts = count_buckets(&store, 8);
+    let partition = assign_buckets(&counts, 1);
+    let forest = build_forest_for_rank(&store, &partition, 0);
+    let pairs = PairGenerator::new(&store, &forest, PairGenConfig::new(20)).generate_all();
+    let pair = pairs
+        .iter()
+        .max_by_key(|p| p.mcs_len)
+        .copied()
+        .expect("workload produces at least one promising pair");
+    let scoring = Scoring::default_est();
+    let a = store.seq(pair.s1);
+    let b = store.seq(pair.s2);
+    let anchor = Anchor {
+        a_pos: pair.off1 as usize,
+        b_pos: pair.off2 as usize,
+        len: pair.mcs_len as usize,
+    };
+
+    c.bench_function("alignment/anchored_banded_r8", |bch| {
+        bch.iter(|| black_box(align_anchored(a, b, anchor, &scoring, 8)))
+    });
+    c.bench_function("alignment/full_width_dp", |bch| {
+        bch.iter(|| black_box(align_anchored(a, b, anchor, &scoring, a.len().max(b.len()))))
+    });
+    c.bench_function("alignment/semiglobal_unanchored", |bch| {
+        bch.iter(|| black_box(pace_align::semiglobal_align(a, b, &scoring)))
+    });
+}
+
+fn bench_dsu(c: &mut Criterion) {
+    c.bench_function("dsu/union_find_100k_ops", |b| {
+        b.iter_batched(
+            || DisjointSets::new(10_000),
+            |mut d| {
+                let mut x = 1u64;
+                for _ in 0..100_000 {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let i = (x >> 33) as usize % 10_000;
+                    let j = (x >> 13) as usize % 10_000;
+                    if !d.union(i, j) {
+                        black_box(d.find(i));
+                    }
+                }
+                d.num_sets()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_quality(c: &mut Criterion) {
+    let ds = dataset(2_000, 9104);
+    let pred: Vec<usize> = ds.truth.iter().map(|&g| g / 2).collect();
+    c.bench_function("quality/assess_2000", |b| {
+        b.iter(|| black_box(pace_quality::assess(&pred, &ds.truth)))
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let ds = dataset(300, 9105);
+    let store = SequenceStore::from_ests(&ds.ests).unwrap();
+    let cfg = paper_cfg();
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    group.bench_function("sequential_300ests", |b| {
+        b.iter(|| black_box(cluster_sequential(&store, &cfg).num_clusters))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gst_build,
+    bench_node_sort_and_pairgen,
+    bench_alignment,
+    bench_dsu,
+    bench_quality,
+    bench_end_to_end
+);
+criterion_main!(benches);

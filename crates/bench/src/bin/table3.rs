@@ -1,0 +1,82 @@
+//! Table 3 — time spent in each component for 20,000 ESTs.
+//!
+//! Paper (seconds on the IBM SP):
+//!
+//! | p   | Partitioning | GST build | Node sort | Alignment | Total |
+//! |-----|--------------|-----------|-----------|-----------|-------|
+//! | 8   | 3            | 180       | 5         | 42        | 230   |
+//! | 16  | 1            | 91        | 2         | 27        | 121   |
+//! | 32  | 1            | 45        | 1         | 13        | 60    |
+//! | 64  | 0.5          | 22        | 0.5       | 8         | 31    |
+//! | 128 | 0.5          | 11        | 0.5       | 5         | 17    |
+//!
+//! Expected shape: every component shrinks with p; GST construction
+//! dominates at this (small) size; partitioning and node sorting are
+//! negligible throughout.
+//!
+//! On hosts with one hardware thread the per-p rows are the modeled
+//! critical path of `pace_bench::model` (measured serial phase work +
+//! the real LPT bucket partition); on multi-core hosts the measured
+//! wall-clock of the threaded run is printed alongside.
+
+use pace_bench::model::ScalingModel;
+use pace_bench::{banner, dataset, max_ranks, paper_cfg, scaled};
+use pace_cluster::cluster_parallel;
+use pace_seq::SequenceStore;
+
+fn main() {
+    banner(
+        "Table 3: component breakdown, n ≈ 20,000 / σ",
+        "GST build dominates at n=20k; all components scale down with p",
+    );
+
+    let n = scaled(20_000);
+    let ds = dataset(n, 3000);
+    let store = SequenceStore::from_ests(&ds.ests).unwrap();
+    println!("n = {n} ESTs, {} bases", ds.total_bases());
+
+    let (model, seq) = ScalingModel::fit(&store, &paper_cfg());
+    println!(
+        "measured serial phase work: partition {:.3}s, GST {:.3}s, sort {:.3}s, align {:.3}s\n",
+        seq.stats.timers.partitioning,
+        seq.stats.timers.gst_construction,
+        seq.stats.timers.node_sorting,
+        seq.stats.timers.alignment
+    );
+
+    println!("modeled critical path (measured work + real bucket partition):");
+    println!(
+        "{:>4} {:>13} {:>10} {:>10} {:>10} {:>8}",
+        "p", "Partitioning", "GST", "NodeSort", "Align", "Total"
+    );
+    for p in [8usize, 16, 32, 64, 128] {
+        let t = model.predict(p);
+        println!(
+            "{:>4} {:>13.3} {:>10.3} {:>10.3} {:>10.3} {:>8.3}",
+            p, t.partitioning, t.gst_construction, t.node_sorting, t.alignment, t.total
+        );
+    }
+
+    if max_ranks() > 1 {
+        println!("\nmeasured wall clock of the threaded runtime on this host:");
+        println!(
+            "{:>4} {:>13} {:>10} {:>10} {:>10} {:>8}",
+            "p", "Partitioning", "GST", "NodeSort", "Align", "Total"
+        );
+        let mut p = 2;
+        while p <= max_ranks() {
+            let r = cluster_parallel(&store, &paper_cfg(), p);
+            let t = &r.stats.timers;
+            println!(
+                "{:>4} {:>13.3} {:>10.3} {:>10.3} {:>10.3} {:>8.3}",
+                p, t.partitioning, t.gst_construction, t.node_sorting, t.alignment, t.total
+            );
+            p *= 2;
+        }
+    } else {
+        println!(
+            "\n(this host has 1 hardware thread, so threaded wall clock cannot \
+             speed up; see DESIGN.md §3 for the substitution rationale)"
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! Shared workloads and formatting for the benchmark harness.
+//!
+//! Every table and figure of the paper has a binary in `src/bin` that
+//! regenerates it (`table1`–`table3`, `fig6a`–`fig8`, `ablations`), and
+//! the criterion benches in `benches/` time the underlying kernels.
+//!
+//! ## Scaling
+//!
+//! The paper's runs use up to 81,414 ESTs of ~500–600 bases on a 128-CPU
+//! IBM SP. The harness reproduces the *shape* of each experiment at a
+//! configurable fraction of that size: every binary divides the paper's
+//! EST counts by the scale factor `σ` (default 20, environment variable
+//! `PACE_SCALE`), keeping read length, error rate and coverage per gene
+//! realistic so the pair statistics behave like the original.
+
+pub mod model;
+
+use pace_cluster::ClusterConfig;
+use pace_simulate::{EstDataset, SimConfig};
+
+/// The paper's benchmark data set sizes (Arabidopsis subsets).
+pub const PAPER_SIZES: [usize; 4] = [10_051, 30_000, 60_018, 81_414];
+
+/// The scale divisor σ: paper sizes are divided by this.
+pub fn scale() -> usize {
+    std::env::var("PACE_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&s| s >= 1)
+        .unwrap_or(20)
+}
+
+/// A paper size divided by the current scale (at least 60 ESTs).
+pub fn scaled(n_paper: usize) -> usize {
+    (n_paper / scale()).max(60)
+}
+
+/// Threads available for the `p` sweeps.
+pub fn max_ranks() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+/// Generate the benchmark data set for `n` ESTs: full-length reads
+/// (~550 bases), 2% sequencing error, both strands, genomic repeats and
+/// a trickle of chimeric reads — the library artifacts that give real
+/// EST clustering its over-prediction floor (the paper's non-zero OV
+/// column). Expression is a flattened Zipf, modeling the *normalized*
+/// cDNA libraries EST projects sequenced (normalization suppresses the
+/// head transcripts precisely so coverage spreads — and it also bounds
+/// the damage any single chimera can do, which is what keeps real OV in
+/// the single digits).
+pub fn dataset(n: usize, seed: u64) -> EstDataset {
+    let cfg = SimConfig {
+        chimera_prob: 0.002,
+        expression: pace_simulate::Expression::Zipf(0.6),
+        ..SimConfig::sized(n, seed)
+    };
+    pace_simulate::generate(&cfg)
+}
+
+/// The clustering configuration used throughout the harness: the paper's
+/// settings (window 8, ψ 20, batchsize 60).
+pub fn paper_cfg() -> ClusterConfig {
+    ClusterConfig::default()
+}
+
+/// Pretty horizontal rule for table output.
+pub fn rule(width: usize) -> String {
+    "-".repeat(width)
+}
+
+/// Format seconds compactly.
+pub fn secs(t: f64) -> String {
+    if t >= 100.0 {
+        format!("{t:.0}s")
+    } else if t >= 1.0 {
+        format!("{t:.1}s")
+    } else {
+        format!("{:.0}ms", t * 1000.0)
+    }
+}
+
+/// Format a byte count as MB.
+pub fn megabytes(bytes: usize) -> String {
+    format!("{:.1} MB", bytes as f64 / (1024.0 * 1024.0))
+}
+
+/// Standard experiment banner: what the paper reported and how we scale.
+pub fn banner(title: &str, paper_note: &str) {
+    println!("{}", rule(72));
+    println!("{title}");
+    println!("paper: {paper_note}");
+    println!(
+        "this run: scale 1/{} of the paper's EST counts ({} hardware threads)",
+        scale(),
+        max_ranks()
+    );
+    println!("{}", rule(72));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_sizes_are_sane() {
+        for n in PAPER_SIZES {
+            assert!(scaled(n) >= 60);
+            assert!(scaled(n) <= n);
+        }
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(secs(0.5), "500ms");
+        assert_eq!(secs(2.25), "2.2s");
+        assert_eq!(secs(123.0), "123s");
+        assert_eq!(megabytes(1024 * 1024), "1.0 MB");
+        assert_eq!(rule(3), "---");
+    }
+
+    #[test]
+    fn dataset_matches_request() {
+        let ds = dataset(80, 5);
+        assert_eq!(ds.len(), 80);
+        // Full-length reads: mean ~550.
+        let mean = ds.total_bases() as f64 / ds.len() as f64;
+        assert!((450.0..650.0).contains(&mean), "mean read length {mean}");
+    }
+}

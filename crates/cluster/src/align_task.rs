@@ -1,0 +1,119 @@
+//! The per-pair alignment task slaves execute.
+
+use crate::config::ClusterConfig;
+use pace_align::{align_anchored, decide_outcome, Anchor};
+use pace_pairgen::CandidatePair;
+use pace_seq::SequenceStore;
+
+/// Result of aligning one promising pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairOutcome {
+    /// The pair that was aligned.
+    pub pair: CandidatePair,
+    /// Whether the alignment is merge evidence (pattern + score passed).
+    pub accepted: bool,
+    /// Achieved score / ideal score of the overlap region.
+    pub score_ratio: f64,
+}
+
+/// Align `pair` by extending its maximal-common-substring anchor in both
+/// directions with banded DP (Figure 5a) and applying the accept
+/// criterion against the four patterns of Figure 5b.
+pub fn align_pair(store: &SequenceStore, pair: &CandidatePair, cfg: &ClusterConfig) -> PairOutcome {
+    let a = store.seq(pair.s1);
+    let b = store.seq(pair.s2);
+    let anchor = Anchor {
+        a_pos: pair.off1 as usize,
+        b_pos: pair.off2 as usize,
+        len: pair.mcs_len as usize,
+    };
+    let aln = align_anchored(a, b, anchor, &cfg.scoring, cfg.band_radius);
+    let decision = decide_outcome(&aln, &cfg.scoring, &cfg.overlap);
+    PairOutcome {
+        pair: *pair,
+        accepted: decision.accepted,
+        score_ratio: decision.ratio,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pace_seq::{EstId, Strand};
+
+    fn pair_of(ests: &[&[u8]], psi: u32, w: usize) -> (SequenceStore, Vec<CandidatePair>) {
+        let store = SequenceStore::from_ests(ests).unwrap();
+        let forest = pace_gst::build_sequential(&store, w);
+        let mut g = pace_pairgen::PairGenerator::new(
+            &store,
+            &forest,
+            pace_pairgen::PairGenConfig::new(psi),
+        );
+        let pairs = g.generate_all();
+        (store, pairs)
+    }
+
+    /// Deterministic pseudorandom DNA (LCG), aperiodic enough to give a
+    /// unique anchor.
+    fn lcg_dna(seed: u64, len: usize) -> Vec<u8> {
+        let mut x = seed;
+        (0..len)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                [b'A', b'C', b'G', b'T'][(x >> 33) as usize % 4]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn clean_overlap_is_accepted() {
+        // 40-base overlap between the two reads, no errors.
+        let template = lcg_dna(12345, 100);
+        let a = &template[..70];
+        let b = &template[30..];
+        let (store, pairs) = pair_of(&[a, b], 12, 4);
+        assert!(!pairs.is_empty());
+        let mut cfg = ClusterConfig::small();
+        cfg.overlap.min_overlap_len = 30;
+        let accepted = pairs
+            .iter()
+            .map(|p| align_pair(&store, p, &cfg))
+            .any(|o| o.accepted);
+        assert!(accepted, "clean 40-base overlap must be accepted");
+    }
+
+    #[test]
+    fn spurious_short_match_is_rejected() {
+        // Two unrelated reads sharing only a short planted word; the
+        // flanks are independent pseudorandom DNA (low-complexity flanks
+        // such as poly-A would legitimately align across strands).
+        let mut a = lcg_dna(71, 30);
+        a.extend_from_slice(b"GGGGCCCCGGGG");
+        a.extend(lcg_dna(72, 30));
+        let mut b = lcg_dna(73, 30);
+        b.extend_from_slice(b"GGGGCCCCGGGG");
+        b.extend(lcg_dna(74, 30));
+        let (store, pairs) = pair_of(&[&a, &b], 8, 4);
+        let cfg = ClusterConfig::small();
+        for p in &pairs {
+            if p.est_indices() == (0, 1) {
+                let o = align_pair(&store, p, &cfg);
+                assert!(!o.accepted, "internal repeat must not be merge evidence");
+            }
+        }
+    }
+
+    #[test]
+    fn outcome_carries_pair_identity() {
+        let template = lcg_dna(999, 80);
+        let (store, pairs) = pair_of(&[&template[..60], &template[20..]], 12, 4);
+        let cfg = ClusterConfig::small();
+        for p in &pairs {
+            let o = align_pair(&store, p, &cfg);
+            assert_eq!(o.pair, *p);
+            assert_eq!(o.pair.s1.est().min(o.pair.s2.est()), EstId(0));
+            assert_eq!(o.pair.s1.strand(), Strand::Forward);
+            assert!((0.0..=1.0 + 1e-9).contains(&o.score_ratio));
+        }
+    }
+}

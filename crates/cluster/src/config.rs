@@ -1,0 +1,141 @@
+//! Clustering engine configuration.
+
+use pace_align::{OverlapParams, Scoring};
+use pace_pairgen::PairOrder;
+
+/// All knobs of the clustering pipeline, with the paper's experimental
+/// settings as defaults (window 8, batchsize 60).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterConfig {
+    /// Bucket window size `w` for suffix-tree construction. The paper
+    /// uses 8 in its experiments.
+    pub window_w: usize,
+    /// Promising-pair threshold ψ: minimum maximal-common-substring
+    /// length. Must be ≥ `window_w`.
+    pub psi: u32,
+    /// Pairs per master→slave work batch. The paper finds 40–60 optimal
+    /// and uses 60.
+    pub batchsize: usize,
+    /// Capacity of the master's `WORKBUF` queue.
+    pub workbuf_cap: usize,
+    /// Capacity of each slave's `PAIRBUF` of pre-generated pairs.
+    pub pairbuf_cap: usize,
+    /// Alignment scoring scheme.
+    pub scoring: Scoring,
+    /// Accept thresholds for merge evidence.
+    pub overlap: OverlapParams,
+    /// Banded-DP half-width for anchor extension (errors tolerated).
+    pub band_radius: usize,
+    /// Pair generation order (decreasing MCS vs arbitrary — ablation).
+    pub order: PairOrder,
+    /// Whether the master skips pairs whose ESTs already share a cluster
+    /// (`true` in PaCE; `false` reproduces the traditional behaviour for
+    /// ablation).
+    pub skip_clustered_pairs: bool,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            window_w: 8,
+            psi: 20,
+            batchsize: 60,
+            workbuf_cap: 1 << 14,
+            pairbuf_cap: 1 << 12,
+            scoring: Scoring::default_est(),
+            overlap: OverlapParams::default(),
+            band_radius: 8,
+            order: PairOrder::DecreasingMcs,
+            skip_clustered_pairs: true,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// A configuration suited to small test inputs (short reads, short
+    /// overlaps): window 4, ψ 8, relaxed minimum overlap.
+    pub fn small() -> Self {
+        ClusterConfig {
+            window_w: 4,
+            psi: 8,
+            overlap: OverlapParams {
+                min_score_ratio: 0.75,
+                min_overlap_len: 12,
+            },
+            ..ClusterConfig::default()
+        }
+    }
+
+    /// Check internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.window_w == 0 || self.window_w > 12 {
+            return Err(format!("window_w {} out of range 1..=12", self.window_w));
+        }
+        if (self.psi as usize) < self.window_w {
+            return Err(format!(
+                "psi {} must be >= window_w {}",
+                self.psi, self.window_w
+            ));
+        }
+        if self.batchsize == 0 {
+            return Err("batchsize must be positive".into());
+        }
+        if self.workbuf_cap < self.batchsize {
+            return Err(format!(
+                "workbuf_cap {} smaller than batchsize {}",
+                self.workbuf_cap, self.batchsize
+            ));
+        }
+        if self.pairbuf_cap == 0 {
+            return Err("pairbuf_cap must be positive".into());
+        }
+        self.scoring.validate()?;
+        if !(0.0..=1.0).contains(&self.overlap.min_score_ratio) {
+            return Err(format!(
+                "min_score_ratio {} not a ratio",
+                self.overlap.min_score_ratio
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_paper_settings() {
+        let c = ClusterConfig::default();
+        c.validate().unwrap();
+        assert_eq!(c.window_w, 8);
+        assert_eq!(c.batchsize, 60);
+        assert!(c.skip_clustered_pairs);
+    }
+
+    #[test]
+    fn small_preset_is_valid() {
+        ClusterConfig::small().validate().unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_psi_below_window() {
+        let mut c = ClusterConfig::default();
+        c.psi = 4;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_zero_batch() {
+        let mut c = ClusterConfig::default();
+        c.batchsize = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_tiny_workbuf() {
+        let mut c = ClusterConfig::default();
+        c.workbuf_cap = 10;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,304 @@
+//! Parallel driver: the full master–slave protocol over `p` ranks.
+//!
+//! Rank 0 is the master; ranks `1..p` are slaves. The phases mirror the
+//! paper's system: (1) each slave counts its share of the suffixes per
+//! bucket and the counts are combined with the parallel-summation
+//! collective; (2) buckets are assigned deterministically and each slave
+//! builds the subtrees it owns; (3) the clustering protocol runs until
+//! the master issues shutdowns. Phase timers are per-rank and reported as
+//! the cross-rank maxima (critical-path times, as in Table 3).
+
+use crate::config::ClusterConfig;
+use crate::driver_seq::cluster_sequential;
+use crate::master::Master;
+use crate::messages::Msg;
+use crate::slave::{run_slave, SlaveReportSummary};
+use crate::stats::{ClusterResult, ClusterStats, PhaseTimers};
+use pace_gst::{assign_buckets, build_forest_for_rank, count_buckets_stride, num_buckets};
+use pace_mpisim::run_world;
+use pace_seq::SequenceStore;
+use std::time::Instant;
+
+/// Per-rank results collected when the world joins.
+enum RankOutput {
+    Master {
+        labels: Vec<usize>,
+        num_clusters: usize,
+        stats: ClusterStats,
+        busy_frac: f64,
+        messages: u64,
+        partitioning: f64,
+    },
+    Slave {
+        summary: SlaveReportSummary,
+        partitioning: f64,
+        gst_construction: f64,
+    },
+}
+
+/// Cluster with `p` ranks (1 master + `p − 1` slaves). `p ≤ 1` falls back
+/// to the sequential driver.
+pub fn cluster_parallel(store: &SequenceStore, cfg: &ClusterConfig, p: usize) -> ClusterResult {
+    cfg.validate().expect("invalid cluster config");
+    if p <= 1 {
+        return cluster_sequential(store, cfg);
+    }
+    let num_slaves = p - 1;
+    let total_started = Instant::now();
+
+    let outputs = run_world(p, |rank| {
+        if rank.rank() == 0 {
+            master_rank(&rank, store, cfg, num_slaves)
+        } else {
+            slave_rank(&rank, store, cfg, num_slaves)
+        }
+    });
+
+    // Fold the per-rank outputs into one result.
+    let mut labels = Vec::new();
+    let mut num_clusters = 0;
+    let mut stats = ClusterStats::default();
+    let mut timers = PhaseTimers::default();
+    let mut generated_total = 0u64;
+    for out in outputs {
+        match out {
+            RankOutput::Master {
+                labels: l,
+                num_clusters: k,
+                stats: s,
+                busy_frac,
+                messages,
+                partitioning,
+            } => {
+                labels = l;
+                num_clusters = k;
+                stats.pairs_processed = s.pairs_processed;
+                stats.pairs_accepted = s.pairs_accepted;
+                stats.pairs_skipped = s.pairs_skipped;
+                stats.merges = s.merges;
+                stats.master_busy_frac = busy_frac;
+                stats.messages = messages;
+                timers.max_with(&PhaseTimers {
+                    partitioning,
+                    ..PhaseTimers::default()
+                });
+            }
+            RankOutput::Slave {
+                summary,
+                partitioning,
+                gst_construction,
+            } => {
+                generated_total += summary.gen.emitted;
+                timers.max_with(&PhaseTimers {
+                    partitioning,
+                    gst_construction,
+                    node_sorting: summary.timers.node_sorting,
+                    alignment: summary.timers.alignment,
+                    ..PhaseTimers::default()
+                });
+            }
+        }
+    }
+    stats.pairs_generated = generated_total;
+    timers.total = total_started.elapsed().as_secs_f64();
+    stats.timers = timers;
+
+    ClusterResult {
+        labels,
+        num_clusters,
+        stats,
+    }
+}
+
+fn master_rank(
+    rank: &pace_mpisim::Rank<Msg>,
+    store: &SequenceStore,
+    cfg: &ClusterConfig,
+    num_slaves: usize,
+) -> RankOutput {
+    // Participate in the partitioning collectives with a zero
+    // contribution (the master holds no input share).
+    let started = Instant::now();
+    let zeros = vec![0u64; num_buckets(cfg.window_w)];
+    let _global_counts = rank.allreduce_sum(&zeros);
+    let partitioning = started.elapsed().as_secs_f64();
+    rank.barrier(); // slaves finish building their forests
+
+    let mut master = Master::new(store.num_ests(), num_slaves, cfg.clone());
+    let loop_started = Instant::now();
+    let mut busy = 0.0f64;
+    while !master.is_done() {
+        let (from, msg) = rank
+            .recv()
+            .expect("slaves must not terminate before shutdown");
+        let handle_started = Instant::now();
+        match msg {
+            Msg::Report {
+                results,
+                pairs,
+                exhausted,
+            } => {
+                debug_assert!(from >= 1);
+                for (slave, reply) in master.handle_report(from - 1, results, pairs, exhausted) {
+                    rank.send(slave + 1, reply);
+                }
+            }
+            other => unreachable!("master received {}", other.kind()),
+        }
+        busy += handle_started.elapsed().as_secs_f64();
+    }
+    let loop_total = loop_started.elapsed().as_secs_f64().max(f64::EPSILON);
+
+    let stats = master.stats;
+    let mut clusters = master.into_clusters();
+    let labels = clusters.labels();
+    RankOutput::Master {
+        num_clusters: clusters.num_sets(),
+        labels,
+        stats,
+        busy_frac: busy / loop_total,
+        messages: rank.stats().messages,
+        partitioning,
+    }
+}
+
+fn slave_rank(
+    rank: &pace_mpisim::Rank<Msg>,
+    store: &SequenceStore,
+    cfg: &ClusterConfig,
+    num_slaves: usize,
+) -> RankOutput {
+    let slave_id = rank.rank() - 1;
+
+    // Phase 1: partitioning — count my share, combine, assign.
+    let started = Instant::now();
+    let local = count_buckets_stride(store, cfg.window_w, slave_id, num_slaves);
+    let global = rank.allreduce_sum(&local);
+    let partition = assign_buckets(&global, num_slaves);
+    let partitioning = started.elapsed().as_secs_f64();
+
+    // Phase 2: build my buckets' subtrees.
+    let started = Instant::now();
+    let forest = build_forest_for_rank(store, &partition, slave_id);
+    let gst_construction = started.elapsed().as_secs_f64();
+    rank.barrier();
+
+    // Phases 3–4: the slave protocol (node sorting happens inside).
+    let summary = run_slave(rank, 0, store, &forest, cfg);
+    RankOutput::Slave {
+        summary,
+        partitioning,
+        gst_construction,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pace_simulate::{generate, SimConfig};
+
+    fn small_cfg() -> ClusterConfig {
+        let mut c = ClusterConfig::small();
+        c.psi = 16;
+        c.overlap.min_overlap_len = 40;
+        c.batchsize = 8;
+        c
+    }
+
+    fn dataset(n: usize, seed: u64) -> pace_simulate::EstDataset {
+        generate(&SimConfig {
+            num_genes: (n / 12).max(2),
+            num_ests: n,
+            est_len_mean: 220.0,
+            est_len_sd: 25.0,
+            est_len_min: 120,
+            exon_len: (220, 400),
+            exons_per_gene: (1, 2),
+            seed,
+            ..SimConfig::default()
+        })
+    }
+
+    #[test]
+    fn parallel_matches_sequential_partition_on_clean_data() {
+        let ds = {
+            let mut cfg = SimConfig {
+                num_genes: 10,
+                num_ests: 100,
+                est_len_mean: 220.0,
+                est_len_sd: 25.0,
+                est_len_min: 120,
+                exon_len: (220, 400),
+                exons_per_gene: (1, 2),
+                seed: 21,
+                ..SimConfig::default()
+            };
+            cfg.error_rate = 0.0;
+            generate(&cfg)
+        };
+        let store = SequenceStore::from_ests(&ds.ests).unwrap();
+        let seq = cluster_sequential(&store, &small_cfg());
+        for p in [2, 3, 5] {
+            let par = cluster_parallel(&store, &small_cfg(), p);
+            let agreement = pace_quality::assess(&par.labels, &seq.labels);
+            assert!(
+                agreement.oq > 0.99,
+                "p={p}: parallel partition diverged: {agreement}"
+            );
+            assert_eq!(par.labels.len(), ds.ests.len());
+        }
+    }
+
+    #[test]
+    fn parallel_quality_against_truth() {
+        let ds = dataset(120, 22);
+        let store = SequenceStore::from_ests(&ds.ests).unwrap();
+        let par = cluster_parallel(&store, &small_cfg(), 4);
+        let m = pace_quality::assess(&par.labels, &ds.truth);
+        assert!(m.oq > 0.75, "parallel OQ too low: {m}");
+        assert!(m.cc > 0.80, "parallel CC too low: {m}");
+    }
+
+    #[test]
+    fn p1_falls_back_to_sequential() {
+        let ds = dataset(40, 23);
+        let store = SequenceStore::from_ests(&ds.ests).unwrap();
+        let a = cluster_parallel(&store, &small_cfg(), 1);
+        let b = cluster_sequential(&store, &small_cfg());
+        assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn two_ranks_single_slave_terminates() {
+        let ds = dataset(60, 24);
+        let store = SequenceStore::from_ests(&ds.ests).unwrap();
+        let r = cluster_parallel(&store, &small_cfg(), 2);
+        assert_eq!(r.labels.len(), 60);
+        assert!(r.stats.pairs_processed > 0);
+        assert!(r.stats.master_busy_frac >= 0.0 && r.stats.master_busy_frac <= 1.0);
+        assert!(r.stats.messages > 0);
+    }
+
+    #[test]
+    fn more_slaves_than_work_terminates() {
+        // 6 ESTs, 7 ranks: most slaves own nothing and exhaust instantly.
+        let ds = dataset(6, 25);
+        let store = SequenceStore::from_ests(&ds.ests).unwrap();
+        let r = cluster_parallel(&store, &small_cfg(), 7);
+        assert_eq!(r.labels.len(), 6);
+    }
+
+    #[test]
+    fn stats_aggregate_sensibly() {
+        let ds = dataset(80, 26);
+        let store = SequenceStore::from_ests(&ds.ests).unwrap();
+        let r = cluster_parallel(&store, &small_cfg(), 3);
+        let s = &r.stats;
+        // Some pairs may remain in slave PAIRBUFs at shutdown, so
+        // generated ≥ processed + skipped is the invariant here.
+        assert!(s.pairs_generated >= s.pairs_processed + s.pairs_skipped);
+        assert!(s.merges <= s.pairs_accepted);
+        assert!(s.timers.total > 0.0);
+        assert!(s.timers.gst_construction > 0.0);
+    }
+}

@@ -1,0 +1,286 @@
+//! Sequential reference driver.
+//!
+//! Runs the whole pipeline in one thread with the master's bookkeeping
+//! inline: build the GST, generate pairs in decreasing-MCS order, skip
+//! pairs already clustered together, align the rest, merge on acceptance.
+//! This is the semantic reference the parallel driver is compared
+//! against, and the engine used when `p = 1`.
+
+use crate::align_task::align_pair;
+use crate::config::ClusterConfig;
+use crate::stats::{ClusterResult, ClusterStats};
+use crate::trace::MergeTrace;
+use pace_dsu::DisjointSets;
+use pace_pairgen::{PairGenConfig, PairGenerator};
+use pace_seq::SequenceStore;
+use std::time::Instant;
+
+/// Cluster `store`'s ESTs sequentially.
+pub fn cluster_sequential(store: &SequenceStore, cfg: &ClusterConfig) -> ClusterResult {
+    cluster_sequential_traced(store, cfg).0
+}
+
+/// Like [`cluster_sequential`], additionally returning the [`MergeTrace`]
+/// of every accepted merge in order — the audit log used by the analysis
+/// tooling (replaying the trace reproduces the partition exactly).
+pub fn cluster_sequential_traced(
+    store: &SequenceStore,
+    cfg: &ClusterConfig,
+) -> (ClusterResult, MergeTrace) {
+    cfg.validate().expect("invalid cluster config");
+    let total_started = Instant::now();
+    let mut stats = ClusterStats::default();
+
+    // Phase 1+2: bucket partitioning and GST construction (single rank).
+    let phase_started = Instant::now();
+    let counts = pace_gst::count_buckets(store, cfg.window_w);
+    let partition = pace_gst::assign_buckets(&counts, 1);
+    stats.timers.partitioning = phase_started.elapsed().as_secs_f64();
+
+    let phase_started = Instant::now();
+    let forest = pace_gst::build_forest_for_rank(store, &partition, 0);
+    stats.timers.gst_construction = phase_started.elapsed().as_secs_f64();
+
+    // Phase 3: node collection + sort (generator setup).
+    let phase_started = Instant::now();
+    let mut generator = PairGenerator::new(
+        store,
+        &forest,
+        PairGenConfig {
+            psi: cfg.psi,
+            order: cfg.order,
+        },
+    );
+    stats.timers.node_sorting = phase_started.elapsed().as_secs_f64();
+
+    // Phase 4: demand-driven clustering loop.
+    let mut clusters = DisjointSets::new(store.num_ests());
+    let mut trace = MergeTrace::new();
+    loop {
+        let batch = generator.next_batch(cfg.batchsize);
+        if batch.is_empty() {
+            break;
+        }
+        for pair in batch {
+            let (i, j) = pair.est_indices();
+            if cfg.skip_clustered_pairs && clusters.same(i, j) {
+                stats.pairs_skipped += 1;
+                continue;
+            }
+            let align_started = Instant::now();
+            let outcome = align_pair(store, &pair, cfg);
+            stats.timers.alignment += align_started.elapsed().as_secs_f64();
+            stats.pairs_processed += 1;
+            if outcome.accepted {
+                stats.pairs_accepted += 1;
+                if clusters.union(i, j) {
+                    stats.merges += 1;
+                    trace.record(&outcome);
+                }
+            }
+        }
+    }
+    stats.pairs_generated = generator.stats().emitted;
+    stats.timers.total = total_started.elapsed().as_secs_f64();
+
+    let labels = clusters.labels();
+    (
+        ClusterResult {
+            num_clusters: clusters.num_sets(),
+            labels,
+            stats,
+        },
+        trace,
+    )
+}
+
+/// Convenience used by tests and examples: cluster raw EST byte vectors.
+pub fn cluster_ests<S: AsRef<[u8]>>(ests: &[S], cfg: &ClusterConfig) -> ClusterResult {
+    let store = SequenceStore::from_ests(ests).expect("invalid ESTs");
+    cluster_sequential(&store, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pace_simulate::{generate, SimConfig};
+
+    fn small_cfg() -> ClusterConfig {
+        let mut c = ClusterConfig::small();
+        c.psi = 16;
+        c.overlap.min_overlap_len = 40;
+        c
+    }
+
+    #[test]
+    fn perfect_reads_recover_true_clusters() {
+        let sim = SimConfig {
+            num_genes: 12,
+            num_ests: 150,
+            est_len_mean: 220.0,
+            est_len_sd: 30.0,
+            est_len_min: 120,
+            exon_len: (200, 400),
+            exons_per_gene: (1, 3),
+            seed: 11,
+            ..SimConfig::default()
+        }
+        .error_free()
+        .repeat_free();
+        let ds = generate(&sim);
+        let result = cluster_ests(&ds.ests, &small_cfg());
+        let m = pace_quality::assess(&result.labels, &ds.truth);
+        // Error-free overlapping reads from disjoint random genes must
+        // show zero over-prediction; under-prediction stays (reads that
+        // happen not to overlap cannot be joined — the paper observes the
+        // same asymmetry, UN > OV, in Table 2).
+        assert!(m.oq > 0.88, "OQ {} too low\n{m}", m.oq);
+        assert!(m.ov < 0.005, "over-prediction {}\n{m}", m.ov);
+        assert!(m.un < 0.12, "under-prediction {}\n{m}", m.un);
+        assert!(m.cc > 0.92, "CC {} too low\n{m}", m.cc);
+    }
+
+    #[test]
+    fn noisy_reads_still_cluster_well() {
+        let sim = SimConfig {
+            num_genes: 10,
+            num_ests: 120,
+            est_len_mean: 220.0,
+            est_len_sd: 30.0,
+            est_len_min: 120,
+            exon_len: (200, 400),
+            exons_per_gene: (1, 3),
+            error_rate: 0.02,
+            seed: 12,
+            ..SimConfig::default()
+        }
+        .repeat_free(); // isolate the error-tolerance effect
+        let ds = generate(&sim);
+        let result = cluster_ests(&ds.ests, &small_cfg());
+        let m = pace_quality::assess(&result.labels, &ds.truth);
+        assert!(m.oq > 0.80, "OQ {} too low with 2% errors\n{m}", m.oq);
+        assert!(m.cc > 0.85, "CC {} too low\n{m}", m.cc);
+    }
+
+    #[test]
+    fn unrelated_singletons_stay_apart() {
+        // Few ESTs per gene, one gene each: nothing should merge.
+        let sim = SimConfig {
+            num_genes: 30,
+            num_ests: 30,
+            expression: pace_simulate::Expression::Uniform,
+            est_len_mean: 200.0,
+            est_len_sd: 10.0,
+            est_len_min: 150,
+            seed: 13,
+            ..SimConfig::default()
+        }
+        .error_free()
+        .repeat_free();
+        let ds = generate(&sim);
+        let result = cluster_ests(&ds.ests, &small_cfg());
+        let m = pace_quality::assess(&result.labels, &ds.truth);
+        assert_eq!(m.counts.fp, 0, "random genes must not be merged\n{m}");
+    }
+
+    #[test]
+    fn skipping_reduces_alignments_without_quality_loss() {
+        let sim = SimConfig {
+            num_genes: 8,
+            num_ests: 120,
+            est_len_mean: 220.0,
+            est_len_sd: 20.0,
+            est_len_min: 150,
+            exon_len: (250, 400),
+            exons_per_gene: (1, 2),
+            seed: 14,
+            ..SimConfig::default()
+        }
+        .error_free();
+        let ds = generate(&sim);
+        let with_skip = cluster_ests(&ds.ests, &small_cfg());
+        let mut no_skip_cfg = small_cfg();
+        no_skip_cfg.skip_clustered_pairs = false;
+        let without_skip = cluster_ests(&ds.ests, &no_skip_cfg);
+
+        assert!(
+            with_skip.stats.pairs_processed < without_skip.stats.pairs_processed,
+            "skip rule saved nothing: {} vs {}",
+            with_skip.stats.pairs_processed,
+            without_skip.stats.pairs_processed
+        );
+        // Both must produce the same partition on clean data.
+        let a = pace_quality::assess(&with_skip.labels, &without_skip.labels);
+        assert_eq!(a.counts.fp + a.counts.fn_, 0, "partitions differ");
+    }
+
+    #[test]
+    fn stats_are_internally_consistent() {
+        let sim = SimConfig {
+            num_genes: 6,
+            num_ests: 60,
+            est_len_mean: 200.0,
+            est_len_sd: 20.0,
+            est_len_min: 120,
+            seed: 15,
+            ..SimConfig::default()
+        };
+        let ds = generate(&sim);
+        let r = cluster_ests(&ds.ests, &small_cfg());
+        let s = &r.stats;
+        assert_eq!(s.pairs_generated, s.pairs_processed + s.pairs_skipped);
+        assert!(s.pairs_accepted <= s.pairs_processed);
+        assert!(s.merges <= s.pairs_accepted);
+        assert_eq!(r.labels.len(), 60);
+        assert_eq!(
+            r.num_clusters,
+            r.clusters().len(),
+            "cluster count mismatch"
+        );
+        // n ESTs and m merges leave exactly n − m clusters.
+        assert_eq!(r.num_clusters as u64, 60 - s.merges);
+    }
+
+    #[test]
+    fn trace_replay_reproduces_partition() {
+        let sim = SimConfig {
+            num_genes: 8,
+            num_ests: 80,
+            est_len_mean: 200.0,
+            est_len_sd: 20.0,
+            est_len_min: 120,
+            seed: 16,
+            ..SimConfig::default()
+        };
+        let ds = generate(&sim);
+        let store = SequenceStore::from_ests(&ds.ests).unwrap();
+        let (result, trace) = cluster_sequential_traced(&store, &small_cfg());
+        assert_eq!(trace.len() as u64, result.stats.merges);
+        let replayed = trace.replay(80);
+        let agreement = pace_quality::assess(&replayed, &result.labels);
+        assert_eq!(
+            agreement.counts.fp + agreement.counts.fn_,
+            0,
+            "trace replay diverges from the actual partition"
+        );
+        // Every recorded merge was promoted by an MCS of at least ψ.
+        for r in trace.records() {
+            assert!(r.mcs_len >= small_cfg().psi);
+            assert!(r.score_ratio >= small_cfg().overlap.min_score_ratio - 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let r = cluster_ests::<&[u8]>(&[], &ClusterConfig::small());
+        assert_eq!(r.num_clusters, 0);
+        assert!(r.labels.is_empty());
+    }
+
+    #[test]
+    fn single_est_is_one_cluster() {
+        let r = cluster_ests(&[b"ACGTACGTACGTACGTACGT"], &ClusterConfig::small());
+        assert_eq!(r.num_clusters, 1);
+        assert_eq!(r.labels, vec![0]);
+    }
+}

@@ -1,0 +1,38 @@
+//! The PaCE clustering engine (paper §3.3).
+//!
+//! Every EST starts as its own cluster; clusters merge when a promising
+//! pair — one EST from each — shows a strong overlap alignment. The
+//! structure is master–slave:
+//!
+//! * the **master** ([`master`]) owns `WORKBUF` (pairs awaiting alignment)
+//!   and `CLUSTERS` (union–find). It discards pairs whose ESTs already
+//!   share a cluster — the single most important work-saving rule, which
+//!   the decreasing-MCS pair order makes effective — merges clusters on
+//!   accepted alignments, and regulates pair flow with the paper's
+//!   `E = min(α·δ·batchsize, nfree/p)` demand formula;
+//! * **slaves** ([`slave`]) generate promising pairs from their local
+//!   portion of the suffix-tree forest and run anchored banded alignments,
+//!   overlapping communication with computation (three-portion startup,
+//!   `NEXTWORK` double buffering, generation while waiting).
+//!
+//! Two drivers expose the engine: [`driver_seq`] runs master logic inline
+//! with one in-process generator (the reference implementation), and
+//! [`driver_par`] runs the full message protocol over `p` ranks of the
+//! thread-backed MPI substitute.
+
+pub mod align_task;
+pub mod config;
+pub mod driver_par;
+pub mod driver_seq;
+pub mod master;
+pub mod messages;
+pub mod slave;
+pub mod stats;
+pub mod trace;
+
+pub use align_task::{align_pair, PairOutcome};
+pub use config::ClusterConfig;
+pub use driver_par::cluster_parallel;
+pub use driver_seq::{cluster_sequential, cluster_sequential_traced};
+pub use stats::{ClusterResult, ClusterStats, PhaseTimers};
+pub use trace::{MergeRecord, MergeTrace};

@@ -1,0 +1,429 @@
+//! The master processor's state machine.
+//!
+//! The master owns the cluster structure and the work buffer, and reacts
+//! to slave reports; it is written as a pure state machine (no I/O) so
+//! the protocol logic is unit-testable without threads. The parallel
+//! driver feeds it received messages and sends whatever it returns.
+//!
+//! Protocol invariant: a slave piggybacks the results of work batch `k`
+//! on the report it sends when work batch `k+1` arrives. The master
+//! therefore may park a slave (send no reply) only when it is owed no
+//! results; otherwise it sends an empty `Work` to flush them back.
+
+use crate::align_task::PairOutcome;
+use crate::config::ClusterConfig;
+use crate::messages::Msg;
+use crate::stats::ClusterStats;
+use pace_dsu::DisjointSets;
+use pace_pairgen::CandidatePair;
+use std::collections::VecDeque;
+
+/// Cap applied to the demand amplification factor α = P/P′ when a report
+/// contributes no useful pairs (P′ = 0).
+const ALPHA_CAP: f64 = 4.0;
+
+/// Master state: `CLUSTERS` + `WORKBUF` + flow control.
+pub struct Master {
+    clusters: DisjointSets,
+    workbuf: VecDeque<CandidatePair>,
+    cfg: ClusterConfig,
+    num_slaves: usize,
+    /// Slave has permanently run out of pairs to generate.
+    exhausted: Vec<bool>,
+    /// A `Work` message is out and the matching report has not arrived.
+    expecting_report: Vec<bool>,
+    /// The last work batch sent was non-empty, so its results are still
+    /// on the slave (initially true: the slave's self-assigned second
+    /// startup portion plays the role of the first work batch).
+    owed_results: Vec<bool>,
+    /// Slaves parked without work (all of them exhausted and flushed).
+    waiting: VecDeque<usize>,
+    /// Statistics accumulated master-side.
+    pub stats: ClusterStats,
+    done: bool,
+}
+
+impl Master {
+    /// A master over `num_ests` ESTs and `num_slaves` slave ranks.
+    ///
+    /// Every slave is initially expected to send the unsolicited startup
+    /// report (first portion's results + third portion's pairs).
+    pub fn new(num_ests: usize, num_slaves: usize, cfg: ClusterConfig) -> Self {
+        assert!(num_slaves > 0, "need at least one slave");
+        Master {
+            clusters: DisjointSets::new(num_ests),
+            workbuf: VecDeque::new(),
+            cfg,
+            num_slaves,
+            exhausted: vec![false; num_slaves],
+            expecting_report: vec![true; num_slaves],
+            owed_results: vec![true; num_slaves],
+            waiting: VecDeque::new(),
+            stats: ClusterStats::default(),
+            done: false,
+        }
+    }
+
+    /// Whether clustering has completed (shutdowns have been issued).
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Pairs currently queued for alignment.
+    pub fn workbuf_len(&self) -> usize {
+        self.workbuf.len()
+    }
+
+    /// Consume the master, yielding the final cluster structure.
+    pub fn into_clusters(self) -> DisjointSets {
+        self.clusters
+    }
+
+    /// Handle one slave report (slave ids are `0..num_slaves`). Returns
+    /// the messages to send, as `(slave, message)` pairs — the reply to
+    /// the reporting slave, possibly wake-ups for parked slaves, and
+    /// shutdowns once everything is finished.
+    pub fn handle_report(
+        &mut self,
+        slave: usize,
+        results: Vec<PairOutcome>,
+        pairs: Vec<CandidatePair>,
+        exhausted: bool,
+    ) -> Vec<(usize, Msg)> {
+        debug_assert!(slave < self.num_slaves);
+        debug_assert!(self.expecting_report[slave], "unsolicited report");
+        self.expecting_report[slave] = false;
+        self.exhausted[slave] |= exhausted;
+
+        // 1. Fold the alignment results into CLUSTERS.
+        for r in &results {
+            self.stats.pairs_processed += 1;
+            if r.accepted {
+                self.stats.pairs_accepted += 1;
+                let (i, j) = r.pair.est_indices();
+                if self.clusters.union(i, j) {
+                    self.stats.merges += 1;
+                }
+            }
+        }
+
+        // 2. Admit the useful subset of the reported pairs (P′ of P):
+        //    a pair earns a WORKBUF slot only if its ESTs are still in
+        //    different clusters.
+        let p = pairs.len();
+        let mut p_useful = 0usize;
+        for pair in pairs {
+            self.stats.pairs_generated += 1;
+            let (i, j) = pair.est_indices();
+            if self.cfg.skip_clustered_pairs && self.clusters.same(i, j) {
+                self.stats.pairs_skipped += 1;
+            } else {
+                self.workbuf.push_back(pair);
+                p_useful += 1;
+            }
+        }
+
+        let mut out = Vec::new();
+
+        // 3. Reply to the reporting slave.
+        if let Some(msg) = self.reply_for(slave, p, p_useful) {
+            out.push((slave, msg));
+        }
+
+        // 4. Excess work re-activates parked slaves.
+        while !self.workbuf.is_empty() && !self.waiting.is_empty() {
+            let s = self.waiting.pop_front().expect("checked non-empty");
+            let work = self.drain_work();
+            if work.is_empty() {
+                // Everything left in the buffer got skipped; re-park.
+                self.waiting.push_front(s);
+                break;
+            }
+            self.expecting_report[s] = true;
+            self.owed_results[s] = true;
+            out.push((
+                s,
+                Msg::Work {
+                    pairs: work,
+                    request: 0,
+                },
+            ));
+        }
+
+        // 5. Termination: every slave out of pairs and flushed, no queued
+        //    work, no outstanding reports.
+        if !self.done
+            && self.exhausted.iter().all(|&e| e)
+            && self.workbuf.is_empty()
+            && self.expecting_report.iter().all(|&e| !e)
+            && self.owed_results.iter().all(|&o| !o)
+        {
+            self.done = true;
+            for s in 0..self.num_slaves {
+                out.push((s, Msg::Shutdown));
+            }
+        }
+        out
+    }
+
+    /// Build the `Work { W, E }` reply, or `None` when the slave can be
+    /// parked: nothing to align, nothing to request, nothing owed.
+    fn reply_for(&mut self, slave: usize, p: usize, p_useful: usize) -> Option<Msg> {
+        let work = self.drain_work();
+
+        let request = if self.exhausted[slave] {
+            0
+        } else {
+            // α = P / P′ (how many raw pairs buy one useful pair).
+            let alpha = if p_useful > 0 {
+                (p as f64 / p_useful as f64).min(ALPHA_CAP)
+            } else if p > 0 {
+                ALPHA_CAP
+            } else {
+                1.0
+            };
+            // δ = p / (active slaves): over-request to keep passive slaves
+            // supplied with alignment work.
+            let active = self.exhausted.iter().filter(|&&e| !e).count().max(1);
+            let delta = self.num_slaves as f64 / active as f64;
+            let nfree = self.cfg.workbuf_cap.saturating_sub(self.workbuf.len());
+            let demand = (alpha * delta * self.cfg.batchsize as f64).round() as usize;
+            // Active slaves always request at least one pair so they never
+            // stall silently.
+            demand.min(nfree / self.num_slaves).max(1)
+        };
+
+        if work.is_empty() && request == 0 && !self.owed_results[slave] {
+            self.waiting.push_back(slave);
+            return None;
+        }
+        self.owed_results[slave] = !work.is_empty();
+        self.expecting_report[slave] = true;
+        Some(Msg::Work {
+            pairs: work,
+            request,
+        })
+    }
+
+    /// Pull up to `batchsize` pairs from WORKBUF, re-checking each against
+    /// the *latest* cluster state (a pair admitted earlier may have become
+    /// redundant since).
+    fn drain_work(&mut self) -> Vec<CandidatePair> {
+        let mut work = Vec::with_capacity(self.cfg.batchsize.min(self.workbuf.len()));
+        while work.len() < self.cfg.batchsize {
+            let Some(pair) = self.workbuf.pop_front() else {
+                break;
+            };
+            let (i, j) = pair.est_indices();
+            if self.cfg.skip_clustered_pairs && self.clusters.same(i, j) {
+                self.stats.pairs_skipped += 1;
+            } else {
+                work.push(pair);
+            }
+        }
+        work
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pace_seq::{EstId, Strand};
+
+    fn pair(i: u32, j: u32) -> CandidatePair {
+        CandidatePair {
+            s1: EstId(i).str_id(Strand::Forward),
+            s2: EstId(j).str_id(Strand::Forward),
+            off1: 0,
+            off2: 0,
+            mcs_len: 30,
+        }
+    }
+
+    fn outcome(i: u32, j: u32, accepted: bool) -> PairOutcome {
+        PairOutcome {
+            pair: pair(i, j),
+            accepted,
+            score_ratio: if accepted { 0.95 } else { 0.2 },
+        }
+    }
+
+    fn cfg() -> ClusterConfig {
+        let mut c = ClusterConfig::small();
+        c.batchsize = 4;
+        c.workbuf_cap = 64;
+        c
+    }
+
+    /// Report with `exhausted: true` and nothing else, repeatedly, until
+    /// the master stops responding — drains the flush handshake.
+    fn drain_slave(m: &mut Master, slave: usize) -> Vec<(usize, Msg)> {
+        let mut all = Vec::new();
+        loop {
+            let replies = m.handle_report(slave, vec![], vec![], true);
+            let work_for_me = replies
+                .iter()
+                .any(|(s, msg)| *s == slave && matches!(msg, Msg::Work { .. }));
+            all.extend(replies);
+            if !work_for_me {
+                return all;
+            }
+        }
+    }
+
+    #[test]
+    fn accepted_results_merge_clusters() {
+        let mut m = Master::new(10, 1, cfg());
+        let replies = m.handle_report(
+            0,
+            vec![outcome(1, 2, true), outcome(3, 4, false)],
+            vec![],
+            false,
+        );
+        assert_eq!(m.stats.pairs_processed, 2);
+        assert_eq!(m.stats.pairs_accepted, 1);
+        assert_eq!(m.stats.merges, 1);
+        // Active slave always gets a reply with positive demand.
+        assert_eq!(replies.len(), 1);
+        match &replies[0].1 {
+            Msg::Work { pairs, request } => {
+                assert!(pairs.is_empty());
+                assert!(*request > 0);
+            }
+            other => panic!("expected Work, got {}", other.kind()),
+        }
+        let mut clusters = m.into_clusters();
+        assert!(clusters.same(1, 2));
+        assert!(!clusters.same(3, 4));
+    }
+
+    #[test]
+    fn redundant_pairs_are_skipped_at_admission() {
+        let mut m = Master::new(10, 1, cfg());
+        m.handle_report(0, vec![outcome(1, 2, true)], vec![], false);
+        m.handle_report(0, vec![], vec![pair(1, 2), pair(5, 6)], false);
+        assert_eq!(m.stats.pairs_generated, 2);
+        assert_eq!(m.stats.pairs_skipped, 1);
+    }
+
+    #[test]
+    fn work_is_rechecked_at_dispatch() {
+        let mut c = cfg();
+        c.batchsize = 1; // the duplicate stays queued while (5,6) merges
+        let mut m = Master::new(10, 1, c);
+        let replies = m.handle_report(0, vec![], vec![pair(5, 6), pair(5, 6)], false);
+        match &replies[0].1 {
+            Msg::Work { pairs, .. } => assert_eq!(pairs.len(), 1),
+            other => panic!("unexpected {}", other.kind()),
+        }
+        // The dispatched pair merges 5 and 6; the queued duplicate must be
+        // dropped at the next dispatch.
+        let replies = m.handle_report(0, vec![outcome(5, 6, true)], vec![], false);
+        match &replies[0].1 {
+            Msg::Work { pairs, .. } => assert!(pairs.is_empty(), "stale pair dispatched"),
+            other => panic!("unexpected {}", other.kind()),
+        }
+        assert_eq!(m.stats.pairs_skipped, 1);
+    }
+
+    #[test]
+    fn exhausted_slaves_are_flushed_then_shut_down() {
+        let mut m = Master::new(10, 2, cfg());
+        // Both slaves report exhausted. Each first gets an empty flush
+        // Work (their startup portion-2 results are still owed), then
+        // parks; once both are parked the master shuts everything down.
+        let r0 = drain_slave(&mut m, 0);
+        assert!(
+            r0.iter()
+                .any(|(s, msg)| *s == 0 && matches!(msg, Msg::Work { pairs, .. } if pairs.is_empty())),
+            "flush Work expected"
+        );
+        assert!(!m.is_done());
+        let r1 = drain_slave(&mut m, 1);
+        assert!(m.is_done());
+        let shutdowns = r1
+            .iter()
+            .filter(|(_, msg)| matches!(msg, Msg::Shutdown))
+            .count();
+        assert_eq!(shutdowns, 2);
+    }
+
+    #[test]
+    fn parked_slave_is_woken_by_new_work() {
+        let mut m = Master::new(40, 2, cfg());
+        drain_slave(&mut m, 0); // slave 0 exhausted, flushed, parked
+        assert!(!m.is_done());
+        // Slave 1 reports fresh pairs; slave 0 must be woken with work.
+        let replies = m.handle_report(
+            1,
+            vec![],
+            (0..6).map(|k| pair(2 * k, 2 * k + 1)).collect(),
+            false,
+        );
+        let to_slave0: Vec<_> = replies.iter().filter(|(s, _)| *s == 0).collect();
+        assert_eq!(to_slave0.len(), 1);
+        match &to_slave0[0].1 {
+            Msg::Work { pairs, request } => {
+                assert!(!pairs.is_empty());
+                assert_eq!(*request, 0, "exhausted slave asked for pairs");
+            }
+            other => panic!("unexpected {}", other.kind()),
+        }
+    }
+
+    #[test]
+    fn termination_waits_for_outstanding_results() {
+        let mut m = Master::new(10, 1, cfg());
+        // Slave gets real work, so the master owes it a flush even after
+        // it reports exhausted.
+        let replies = m.handle_report(0, vec![], vec![pair(0, 1)], true);
+        match &replies[0].1 {
+            Msg::Work { pairs, .. } => assert_eq!(pairs.len(), 1),
+            other => panic!("unexpected {}", other.kind()),
+        }
+        assert!(!m.is_done());
+        // Results of that work come back; master flushes (empty Work).
+        let replies = m.handle_report(0, vec![outcome(0, 1, true)], vec![], true);
+        assert!(
+            matches!(&replies[0].1, Msg::Work { pairs, .. } if pairs.is_empty()),
+            "flush expected"
+        );
+        assert!(!m.is_done());
+        // Empty report closes the loop: now shutdown.
+        let replies = m.handle_report(0, vec![], vec![], true);
+        assert!(m.is_done());
+        assert!(replies.iter().any(|(_, msg)| matches!(msg, Msg::Shutdown)));
+        assert_eq!(m.stats.merges, 1);
+    }
+
+    #[test]
+    fn demand_respects_workbuf_free_space() {
+        let mut c = cfg();
+        c.workbuf_cap = 8;
+        c.batchsize = 4;
+        let mut m = Master::new(100, 1, c);
+        let pairs: Vec<_> = (0..8).map(|k| pair(2 * k, 2 * k + 1)).collect();
+        let replies = m.handle_report(0, vec![], pairs, false);
+        match &replies[0].1 {
+            Msg::Work { pairs, request } => {
+                // 4 dispatched, 4 remain; nfree = 8 − 4 = 4 → E ≤ 4.
+                assert_eq!(pairs.len(), 4);
+                assert!(*request <= 4, "request {request} exceeds free space");
+            }
+            other => panic!("unexpected {}", other.kind()),
+        }
+    }
+
+    #[test]
+    fn stats_balance_generated() {
+        let mut m = Master::new(10, 1, cfg());
+        m.handle_report(
+            0,
+            vec![outcome(0, 1, true)],
+            vec![pair(0, 1), pair(2, 3)],
+            false,
+        );
+        assert_eq!(m.stats.pairs_generated, 2);
+        assert_eq!(m.stats.pairs_skipped, 1);
+    }
+}

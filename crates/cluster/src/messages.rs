@@ -1,0 +1,67 @@
+//! The master–slave message protocol.
+
+use crate::align_task::PairOutcome;
+use pace_pairgen::CandidatePair;
+
+/// Messages flowing in either direction (the mpisim channel is typed with
+/// this single enum).
+#[derive(Debug, Clone)]
+pub enum Msg {
+    /// Slave → master: alignment results plus freshly generated pairs.
+    Report {
+        /// Outcomes of the most recent batch of alignments (`R`).
+        results: Vec<PairOutcome>,
+        /// Promising pairs generated on demand (`P`).
+        pairs: Vec<CandidatePair>,
+        /// The slave's generator (and `PAIRBUF`) is empty — it cannot
+        /// supply more pairs, ever.
+        exhausted: bool,
+    },
+    /// Master → slave: work to align plus the next pair request size.
+    Work {
+        /// Pairs to align (`W ≤ batchsize`).
+        pairs: Vec<CandidatePair>,
+        /// How many pairs to include in the next report (`E`).
+        request: usize,
+    },
+    /// Master → slave: everything is done, terminate.
+    Shutdown,
+}
+
+impl Msg {
+    /// Debug label for traces.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Msg::Report { .. } => "Report",
+            Msg::Work { .. } => "Work",
+            Msg::Shutdown => "Shutdown",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds() {
+        assert_eq!(
+            Msg::Report {
+                results: vec![],
+                pairs: vec![],
+                exhausted: false
+            }
+            .kind(),
+            "Report"
+        );
+        assert_eq!(
+            Msg::Work {
+                pairs: vec![],
+                request: 0
+            }
+            .kind(),
+            "Work"
+        );
+        assert_eq!(Msg::Shutdown.kind(), "Shutdown");
+    }
+}

@@ -1,0 +1,170 @@
+//! The slave processor loop.
+//!
+//! Each slave owns a portion of the suffix-tree forest (its buckets). It
+//! interleaves three activities, overlapping communication with
+//! computation exactly as the paper describes:
+//!
+//! 1. aligning the current `NEXTWORK` batch;
+//! 2. generating promising pairs into `PAIRBUF` *while waiting* for the
+//!    master's next message;
+//! 3. on each `Work { W, E }` message: topping `PAIRBUF` up to `E`,
+//!    sending the held results `R` plus `P = min(E, |PAIRBUF|)` pairs,
+//!    and adopting `W` as the next batch.
+//!
+//! Startup: three `batchsize` portions are generated; portion 1 is
+//! aligned and sent with portion 3 as the unsolicited first report,
+//! portion 2 becomes the first `NEXTWORK`.
+
+use crate::align_task::{align_pair, PairOutcome};
+use crate::config::ClusterConfig;
+use crate::messages::Msg;
+use pace_gst::LocalForest;
+use pace_mpisim::Rank;
+use pace_pairgen::{CandidatePair, GenStats, PairGenConfig, PairGenerator};
+use pace_seq::SequenceStore;
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// How many pairs to generate per idle poll while waiting for the master
+/// (small, so the slave stays responsive).
+const IDLE_GEN_CHUNK: usize = 16;
+
+/// Timers a slave reports back to the driver (seconds).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SlaveTimers {
+    /// Generator construction: node collection + string-depth sort.
+    pub node_sorting: f64,
+    /// Time spent inside the pairwise alignment kernel.
+    pub alignment: f64,
+}
+
+/// What a slave hands back when the world shuts down.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SlaveReportSummary {
+    /// Generator counters.
+    pub gen: GenStats,
+    /// Phase timers.
+    pub timers: SlaveTimers,
+}
+
+/// Run the slave protocol to completion. `master` is the master's rank id.
+pub fn run_slave(
+    rank: &Rank<Msg>,
+    master: usize,
+    store: &SequenceStore,
+    forest: &LocalForest,
+    cfg: &ClusterConfig,
+) -> SlaveReportSummary {
+    let mut timers = SlaveTimers::default();
+
+    let sort_started = Instant::now();
+    let mut generator = PairGenerator::new(
+        store,
+        forest,
+        PairGenConfig {
+            psi: cfg.psi,
+            order: cfg.order,
+        },
+    );
+    timers.node_sorting = sort_started.elapsed().as_secs_f64();
+
+    let mut pairbuf: VecDeque<CandidatePair> = VecDeque::new();
+
+    // Startup: three equal portions of batchsize pairs.
+    let portion1 = generator.next_batch(cfg.batchsize);
+    let portion2 = generator.next_batch(cfg.batchsize);
+    let portion3 = generator.next_batch(cfg.batchsize);
+    let first_results = align_batch(store, &portion1, cfg, &mut timers);
+    rank.send(
+        master,
+        Msg::Report {
+            results: first_results,
+            pairs: portion3,
+            exhausted: generator.is_exhausted() && pairbuf.is_empty(),
+        },
+    );
+    let mut nextwork = portion2;
+
+    loop {
+        // Compute alignments on NEXTWORK; the master's reply to our last
+        // report travels concurrently.
+        let results = align_batch(store, &nextwork, cfg, &mut timers);
+
+        // Wait for the master, generating pairs in the meantime.
+        let msg = loop {
+            match rank.try_recv() {
+                Ok(Some((_, msg))) => break msg,
+                Err(_) => {
+                    // World torn down without a Shutdown (should not
+                    // happen in normal operation).
+                    return SlaveReportSummary {
+                        gen: generator.stats(),
+                        timers,
+                    };
+                }
+                Ok(None) => {
+                    if !generator.is_exhausted() && pairbuf.len() < cfg.pairbuf_cap {
+                        let room = cfg.pairbuf_cap - pairbuf.len();
+                        pairbuf.extend(generator.next_batch(IDLE_GEN_CHUNK.min(room)));
+                    } else {
+                        // Nothing useful to do: block.
+                        match rank.recv() {
+                            Ok((_, msg)) => break msg,
+                            Err(_) => {
+                                return SlaveReportSummary {
+                                    gen: generator.stats(),
+                                    timers,
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        };
+
+        match msg {
+            Msg::Shutdown => {
+                return SlaveReportSummary {
+                    gen: generator.stats(),
+                    timers,
+                };
+            }
+            Msg::Work { pairs, request } => {
+                // Top PAIRBUF up to the requested E.
+                while pairbuf.len() < request && !generator.is_exhausted() {
+                    let want = (request - pairbuf.len()).max(IDLE_GEN_CHUNK);
+                    pairbuf.extend(generator.next_batch(want));
+                }
+                let take = request.min(pairbuf.len());
+                let outgoing: Vec<CandidatePair> = pairbuf.drain(..take).collect();
+                rank.send(
+                    master,
+                    Msg::Report {
+                        results,
+                        pairs: outgoing,
+                        exhausted: generator.is_exhausted() && pairbuf.is_empty(),
+                    },
+                );
+                nextwork = pairs;
+            }
+            Msg::Report { .. } => unreachable!("slaves never receive reports"),
+        }
+    }
+}
+
+/// Align a batch, timing the kernel.
+fn align_batch(
+    store: &SequenceStore,
+    batch: &[CandidatePair],
+    cfg: &ClusterConfig,
+    timers: &mut SlaveTimers,
+) -> Vec<PairOutcome> {
+    let started = Instant::now();
+    let out = batch.iter().map(|p| align_pair(store, p, cfg)).collect();
+    timers.alignment += started.elapsed().as_secs_f64();
+    out
+}
+
+// Integration coverage for this loop lives in `driver_par` tests, which
+// run full master+slave worlds; unit-testing the loop alone would need a
+// mock master speaking the whole protocol.

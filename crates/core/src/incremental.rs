@@ -1,0 +1,245 @@
+//! Incremental clustering of EST batches.
+//!
+//! The paper closes with an open problem: "Is there a way to
+//! incrementally adjust the EST clusters when a new batch of ESTs is
+//! sequenced, instead of the current method of clustering all the ESTs
+//! from scratch?" This module implements the natural PaCE-shaped answer:
+//!
+//! * the suffix-tree forest is rebuilt over the full data (its cost is
+//!   linear and it is *not* the bottleneck — alignment is);
+//! * the cluster structure is **seeded with the existing partition**, so
+//!   every pair already co-clustered is skipped by the standard rule;
+//! * pairs between two *old* ESTs are skipped outright — their promising
+//!   pairs were already enumerated and judged in earlier rounds, and
+//!   re-aligning them cannot change the partition (alignment acceptance
+//!   is deterministic);
+//! * only old–new and new–new pairs reach the aligner.
+//!
+//! The result is identical to what from-scratch clustering would produce
+//! on the union (for deterministic acceptance), at a fraction of the
+//! alignment work — the property the integration tests pin down.
+
+use pace_cluster::{align_pair, ClusterConfig, ClusterStats};
+use pace_dsu::DisjointSets;
+use pace_pairgen::{PairGenConfig, PairGenerator};
+use pace_seq::{SeqError, SequenceStore};
+
+/// Clusters an EST collection that grows in batches.
+#[derive(Debug, Clone)]
+pub struct IncrementalClusterer {
+    cfg: ClusterConfig,
+    ests: Vec<Vec<u8>>,
+    clusters: DisjointSets,
+    /// ESTs below this index have been through at least one round.
+    old_count: usize,
+    /// Cumulative statistics over all rounds.
+    pub stats: ClusterStats,
+}
+
+impl IncrementalClusterer {
+    /// Empty clusterer.
+    pub fn new(cfg: ClusterConfig) -> Self {
+        cfg.validate().expect("invalid cluster config");
+        IncrementalClusterer {
+            cfg,
+            ests: Vec::new(),
+            clusters: DisjointSets::new(0),
+            old_count: 0,
+            stats: ClusterStats::default(),
+        }
+    }
+
+    /// Number of ESTs incorporated so far.
+    pub fn len(&self) -> usize {
+        self.ests.len()
+    }
+
+    /// Whether no ESTs have been added yet.
+    pub fn is_empty(&self) -> bool {
+        self.ests.is_empty()
+    }
+
+    /// Current cluster label per EST.
+    pub fn labels(&mut self) -> Vec<usize> {
+        self.clusters.labels()
+    }
+
+    /// Current number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.clusters.num_sets()
+    }
+
+    /// Incorporate a new batch of ESTs, updating the clustering.
+    ///
+    /// Returns the number of alignments performed this round.
+    pub fn add_batch<S: AsRef<[u8]>>(&mut self, batch: &[S]) -> Result<u64, SeqError> {
+        if batch.is_empty() {
+            return Ok(0);
+        }
+        // Validate before mutating state, so a bad batch leaves the
+        // clusterer untouched.
+        for (index, est) in batch.iter().enumerate() {
+            let est = est.as_ref();
+            if est.is_empty() {
+                return Err(SeqError::EmptySequence { index });
+            }
+            pace_seq::alphabet::validate_dna(est)?;
+        }
+        let first_new = self.ests.len();
+        for est in batch {
+            self.ests.push(est.as_ref().to_vec());
+        }
+        let store = SequenceStore::from_ests(&self.ests)?;
+
+        // Grow the union–find, preserving the existing partition.
+        let mut grown = DisjointSets::new(self.ests.len());
+        for i in 0..first_new {
+            // Union with the old representative keeps components intact.
+            let root = self.clusters.find(i);
+            grown.union(i, root);
+        }
+        self.clusters = grown;
+
+        // Rebuild the forest over everything (linear work), then run the
+        // demand loop with the old–old skip rule.
+        let forest = pace_gst::build_sequential(&store, self.cfg.window_w);
+        let mut generator = PairGenerator::new(
+            &store,
+            &forest,
+            PairGenConfig {
+                psi: self.cfg.psi,
+                order: self.cfg.order,
+            },
+        );
+
+        let mut aligned_this_round = 0u64;
+        loop {
+            let pairs = generator.next_batch(self.cfg.batchsize);
+            if pairs.is_empty() {
+                break;
+            }
+            for pair in pairs {
+                let (i, j) = pair.est_indices();
+                if i < first_new && j < first_new {
+                    // Both old: judged in a previous round.
+                    continue;
+                }
+                if self.cfg.skip_clustered_pairs && self.clusters.same(i, j) {
+                    self.stats.pairs_skipped += 1;
+                    continue;
+                }
+                let outcome = align_pair(&store, &pair, &self.cfg);
+                aligned_this_round += 1;
+                self.stats.pairs_processed += 1;
+                if outcome.accepted {
+                    self.stats.pairs_accepted += 1;
+                    if self.clusters.union(i, j) {
+                        self.stats.merges += 1;
+                    }
+                }
+            }
+        }
+        self.stats.pairs_generated += generator.stats().emitted;
+        self.old_count = self.ests.len();
+        Ok(aligned_this_round)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pace_cluster::cluster_sequential;
+    use pace_simulate::{generate, SimConfig};
+
+    fn cfg() -> ClusterConfig {
+        let mut c = ClusterConfig::small();
+        c.psi = 16;
+        c.overlap.min_overlap_len = 40;
+        c
+    }
+
+    fn dataset(n: usize, seed: u64) -> pace_simulate::EstDataset {
+        generate(
+            &SimConfig {
+                num_genes: (n / 12).max(2),
+                num_ests: n,
+                est_len_mean: 220.0,
+                est_len_sd: 25.0,
+                est_len_min: 120,
+                exon_len: (220, 400),
+                exons_per_gene: (1, 2),
+                seed,
+                ..SimConfig::default()
+            }
+            .error_free(),
+        )
+    }
+
+    #[test]
+    fn incremental_matches_from_scratch() {
+        let ds = dataset(90, 61);
+        // From scratch on everything.
+        let store = SequenceStore::from_ests(&ds.ests).unwrap();
+        let scratch = cluster_sequential(&store, &cfg());
+
+        // Incrementally in three batches.
+        let mut inc = IncrementalClusterer::new(cfg());
+        inc.add_batch(&ds.ests[..30]).unwrap();
+        inc.add_batch(&ds.ests[30..60]).unwrap();
+        inc.add_batch(&ds.ests[60..]).unwrap();
+
+        let agreement = pace_quality::assess(&inc.labels(), &scratch.labels);
+        assert!(
+            agreement.oq > 0.99,
+            "incremental clustering diverged: {agreement}"
+        );
+        assert_eq!(inc.len(), 90);
+    }
+
+    #[test]
+    fn later_batches_do_less_alignment_work() {
+        let ds = dataset(80, 62);
+        // All at once.
+        let mut all_at_once = IncrementalClusterer::new(cfg());
+        let full_work = all_at_once.add_batch(&ds.ests).unwrap();
+
+        // Same data, second half added incrementally: the second round
+        // must align fewer pairs than a full from-scratch round would.
+        let mut inc = IncrementalClusterer::new(cfg());
+        inc.add_batch(&ds.ests[..40]).unwrap();
+        let second_round = inc.add_batch(&ds.ests[40..]).unwrap();
+        assert!(
+            second_round < full_work,
+            "incremental round did {second_round} alignments, full does {full_work}"
+        );
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let mut inc = IncrementalClusterer::new(cfg());
+        assert_eq!(inc.add_batch::<&[u8]>(&[]).unwrap(), 0);
+        assert!(inc.is_empty());
+        assert_eq!(inc.num_clusters(), 0);
+    }
+
+    #[test]
+    fn single_batch_equals_sequential_driver() {
+        let ds = dataset(60, 63);
+        let store = SequenceStore::from_ests(&ds.ests).unwrap();
+        let seq = cluster_sequential(&store, &cfg());
+        let mut inc = IncrementalClusterer::new(cfg());
+        inc.add_batch(&ds.ests).unwrap();
+        let agreement = pace_quality::assess(&inc.labels(), &seq.labels);
+        assert_eq!(
+            agreement.counts.fp + agreement.counts.fn_,
+            0,
+            "single-batch incremental differs from the sequential driver"
+        );
+    }
+
+    #[test]
+    fn invalid_sequences_are_rejected() {
+        let mut inc = IncrementalClusterer::new(cfg());
+        assert!(inc.add_batch(&[&b"ACGTN"[..]]).is_err());
+    }
+}

@@ -1,0 +1,40 @@
+//! PaCE — the top-level pipeline facade.
+//!
+//! Ties the substrates together behind one call:
+//!
+//! ```
+//! use pace_core::{Pace, PaceConfig};
+//! use pace_simulate::SimConfig;
+//!
+//! // 60 short synthetic ESTs from ~5 genes, with sequencing errors.
+//! let data = pace_simulate::generate(&SimConfig {
+//!     num_genes: 5,
+//!     num_ests: 60,
+//!     est_len_mean: 220.0,
+//!     est_len_sd: 25.0,
+//!     est_len_min: 120,
+//!     exon_len: (220, 400),
+//!     exons_per_gene: (1, 2),
+//!     seed: 42,
+//!     ..SimConfig::default()
+//! });
+//!
+//! let mut config = PaceConfig::small_inputs();
+//! config.cluster.psi = 16;
+//! config.cluster.overlap.min_overlap_len = 40;
+//! config.num_processors = 2; // 1 master + 1 slave
+//! let outcome = Pace::new(config).cluster(&data.ests).unwrap();
+//!
+//! let quality = outcome.quality(&data.truth);
+//! assert!(quality.cc > 0.8, "{quality}");
+//! ```
+
+pub mod incremental;
+pub mod pipeline;
+pub mod report;
+pub mod splice;
+
+pub use incremental::IncrementalClusterer;
+pub use pipeline::{Pace, PaceConfig, PaceError, PaceOutcome};
+pub use report::RunReport;
+pub use splice::{detect_splice_events, SpliceEvent, SpliceScanConfig};

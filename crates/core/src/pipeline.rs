@@ -1,0 +1,207 @@
+//! The one-call clustering pipeline.
+
+use pace_cluster::{cluster_parallel, cluster_sequential, ClusterConfig, ClusterResult};
+use pace_quality::QualityMetrics;
+use pace_seq::{SeqError, SequenceStore};
+
+/// Top-level configuration: the engine's knobs plus the degree of
+/// parallelism.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PaceConfig {
+    /// Clustering engine configuration (window, ψ, batchsize, scoring…).
+    pub cluster: ClusterConfig,
+    /// Ranks to run: 1 = sequential; `p ≥ 2` = one master + `p − 1`
+    /// slaves on the thread-backed message-passing runtime.
+    pub num_processors: usize,
+}
+
+impl Default for PaceConfig {
+    fn default() -> Self {
+        PaceConfig {
+            cluster: ClusterConfig::default(),
+            num_processors: 1,
+        }
+    }
+}
+
+impl PaceConfig {
+    /// Paper-style defaults (window 8, ψ 20, batchsize 60) — appropriate
+    /// for realistic EST lengths (hundreds of bases).
+    pub fn paper() -> Self {
+        PaceConfig::default()
+    }
+
+    /// Settings for short test sequences (window 4, ψ 8, relaxed
+    /// overlap thresholds).
+    pub fn small_inputs() -> Self {
+        PaceConfig {
+            cluster: ClusterConfig::small(),
+            num_processors: 1,
+        }
+    }
+}
+
+/// Pipeline errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PaceError {
+    /// Input sequences failed validation.
+    BadInput(SeqError),
+    /// Configuration failed validation.
+    BadConfig(String),
+}
+
+impl std::fmt::Display for PaceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PaceError::BadInput(e) => write!(f, "invalid input: {e}"),
+            PaceError::BadConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PaceError {}
+
+/// The configured pipeline.
+#[derive(Debug, Clone)]
+pub struct Pace {
+    config: PaceConfig,
+}
+
+/// Everything a clustering run produces.
+#[derive(Debug, Clone)]
+pub struct PaceOutcome {
+    /// The clustering itself plus statistics.
+    pub result: ClusterResult,
+    /// Number of input ESTs.
+    pub num_ests: usize,
+    /// Total input bases (the paper's `N`).
+    pub total_bases: usize,
+    /// Ranks used.
+    pub num_processors: usize,
+}
+
+impl Pace {
+    /// Create a pipeline with the given configuration.
+    pub fn new(config: PaceConfig) -> Self {
+        Pace { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PaceConfig {
+        &self.config
+    }
+
+    /// Cluster a set of ESTs given as byte sequences.
+    pub fn cluster<S: AsRef<[u8]>>(&self, ests: &[S]) -> Result<PaceOutcome, PaceError> {
+        let store = SequenceStore::from_ests(ests).map_err(PaceError::BadInput)?;
+        self.cluster_store(&store)
+    }
+
+    /// Cluster a pre-built sequence store.
+    pub fn cluster_store(&self, store: &SequenceStore) -> Result<PaceOutcome, PaceError> {
+        self.config
+            .cluster
+            .validate()
+            .map_err(PaceError::BadConfig)?;
+        if self.config.num_processors == 0 {
+            return Err(PaceError::BadConfig("num_processors must be ≥ 1".into()));
+        }
+        let result = if self.config.num_processors <= 1 {
+            cluster_sequential(store, &self.config.cluster)
+        } else {
+            cluster_parallel(store, &self.config.cluster, self.config.num_processors)
+        };
+        Ok(PaceOutcome {
+            num_ests: store.num_ests(),
+            total_bases: store.total_input_chars(),
+            num_processors: self.config.num_processors,
+            result,
+        })
+    }
+}
+
+impl PaceOutcome {
+    /// Cluster label per EST.
+    pub fn labels(&self) -> &[usize] {
+        &self.result.labels
+    }
+
+    /// Number of clusters produced.
+    pub fn num_clusters(&self) -> usize {
+        self.result.num_clusters
+    }
+
+    /// Assess against a known correct clustering (Table 2's metrics).
+    pub fn quality(&self, truth: &[usize]) -> QualityMetrics {
+        pace_quality::assess(&self.result.labels, truth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pace_simulate::{generate, SimConfig};
+
+    fn test_config() -> PaceConfig {
+        let mut c = PaceConfig::small_inputs();
+        c.cluster.psi = 16;
+        c.cluster.overlap.min_overlap_len = 40;
+        c
+    }
+
+    fn dataset(n: usize, seed: u64) -> pace_simulate::EstDataset {
+        generate(&SimConfig {
+            num_genes: (n / 12).max(2),
+            num_ests: n,
+            est_len_mean: 220.0,
+            est_len_sd: 25.0,
+            est_len_min: 120,
+            exon_len: (220, 400),
+            exons_per_gene: (1, 2),
+            seed,
+            ..SimConfig::default()
+        })
+    }
+
+    #[test]
+    fn end_to_end_sequential() {
+        let ds = dataset(100, 41);
+        let outcome = Pace::new(test_config()).cluster(&ds.ests).unwrap();
+        assert_eq!(outcome.num_ests, 100);
+        assert!(outcome.num_clusters() <= 100);
+        let q = outcome.quality(&ds.truth);
+        assert!(q.cc > 0.8, "{q}");
+    }
+
+    #[test]
+    fn end_to_end_parallel() {
+        let ds = dataset(100, 42);
+        let mut cfg = test_config();
+        cfg.num_processors = 4;
+        let outcome = Pace::new(cfg).cluster(&ds.ests).unwrap();
+        let q = outcome.quality(&ds.truth);
+        assert!(q.cc > 0.8, "{q}");
+        assert_eq!(outcome.num_processors, 4);
+    }
+
+    #[test]
+    fn bad_input_is_reported() {
+        let err = Pace::new(test_config())
+            .cluster(&[&b"ACGT"[..], b"ACNT"])
+            .unwrap_err();
+        assert!(matches!(err, PaceError::BadInput(_)));
+    }
+
+    #[test]
+    fn bad_config_is_reported() {
+        let mut cfg = test_config();
+        cfg.cluster.psi = 1; // below window
+        let err = Pace::new(cfg).cluster(&[&b"ACGTACGT"[..]]).unwrap_err();
+        assert!(matches!(err, PaceError::BadConfig(_)));
+
+        let mut cfg = test_config();
+        cfg.num_processors = 0;
+        let err = Pace::new(cfg).cluster(&[&b"ACGTACGT"[..]]).unwrap_err();
+        assert!(matches!(err, PaceError::BadConfig(_)));
+    }
+}

@@ -1,0 +1,158 @@
+//! Run reports: the machine- and human-readable records behind
+//! EXPERIMENTS.md.
+
+use crate::pipeline::PaceOutcome;
+use pace_quality::QualityMetrics;
+use serde::{Deserialize, Serialize};
+
+/// A flat, serializable record of one clustering run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Number of input ESTs.
+    pub num_ests: usize,
+    /// Total input bases.
+    pub total_bases: usize,
+    /// Ranks used (1 = sequential driver).
+    pub num_processors: usize,
+    /// Clusters produced.
+    pub num_clusters: usize,
+    /// Promising pairs generated.
+    pub pairs_generated: u64,
+    /// Pairs actually aligned.
+    pub pairs_processed: u64,
+    /// Alignments accepted.
+    pub pairs_accepted: u64,
+    /// Pairs skipped thanks to up-to-date cluster information.
+    pub pairs_skipped: u64,
+    /// Seconds in partitioning.
+    pub partitioning_secs: f64,
+    /// Seconds constructing the GST.
+    pub gst_secs: f64,
+    /// Seconds sorting nodes.
+    pub sort_secs: f64,
+    /// Seconds aligning.
+    pub align_secs: f64,
+    /// End-to-end seconds.
+    pub total_secs: f64,
+    /// Fraction of time the master was busy (parallel runs).
+    pub master_busy_frac: f64,
+    /// Quality versus ground truth, when available: `(OQ, OV, UN, CC)`
+    /// as percentages.
+    pub quality: Option<(f64, f64, f64, f64)>,
+}
+
+impl RunReport {
+    /// Build a report from an outcome, optionally with quality metrics.
+    pub fn from_outcome(outcome: &PaceOutcome, quality: Option<QualityMetrics>) -> Self {
+        let s = &outcome.result.stats;
+        RunReport {
+            num_ests: outcome.num_ests,
+            total_bases: outcome.total_bases,
+            num_processors: outcome.num_processors,
+            num_clusters: outcome.result.num_clusters,
+            pairs_generated: s.pairs_generated,
+            pairs_processed: s.pairs_processed,
+            pairs_accepted: s.pairs_accepted,
+            pairs_skipped: s.pairs_skipped,
+            partitioning_secs: s.timers.partitioning,
+            gst_secs: s.timers.gst_construction,
+            sort_secs: s.timers.node_sorting,
+            align_secs: s.timers.alignment,
+            total_secs: s.timers.total,
+            master_busy_frac: s.master_busy_frac,
+            quality: quality.map(|q| q.as_percentages()),
+        }
+    }
+
+    /// Render a Table 3–style component-time row:
+    /// `p | partitioning | GST | sorting | alignment | total`.
+    pub fn table3_row(&self) -> String {
+        format!(
+            "{:>4} {:>12.2} {:>12.2} {:>10.2} {:>12.2} {:>10.2}",
+            self.num_processors,
+            self.partitioning_secs,
+            self.gst_secs,
+            self.sort_secs,
+            self.align_secs,
+            self.total_secs
+        )
+    }
+
+    /// Render a Table 2–style quality row (`OQ OV UN CC`), if assessed.
+    pub fn table2_row(&self) -> Option<String> {
+        self.quality.map(|(oq, ov, un, cc)| {
+            format!("OQ {oq:6.2}  OV {ov:5.2}  UN {un:5.2}  CC {cc:6.2}")
+        })
+    }
+}
+
+impl std::fmt::Display for RunReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "PaCE run: {} ESTs ({} bases) on {} processor(s)",
+            self.num_ests, self.total_bases, self.num_processors
+        )?;
+        writeln!(f, "  clusters      : {}", self.num_clusters)?;
+        writeln!(
+            f,
+            "  pairs         : {} generated, {} aligned, {} accepted, {} skipped",
+            self.pairs_generated, self.pairs_processed, self.pairs_accepted, self.pairs_skipped
+        )?;
+        writeln!(
+            f,
+            "  time (s)      : partition {:.3}, gst {:.3}, sort {:.3}, align {:.3}, total {:.3}",
+            self.partitioning_secs, self.gst_secs, self.sort_secs, self.align_secs, self.total_secs
+        )?;
+        if let Some(row) = self.table2_row() {
+            writeln!(f, "  quality       : {row}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{Pace, PaceConfig};
+    use pace_simulate::{generate, SimConfig};
+
+    fn outcome() -> (PaceOutcome, Vec<usize>) {
+        let ds = generate(&SimConfig {
+            num_genes: 5,
+            num_ests: 50,
+            est_len_mean: 200.0,
+            est_len_sd: 20.0,
+            est_len_min: 120,
+            seed: 51,
+            ..SimConfig::default()
+        });
+        let mut cfg = PaceConfig::small_inputs();
+        cfg.cluster.psi = 16;
+        (Pace::new(cfg).cluster(&ds.ests).unwrap(), ds.truth)
+    }
+
+    #[test]
+    fn report_reflects_outcome() {
+        let (out, truth) = outcome();
+        let q = out.quality(&truth);
+        let report = RunReport::from_outcome(&out, Some(q));
+        assert_eq!(report.num_ests, 50);
+        assert_eq!(report.num_clusters, out.num_clusters());
+        assert!(report.quality.is_some());
+        let text = report.to_string();
+        assert!(text.contains("50 ESTs"));
+        assert!(text.contains("quality"));
+        assert!(report.table2_row().is_some());
+        assert!(!report.table3_row().is_empty());
+    }
+
+    #[test]
+    fn report_without_quality() {
+        let (out, _) = outcome();
+        let report = RunReport::from_outcome(&out, None);
+        assert!(report.quality.is_none());
+        assert!(report.table2_row().is_none());
+        assert!(!report.to_string().contains("quality"));
+    }
+}

@@ -1,0 +1,318 @@
+//! Alternative-splicing detection inside clusters.
+//!
+//! The paper lists this as the quality-improving post-processing step it
+//! was working on ("we are working on improving the prediction accuracy
+//! of the software by doing additional processing such as detection of
+//! alternative splicing", §5; also §3.3). Two ESTs from the same gene but
+//! different splice isoforms align as two high-identity blocks separated
+//! by a long gap — the skipped exon. This module scans each cluster for
+//! exactly that signature.
+
+use pace_align::{global_align, AlignOp, Scoring};
+use pace_seq::reverse_complement;
+
+/// Detection thresholds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpliceScanConfig {
+    /// Minimum length of the gap run to call an event (a skipped exon is
+    /// rarely shorter than ~60 bases; sequencing indels are 1–3).
+    pub min_event_len: usize,
+    /// Minimum identity over the *matched* (non-event) columns.
+    pub min_flank_identity: f64,
+    /// Minimum matched columns on each side of the event.
+    pub min_flank_len: usize,
+    /// At most this many reads per cluster are compared pairwise
+    /// (clusters can be huge; the signal saturates quickly).
+    pub max_reads_per_cluster: usize,
+    /// Alignment scoring scheme.
+    pub scoring: Scoring,
+}
+
+impl Default for SpliceScanConfig {
+    fn default() -> Self {
+        SpliceScanConfig {
+            min_event_len: 60,
+            min_flank_identity: 0.85,
+            min_flank_len: 50,
+            max_reads_per_cluster: 12,
+            // Detection-tuned scheme: gap extension is cheap and
+            // mismatches are expensive, so a skipped exon aligns as one
+            // clean gap run instead of a mismatch-riddled mosaic.
+            scoring: Scoring {
+                match_score: 2,
+                mismatch: -6,
+                gap_open: -6,
+                gap_extend: -1,
+            },
+        }
+    }
+}
+
+/// One candidate alternative-splicing event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpliceEvent {
+    /// EST index carrying the longer form (the extra block).
+    pub long_read: usize,
+    /// EST index of the shorter (exon-skipped) form.
+    pub short_read: usize,
+    /// Cluster label the pair belongs to.
+    pub cluster: usize,
+    /// Length of the skipped block in bases.
+    pub event_len: usize,
+    /// Matched columns left of the event.
+    pub left_flank: usize,
+    /// Matched columns right of the event.
+    pub right_flank: usize,
+}
+
+/// Scan clusters for splice-variant signatures.
+///
+/// `ests` are the reads, `labels[i]` their cluster labels (any clustering
+/// — typically `PaceOutcome::labels`). Reads are strand-oriented pairwise
+/// by best alignment score, so mixed-strand clusters are handled.
+pub fn detect_splice_events(
+    ests: &[Vec<u8>],
+    labels: &[usize],
+    cfg: &SpliceScanConfig,
+) -> Vec<SpliceEvent> {
+    assert_eq!(ests.len(), labels.len());
+    let mut by_cluster: std::collections::HashMap<usize, Vec<usize>> =
+        std::collections::HashMap::new();
+    for (i, &l) in labels.iter().enumerate() {
+        by_cluster.entry(l).or_default().push(i);
+    }
+
+    let mut events = Vec::new();
+    for (&cluster, members) in &by_cluster {
+        if members.len() < 2 {
+            continue;
+        }
+        let reads = &members[..members.len().min(cfg.max_reads_per_cluster)];
+        for (ai, &a) in reads.iter().enumerate() {
+            for &b in &reads[ai + 1..] {
+                if let Some(ev) = scan_pair(&ests[a], &ests[b], a, b, cluster, cfg) {
+                    events.push(ev);
+                }
+            }
+        }
+    }
+    events.sort_by_key(|e| (e.cluster, e.long_read, e.short_read));
+    events
+}
+
+/// Align one pair (best strand) and look for the two-block signature.
+fn scan_pair(
+    a: &[u8],
+    b: &[u8],
+    a_idx: usize,
+    b_idx: usize,
+    cluster: usize,
+    cfg: &SpliceScanConfig,
+) -> Option<SpliceEvent> {
+    let fwd = global_align(a, b, &cfg.scoring);
+    let rev_b = reverse_complement(b);
+    let rev = global_align(a, &rev_b, &cfg.scoring);
+    let aln = if fwd.score >= rev.score { fwd } else { rev };
+
+    // Collect every maximal same-kind gap run. Reads that only partially
+    // overlap also produce long *end* runs, so the event is not simply
+    // the longest run: each candidate must independently pass the flank
+    // checks, and the longest qualifying one wins.
+    let mut runs: Vec<(usize, usize, AlignOp)> = Vec::new(); // (start, len, kind)
+    let mut pos = 0usize;
+    while pos < aln.ops.len() {
+        let op = aln.ops[pos];
+        if matches!(op, AlignOp::Del | AlignOp::Ins) {
+            let start = pos;
+            while pos < aln.ops.len() && aln.ops[pos] == op {
+                pos += 1;
+            }
+            if pos - start >= cfg.min_event_len {
+                runs.push((start, pos - start, op));
+            }
+        } else {
+            pos += 1;
+        }
+    }
+
+    // Flank quality: identity over the matched columns on each side.
+    let flank = |ops: &[AlignOp]| -> (usize, usize) {
+        let matches = ops.iter().filter(|o| matches!(o, AlignOp::Match)).count();
+        let columns = ops
+            .iter()
+            .filter(|o| matches!(o, AlignOp::Match | AlignOp::Sub))
+            .count();
+        (matches, columns)
+    };
+
+    let mut best: Option<SpliceEvent> = None;
+    for (start, len, kind) in runs {
+        let (lm, lc) = flank(&aln.ops[..start]);
+        let (rm, rc) = flank(&aln.ops[start + len..]);
+        if lc < cfg.min_flank_len || rc < cfg.min_flank_len {
+            continue;
+        }
+        let identity = (lm + rm) as f64 / (lc + rc) as f64;
+        if identity < cfg.min_flank_identity {
+            continue;
+        }
+        // Del = block present in `a` only; Ins = present in `b` only.
+        let (long_read, short_read) = match kind {
+            AlignOp::Del => (a_idx, b_idx),
+            AlignOp::Ins => (b_idx, a_idx),
+            _ => unreachable!("gap run has gap kind"),
+        };
+        let candidate = SpliceEvent {
+            long_read,
+            short_read,
+            cluster,
+            event_len: len,
+            left_flank: lc,
+            right_flank: rc,
+        };
+        if best.as_ref().is_none_or(|b| candidate.event_len > b.event_len) {
+            best = Some(candidate);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pace_simulate::{generate, Expression, SimConfig};
+
+    fn lcg_dna(seed: u64, len: usize) -> Vec<u8> {
+        let mut x = seed;
+        (0..len)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                [b'A', b'C', b'G', b'T'][(x >> 33) as usize % 4]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn planted_exon_skip_is_detected() {
+        // exon1 + exon2 + exon3 vs exon1 + exon3.
+        let e1 = lcg_dna(1, 150);
+        let e2 = lcg_dna(2, 100);
+        let e3 = lcg_dna(3, 150);
+        let long: Vec<u8> = [&e1[..], &e2, &e3].concat();
+        let short: Vec<u8> = [&e1[..], &e3].concat();
+        let ests = vec![long, short];
+        let labels = vec![0, 0];
+        let events = detect_splice_events(&ests, &labels, &SpliceScanConfig::default());
+        assert_eq!(events.len(), 1, "{events:?}");
+        let ev = &events[0];
+        assert_eq!(ev.long_read, 0);
+        assert_eq!(ev.short_read, 1);
+        assert!(
+            (90..=110).contains(&ev.event_len),
+            "event length {} vs planted 100",
+            ev.event_len
+        );
+    }
+
+    #[test]
+    fn detected_on_opposite_strand_too() {
+        let e1 = lcg_dna(4, 150);
+        let e2 = lcg_dna(5, 100);
+        let e3 = lcg_dna(6, 150);
+        let long: Vec<u8> = [&e1[..], &e2, &e3].concat();
+        let short = pace_seq::reverse_complement(&[&e1[..], &e3].concat());
+        let events = detect_splice_events(
+            &[long, short],
+            &[7, 7],
+            &SpliceScanConfig::default(),
+        );
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].cluster, 7);
+        assert_eq!(events[0].long_read, 0);
+    }
+
+    #[test]
+    fn plain_overlapping_reads_raise_no_event() {
+        let t = lcg_dna(7, 500);
+        let ests = vec![t[..350].to_vec(), t[150..].to_vec()];
+        let events = detect_splice_events(&ests, &[0, 0], &SpliceScanConfig::default());
+        assert!(events.is_empty(), "{events:?}");
+    }
+
+    #[test]
+    fn unrelated_reads_raise_no_event() {
+        let ests = vec![lcg_dna(8, 400), lcg_dna(9, 400)];
+        let events = detect_splice_events(&ests, &[0, 0], &SpliceScanConfig::default());
+        assert!(events.is_empty(), "flanks must fail identity: {events:?}");
+    }
+
+    #[test]
+    fn different_clusters_are_not_compared() {
+        let e1 = lcg_dna(10, 150);
+        let e2 = lcg_dna(11, 100);
+        let e3 = lcg_dna(12, 150);
+        let long: Vec<u8> = [&e1[..], &e2, &e3].concat();
+        let short: Vec<u8> = [&e1[..], &e3].concat();
+        let events = detect_splice_events(
+            &[long, short],
+            &[0, 1], // separate clusters
+            &SpliceScanConfig::default(),
+        );
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn short_indels_are_ignored() {
+        // 5-base deletion: far below min_event_len.
+        let t = lcg_dna(13, 400);
+        let mut deleted = t.clone();
+        deleted.drain(200..205);
+        let events = detect_splice_events(&[t, deleted], &[0, 0], &SpliceScanConfig::default());
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn end_to_end_with_simulated_isoforms() {
+        // Simulate genes that all express a skipped variant; cluster with
+        // the real pipeline; the scanner should find events in clusters
+        // that contain both isoforms.
+        let ds = generate(&SimConfig {
+            num_genes: 6,
+            num_ests: 90,
+            exons_per_gene: (3, 4),
+            exon_len: (150, 250),
+            est_len_mean: 420.0,
+            est_len_sd: 30.0,
+            est_len_min: 250,
+            alt_splice_prob: 1.0,
+            error_rate: 0.005,
+            expression: Expression::Uniform,
+            seed: 92,
+            ..SimConfig::default()
+        });
+        let mut pc = crate::pipeline::PaceConfig::small_inputs();
+        pc.cluster.psi = 16;
+        pc.cluster.overlap.min_overlap_len = 40;
+        let outcome = crate::pipeline::Pace::new(pc).cluster(&ds.ests).unwrap();
+
+        let events = detect_splice_events(&ds.ests, outcome.labels(), &SpliceScanConfig::default());
+        assert!(
+            !events.is_empty(),
+            "no splice events detected in an all-spliced transcriptome"
+        );
+        // Every event must pair reads from the same true gene and from
+        // different isoforms... predominantly (tolerate a stray FP pair).
+        let good = events
+            .iter()
+            .filter(|e| {
+                ds.truth[e.long_read] == ds.truth[e.short_read]
+                    && ds.isoforms[e.long_read] != ds.isoforms[e.short_read]
+            })
+            .count();
+        assert!(
+            good * 10 >= events.len() * 8,
+            "only {good} of {} events match a true isoform pair",
+            events.len()
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! A mutex-guarded union–find for multi-threaded callers.
+//!
+//! The PaCE design deliberately keeps cluster state on a single master
+//! processor, so the hot path never contends on this type. It exists for
+//! the baseline clusterer (whose rayon alignment phase merges from many
+//! threads) and for tests that stress cross-thread correctness.
+
+use crate::dsu::DisjointSets;
+use parking_lot::Mutex;
+
+/// Thread-safe wrapper around [`DisjointSets`].
+///
+/// A single `parking_lot::Mutex` guards the whole structure: union–find
+/// operations are tens of nanoseconds, so fine-grained locking would buy
+/// nothing over this and would complicate the path-compression writes.
+#[derive(Debug)]
+pub struct SharedDisjointSets {
+    inner: Mutex<DisjointSets>,
+}
+
+impl SharedDisjointSets {
+    /// Create `len` singleton sets.
+    pub fn new(len: usize) -> Self {
+        SharedDisjointSets {
+            inner: Mutex::new(DisjointSets::new(len)),
+        }
+    }
+
+    /// Merge the sets containing `a` and `b`; `true` if a merge happened.
+    pub fn union(&self, a: usize, b: usize) -> bool {
+        self.inner.lock().union(a, b)
+    }
+
+    /// Whether `a` and `b` share a set.
+    pub fn same(&self, a: usize, b: usize) -> bool {
+        self.inner.lock().same(a, b)
+    }
+
+    /// The representative of `x`'s set.
+    pub fn find(&self, x: usize) -> usize {
+        self.inner.lock().find(x)
+    }
+
+    /// Current number of disjoint sets.
+    pub fn num_sets(&self) -> usize {
+        self.inner.lock().num_sets()
+    }
+
+    /// Consume the wrapper, returning the inner structure.
+    pub fn into_inner(self) -> DisjointSets {
+        self.inner.into_inner()
+    }
+
+    /// Run `f` with exclusive access to the underlying structure.
+    pub fn with<R>(&self, f: impl FnOnce(&mut DisjointSets) -> R) -> R {
+        f(&mut self.inner.lock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_shared_ops() {
+        let s = SharedDisjointSets::new(4);
+        assert!(s.union(0, 1));
+        assert!(s.same(0, 1));
+        assert_eq!(s.num_sets(), 3);
+        assert_eq!(s.find(1), s.find(0));
+        let mut inner = s.into_inner();
+        assert_eq!(inner.set_size(0), 2);
+    }
+
+    #[test]
+    fn concurrent_unions_form_one_set() {
+        let n = 1000;
+        let s = SharedDisjointSets::new(n);
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let s = &s;
+                scope.spawn(move || {
+                    // Each thread links a strided slice of the chain.
+                    let mut i = t + 1;
+                    while i < n {
+                        s.union(i - 1, i);
+                        i += 8;
+                    }
+                });
+            }
+        });
+        // All threads together union every consecutive pair.
+        assert_eq!(s.num_sets(), 1);
+    }
+
+    #[test]
+    fn exactly_one_thread_wins_each_merge() {
+        let s = SharedDisjointSets::new(2);
+        let wins: usize = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..16)
+                .map(|_| scope.spawn(|| usize::from(s.union(0, 1))))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(wins, 1, "union(0,1) must succeed exactly once");
+    }
+
+    #[test]
+    fn with_gives_exclusive_access() {
+        let s = SharedDisjointSets::new(5);
+        s.union(1, 2);
+        let clusters = s.with(|d| d.clusters());
+        assert_eq!(clusters.len(), 4);
+    }
+}

@@ -1,0 +1,192 @@
+//! Suffix bucketing by the first `w` characters.
+//!
+//! Every suffix (of every EST and reverse complement) of length at least
+//! `w` is assigned to one of `4^w` buckets according to its first `w`
+//! bases. Suffixes shorter than `w` are dropped: pair generation only
+//! inspects tree nodes of string-depth `≥ ψ`, and the threshold `ψ` is
+//! always chosen `≥ w`, so such suffixes can never participate in a
+//! reported maximal common substring anyway.
+
+use pace_seq::{Base, SequenceStore, StrId};
+
+/// A reference to one suffix: string id and start offset within it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SuffixRef {
+    /// The string the suffix belongs to.
+    pub sid: u32,
+    /// Start offset of the suffix within the string.
+    pub off: u32,
+}
+
+impl SuffixRef {
+    /// Construct from raw parts.
+    pub fn new(sid: u32, off: u32) -> Self {
+        SuffixRef { sid, off }
+    }
+
+    /// The bytes of this suffix in `store`.
+    pub fn bytes<'s>(&self, store: &'s SequenceStore) -> &'s [u8] {
+        store.suffix(StrId(self.sid), self.off as usize)
+    }
+}
+
+/// Number of buckets for window size `w` (`4^w`).
+///
+/// Panics for `w > 12` — beyond that the bucket-count table itself would
+/// dominate memory, defeating the purpose.
+pub fn num_buckets(w: usize) -> usize {
+    assert!(
+        (1..=12).contains(&w),
+        "window size w must be in 1..=12, got {w}"
+    );
+    1usize << (2 * w)
+}
+
+/// The bucket key of `seq`'s first `w` characters, or `None` when the
+/// sequence is shorter than `w`. The key is the base-4 number formed by
+/// the 2-bit base codes, most significant first — so keys sort in the
+/// same order as the prefixes themselves.
+pub fn bucket_key(seq: &[u8], w: usize) -> Option<u32> {
+    if seq.len() < w {
+        return None;
+    }
+    let mut key = 0u32;
+    for &b in &seq[..w] {
+        let code = Base::from_ascii(b).expect("store contains only ACGT").code();
+        key = (key << 2) | code as u32;
+    }
+    Some(key)
+}
+
+/// Enumerate every in-scope suffix of every string in `store`, calling
+/// `f(bucket, suffix)` for each. This is the single scan both the counting
+/// pass and the collection pass share.
+pub fn for_each_suffix(store: &SequenceStore, w: usize, mut f: impl FnMut(u32, SuffixRef)) {
+    for sid in store.str_ids() {
+        let seq = store.seq(sid);
+        if seq.len() < w {
+            continue;
+        }
+        // Rolling key: strip the leading character, append the next one.
+        let mask = (1u32 << (2 * w)) - 1;
+        let mut key = bucket_key(seq, w).expect("length checked");
+        let last = seq.len() - w;
+        for off in 0..=last {
+            if off > 0 {
+                let incoming = Base::from_ascii(seq[off + w - 1])
+                    .expect("store contains only ACGT")
+                    .code();
+                key = ((key << 2) | incoming as u32) & mask;
+            }
+            f(key, SuffixRef::new(sid.0, off as u32));
+        }
+    }
+}
+
+/// Collect the suffixes of a chosen set of buckets, grouped per bucket.
+///
+/// `wanted[b]` maps bucket key `b` to `Some(slot)` when this rank owns the
+/// bucket; the result has one `Vec<SuffixRef>` per slot. In the paper this
+/// is the redistribution step after the parallel summation; here every
+/// rank reads the shared store directly, which preserves the work and the
+/// resulting data layout.
+pub fn enumerate_bucket_suffixes(
+    store: &SequenceStore,
+    w: usize,
+    wanted: &[Option<u32>],
+    num_slots: usize,
+) -> Vec<Vec<SuffixRef>> {
+    assert_eq!(wanted.len(), num_buckets(w), "wanted table size mismatch");
+    let mut out: Vec<Vec<SuffixRef>> = vec![Vec::new(); num_slots];
+    for_each_suffix(store, w, |bucket, suf| {
+        if let Some(slot) = wanted[bucket as usize] {
+            out[slot as usize].push(suf);
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pace_seq::SequenceStore;
+
+    fn store(ests: &[&[u8]]) -> SequenceStore {
+        SequenceStore::from_ests(ests).unwrap()
+    }
+
+    #[test]
+    fn key_is_prefix_rank() {
+        assert_eq!(bucket_key(b"AAAA", 2), Some(0));
+        assert_eq!(bucket_key(b"ACGT", 2), Some(1)); // A=0,C=1 → 0b0001
+        assert_eq!(bucket_key(b"TTTT", 2), Some(0b1111));
+        assert_eq!(bucket_key(b"GATTACA", 3), Some((2 << 4) | (0 << 2) | 3));
+    }
+
+    #[test]
+    fn short_sequences_have_no_key() {
+        assert_eq!(bucket_key(b"AC", 3), None);
+        assert_eq!(bucket_key(b"", 1), None);
+    }
+
+    #[test]
+    fn num_buckets_powers() {
+        assert_eq!(num_buckets(1), 4);
+        assert_eq!(num_buckets(8), 65536);
+    }
+
+    #[test]
+    #[should_panic(expected = "window size")]
+    fn oversized_window_panics() {
+        num_buckets(13);
+    }
+
+    #[test]
+    fn rolling_key_matches_direct_computation() {
+        let s = store(&[b"ACGTGGTACCA", b"TTACG"]);
+        let w = 3;
+        for_each_suffix(&s, w, |bucket, suf| {
+            let direct = bucket_key(suf.bytes(&s), w).unwrap();
+            assert_eq!(bucket, direct, "rolling key diverged at {suf:?}");
+        });
+    }
+
+    #[test]
+    fn enumerates_every_long_enough_suffix_once() {
+        let s = store(&[b"ACGT", b"GG"]);
+        let w = 2;
+        let mut seen = Vec::new();
+        for_each_suffix(&s, w, |_, suf| seen.push(suf));
+        // Strings: ACGT, ACGT(rc), GG, CC — suffix counts: 3 + 3 + 1 + 1.
+        assert_eq!(seen.len(), 8);
+        let mut uniq = seen.clone();
+        uniq.sort();
+        uniq.dedup();
+        assert_eq!(uniq.len(), seen.len(), "duplicate suffix enumerated");
+    }
+
+    #[test]
+    fn collection_respects_ownership() {
+        let s = store(&[b"ACGTACGT"]);
+        let w = 2;
+        let nb = num_buckets(w);
+        // Own only the bucket of "AC" (key 0b0001 = 1).
+        let mut wanted = vec![None; nb];
+        wanted[1] = Some(0);
+        let got = enumerate_bucket_suffixes(&s, w, &wanted, 1);
+        assert_eq!(got.len(), 1);
+        for suf in &got[0] {
+            assert_eq!(&suf.bytes(&s)[..2], b"AC");
+        }
+        // "AC" occurs at offsets 0 and 4 of the forward strand; the reverse
+        // complement ACGTACGT is its own revcomp, so 2 + 2 occurrences.
+        assert_eq!(got[0].len(), 4);
+    }
+
+    #[test]
+    fn suffix_ref_bytes_roundtrip() {
+        let s = store(&[b"GATTACA"]);
+        let suf = SuffixRef::new(0, 3);
+        assert_eq!(suf.bytes(&s), b"TACA");
+    }
+}

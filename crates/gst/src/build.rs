@@ -1,0 +1,377 @@
+//! Per-bucket subtree construction.
+//!
+//! A sequential linear-time suffix-tree algorithm (Ukkonen/McCreight)
+//! cannot be used here because a bucket holds an arbitrary *subset* of
+//! each string's suffixes. The paper instead scans the bucket's suffixes
+//! one character at a time, recursively subdividing until every group of
+//! identical suffixes has its own leaf — `O(bucket size · l)` work, which
+//! is fine because the average EST length `l` does not grow with `n`.
+
+use crate::bucket::SuffixRef;
+use crate::tree::{Node, Subtree};
+use pace_seq::{SequenceStore, StrId};
+
+/// Build the subtree for one bucket.
+///
+/// `suffixes` are the bucket's suffix occurrences; they must all share the
+/// same first `w` characters (the bucket invariant). `w` is the bucket
+/// window size — subdivision starts at depth `w` since the shared prefix
+/// is already known. An empty bucket yields an empty subtree.
+pub fn build_subtree(
+    store: &SequenceStore,
+    bucket: u32,
+    mut suffixes: Vec<SuffixRef>,
+    w: usize,
+) -> Subtree {
+    let mut tree = Subtree {
+        bucket,
+        nodes: Vec::with_capacity(suffixes.len() * 2),
+        suffixes: Vec::with_capacity(suffixes.len()),
+    };
+    if suffixes.is_empty() {
+        return tree;
+    }
+    debug_assert!(
+        {
+            let first = &suffixes[0].bytes(store)[..w];
+            suffixes.iter().all(|s| &s.bytes(store)[..w] == first)
+        },
+        "bucket invariant violated: differing {w}-prefixes"
+    );
+    build_group(store, &mut tree, &mut suffixes, w);
+    tree
+}
+
+/// The character of `suf` at string-depth `d`, or `None` past its end.
+#[inline]
+fn char_at(store: &SequenceStore, suf: SuffixRef, d: usize) -> Option<u8> {
+    store
+        .suffix(StrId(suf.sid), suf.off as usize)
+        .get(d)
+        .copied()
+}
+
+/// Recursively build the subtree of a group of suffixes sharing a prefix
+/// of length `d`, appending nodes in DFS order.
+fn build_group(store: &SequenceStore, tree: &mut Subtree, group: &mut [SuffixRef], mut d: usize) {
+    debug_assert!(!group.is_empty());
+
+    // Singleton group: a leaf at the suffix's full length.
+    if group.len() == 1 {
+        push_leaf(tree, store, group, d);
+        return;
+    }
+
+    loop {
+        // Partition the group by the character at depth d. The store's
+        // alphabet is {A,C,G,T}; `None` (end-of-string, the implicit
+        // terminator) sorts first.
+        let mut ends = 0usize;
+        let mut counts = [0usize; 4];
+        for &suf in group.iter() {
+            match char_at(store, suf, d) {
+                None => ends += 1,
+                Some(c) => counts[code_of(c)] += 1,
+            }
+        }
+        let branching = usize::from(ends > 0) + counts.iter().filter(|&&c| c > 0).count();
+
+        if branching == 1 {
+            if ends > 0 {
+                // Every suffix ends here: one leaf of identical suffixes.
+                push_leaf(tree, store, group, d);
+                return;
+            }
+            // Path compression: single continuing character, no node.
+            d += 1;
+            continue;
+        }
+
+        // A real branch: emit the internal node now (DFS order: parent
+        // first), then its children, then patch the rightmost pointer.
+        let node_idx = tree.nodes.len();
+        tree.nodes.push(Node {
+            rightmost: 0, // patched below
+            depth: d as u32,
+            suf_start: 0,
+            suf_end: 0,
+        });
+
+        // In-place bucket sort of the group: ends first, then A, C, G, T —
+        // this is the child order, matching the representation's "children
+        // sorted by branching character" invariant.
+        group.sort_by_key(|&suf| match char_at(store, suf, d) {
+            None => 0u8,
+            Some(c) => code_of(c) as u8 + 1,
+        });
+
+        let mut start = 0usize;
+        if ends > 0 {
+            let (end_group, _) = group.split_at_mut(ends);
+            push_leaf(tree, store, end_group, d);
+            start = ends;
+        }
+        for c in 0..4 {
+            let len = counts[c];
+            if len == 0 {
+                continue;
+            }
+            let sub = &mut group[start..start + len];
+            build_group(store, tree, sub, d + 1);
+            start += len;
+        }
+        debug_assert_eq!(start, group.len());
+
+        let last = (tree.nodes.len() - 1) as u32;
+        tree.nodes[node_idx].rightmost = last;
+        return;
+    }
+}
+
+#[inline]
+fn code_of(c: u8) -> usize {
+    match c {
+        b'A' => 0,
+        b'C' => 1,
+        b'G' => 2,
+        b'T' => 3,
+        other => unreachable!("non-DNA byte {other} in store"),
+    }
+}
+
+/// Append a leaf holding `group` (identical suffixes) with string-depth
+/// equal to their common (full) length.
+fn push_leaf(tree: &mut Subtree, store: &SequenceStore, group: &[SuffixRef], d: usize) {
+    let depth = if group.len() == 1 {
+        // Singleton: the leaf's label is the entire suffix.
+        store.len_of(StrId(group[0].sid)) as u32 - group[0].off
+    } else {
+        d as u32
+    };
+    let suf_start = tree.suffixes.len() as u32;
+    tree.suffixes.extend_from_slice(group);
+    let idx = tree.nodes.len() as u32;
+    tree.nodes.push(Node {
+        rightmost: idx,
+        depth,
+        suf_start,
+        suf_end: tree.suffixes.len() as u32,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bucket::{enumerate_bucket_suffixes, num_buckets};
+    use pace_seq::SequenceStore;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    fn store(ests: &[&[u8]]) -> SequenceStore {
+        SequenceStore::from_ests(ests).unwrap()
+    }
+
+    /// Build every bucket's subtree for window `w`.
+    fn build_all(store: &SequenceStore, w: usize) -> Vec<Subtree> {
+        let nb = num_buckets(w);
+        let wanted: Vec<Option<u32>> = (0..nb).map(|b| Some(b as u32)).collect();
+        let per_bucket = enumerate_bucket_suffixes(store, w, &wanted, nb);
+        per_bucket
+            .into_iter()
+            .enumerate()
+            .filter(|(_, sufs)| !sufs.is_empty())
+            .map(|(b, sufs)| build_subtree(store, b as u32, sufs, w))
+            .collect()
+    }
+
+    /// Collect (suffix bytes → count) across all leaves of all subtrees.
+    fn leaf_census(store: &SequenceStore, trees: &[Subtree]) -> BTreeMap<Vec<u8>, usize> {
+        let mut census = BTreeMap::new();
+        for t in trees {
+            for v in 0..t.len() as u32 {
+                if t.is_leaf(v) {
+                    for suf in t.leaf_suffixes(v) {
+                        *census.entry(suf.bytes(store).to_vec()).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        census
+    }
+
+    /// Expected census computed directly from the store.
+    fn expected_census(store: &SequenceStore, w: usize) -> BTreeMap<Vec<u8>, usize> {
+        let mut census = BTreeMap::new();
+        for sid in store.str_ids() {
+            let seq = store.seq(sid);
+            for off in 0..seq.len().saturating_sub(w - 1) {
+                *census.entry(seq[off..].to_vec()).or_insert(0) += 1;
+            }
+        }
+        census
+    }
+
+    #[test]
+    fn single_string_tree_is_valid() {
+        let s = store(&[b"GATTACA"]);
+        for w in 1..=3 {
+            let trees = build_all(&s, w);
+            for t in &trees {
+                t.validate(&s).unwrap();
+            }
+            assert_eq!(leaf_census(&s, &trees), expected_census(&s, w));
+        }
+    }
+
+    #[test]
+    fn identical_strings_share_leaves() {
+        let s = store(&[b"ACGTACGT", b"ACGTACGT"]);
+        let trees = build_all(&s, 2);
+        for t in &trees {
+            t.validate(&s).unwrap();
+        }
+        // The full suffix "ACGTACGT" occurs 4 times (2 strings × 2 strands,
+        // all identical because the string is its own revcomp) and they
+        // must share a single leaf.
+        let census = leaf_census(&s, &trees);
+        assert_eq!(census[&b"ACGTACGT".to_vec()], 4);
+        let mut leaf_sizes = Vec::new();
+        for t in &trees {
+            for v in 0..t.len() as u32 {
+                if t.is_leaf(v) && t.leaf_suffixes(v)[0].bytes(&s) == b"ACGTACGT" {
+                    leaf_sizes.push(t.leaf_suffixes(v).len());
+                }
+            }
+        }
+        assert_eq!(leaf_sizes, vec![4], "identical suffixes must share a leaf");
+    }
+
+    #[test]
+    fn repetitive_string_compresses_paths() {
+        let s = store(&[b"AAAAAAAA"]);
+        let trees = build_all(&s, 1);
+        // Forward strand is all-A, reverse complement all-T: exactly the
+        // "A" and "T" buckets are non-empty.
+        assert_eq!(trees.len(), 2);
+        for t in &trees {
+            t.validate(&s).unwrap();
+        }
+        // Suffix lengths 1..8 occur once per strand.
+        let census = leaf_census(&s, trees.as_slice());
+        for len in 1..=8 {
+            assert_eq!(census[&vec![b'A'; len]], 1);
+            assert_eq!(census[&vec![b'T'; len]], 1);
+        }
+    }
+
+    #[test]
+    fn empty_bucket_yields_empty_subtree() {
+        let s = store(&[b"AAAA"]);
+        let t = build_subtree(&s, 3, Vec::new(), 2);
+        assert!(t.is_empty());
+        assert_eq!(t.num_suffixes(), 0);
+        t.validate(&s).unwrap();
+    }
+
+    #[test]
+    fn depths_increase_along_root_path() {
+        let s = store(&[b"ACGTGCA", b"TGCAGGT", b"CCATACG"]);
+        for t in build_all(&s, 2) {
+            t.validate(&s).unwrap();
+            // Walk from root to every node via children; child depth >
+            // parent depth except the terminator leaf (==).
+            let mut stack = vec![t.root()];
+            while let Some(v) = stack.pop() {
+                for c in t.children(v) {
+                    assert!(
+                        t.depth(c) > t.depth(v) || (t.depth(c) == t.depth(v) && t.is_leaf(c)),
+                        "child {c} depth {} vs parent {v} depth {}",
+                        t.depth(c),
+                        t.depth(v)
+                    );
+                    stack.push(c);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn children_iterator_covers_subtree_exactly() {
+        let s = store(&[b"ACGTGCAACC", b"GTTACGTAAC"]);
+        for t in build_all(&s, 1) {
+            // DFS via children() must enumerate each node exactly once.
+            let mut seen = vec![false; t.len()];
+            let mut stack = vec![t.root()];
+            while let Some(v) = stack.pop() {
+                assert!(!seen[v as usize], "node {v} visited twice");
+                seen[v as usize] = true;
+                for c in t.children(v) {
+                    stack.push(c);
+                }
+            }
+            assert!(seen.iter().all(|&x| x), "nodes unreachable via children()");
+        }
+    }
+
+    #[test]
+    fn path_labels_are_prefixes_of_leaf_suffixes() {
+        let s = store(&[b"GATTACAGGA", b"TTACCAGAT"]);
+        for t in build_all(&s, 2) {
+            for v in 0..t.len() as u32 {
+                let label = t.path_label(&s, v).to_vec();
+                assert_eq!(label.len(), t.depth(v) as usize);
+                // Every suffix below v starts with v's label.
+                let mut stack = vec![v];
+                while let Some(u) = stack.pop() {
+                    for suf in t.leaf_suffixes(u) {
+                        assert!(suf.bytes(&s).starts_with(&label));
+                    }
+                    for c in t.children(u) {
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+    }
+
+    fn dna_ests() -> impl Strategy<Value = Vec<Vec<u8>>> {
+        proptest::collection::vec(
+            proptest::collection::vec(
+                proptest::sample::select(vec![b'A', b'C', b'G', b'T']),
+                1..40,
+            ),
+            1..8,
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// For arbitrary inputs and windows: every structural invariant
+        /// holds and the leaves cover exactly the in-scope suffix multiset.
+        #[test]
+        fn arbitrary_trees_are_valid(ests in dna_ests(), w in 1usize..4) {
+            let s = SequenceStore::from_ests(&ests).unwrap();
+            let trees = build_all(&s, w);
+            for t in &trees {
+                t.validate(&s).unwrap();
+            }
+            prop_assert_eq!(leaf_census(&s, &trees), expected_census(&s, w));
+        }
+
+        /// Node count is linear: a compacted trie over m suffix
+        /// occurrences has at most 2·(distinct suffixes) nodes per bucket.
+        #[test]
+        fn node_count_is_linear(ests in dna_ests()) {
+            let s = SequenceStore::from_ests(&ests).unwrap();
+            let trees = build_all(&s, 2);
+            for t in &trees {
+                let distinct: std::collections::BTreeSet<Vec<u8>> = (0..t.len() as u32)
+                    .filter(|&v| t.is_leaf(v))
+                    .map(|v| t.leaf_suffixes(v)[0].bytes(&s).to_vec())
+                    .collect();
+                prop_assert!(t.len() <= 2 * distinct.len().max(1));
+            }
+        }
+    }
+}

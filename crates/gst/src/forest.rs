@@ -1,0 +1,168 @@
+//! Per-rank forests and whole-GST builders.
+//!
+//! Each rank owns a set of buckets and holds their subtrees; together the
+//! per-rank [`LocalForest`]s form the distributed representation of the
+//! generalized suffix tree (minus the top `< w` levels, which pair
+//! generation never visits).
+
+use crate::bucket::enumerate_bucket_suffixes;
+use crate::build::build_subtree;
+use crate::partition::{assign_buckets, count_buckets, BucketPartition};
+use crate::tree::Subtree;
+use pace_seq::SequenceStore;
+use rayon::prelude::*;
+
+/// The subtrees owned by one rank.
+#[derive(Debug, Clone)]
+pub struct LocalForest {
+    /// The owning rank.
+    pub rank: usize,
+    /// Bucket window size the forest was built with.
+    pub w: usize,
+    /// One subtree per owned non-empty bucket, in bucket-key order.
+    pub subtrees: Vec<Subtree>,
+}
+
+impl LocalForest {
+    /// Total nodes across the forest.
+    pub fn num_nodes(&self) -> usize {
+        self.subtrees.iter().map(|t| t.len()).sum()
+    }
+
+    /// Total suffix occurrences across the forest.
+    pub fn num_suffixes(&self) -> usize {
+        self.subtrees.iter().map(|t| t.num_suffixes()).sum()
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.subtrees.iter().map(|t| t.memory_bytes()).sum()
+    }
+
+    /// Validate every subtree (test helper).
+    pub fn validate(&self, store: &SequenceStore) -> Result<(), String> {
+        for t in &self.subtrees {
+            t.validate(store)
+                .map_err(|e| format!("rank {} bucket {}: {e}", self.rank, t.bucket))?;
+        }
+        Ok(())
+    }
+}
+
+/// Build the forest for one rank of an existing partition.
+///
+/// This is the code each rank runs after the bucket redistribution; it
+/// only touches the suffixes of buckets the rank owns.
+pub fn build_forest_for_rank(
+    store: &SequenceStore,
+    partition: &BucketPartition,
+    rank: usize,
+) -> LocalForest {
+    let (wanted, slots) = partition.wanted_table(rank);
+    let per_bucket = enumerate_bucket_suffixes(store, partition.w, &wanted, slots);
+    let buckets = partition.buckets_of(rank);
+    debug_assert_eq!(buckets.len(), per_bucket.len());
+    let subtrees = buckets
+        .into_iter()
+        .zip(per_bucket)
+        .map(|(bucket, sufs)| build_subtree(store, bucket, sufs, partition.w))
+        .collect();
+    LocalForest {
+        rank,
+        w: partition.w,
+        subtrees,
+    }
+}
+
+/// Build the full distributed GST: count, partition, and build all ranks'
+/// forests in parallel (rayon). The result is indexed by rank.
+pub fn build_distributed(
+    store: &SequenceStore,
+    w: usize,
+    num_ranks: usize,
+) -> (BucketPartition, Vec<LocalForest>) {
+    let counts = count_buckets(store, w);
+    let partition = assign_buckets(&counts, num_ranks);
+    let forests = (0..num_ranks)
+        .into_par_iter()
+        .map(|rank| build_forest_for_rank(store, &partition, rank))
+        .collect();
+    (partition, forests)
+}
+
+/// Convenience: the whole GST as a single-rank forest.
+pub fn build_sequential(store: &SequenceStore, w: usize) -> LocalForest {
+    let (_, mut forests) = build_distributed(store, w, 1);
+    forests.pop().expect("one rank was requested")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn store(ests: &[&[u8]]) -> SequenceStore {
+        SequenceStore::from_ests(ests).unwrap()
+    }
+
+    fn census(store: &SequenceStore, forests: &[LocalForest]) -> BTreeMap<Vec<u8>, usize> {
+        let mut map = BTreeMap::new();
+        for f in forests {
+            for t in &f.subtrees {
+                for v in 0..t.len() as u32 {
+                    for suf in t.leaf_suffixes(v) {
+                        *map.entry(suf.bytes(store).to_vec()).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        map
+    }
+
+    #[test]
+    fn distributed_equals_sequential_census() {
+        let s = store(&[b"ACGTACGAGGTTCCAA", b"CCATGGTACGTATTGG", b"GATTACAGATTACA"]);
+        let w = 2;
+        let solo = build_sequential(&s, w);
+        solo.validate(&s).unwrap();
+        let solo_census = census(&s, std::slice::from_ref(&solo));
+        for p in [2, 3, 5] {
+            let (partition, forests) = build_distributed(&s, w, p);
+            assert_eq!(partition.num_ranks, p);
+            for f in &forests {
+                f.validate(&s).unwrap();
+            }
+            assert_eq!(census(&s, &forests), solo_census, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn forest_counts_are_consistent_with_partition() {
+        let s = store(&[b"ACGTACGAGGTTCCAA", b"CCATGGTACGTATTGG"]);
+        let (partition, forests) = build_distributed(&s, 2, 3);
+        let loads = partition.load_per_rank();
+        for f in &forests {
+            assert_eq!(f.num_suffixes() as u64, loads[f.rank]);
+        }
+    }
+
+    #[test]
+    fn more_ranks_than_buckets_leaves_ranks_idle() {
+        let s = store(&[b"AAAA"]); // only buckets AA and TT are non-empty
+        let (partition, forests) = build_distributed(&s, 2, 8);
+        let busy = forests.iter().filter(|f| !f.subtrees.is_empty()).count();
+        assert!(busy <= 2);
+        assert_eq!(
+            partition.load_per_rank().iter().sum::<u64>(),
+            forests.iter().map(|f| f.num_suffixes() as u64).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn memory_reporting_is_positive() {
+        let s = store(&[b"ACGTACGT"]);
+        let f = build_sequential(&s, 2);
+        assert!(f.memory_bytes() > 0);
+        assert!(f.num_nodes() > 0);
+    }
+}

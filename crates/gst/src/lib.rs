@@ -1,0 +1,50 @@
+//! Distributed generalized suffix tree (GST) construction.
+//!
+//! The pair-generation phase of PaCE runs over a *generalized suffix tree*
+//! of all `2n` strings (ESTs and reverse complements). Building one
+//! sequentially is linear-time but inherently serial and memory-hungry;
+//! the paper instead:
+//!
+//! 1. **buckets** every suffix by its first `w` characters
+//!    ([`bucket`]) — `4^w` buckets, far more than processors, so they can
+//!    be distributed in a load-balanced way ([`partition`]);
+//! 2. builds the subtree for each bucket *independently* by scanning the
+//!    bucket's suffixes one character at a time ([`build`]) — `O(N·l/p)`
+//!    per processor, acceptable because the average EST length `l` is a
+//!    constant (~500–600) independent of `n`;
+//! 3. stores each subtree as a **DFS-ordered node array** in which every
+//!    node carries only a pointer to the rightmost leaf of its subtree
+//!    ([`tree`]): the first child of a node is the next array entry, the
+//!    next sibling of a node is the entry after its rightmost leaf, and a
+//!    node is a leaf iff it is its own rightmost leaf. Space stays linear
+//!    in the input.
+//!
+//! The union of all bucket subtrees is exactly the GST minus its top
+//! `< w` levels, which are never needed: pair generation only looks at
+//! nodes of string-depth `≥ ψ ≥ w`.
+//!
+//! ```
+//! use pace_seq::SequenceStore;
+//!
+//! let store = SequenceStore::from_ests(&[b"ACGTACGT", b"CGTACGTT"]).unwrap();
+//! let forest = pace_gst::build_sequential(&store, 2);
+//! assert!(forest.num_nodes() > 0);
+//! // Every suffix of length ≥ w of every strand is in exactly one leaf.
+//! assert_eq!(
+//!     forest.num_suffixes(),
+//!     store.str_ids().map(|s| store.len_of(s) - 1).sum::<usize>()
+//! );
+//! forest.validate(&store).unwrap();
+//! ```
+
+pub mod bucket;
+pub mod build;
+pub mod forest;
+pub mod partition;
+pub mod tree;
+
+pub use bucket::{bucket_key, enumerate_bucket_suffixes, num_buckets, SuffixRef};
+pub use build::build_subtree;
+pub use forest::{build_distributed, build_forest_for_rank, build_sequential, LocalForest};
+pub use partition::{assign_buckets, count_buckets, count_buckets_stride, BucketPartition};
+pub use tree::{NodeIdx, Subtree};

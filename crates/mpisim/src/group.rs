@@ -1,0 +1,119 @@
+//! Root-based group operations built on point-to-point messaging:
+//! `scatter` and `gather`, the remaining MPI primitives a master–slave
+//! system reaches for.
+//!
+//! Unlike [`crate::collectives`] these are implemented purely with
+//! `send`/`recv`, so they compose with an in-flight user protocol as long
+//! as the group call is collective (all ranks enter it) and no other
+//! traffic is interleaved with it — the usual MPI contract.
+
+use crate::rank::{Rank, RecvError};
+
+impl<M: Send> Rank<M> {
+    /// Scatter: the root supplies one message per rank; every rank
+    /// (including the root) returns its own piece. Non-root ranks must
+    /// pass `None`.
+    ///
+    /// Panics if the root's vector length differs from the world size.
+    pub fn scatter(&self, root: usize, pieces: Option<Vec<M>>) -> Result<M, RecvError> {
+        if self.rank() == root {
+            let pieces = pieces.expect("root must supply the pieces");
+            assert_eq!(
+                pieces.len(),
+                self.size(),
+                "scatter needs exactly one piece per rank"
+            );
+            let mut own = None;
+            for (to, piece) in pieces.into_iter().enumerate() {
+                if to == root {
+                    own = Some(piece);
+                } else {
+                    self.send(to, piece);
+                }
+            }
+            Ok(own.expect("root piece exists"))
+        } else {
+            assert!(pieces.is_none(), "only the root supplies pieces");
+            let (from, msg) = self.recv()?;
+            debug_assert_eq!(from, root, "interleaved traffic during scatter");
+            Ok(msg)
+        }
+    }
+
+    /// Gather: every rank contributes one message; the root returns all
+    /// of them indexed by rank, everyone else returns `None`.
+    pub fn gather(&self, root: usize, piece: M) -> Result<Option<Vec<M>>, RecvError> {
+        if self.rank() == root {
+            let mut slots: Vec<Option<M>> = (0..self.size()).map(|_| None).collect();
+            slots[root] = Some(piece);
+            for _ in 0..self.size() - 1 {
+                let (from, msg) = self.recv()?;
+                debug_assert!(slots[from].is_none(), "duplicate gather piece from {from}");
+                slots[from] = Some(msg);
+            }
+            Ok(Some(
+                slots
+                    .into_iter()
+                    .map(|s| s.expect("every rank contributed"))
+                    .collect(),
+            ))
+        } else {
+            self.send(root, piece);
+            Ok(None)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::run_world;
+
+    #[test]
+    fn scatter_delivers_one_piece_per_rank() {
+        let out = run_world(4, |rank| {
+            let pieces = (rank.rank() == 1).then(|| vec![10u32, 11, 12, 13]);
+            rank.scatter(1, pieces).unwrap()
+        });
+        assert_eq!(out, vec![10, 11, 12, 13]);
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let out = run_world(5, |rank| rank.gather(0, rank.rank() as u64 * 7).unwrap());
+        assert_eq!(out[0], Some(vec![0, 7, 14, 21, 28]));
+        for r in &out[1..] {
+            assert!(r.is_none());
+        }
+    }
+
+    #[test]
+    fn scatter_then_gather_roundtrip() {
+        let out = run_world(3, |rank| {
+            let pieces = (rank.rank() == 0).then(|| vec![1u64, 2, 3]);
+            let mine = rank.scatter(0, pieces).unwrap();
+            rank.gather(0, mine * mine).unwrap()
+        });
+        assert_eq!(out[0], Some(vec![1, 4, 9]));
+    }
+
+    #[test]
+    fn single_rank_group_ops() {
+        let out = run_world(1, |rank| {
+            let mine = rank.scatter(0, Some(vec![42u8])).unwrap();
+            rank.gather(0, mine).unwrap()
+        });
+        assert_eq!(out[0], Some(vec![42]));
+    }
+
+    #[test]
+    #[should_panic(expected = "one piece per rank")]
+    fn scatter_wrong_arity_panics() {
+        run_world(3, |rank| {
+            let pieces = (rank.rank() == 0).then(|| vec![1u8]);
+            if rank.rank() == 0 {
+                let _ = rank.scatter(0, pieces);
+            }
+            // Non-roots exit immediately; the root's panic propagates.
+        });
+    }
+}

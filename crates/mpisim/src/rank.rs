@@ -1,0 +1,249 @@
+//! The per-rank communicator handle.
+
+use crate::collectives::CollectiveState;
+use crate::stats::CommStats;
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Error returned by [`Rank::recv`] when no message can ever arrive
+/// (every other rank has finished and dropped its senders).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "all peer ranks have terminated; no message can arrive")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// A rank's endpoint into the world: identity, point-to-point messaging,
+/// and collectives. Mirrors the slice of MPI the paper's software uses.
+pub struct Rank<M: Send> {
+    rank: usize,
+    size: usize,
+    /// `senders[r]` feeds rank `r`'s inbox.
+    senders: Vec<Sender<(usize, M)>>,
+    inbox: Receiver<(usize, M)>,
+    collectives: Arc<CollectiveState>,
+    stats: Arc<CommStats>,
+}
+
+impl<M: Send> Rank<M> {
+    pub(crate) fn new(
+        rank: usize,
+        size: usize,
+        senders: Vec<Sender<(usize, M)>>,
+        inbox: Receiver<(usize, M)>,
+        collectives: Arc<CollectiveState>,
+        stats: Arc<CommStats>,
+    ) -> Self {
+        Rank {
+            rank,
+            size,
+            senders,
+            inbox,
+            collectives,
+            stats,
+        }
+    }
+
+    /// This rank's id in `0..size`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the world (the paper's `p`).
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Send `msg` to rank `to`. Asynchronous and unbounded, like a buffered
+    /// `MPI_Send`; never blocks. Messages from a given sender to a given
+    /// receiver arrive in order. Sending to a rank that has already
+    /// finished silently discards the message.
+    pub fn send(&self, to: usize, msg: M) {
+        assert!(to < self.size, "rank {to} out of range (size {})", self.size);
+        self.stats.record_message();
+        // An Err means the receiver's inbox was dropped (rank finished);
+        // MPI semantics at shutdown are undefined, we choose "discard".
+        let _ = self.senders[to].send((self.rank, msg));
+    }
+
+    /// Block until a message arrives; returns `(source_rank, message)`.
+    ///
+    /// Errors once no message can ever arrive — every other rank has
+    /// terminated — the deadlock-free analogue of a hung `MPI_Recv`.
+    /// Liveness is tracked explicitly (see `CollectiveState::alive`):
+    /// channel disconnection alone cannot signal termination because each
+    /// rank keeps a sender to its own inbox for self-sends.
+    pub fn recv(&self) -> Result<(usize, M), RecvError> {
+        loop {
+            match self.inbox.recv_timeout(Duration::from_millis(1)) {
+                Ok(envelope) => return Ok(envelope),
+                Err(RecvTimeoutError::Disconnected) => return Err(RecvError),
+                Err(RecvTimeoutError::Timeout) => {
+                    if self.collectives.alive() <= 1 {
+                        // Only this rank is left. A peer's final send
+                        // happens-before its `rank_done`, so one last
+                        // drain cannot miss anything.
+                        return match self.inbox.try_recv() {
+                            Ok(envelope) => Ok(envelope),
+                            Err(_) => Err(RecvError),
+                        };
+                    }
+                }
+            }
+        }
+    }
+
+    /// Non-blocking receive: `Ok(Some(..))` when a message was waiting,
+    /// `Ok(None)` when the inbox is currently empty, `Err` on termination.
+    ///
+    /// This is the primitive the slave loop uses to *generate pairs while
+    /// waiting* for the master's next batch.
+    pub fn try_recv(&self) -> Result<Option<(usize, M)>, RecvError> {
+        match self.inbox.try_recv() {
+            Ok(envelope) => Ok(Some(envelope)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(RecvError),
+        }
+    }
+
+    /// Synchronize all ranks (`MPI_Barrier`).
+    pub fn barrier(&self) {
+        self.collectives.barrier(self.rank);
+        if self.rank == 0 {
+            self.stats.record_barrier();
+        }
+    }
+
+    /// Element-wise sum of `local` across every rank; all ranks receive the
+    /// full result (`MPI_Allreduce` with `MPI_SUM`). All ranks must pass
+    /// slices of identical length. This is the "parallel summation
+    /// algorithm" the paper uses to count bucket sizes globally.
+    pub fn allreduce_sum(&self, local: &[u64]) -> Vec<u64> {
+        if self.rank == 0 {
+            self.stats.record_reduction();
+        }
+        self.collectives.allreduce_sum(self.rank, local)
+    }
+
+    /// Maximum across ranks of a single value (`MPI_Allreduce` / `MPI_MAX`).
+    pub fn allreduce_max(&self, local: u64) -> u64 {
+        if self.rank == 0 {
+            self.stats.record_reduction();
+        }
+        self.collectives.allreduce_max(self.rank, local)
+    }
+
+    /// Snapshot of the world-wide communication statistics.
+    pub fn stats(&self) -> crate::stats::WorldStats {
+        self.stats.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::run_world;
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let out = run_world(2, |rank| {
+            if rank.rank() == 0 {
+                rank.send(1, 42u32);
+                0
+            } else {
+                let (from, v) = rank.recv().unwrap();
+                assert_eq!(from, 0);
+                v
+            }
+        });
+        assert_eq!(out, vec![0, 42]);
+    }
+
+    #[test]
+    fn messages_from_one_sender_arrive_in_order() {
+        let out = run_world(2, |rank| {
+            if rank.rank() == 0 {
+                for i in 0..100u32 {
+                    rank.send(1, i);
+                }
+                Vec::new()
+            } else {
+                (0..100).map(|_| rank.recv().unwrap().1).collect()
+            }
+        });
+        assert_eq!(out[1], (0..100).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn try_recv_reports_empty_then_message() {
+        let out = run_world(2, |rank| {
+            if rank.rank() == 0 {
+                rank.barrier(); // let rank 1 observe the empty inbox first
+                rank.send(1, 7u8);
+                true
+            } else {
+                let empty = matches!(rank.try_recv(), Ok(None));
+                rank.barrier();
+                let (_, v) = rank.recv().unwrap();
+                empty && v == 7
+            }
+        });
+        assert!(out[1]);
+    }
+
+    #[test]
+    fn recv_errors_after_all_peers_exit() {
+        let out = run_world(3, |rank: crate::Rank<u8>| {
+            if rank.rank() == 2 {
+                // Ranks 0 and 1 exit immediately; recv must not hang.
+                rank.recv().is_err()
+            } else {
+                true
+            }
+        });
+        assert!(out[2]);
+    }
+
+    #[test]
+    fn self_send_is_delivered() {
+        let out = run_world(1, |rank| {
+            rank.send(0, 99u8);
+            rank.recv().unwrap().1
+        });
+        assert_eq!(out, vec![99]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn send_out_of_range_panics() {
+        run_world(2, |rank| {
+            if rank.rank() == 0 {
+                rank.send(5, 0u8);
+            }
+        });
+    }
+
+    #[test]
+    fn stats_count_messages() {
+        let out = run_world(2, |rank| {
+            if rank.rank() == 0 {
+                rank.send(1, 1u8);
+                rank.send(1, 2u8);
+            } else {
+                rank.recv().unwrap();
+                rank.recv().unwrap();
+            }
+            rank.barrier();
+            rank.stats()
+        });
+        assert_eq!(out[0].messages, 2);
+        assert_eq!(out[0].barriers, 1);
+    }
+}

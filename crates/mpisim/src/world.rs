@@ -1,0 +1,147 @@
+//! World construction: spawn one thread per rank and run a closure on each.
+
+use crate::collectives::CollectiveState;
+use crate::rank::Rank;
+use crate::stats::CommStats;
+use crossbeam::channel::unbounded;
+use std::sync::Arc;
+
+/// Run `f` on `p` ranks (threads) and collect each rank's return value,
+/// indexed by rank. Blocks until every rank finishes.
+///
+/// The closure receives an owned [`Rank`] handle providing point-to-point
+/// messaging and collectives. A panic on any rank propagates after all
+/// threads are joined (via the scope), so tests fail loudly instead of
+/// deadlocking.
+pub fn run_world<M, R, F>(p: usize, f: F) -> Vec<R>
+where
+    M: Send,
+    R: Send,
+    F: Fn(Rank<M>) -> R + Sync,
+{
+    assert!(p > 0, "world size must be at least 1");
+    let stats = Arc::new(CommStats::new());
+    let collectives = Arc::new(CollectiveState::new(p));
+
+    let mut senders = Vec::with_capacity(p);
+    let mut inboxes = Vec::with_capacity(p);
+    for _ in 0..p {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        inboxes.push(rx);
+    }
+
+    let mut ranks: Vec<Rank<M>> = inboxes
+        .into_iter()
+        .enumerate()
+        .map(|(id, inbox)| {
+            Rank::new(
+                id,
+                p,
+                senders.clone(),
+                inbox,
+                Arc::clone(&collectives),
+                Arc::clone(&stats),
+            )
+        })
+        .collect();
+    // Drop the original senders so that once every rank finishes, all
+    // channel endpoints are gone and a lingering `recv` errors out instead
+    // of hanging forever.
+    drop(senders);
+
+    /// Decrements the alive count even when the rank's closure panics, so
+    /// peers blocked in `recv` wake up instead of deadlocking the scope.
+    struct DoneGuard(Arc<CollectiveState>);
+    impl Drop for DoneGuard {
+        fn drop(&mut self) {
+            self.0.rank_done();
+        }
+    }
+
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = ranks
+            .drain(..)
+            .map(|rank| {
+                let guard = DoneGuard(Arc::clone(&collectives));
+                scope.spawn(move || {
+                    let _guard = guard;
+                    f(rank) // `rank` (and its senders) dropped before _guard
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                // Re-raise a rank's panic with its original payload so
+                // tests and callers see the real message.
+                h.join()
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+            })
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_indexed_by_rank() {
+        let out: Vec<usize> = run_world(6, |rank: Rank<()>| rank.rank() * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn size_is_visible_to_all_ranks() {
+        let out = run_world(3, |rank: Rank<()>| rank.size());
+        assert_eq!(out, vec![3, 3, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "world size")]
+    fn zero_ranks_rejected() {
+        run_world(0, |_rank: Rank<()>| ());
+    }
+
+    #[test]
+    fn ring_pass_around() {
+        // Each rank sends to its successor; total hops == p.
+        let p = 5;
+        let out = run_world(p, |rank| {
+            let next = (rank.rank() + 1) % p;
+            rank.send(next, rank.rank() as u64);
+            let (_, v) = rank.recv().unwrap();
+            v
+        });
+        // Rank r receives from its predecessor.
+        for r in 0..p {
+            assert_eq!(out[r], ((r + p - 1) % p) as u64);
+        }
+    }
+
+    #[test]
+    fn master_slave_scatter_gather() {
+        // The communication skeleton of the clustering engine in miniature:
+        // master scatters work, slaves square it and send it back.
+        let p = 4;
+        let out = run_world(p, |rank| {
+            if rank.rank() == 0 {
+                for slave in 1..p {
+                    rank.send(slave, slave as u64);
+                }
+                let mut total = 0;
+                for _ in 1..p {
+                    total += rank.recv().unwrap().1;
+                }
+                total
+            } else {
+                let (_, w) = rank.recv().unwrap();
+                rank.send(0, w * w);
+                0
+            }
+        });
+        assert_eq!(out[0], 1 + 4 + 9);
+    }
+}

@@ -1,0 +1,48 @@
+//! On-demand promising-pair generation (the paper's Algorithm 1).
+//!
+//! A *promising pair* is a pair of strings with a maximal common substring
+//! of length at least `ψ`. This crate walks the distributed suffix-tree
+//! forest and reports promising pairs **on the fly, in decreasing order of
+//! maximal common substring length**, without ever materializing the full
+//! pair set:
+//!
+//! * every node of string-depth ≥ ψ carries [`lset`]s — its leaf set
+//!   partitioned by the *left-extension character* (A, C, G, T or λ) of
+//!   the corresponding suffixes;
+//! * nodes are processed in decreasing string-depth order; pairs are the
+//!   Cartesian products of lsets of different children / different
+//!   characters, so a pair is emitted **only** at nodes whose path label
+//!   is a maximal common substring of the two strings (paper, Lemma 1),
+//!   at most once per distinct maximal common substring (Corollary 2),
+//!   and **at least once** whenever a maximal common substring of length
+//!   ≥ ψ exists (Lemma 3);
+//! * a global marker array of size `2n` eliminates duplicate string
+//!   occurrences in O(1) per entry;
+//! * [`generator::PairGenerator`] remembers its position and yields the
+//!   next batch on demand — the memory high-water mark stays linear in
+//!   the input.
+//!
+//! Each emitted [`CandidatePair`] carries the suffix offsets that witness
+//! the match, so the downstream aligner can use the maximal common
+//! substring directly as its anchor (Figure 5a).
+//!
+//! ```
+//! use pace_pairgen::{PairGenConfig, PairGenerator};
+//! use pace_seq::SequenceStore;
+//!
+//! // Two reads sharing the 12-base block "ACGGTTCAGGAT".
+//! let store =
+//!     SequenceStore::from_ests(&[b"TTTTACGGTTCAGGAT", b"ACGGTTCAGGATCCCC"]).unwrap();
+//! let forest = pace_gst::build_sequential(&store, 2);
+//! let mut generator = PairGenerator::new(&store, &forest, PairGenConfig::new(8));
+//!
+//! let pairs = generator.next_batch(16);
+//! assert!(pairs.iter().any(|p| p.est_indices() == (0, 1) && p.mcs_len >= 12));
+//! ```
+
+pub mod generator;
+pub mod lset;
+pub mod pair;
+
+pub use generator::{GenStats, PairGenConfig, PairGenerator, PairOrder};
+pub use pair::CandidatePair;

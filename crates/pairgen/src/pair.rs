@@ -1,0 +1,68 @@
+//! The promising-pair record.
+
+use pace_seq::{EstId, StrId};
+
+/// A promising pair: two strings sharing a maximal common substring of
+/// length `mcs_len`, witnessed at offsets `off1`/`off2`.
+///
+/// Normalized as in the paper: `s1` is always the *forward* strand of the
+/// EST with the smaller id, and `s2` belongs to a strictly larger EST id
+/// (either strand). The generator discards the mirror-image pair
+/// `(ē_i, ·)` whose complement is generated elsewhere, so each biological
+/// relationship is reported through a single canonical orientation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CandidatePair {
+    /// Forward strand of the smaller EST.
+    pub s1: StrId,
+    /// Either strand of the larger EST.
+    pub s2: StrId,
+    /// Start of the witnessing match in `s1`.
+    pub off1: u32,
+    /// Start of the witnessing match in `s2`.
+    pub off2: u32,
+    /// Length of the maximal common substring (the generating node's
+    /// string-depth).
+    pub mcs_len: u32,
+}
+
+impl CandidatePair {
+    /// The two EST ids, `(smaller, larger)`.
+    pub fn ests(&self) -> (EstId, EstId) {
+        (self.s1.est(), self.s2.est())
+    }
+
+    /// The unordered EST-id pair as plain indices (for cluster lookups).
+    pub fn est_indices(&self) -> (usize, usize) {
+        (self.s1.est().index(), self.s2.est().index())
+    }
+}
+
+impl std::fmt::Display for CandidatePair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "({}, {}) mcs={} @({}, {})",
+            self.s1, self.s2, self.mcs_len, self.off1, self.off2
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pace_seq::Strand;
+
+    #[test]
+    fn est_accessors() {
+        let p = CandidatePair {
+            s1: EstId(3).str_id(Strand::Forward),
+            s2: EstId(7).str_id(Strand::Reverse),
+            off1: 5,
+            off2: 9,
+            mcs_len: 20,
+        };
+        assert_eq!(p.ests(), (EstId(3), EstId(7)));
+        assert_eq!(p.est_indices(), (3, 7));
+        assert_eq!(p.to_string(), "(e3, ~e7) mcs=20 @(5, 9)");
+    }
+}

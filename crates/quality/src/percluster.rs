@@ -1,0 +1,192 @@
+//! Per-cluster diagnostics beyond the paper's aggregate pair metrics.
+//!
+//! OQ/OV/UN/CC summarize the whole partition; when a run misbehaves, the
+//! question is *which* clusters are wrong and how. This module computes
+//! per-cluster purity (is the cluster drawn from one gene?) and per-gene
+//! fragmentation (how many clusters does a gene's read set shatter
+//! into?), plus a compact report.
+
+use std::collections::HashMap;
+
+/// Diagnostics of one predicted cluster against the truth labeling.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterDiagnostic {
+    /// The predicted cluster's label.
+    pub label: usize,
+    /// Number of elements.
+    pub size: usize,
+    /// The dominant true class inside the cluster.
+    pub dominant_truth: usize,
+    /// Fraction of elements belonging to the dominant class (1.0 = pure).
+    pub purity: f64,
+    /// Number of distinct true classes present.
+    pub truth_classes: usize,
+}
+
+/// Diagnostics of one true class against the prediction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneDiagnostic {
+    /// The true class label (gene).
+    pub truth: usize,
+    /// Number of elements with this truth label.
+    pub size: usize,
+    /// How many predicted clusters they are spread over (1 = intact).
+    pub fragments: usize,
+    /// Fraction in the largest single predicted cluster.
+    pub completeness: f64,
+}
+
+/// Compute per-cluster purity diagnostics, sorted by ascending purity
+/// (worst clusters first).
+pub fn cluster_diagnostics(predicted: &[usize], truth: &[usize]) -> Vec<ClusterDiagnostic> {
+    assert_eq!(predicted.len(), truth.len());
+    let mut members: HashMap<usize, HashMap<usize, usize>> = HashMap::new();
+    for (&p, &t) in predicted.iter().zip(truth) {
+        *members.entry(p).or_default().entry(t).or_insert(0) += 1;
+    }
+    let mut out: Vec<ClusterDiagnostic> = members
+        .into_iter()
+        .map(|(label, counts)| {
+            let size: usize = counts.values().sum();
+            let (&dominant_truth, &dom_count) = counts
+                .iter()
+                .max_by_key(|&(&t, &c)| (c, std::cmp::Reverse(t)))
+                .expect("cluster has members");
+            ClusterDiagnostic {
+                label,
+                size,
+                dominant_truth,
+                purity: dom_count as f64 / size as f64,
+                truth_classes: counts.len(),
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        a.purity
+            .partial_cmp(&b.purity)
+            .expect("purity is finite")
+            .then(b.size.cmp(&a.size))
+            .then(a.label.cmp(&b.label))
+    });
+    out
+}
+
+/// Compute per-gene fragmentation diagnostics, sorted by descending
+/// fragment count (most shattered genes first).
+pub fn gene_diagnostics(predicted: &[usize], truth: &[usize]) -> Vec<GeneDiagnostic> {
+    assert_eq!(predicted.len(), truth.len());
+    let mut members: HashMap<usize, HashMap<usize, usize>> = HashMap::new();
+    for (&p, &t) in predicted.iter().zip(truth) {
+        *members.entry(t).or_default().entry(p).or_insert(0) += 1;
+    }
+    let mut out: Vec<GeneDiagnostic> = members
+        .into_iter()
+        .map(|(t, counts)| {
+            let size: usize = counts.values().sum();
+            let largest = *counts.values().max().expect("gene has members");
+            GeneDiagnostic {
+                truth: t,
+                size,
+                fragments: counts.len(),
+                completeness: largest as f64 / size as f64,
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.fragments
+            .cmp(&a.fragments)
+            .then(b.size.cmp(&a.size))
+            .then(a.truth.cmp(&b.truth))
+    });
+    out
+}
+
+/// A one-paragraph text summary of the worst offenders.
+pub fn diagnostic_summary(predicted: &[usize], truth: &[usize], top: usize) -> String {
+    let clusters = cluster_diagnostics(predicted, truth);
+    let genes = gene_diagnostics(predicted, truth);
+    let impure = clusters.iter().filter(|c| c.purity < 1.0).count();
+    let shattered = genes.iter().filter(|g| g.fragments > 1).count();
+    let mut out = format!(
+        "{} clusters ({} impure), {} genes ({} fragmented)\n",
+        clusters.len(),
+        impure,
+        genes.len(),
+        shattered
+    );
+    for c in clusters.iter().take(top).filter(|c| c.purity < 1.0) {
+        out.push_str(&format!(
+            "  impure cluster {}: {} reads, {} genes, purity {:.2}\n",
+            c.label, c.size, c.truth_classes, c.purity
+        ));
+    }
+    for g in genes.iter().take(top).filter(|g| g.fragments > 1) {
+        out.push_str(&format!(
+            "  fragmented gene {}: {} reads over {} clusters (largest {:.0}%)\n",
+            g.truth,
+            g.size,
+            g.fragments,
+            100.0 * g.completeness
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_intact_partition() {
+        let truth = vec![0, 0, 1, 1, 2];
+        let diags = cluster_diagnostics(&truth, &truth);
+        assert_eq!(diags.len(), 3);
+        assert!(diags.iter().all(|d| d.purity == 1.0 && d.truth_classes == 1));
+        let genes = gene_diagnostics(&truth, &truth);
+        assert!(genes.iter().all(|g| g.fragments == 1 && g.completeness == 1.0));
+    }
+
+    #[test]
+    fn impure_cluster_is_flagged_first() {
+        // Cluster 9 mixes genes 0 and 1; cluster 8 is pure.
+        let predicted = vec![9, 9, 9, 8, 8];
+        let truth = vec![0, 0, 1, 2, 2];
+        let diags = cluster_diagnostics(&predicted, &truth);
+        assert_eq!(diags[0].label, 9);
+        assert_eq!(diags[0].truth_classes, 2);
+        assert!((diags[0].purity - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(diags[0].dominant_truth, 0);
+        assert_eq!(diags[1].purity, 1.0);
+    }
+
+    #[test]
+    fn fragmented_gene_is_flagged_first() {
+        // Gene 5 is split across three clusters; gene 6 intact.
+        let predicted = vec![0, 1, 2, 3, 3];
+        let truth = vec![5, 5, 5, 6, 6];
+        let genes = gene_diagnostics(&predicted, &truth);
+        assert_eq!(genes[0].truth, 5);
+        assert_eq!(genes[0].fragments, 3);
+        assert!((genes[0].completeness - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(genes[1].fragments, 1);
+    }
+
+    #[test]
+    fn summary_mentions_offenders() {
+        let predicted = vec![0, 0, 1, 2];
+        let truth = vec![0, 1, 2, 2];
+        let text = diagnostic_summary(&predicted, &truth, 5);
+        assert!(text.contains("impure cluster 0"), "{text}");
+        assert!(text.contains("fragmented gene 2"), "{text}");
+    }
+
+    #[test]
+    fn sizes_are_consistent() {
+        let predicted = vec![0, 1, 0, 1, 0];
+        let truth = vec![0, 0, 1, 1, 2];
+        let cd = cluster_diagnostics(&predicted, &truth);
+        assert_eq!(cd.iter().map(|c| c.size).sum::<usize>(), 5);
+        let gd = gene_diagnostics(&predicted, &truth);
+        assert_eq!(gd.iter().map(|g| g.size).sum::<usize>(), 5);
+    }
+}

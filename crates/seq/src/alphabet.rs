@@ -1,0 +1,216 @@
+//! The DNA alphabet `Σ = {A, C, G, T}`.
+//!
+//! Sequences throughout the system are stored as upper-case ASCII bytes
+//! (`b'A'`, `b'C'`, `b'G'`, `b'T'`); [`Base`] is the typed view used where
+//! the alphabet structure matters (bucketing, lset partitioning).
+
+use crate::error::SeqError;
+
+/// Number of characters in the DNA alphabet.
+pub const ALPHABET_SIZE: usize = 4;
+
+/// The four DNA bases in their canonical (lexicographic) order.
+pub const DNA_BASES: [Base; ALPHABET_SIZE] = [Base::A, Base::C, Base::G, Base::T];
+
+/// A single DNA nucleotide.
+///
+/// The discriminants (0–3) double as the 2-bit code used by
+/// [`crate::codec`] and as the bucket digit in the suffix-tree layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Base {
+    /// Adenine.
+    A = 0,
+    /// Cytosine.
+    C = 1,
+    /// Guanine.
+    G = 2,
+    /// Thymine.
+    T = 3,
+}
+
+impl Base {
+    /// Parse an ASCII byte into a base, accepting both cases.
+    ///
+    /// Returns an error for any byte outside `{A,C,G,T,a,c,g,t}`; ambiguity
+    /// codes (N, R, Y, …) are deliberately rejected — the caller decides a
+    /// policy for them (the simulator never produces them and the FASTA
+    /// layer offers [`sanitize`](crate::fasta::sanitize_sequence)).
+    #[inline]
+    pub fn from_ascii(byte: u8) -> Result<Self, SeqError> {
+        match byte {
+            b'A' | b'a' => Ok(Base::A),
+            b'C' | b'c' => Ok(Base::C),
+            b'G' | b'g' => Ok(Base::G),
+            b'T' | b't' => Ok(Base::T),
+            other => Err(SeqError::InvalidBase(other)),
+        }
+    }
+
+    /// The 2-bit code of the base (A=0, C=1, G=2, T=3).
+    #[inline]
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`Base::code`]. Panics if `code > 3`.
+    #[inline]
+    pub fn from_code(code: u8) -> Self {
+        match code {
+            0 => Base::A,
+            1 => Base::C,
+            2 => Base::G,
+            3 => Base::T,
+            _ => panic!("invalid 2-bit base code: {code}"),
+        }
+    }
+
+    /// Upper-case ASCII representation.
+    #[inline]
+    pub fn to_ascii(self) -> u8 {
+        match self {
+            Base::A => b'A',
+            Base::C => b'C',
+            Base::G => b'G',
+            Base::T => b'T',
+        }
+    }
+
+    /// Watson–Crick complement (`A↔T`, `C↔G`).
+    #[inline]
+    pub fn complement(self) -> Self {
+        match self {
+            Base::A => Base::T,
+            Base::C => Base::G,
+            Base::G => Base::C,
+            Base::T => Base::A,
+        }
+    }
+}
+
+impl std::fmt::Display for Base {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_ascii() as char)
+    }
+}
+
+impl TryFrom<u8> for Base {
+    type Error = SeqError;
+    fn try_from(byte: u8) -> Result<Self, Self::Error> {
+        Base::from_ascii(byte)
+    }
+}
+
+/// Returns `true` if `byte` is a valid upper- or lower-case DNA base.
+#[inline]
+pub fn is_dna(byte: u8) -> bool {
+    matches!(
+        byte,
+        b'A' | b'C' | b'G' | b'T' | b'a' | b'c' | b'g' | b't'
+    )
+}
+
+/// Validate that every byte of `seq` is a DNA base.
+///
+/// Returns the offset and value of the first offending byte on failure.
+pub fn validate_dna(seq: &[u8]) -> Result<(), SeqError> {
+    match seq.iter().position(|&b| !is_dna(b)) {
+        None => Ok(()),
+        Some(pos) => Err(SeqError::InvalidBaseAt {
+            byte: seq[pos],
+            offset: pos,
+        }),
+    }
+}
+
+/// Upper-case a DNA sequence in place (no validation).
+pub fn normalize_case(seq: &mut [u8]) {
+    for b in seq {
+        *b = b.to_ascii_uppercase();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_ascii() {
+        for &b in &DNA_BASES {
+            assert_eq!(Base::from_ascii(b.to_ascii()).unwrap(), b);
+            assert_eq!(
+                Base::from_ascii(b.to_ascii().to_ascii_lowercase()).unwrap(),
+                b
+            );
+        }
+    }
+
+    #[test]
+    fn roundtrip_code() {
+        for &b in &DNA_BASES {
+            assert_eq!(Base::from_code(b.code()), b);
+        }
+    }
+
+    #[test]
+    fn codes_are_lexicographic() {
+        // The suffix-tree bucket layer relies on code order == ASCII order.
+        let mut ascii: Vec<u8> = DNA_BASES.iter().map(|b| b.to_ascii()).collect();
+        let sorted = ascii.clone();
+        ascii.sort_unstable();
+        assert_eq!(ascii, sorted);
+        for w in DNA_BASES.windows(2) {
+            assert!(w[0].code() < w[1].code());
+        }
+    }
+
+    #[test]
+    fn complement_is_involution() {
+        for &b in &DNA_BASES {
+            assert_eq!(b.complement().complement(), b);
+            assert_ne!(b.complement(), b);
+        }
+    }
+
+    #[test]
+    fn complement_pairs() {
+        assert_eq!(Base::A.complement(), Base::T);
+        assert_eq!(Base::T.complement(), Base::A);
+        assert_eq!(Base::C.complement(), Base::G);
+        assert_eq!(Base::G.complement(), Base::C);
+    }
+
+    #[test]
+    fn rejects_non_dna() {
+        assert!(Base::from_ascii(b'N').is_err());
+        assert!(Base::from_ascii(b'X').is_err());
+        assert!(Base::from_ascii(b'-').is_err());
+        assert!(Base::from_ascii(0).is_err());
+    }
+
+    #[test]
+    fn validate_reports_offset() {
+        let err = validate_dna(b"ACGTNACGT").unwrap_err();
+        match err {
+            SeqError::InvalidBaseAt { byte, offset } => {
+                assert_eq!(byte, b'N');
+                assert_eq!(offset, 4);
+            }
+            other => panic!("unexpected error: {other:?}"),
+        }
+        assert!(validate_dna(b"acgtACGT").is_ok());
+        assert!(validate_dna(b"").is_ok());
+    }
+
+    #[test]
+    fn normalize_case_uppercases() {
+        let mut s = b"acGT".to_vec();
+        normalize_case(&mut s);
+        assert_eq!(&s, b"ACGT");
+    }
+
+    #[test]
+    fn display_matches_ascii() {
+        assert_eq!(Base::G.to_string(), "G");
+    }
+}

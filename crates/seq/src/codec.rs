@@ -1,0 +1,128 @@
+//! 2-bit packing of DNA sequences.
+//!
+//! Four bases per byte. The working representation elsewhere in the system
+//! is plain ASCII (simpler to slice and compare), but long-lived archival
+//! data — e.g. the simulated genome a dataset was sampled from — is kept
+//! packed to honour the paper's space-efficiency goal.
+
+use crate::alphabet::Base;
+use crate::error::SeqError;
+
+/// A DNA sequence packed at 2 bits per base.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PackedDna {
+    words: Vec<u8>,
+    len: usize,
+}
+
+impl PackedDna {
+    /// Pack an ASCII DNA sequence. Fails on non-`{A,C,G,T}` bytes.
+    pub fn from_ascii(seq: &[u8]) -> Result<Self, SeqError> {
+        let mut words = vec![0u8; seq.len().div_ceil(4)];
+        for (i, &b) in seq.iter().enumerate() {
+            let code = Base::from_ascii(b)?.code();
+            words[i / 4] |= code << ((i % 4) * 2);
+        }
+        Ok(PackedDna {
+            words,
+            len: seq.len(),
+        })
+    }
+
+    /// Number of bases stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the sequence is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bytes of backing storage used (for memory accounting).
+    #[inline]
+    pub fn packed_bytes(&self) -> usize {
+        self.words.len()
+    }
+
+    /// The base at position `i`. Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, i: usize) -> Base {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        Base::from_code((self.words[i / 4] >> ((i % 4) * 2)) & 0b11)
+    }
+
+    /// Unpack back to upper-case ASCII.
+    pub fn to_ascii(&self) -> Vec<u8> {
+        (0..self.len).map(|i| self.get(i).to_ascii()).collect()
+    }
+
+    /// Unpack the half-open range `[start, end)` to ASCII.
+    pub fn slice_ascii(&self, start: usize, end: usize) -> Vec<u8> {
+        assert!(start <= end && end <= self.len, "bad range {start}..{end}");
+        (start..end).map(|i| self.get(i).to_ascii()).collect()
+    }
+
+    /// Iterate over the bases.
+    pub fn iter(&self) -> impl Iterator<Item = Base> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_small() {
+        for s in [&b""[..], b"A", b"AC", b"ACG", b"ACGT", b"ACGTA", b"TTTTTTTTT"] {
+            let packed = PackedDna::from_ascii(s).unwrap();
+            assert_eq!(packed.len(), s.len());
+            assert_eq!(packed.to_ascii(), s);
+        }
+    }
+
+    #[test]
+    fn packs_four_per_byte() {
+        let packed = PackedDna::from_ascii(&[b'A'; 17]).unwrap();
+        assert_eq!(packed.packed_bytes(), 5); // ceil(17/4)
+    }
+
+    #[test]
+    fn rejects_invalid() {
+        assert!(PackedDna::from_ascii(b"ACNT").is_err());
+    }
+
+    #[test]
+    fn slice_matches_full_unpack() {
+        let packed = PackedDna::from_ascii(b"ACGTACGTGG").unwrap();
+        assert_eq!(packed.slice_ascii(2, 7), b"GTACG");
+        assert_eq!(packed.slice_ascii(0, 0), b"");
+        assert_eq!(packed.slice_ascii(10, 10), b"");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        PackedDna::from_ascii(b"ACG").unwrap().get(3);
+    }
+
+    #[test]
+    fn iter_yields_bases_in_order() {
+        let packed = PackedDna::from_ascii(b"GATC").unwrap();
+        let bases: Vec<Base> = packed.iter().collect();
+        assert_eq!(bases, vec![Base::G, Base::A, Base::T, Base::C]);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_arbitrary(s in proptest::collection::vec(
+            proptest::sample::select(vec![b'A', b'C', b'G', b'T']), 0..300)) {
+            let packed = PackedDna::from_ascii(&s).unwrap();
+            prop_assert_eq!(packed.to_ascii(), s);
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Error types for the sequence substrate.
+
+/// Errors produced while parsing, validating or storing DNA sequences.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SeqError {
+    /// A byte that is not one of `{A,C,G,T}` (either case).
+    InvalidBase(u8),
+    /// An invalid byte together with its offset within the sequence.
+    InvalidBaseAt {
+        /// The offending byte.
+        byte: u8,
+        /// 0-based offset of the byte within the sequence.
+        offset: usize,
+    },
+    /// A FASTA stream that does not start with a `>` header line.
+    MissingFastaHeader,
+    /// A FASTA record whose sequence body is empty.
+    EmptyFastaRecord {
+        /// Identifier from the record's header line.
+        id: String,
+    },
+    /// An empty EST handed to the [`crate::SequenceStore`].
+    EmptySequence {
+        /// 0-based index of the EST in the input batch.
+        index: usize,
+    },
+    /// Underlying I/O failure (message only, to keep the error `Clone + Eq`).
+    Io(String),
+}
+
+impl std::fmt::Display for SeqError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SeqError::InvalidBase(b) => {
+                write!(f, "invalid DNA base: 0x{b:02x} ({:?})", *b as char)
+            }
+            SeqError::InvalidBaseAt { byte, offset } => write!(
+                f,
+                "invalid DNA base 0x{byte:02x} ({:?}) at offset {offset}",
+                *byte as char
+            ),
+            SeqError::MissingFastaHeader => {
+                write!(f, "FASTA input does not begin with a '>' header line")
+            }
+            SeqError::EmptyFastaRecord { id } => {
+                write!(f, "FASTA record {id:?} has an empty sequence")
+            }
+            SeqError::EmptySequence { index } => {
+                write!(f, "EST #{index} is empty")
+            }
+            SeqError::Io(msg) => write!(f, "I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SeqError {}
+
+impl From<std::io::Error> for SeqError {
+    fn from(err: std::io::Error) -> Self {
+        SeqError::Io(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let msg = SeqError::InvalidBaseAt {
+            byte: b'N',
+            offset: 7,
+        }
+        .to_string();
+        assert!(msg.contains("'N'"));
+        assert!(msg.contains("offset 7"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let err: SeqError = io.into();
+        assert!(matches!(err, SeqError::Io(_)));
+        assert!(err.to_string().contains("gone"));
+    }
+}

@@ -1,0 +1,247 @@
+//! Minimal FASTA parsing and writing.
+//!
+//! EST repositories (dbEST and friends) distribute sequences as FASTA; this
+//! module reads them into memory and writes result sets back out. It is a
+//! deliberately small, strict parser: records are `>`-headed, sequences are
+//! concatenated across wrapped lines, `\r` is tolerated, and blank lines are
+//! skipped.
+
+use crate::alphabet;
+use crate::error::SeqError;
+use std::io::{BufRead, Write};
+
+/// One FASTA record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FastaRecord {
+    /// Identifier: the first whitespace-delimited token after `>`.
+    pub id: String,
+    /// The remainder of the header line, if any.
+    pub description: String,
+    /// The sequence bytes, upper-cased.
+    pub sequence: Vec<u8>,
+}
+
+/// Parse all records from a FASTA-formatted string.
+pub fn parse_fasta(input: &str) -> Result<Vec<FastaRecord>, SeqError> {
+    parse_fasta_reader(input.as_bytes())
+}
+
+/// Parse all records from any buffered reader.
+pub fn parse_fasta_reader<R: BufRead>(reader: R) -> Result<Vec<FastaRecord>, SeqError> {
+    let mut records: Vec<FastaRecord> = Vec::new();
+    let mut current: Option<FastaRecord> = None;
+
+    for line in reader.lines() {
+        let line = line?;
+        let line = line.trim_end_matches('\r');
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('>') {
+            if let Some(rec) = current.take() {
+                finish_record(rec, &mut records)?;
+            }
+            let mut parts = header.splitn(2, char::is_whitespace);
+            let id = parts.next().unwrap_or("").to_string();
+            let description = parts.next().unwrap_or("").trim().to_string();
+            current = Some(FastaRecord {
+                id,
+                description,
+                sequence: Vec::new(),
+            });
+        } else {
+            let rec = current.as_mut().ok_or(SeqError::MissingFastaHeader)?;
+            rec.sequence
+                .extend(line.bytes().filter(|b| !b.is_ascii_whitespace()));
+        }
+    }
+    if let Some(rec) = current.take() {
+        finish_record(rec, &mut records)?;
+    }
+    Ok(records)
+}
+
+fn finish_record(mut rec: FastaRecord, out: &mut Vec<FastaRecord>) -> Result<(), SeqError> {
+    if rec.sequence.is_empty() {
+        return Err(SeqError::EmptyFastaRecord { id: rec.id });
+    }
+    alphabet::normalize_case(&mut rec.sequence);
+    out.push(rec);
+    Ok(())
+}
+
+/// Replace ambiguity codes (`N`, `R`, …) with a deterministic valid base.
+///
+/// Real EST data contains IUPAC ambiguity codes; the clustering algorithms
+/// operate on the 4-letter alphabet only. Mapping every non-ACGT byte to `A`
+/// is the simplest policy that keeps positions aligned; callers that prefer
+/// to drop dirty reads can [`alphabet::validate_dna`] first.
+pub fn sanitize_sequence(seq: &mut [u8]) -> usize {
+    let mut replaced = 0;
+    for b in seq.iter_mut() {
+        *b = b.to_ascii_uppercase();
+        if !matches!(*b, b'A' | b'C' | b'G' | b'T') {
+            *b = b'A';
+            replaced += 1;
+        }
+    }
+    replaced
+}
+
+/// Write records in FASTA format, wrapping sequence lines at `width`.
+pub fn write_fasta<W: Write>(
+    mut writer: W,
+    records: &[FastaRecord],
+    width: usize,
+) -> Result<(), SeqError> {
+    assert!(width > 0, "line width must be positive");
+    for rec in records {
+        if rec.description.is_empty() {
+            writeln!(writer, ">{}", rec.id)?;
+        } else {
+            writeln!(writer, ">{} {}", rec.id, rec.description)?;
+        }
+        for chunk in rec.sequence.chunks(width) {
+            writer.write_all(chunk)?;
+            writeln!(writer)?;
+        }
+    }
+    Ok(())
+}
+
+/// Render records to a FASTA string (convenience wrapper).
+pub fn to_fasta_string(records: &[FastaRecord], width: usize) -> String {
+    let mut buf = Vec::new();
+    write_fasta(&mut buf, records, width).expect("writing to Vec cannot fail");
+    String::from_utf8(buf).expect("FASTA output is ASCII")
+}
+
+/// Parse a FASTA file from disk.
+pub fn read_fasta_file(path: impl AsRef<std::path::Path>) -> Result<Vec<FastaRecord>, SeqError> {
+    let file = std::fs::File::open(path)?;
+    parse_fasta_reader(std::io::BufReader::new(file))
+}
+
+/// Write records to a FASTA file on disk (line width 70).
+pub fn write_fasta_file(
+    path: impl AsRef<std::path::Path>,
+    records: &[FastaRecord],
+) -> Result<(), SeqError> {
+    let file = std::fs::File::create(path)?;
+    let mut writer = std::io::BufWriter::new(file);
+    write_fasta(&mut writer, records, 70)?;
+    use std::io::Write as _;
+    writer.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_single_record() {
+        let recs = parse_fasta(">est1 some description\nACGT\nacgt\n").unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].id, "est1");
+        assert_eq!(recs[0].description, "some description");
+        assert_eq!(recs[0].sequence, b"ACGTACGT");
+    }
+
+    #[test]
+    fn parses_multiple_records_with_blank_lines() {
+        let recs = parse_fasta(">a\nAC\n\n>b desc here\nGG\nTT\n\n>c\nA\n").unwrap();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[1].sequence, b"GGTT");
+        assert_eq!(recs[1].description, "desc here");
+        assert_eq!(recs[2].sequence, b"A");
+    }
+
+    #[test]
+    fn tolerates_crlf() {
+        let recs = parse_fasta(">a\r\nACGT\r\n").unwrap();
+        assert_eq!(recs[0].sequence, b"ACGT");
+    }
+
+    #[test]
+    fn rejects_headerless_input() {
+        assert_eq!(
+            parse_fasta("ACGT\n").unwrap_err(),
+            SeqError::MissingFastaHeader
+        );
+    }
+
+    #[test]
+    fn rejects_empty_record() {
+        let err = parse_fasta(">a\n>b\nACGT\n").unwrap_err();
+        assert_eq!(err, SeqError::EmptyFastaRecord { id: "a".into() });
+        let err = parse_fasta(">only\n").unwrap_err();
+        assert_eq!(err, SeqError::EmptyFastaRecord { id: "only".into() });
+    }
+
+    #[test]
+    fn roundtrip_write_parse() {
+        let recs = vec![
+            FastaRecord {
+                id: "x".into(),
+                description: "first".into(),
+                sequence: b"ACGTACGTACGT".to_vec(),
+            },
+            FastaRecord {
+                id: "y".into(),
+                description: String::new(),
+                sequence: b"TTT".to_vec(),
+            },
+        ];
+        let text = to_fasta_string(&recs, 5);
+        let parsed = parse_fasta(&text).unwrap();
+        assert_eq!(parsed, recs);
+    }
+
+    #[test]
+    fn wrapping_at_width() {
+        let recs = vec![FastaRecord {
+            id: "x".into(),
+            description: String::new(),
+            sequence: b"ACGTACG".to_vec(),
+        }];
+        let text = to_fasta_string(&recs, 4);
+        assert_eq!(text, ">x\nACGT\nACG\n");
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("pace-fasta-test-{}.fa", std::process::id()));
+        let recs = vec![FastaRecord {
+            id: "r1".into(),
+            description: "roundtrip".into(),
+            sequence: b"ACGTACGTACGT".to_vec(),
+        }];
+        write_fasta_file(&path, &recs).unwrap();
+        let parsed = read_fasta_file(&path).unwrap();
+        assert_eq!(parsed, recs);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn read_missing_file_errors() {
+        let err = read_fasta_file("/nonexistent/x.fa").unwrap_err();
+        assert!(matches!(err, SeqError::Io(_)));
+    }
+
+    #[test]
+    fn sanitize_replaces_ambiguity_codes() {
+        let mut s = b"ACNRGT".to_vec();
+        let replaced = sanitize_sequence(&mut s);
+        assert_eq!(replaced, 2);
+        assert_eq!(s, b"ACAAGT");
+    }
+
+    #[test]
+    fn sanitize_uppercases() {
+        let mut s = b"acgt".to_vec();
+        assert_eq!(sanitize_sequence(&mut s), 0);
+        assert_eq!(s, b"ACGT");
+    }
+}

@@ -1,0 +1,140 @@
+//! Identifier types mirroring the paper's numbering.
+//!
+//! The input is `n` ESTs `E = {e_1, …, e_n}`. Because DNA is double
+//! stranded, the algorithms run over `2n` strings
+//! `S = {s_1, …, s_2n}` with `s_{2i-1} = e_i` (forward strand) and
+//! `s_{2i} = ē_i` (reverse complement). We use 0-based indices: EST `i`
+//! owns strings `2i` (forward) and `2i + 1` (reverse complement).
+
+/// 0-based index of an EST (the paper's `e_{i+1}`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EstId(pub u32);
+
+/// 0-based index of a string in `S` (an EST or a reverse complement).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StrId(pub u32);
+
+/// Which strand of the EST a string represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Strand {
+    /// The EST as sequenced (`e_i`).
+    Forward,
+    /// Its reverse complement (`ē_i`).
+    Reverse,
+}
+
+impl Strand {
+    /// The opposite strand.
+    #[inline]
+    pub fn flip(self) -> Self {
+        match self {
+            Strand::Forward => Strand::Reverse,
+            Strand::Reverse => Strand::Forward,
+        }
+    }
+}
+
+impl EstId {
+    /// The string id of this EST on the given strand.
+    #[inline]
+    pub fn str_id(self, strand: Strand) -> StrId {
+        match strand {
+            Strand::Forward => StrId(self.0 * 2),
+            Strand::Reverse => StrId(self.0 * 2 + 1),
+        }
+    }
+
+    /// Plain index accessor.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl StrId {
+    /// The EST this string belongs to.
+    #[inline]
+    pub fn est(self) -> EstId {
+        EstId(self.0 / 2)
+    }
+
+    /// Which strand this string represents.
+    #[inline]
+    pub fn strand(self) -> Strand {
+        if self.0 % 2 == 0 {
+            Strand::Forward
+        } else {
+            Strand::Reverse
+        }
+    }
+
+    /// The string for the same EST on the opposite strand.
+    #[inline]
+    pub fn mate(self) -> StrId {
+        StrId(self.0 ^ 1)
+    }
+
+    /// Plain index accessor.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for EstId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl std::fmt::Display for StrId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.strand() {
+            Strand::Forward => write!(f, "e{}", self.est().0),
+            Strand::Reverse => write!(f, "~e{}", self.est().0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn est_to_str_roundtrip() {
+        for i in [0u32, 1, 2, 77, 40_706] {
+            let est = EstId(i);
+            let fwd = est.str_id(Strand::Forward);
+            let rev = est.str_id(Strand::Reverse);
+            assert_eq!(fwd.est(), est);
+            assert_eq!(rev.est(), est);
+            assert_eq!(fwd.strand(), Strand::Forward);
+            assert_eq!(rev.strand(), Strand::Reverse);
+            assert_eq!(fwd.mate(), rev);
+            assert_eq!(rev.mate(), fwd);
+        }
+    }
+
+    #[test]
+    fn numbering_matches_paper() {
+        // Paper (1-based): e_i = s_{2i-1}, ē_i = s_{2i}.
+        // Ours (0-based): EST i → strings 2i and 2i+1.
+        assert_eq!(EstId(0).str_id(Strand::Forward), StrId(0));
+        assert_eq!(EstId(0).str_id(Strand::Reverse), StrId(1));
+        assert_eq!(EstId(3).str_id(Strand::Forward), StrId(6));
+        assert_eq!(EstId(3).str_id(Strand::Reverse), StrId(7));
+    }
+
+    #[test]
+    fn strand_flip() {
+        assert_eq!(Strand::Forward.flip(), Strand::Reverse);
+        assert_eq!(Strand::Reverse.flip(), Strand::Forward);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(StrId(4).to_string(), "e2");
+        assert_eq!(StrId(5).to_string(), "~e2");
+        assert_eq!(EstId(2).to_string(), "e2");
+    }
+}

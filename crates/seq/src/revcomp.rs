@@ -1,0 +1,139 @@
+//! Reverse complementation.
+//!
+//! DNA is double stranded; the two strands run in opposite directions and
+//! pair `A↔T`, `C↔G`. A gene can lie on either strand, so an EST read may be
+//! the reverse complement of the mRNA orientation. The paper therefore works
+//! on the set `S` of all ESTs *and* their reverse complements; these
+//! functions implement that operation on raw ASCII sequences.
+
+/// Complement a single ASCII base, preserving case.
+///
+/// Non-DNA bytes are returned unchanged, which makes the function total —
+/// validation is the job of [`crate::alphabet::validate_dna`].
+#[inline]
+pub fn complement_base(byte: u8) -> u8 {
+    match byte {
+        b'A' => b'T',
+        b'T' => b'A',
+        b'C' => b'G',
+        b'G' => b'C',
+        b'a' => b't',
+        b't' => b'a',
+        b'c' => b'g',
+        b'g' => b'c',
+        other => other,
+    }
+}
+
+/// Return the reverse complement of `seq` as a new vector.
+pub fn reverse_complement(seq: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(seq.len());
+    out.extend(seq.iter().rev().map(|&b| complement_base(b)));
+    out
+}
+
+/// Reverse-complement `seq` in place without allocating.
+pub fn reverse_complement_in_place(seq: &mut [u8]) {
+    let n = seq.len();
+    for i in 0..n / 2 {
+        let (a, b) = (seq[i], seq[n - 1 - i]);
+        seq[i] = complement_base(b);
+        seq[n - 1 - i] = complement_base(a);
+    }
+    if n % 2 == 1 {
+        let mid = n / 2;
+        seq[mid] = complement_base(seq[mid]);
+    }
+}
+
+/// Write the reverse complement of `src` into `dst` (must be equal length).
+///
+/// Used by the [`crate::SequenceStore`] to materialize `ē_i` directly into
+/// the shared text buffer without a temporary allocation.
+pub fn reverse_complement_into(src: &[u8], dst: &mut [u8]) {
+    assert_eq!(
+        src.len(),
+        dst.len(),
+        "reverse_complement_into: length mismatch"
+    );
+    for (d, &s) in dst.iter_mut().zip(src.iter().rev()) {
+        *d = complement_base(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn simple_revcomp() {
+        assert_eq!(reverse_complement(b"ACGT"), b"ACGT");
+        assert_eq!(reverse_complement(b"AAAA"), b"TTTT");
+        assert_eq!(reverse_complement(b"GATTACA"), b"TGTAATC");
+        assert_eq!(reverse_complement(b""), b"");
+    }
+
+    #[test]
+    fn in_place_matches_allocating() {
+        for s in [&b"A"[..], b"AC", b"ACG", b"GATTACA", b"CCGGTTAA"] {
+            let mut v = s.to_vec();
+            reverse_complement_in_place(&mut v);
+            assert_eq!(v, reverse_complement(s));
+        }
+    }
+
+    #[test]
+    fn into_matches_allocating() {
+        let src = b"ACGGTTAC";
+        let mut dst = vec![0u8; src.len()];
+        reverse_complement_into(src, &mut dst);
+        assert_eq!(dst, reverse_complement(src));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn into_panics_on_length_mismatch() {
+        let mut dst = vec![0u8; 3];
+        reverse_complement_into(b"ACGT", &mut dst);
+    }
+
+    #[test]
+    fn preserves_case() {
+        assert_eq!(reverse_complement(b"acgt"), b"acgt");
+        assert_eq!(reverse_complement(b"aCgT"), b"AcGt");
+    }
+
+    fn dna_string() -> impl Strategy<Value = Vec<u8>> {
+        proptest::collection::vec(
+            proptest::sample::select(vec![b'A', b'C', b'G', b'T']),
+            0..200,
+        )
+    }
+
+    proptest! {
+        /// Reverse complementation is an involution: rc(rc(s)) == s.
+        #[test]
+        fn revcomp_involution(s in dna_string()) {
+            prop_assert_eq!(reverse_complement(&reverse_complement(&s)), s);
+        }
+
+        /// rc distributes over concatenation reversed: rc(a++b) == rc(b)++rc(a).
+        #[test]
+        fn revcomp_antihomomorphism(a in dna_string(), b in dna_string()) {
+            let mut ab = a.clone();
+            ab.extend_from_slice(&b);
+            let mut rc_b_rc_a = reverse_complement(&b);
+            rc_b_rc_a.extend_from_slice(&reverse_complement(&a));
+            prop_assert_eq!(reverse_complement(&ab), rc_b_rc_a);
+        }
+
+        /// In-place and allocating versions agree on arbitrary input.
+        #[test]
+        fn in_place_agrees(s in dna_string()) {
+            let mut v = s.clone();
+            reverse_complement_in_place(&mut v);
+            prop_assert_eq!(v, reverse_complement(&s));
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Descriptive statistics over read sets.
+//!
+//! Small utilities the CLI and reports use to characterize an EST
+//! collection before/after clustering: length distribution, N50, base
+//! composition. None of this is on the clustering hot path.
+
+/// Summary statistics of a collection of sequence lengths.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LengthStats {
+    /// Number of sequences.
+    pub count: usize,
+    /// Total bases.
+    pub total: usize,
+    /// Shortest sequence.
+    pub min: usize,
+    /// Longest sequence.
+    pub max: usize,
+    /// Arithmetic mean length.
+    pub mean: f64,
+    /// Median length (lower median for even counts).
+    pub median: usize,
+    /// N50: the largest length L such that sequences of length ≥ L cover
+    /// at least half the total bases.
+    pub n50: usize,
+}
+
+/// Compute [`LengthStats`] for a set of sequences.
+///
+/// Returns `None` for an empty set (every statistic would be undefined).
+pub fn length_stats<S: AsRef<[u8]>>(seqs: &[S]) -> Option<LengthStats> {
+    if seqs.is_empty() {
+        return None;
+    }
+    let mut lens: Vec<usize> = seqs.iter().map(|s| s.as_ref().len()).collect();
+    lens.sort_unstable();
+    let count = lens.len();
+    let total: usize = lens.iter().sum();
+    let median = lens[(count - 1) / 2];
+
+    // N50: walk lengths descending until half the bases are covered.
+    let mut covered = 0usize;
+    let mut n50 = *lens.last().expect("non-empty");
+    for &len in lens.iter().rev() {
+        covered += len;
+        n50 = len;
+        if covered * 2 >= total {
+            break;
+        }
+    }
+
+    Some(LengthStats {
+        count,
+        total,
+        min: lens[0],
+        max: *lens.last().expect("non-empty"),
+        mean: total as f64 / count as f64,
+        median,
+        n50,
+    })
+}
+
+/// Fraction of G/C bases over all sequences (0.0 for an empty set).
+pub fn gc_content<S: AsRef<[u8]>>(seqs: &[S]) -> f64 {
+    let mut gc = 0usize;
+    let mut total = 0usize;
+    for s in seqs {
+        for &b in s.as_ref() {
+            total += 1;
+            if matches!(b, b'G' | b'C' | b'g' | b'c') {
+                gc += 1;
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        gc as f64 / total as f64
+    }
+}
+
+/// Per-base counts over all sequences, indexed A, C, G, T.
+pub fn base_composition<S: AsRef<[u8]>>(seqs: &[S]) -> [usize; 4] {
+    let mut counts = [0usize; 4];
+    for s in seqs {
+        for &b in s.as_ref() {
+            match b.to_ascii_uppercase() {
+                b'A' => counts[0] += 1,
+                b'C' => counts[1] += 1,
+                b'G' => counts[2] += 1,
+                b'T' => counts[3] += 1,
+                _ => {}
+            }
+        }
+    }
+    counts
+}
+
+impl std::fmt::Display for LengthStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} seqs, {} bases; len min/median/mean/max = {}/{}/{:.0}/{}; N50 {}",
+            self.count, self.total, self.min, self.median, self.mean, self.max, self.n50
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn simple_stats() {
+        let seqs: Vec<&[u8]> = vec![b"ACGT", b"AC", b"ACGTACGT"];
+        let s = length_stats(&seqs).unwrap();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.total, 14);
+        assert_eq!(s.min, 2);
+        assert_eq!(s.max, 8);
+        assert_eq!(s.median, 4);
+        assert!((s.mean - 14.0 / 3.0).abs() < 1e-12);
+        // Descending: 8 covers 8 ≥ 7 → N50 = 8.
+        assert_eq!(s.n50, 8);
+    }
+
+    #[test]
+    fn empty_set_has_no_stats() {
+        assert!(length_stats::<&[u8]>(&[]).is_none());
+        assert_eq!(gc_content::<&[u8]>(&[]), 0.0);
+    }
+
+    #[test]
+    fn n50_textbook_example() {
+        // Lengths 2,2,2,3,3,4,8,8: total 32, half 16. Descending: 8 (8),
+        // 8 (16) → N50 = 8.
+        let seqs: Vec<Vec<u8>> = [2, 2, 2, 3, 3, 4, 8, 8]
+            .iter()
+            .map(|&l| vec![b'A'; l])
+            .collect();
+        assert_eq!(length_stats(&seqs).unwrap().n50, 8);
+    }
+
+    #[test]
+    fn gc_and_composition() {
+        let seqs: Vec<&[u8]> = vec![b"GGCC", b"AATT"];
+        assert!((gc_content(&seqs) - 0.5).abs() < 1e-12);
+        assert_eq!(base_composition(&seqs), [2, 2, 2, 2]);
+        let lower: Vec<&[u8]> = vec![b"gc"];
+        assert!((gc_content(&lower) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let seqs: Vec<&[u8]> = vec![b"ACGT"];
+        let text = length_stats(&seqs).unwrap().to_string();
+        assert!(text.contains("1 seqs"));
+        assert!(text.contains("N50 4"));
+    }
+
+    proptest! {
+        /// N50 is always one of the input lengths, ≥ median of bases
+        /// covered, and within [min, max]; total/mean are consistent.
+        #[test]
+        fn stats_invariants(lens in proptest::collection::vec(1usize..200, 1..40)) {
+            let seqs: Vec<Vec<u8>> = lens.iter().map(|&l| vec![b'A'; l]).collect();
+            let s = length_stats(&seqs).unwrap();
+            prop_assert!(lens.contains(&s.n50));
+            prop_assert!(s.min <= s.median && s.median as f64 <= s.mean.max(s.median as f64));
+            prop_assert!(s.n50 >= s.min && s.n50 <= s.max);
+            prop_assert_eq!(s.total, lens.iter().sum::<usize>());
+            // Sequences of length ≥ N50 must cover at least half the bases.
+            let covered: usize = lens.iter().filter(|&&l| l >= s.n50).sum();
+            prop_assert!(covered * 2 >= s.total);
+        }
+    }
+}

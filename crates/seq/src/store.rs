@@ -1,0 +1,254 @@
+//! The shared sequence store.
+//!
+//! All `2n` strings (every EST followed by its reverse complement) live
+//! concatenated in a single `Vec<u8>` with an offset table — one allocation
+//! for the whole dataset, O(1) slicing, and no per-string overhead. Every
+//! layer above (suffix tree, pair generation, alignment) refers to
+//! sequences only through [`StrId`]/offset pairs into this store, which is
+//! what keeps the total space linear in the input size `N`.
+
+use crate::alphabet::validate_dna;
+use crate::error::SeqError;
+use crate::ids::{EstId, Strand, StrId};
+use crate::revcomp::reverse_complement_into;
+
+/// Immutable container of all ESTs and their reverse complements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SequenceStore {
+    /// Concatenated bytes of `s_0, s_1, …, s_{2n-1}`.
+    text: Vec<u8>,
+    /// `offsets[i]..offsets[i+1]` delimits string `i`; `2n + 1` entries.
+    offsets: Vec<u32>,
+}
+
+impl SequenceStore {
+    /// Build a store from ESTs given as byte slices.
+    ///
+    /// Each EST is validated (strict `{A,C,G,T}`, case-insensitive),
+    /// upper-cased, and stored together with its reverse complement:
+    /// EST `i` becomes strings `2i` (forward) and `2i+1` (reverse).
+    pub fn from_ests<S: AsRef<[u8]>>(ests: &[S]) -> Result<Self, SeqError> {
+        let total: usize = ests.iter().map(|e| e.as_ref().len()).sum();
+        let mut text = Vec::with_capacity(total * 2);
+        let mut offsets = Vec::with_capacity(ests.len() * 2 + 1);
+        offsets.push(0u32);
+
+        for (index, est) in ests.iter().enumerate() {
+            let est = est.as_ref();
+            if est.is_empty() {
+                return Err(SeqError::EmptySequence { index });
+            }
+            validate_dna(est)?;
+
+            let start = text.len();
+            text.extend(est.iter().map(|b| b.to_ascii_uppercase()));
+            offsets.push(text.len() as u32);
+
+            // Materialize the reverse complement right after the forward
+            // strand so ē_i is an ordinary string, not a special case.
+            text.resize(start + est.len() * 2, 0);
+            let (fwd, rev) = text[start..].split_at_mut(est.len());
+            reverse_complement_into(fwd, rev);
+            offsets.push(text.len() as u32);
+        }
+
+        Ok(SequenceStore { text, offsets })
+    }
+
+    /// Number of ESTs `n`.
+    #[inline]
+    pub fn num_ests(&self) -> usize {
+        (self.offsets.len() - 1) / 2
+    }
+
+    /// Number of stored strings `2n`.
+    #[inline]
+    pub fn num_strings(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total characters over the input ESTs (the paper's `N`).
+    #[inline]
+    pub fn total_input_chars(&self) -> usize {
+        self.text.len() / 2
+    }
+
+    /// Total characters actually stored (`2N`: both strands).
+    #[inline]
+    pub fn total_stored_chars(&self) -> usize {
+        self.text.len()
+    }
+
+    /// Average EST length (the paper's `l = N / n`).
+    pub fn average_est_length(&self) -> f64 {
+        if self.num_ests() == 0 {
+            0.0
+        } else {
+            self.total_input_chars() as f64 / self.num_ests() as f64
+        }
+    }
+
+    /// The bytes of string `sid`.
+    #[inline]
+    pub fn seq(&self, sid: StrId) -> &[u8] {
+        let i = sid.index();
+        debug_assert!(i < self.num_strings(), "string id {i} out of range");
+        &self.text[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// The forward-strand bytes of EST `eid`.
+    #[inline]
+    pub fn est_seq(&self, eid: EstId) -> &[u8] {
+        self.seq(eid.str_id(Strand::Forward))
+    }
+
+    /// Length of string `sid`.
+    #[inline]
+    pub fn len_of(&self, sid: StrId) -> usize {
+        let i = sid.index();
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+
+    /// The suffix of string `sid` starting at `offset`.
+    #[inline]
+    pub fn suffix(&self, sid: StrId, offset: usize) -> &[u8] {
+        &self.seq(sid)[offset..]
+    }
+
+    /// The character immediately left of position `offset` in string `sid`,
+    /// or `None` when `offset == 0` (the paper's λ, "left-extensible by the
+    /// null character"). This drives the lset partition in pair generation.
+    #[inline]
+    pub fn left_char(&self, sid: StrId, offset: usize) -> Option<u8> {
+        if offset == 0 {
+            None
+        } else {
+            Some(self.seq(sid)[offset - 1])
+        }
+    }
+
+    /// Iterate over all string ids `s_0 … s_{2n-1}`.
+    pub fn str_ids(&self) -> impl Iterator<Item = StrId> {
+        (0..self.num_strings() as u32).map(StrId)
+    }
+
+    /// Iterate over all EST ids `e_0 … e_{n-1}`.
+    pub fn est_ids(&self) -> impl Iterator<Item = EstId> {
+        (0..self.num_ests() as u32).map(EstId)
+    }
+
+    /// Approximate heap footprint in bytes, for the memory accounting used
+    /// by the Table 1 reproduction.
+    pub fn memory_bytes(&self) -> usize {
+        self.text.capacity() + self.offsets.capacity() * std::mem::size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::revcomp::reverse_complement;
+    use proptest::prelude::*;
+
+    fn store(ests: &[&[u8]]) -> SequenceStore {
+        SequenceStore::from_ests(ests).unwrap()
+    }
+
+    #[test]
+    fn forward_and_reverse_strands() {
+        let s = store(&[b"ACGGT", b"TTA"]);
+        assert_eq!(s.num_ests(), 2);
+        assert_eq!(s.num_strings(), 4);
+        assert_eq!(s.seq(StrId(0)), b"ACGGT");
+        assert_eq!(s.seq(StrId(1)), reverse_complement(b"ACGGT").as_slice());
+        assert_eq!(s.seq(StrId(2)), b"TTA");
+        assert_eq!(s.seq(StrId(3)), b"TAA");
+        assert_eq!(s.est_seq(EstId(1)), b"TTA");
+    }
+
+    #[test]
+    fn totals_and_average() {
+        let s = store(&[b"ACGT", b"AA"]);
+        assert_eq!(s.total_input_chars(), 6);
+        assert_eq!(s.total_stored_chars(), 12);
+        assert!((s.average_est_length() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lowercase_is_normalized() {
+        let s = store(&[b"acgt"]);
+        assert_eq!(s.seq(StrId(0)), b"ACGT");
+        assert_eq!(s.seq(StrId(1)), b"ACGT");
+    }
+
+    #[test]
+    fn suffix_and_left_char() {
+        let s = store(&[b"ACGGT"]);
+        assert_eq!(s.suffix(StrId(0), 0), b"ACGGT");
+        assert_eq!(s.suffix(StrId(0), 3), b"GT");
+        assert_eq!(s.suffix(StrId(0), 5), b"");
+        assert_eq!(s.left_char(StrId(0), 0), None);
+        assert_eq!(s.left_char(StrId(0), 1), Some(b'A'));
+        assert_eq!(s.left_char(StrId(0), 4), Some(b'G'));
+    }
+
+    #[test]
+    fn rejects_empty_est() {
+        let err = SequenceStore::from_ests(&[&b"ACGT"[..], b""]).unwrap_err();
+        assert_eq!(err, SeqError::EmptySequence { index: 1 });
+    }
+
+    #[test]
+    fn rejects_invalid_base() {
+        assert!(SequenceStore::from_ests(&[&b"ACNT"[..]]).is_err());
+    }
+
+    #[test]
+    fn empty_store() {
+        let s = SequenceStore::from_ests::<&[u8]>(&[]).unwrap();
+        assert_eq!(s.num_ests(), 0);
+        assert_eq!(s.num_strings(), 0);
+        assert_eq!(s.average_est_length(), 0.0);
+        assert_eq!(s.str_ids().count(), 0);
+    }
+
+    #[test]
+    fn id_iterators() {
+        let s = store(&[b"AC", b"GT", b"AA"]);
+        assert_eq!(s.str_ids().count(), 6);
+        assert_eq!(s.est_ids().count(), 3);
+        for sid in s.str_ids() {
+            assert_eq!(s.len_of(sid), 2);
+        }
+    }
+
+    fn dna_vecs() -> impl Strategy<Value = Vec<Vec<u8>>> {
+        proptest::collection::vec(
+            proptest::collection::vec(
+                proptest::sample::select(vec![b'A', b'C', b'G', b'T']),
+                1..80,
+            ),
+            0..20,
+        )
+    }
+
+    proptest! {
+        /// Every stored reverse strand is exactly the revcomp of its mate,
+        /// and slicing recovers the original inputs verbatim.
+        #[test]
+        fn store_invariants(ests in dna_vecs()) {
+            let s = SequenceStore::from_ests(&ests).unwrap();
+            prop_assert_eq!(s.num_ests(), ests.len());
+            for (i, est) in ests.iter().enumerate() {
+                let eid = EstId(i as u32);
+                let fwd = eid.str_id(Strand::Forward);
+                let rev = eid.str_id(Strand::Reverse);
+                prop_assert_eq!(s.seq(fwd), est.as_slice());
+                let rc = reverse_complement(est);
+                prop_assert_eq!(s.seq(rev), rc.as_slice());
+                prop_assert_eq!(s.len_of(fwd), s.len_of(rev));
+                prop_assert_eq!(fwd.mate(), rev);
+            }
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Simulation parameters.
+
+/// How many ESTs each gene attracts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Expression {
+    /// Every gene is equally likely.
+    Uniform,
+    /// Zipf-distributed expression with the given exponent (> 0): a few
+    /// genes dominate, most are rare — the realistic shape for cDNA
+    /// libraries, and what makes cluster sizes heavy-tailed.
+    Zipf(f64),
+}
+
+/// Parameters of the synthetic transcriptome and EST sampling process.
+///
+/// The defaults mirror the biology quoted in the paper: ESTs average
+/// 500–600 bases, genes are exon/intron mosaics, reads come from either
+/// end of cDNAs and from either strand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Number of genes in the synthetic transcriptome.
+    pub num_genes: usize,
+    /// Number of ESTs to sample.
+    pub num_ests: usize,
+    /// Exon count range per gene (inclusive).
+    pub exons_per_gene: (usize, usize),
+    /// Exon length range (inclusive).
+    pub exon_len: (usize, usize),
+    /// Intron length range (inclusive; introns are transcribed out).
+    pub intron_len: (usize, usize),
+    /// Mean EST read length.
+    pub est_len_mean: f64,
+    /// Standard deviation of the EST read length.
+    pub est_len_sd: f64,
+    /// Hard minimum EST length (shorter draws are clamped).
+    pub est_len_min: usize,
+    /// Per-base probability of a sequencing error.
+    pub error_rate: f64,
+    /// Split of errors into substitution / insertion / deletion; must sum
+    /// to 1.
+    pub error_mix: (f64, f64, f64),
+    /// Probability that an EST is reported as the reverse complement.
+    pub reverse_prob: f64,
+    /// Probability that a read starts flush at the 5' or 3' end of the
+    /// cDNA (the rest start uniformly inside) — models end-sequencing.
+    pub end_bias: f64,
+    /// Gene expression profile.
+    pub expression: Expression,
+    /// Number of distinct repeat motifs in the genome (transposon-like
+    /// elements shared across unrelated genes). Repeats are what make
+    /// real EST clustering over-predict: a repeat at a read end looks
+    /// like a dovetail overlap between unrelated genes.
+    pub repeat_motifs: usize,
+    /// Length of each repeat motif in bases.
+    pub repeat_len: usize,
+    /// Probability that a gene carries a copy of some repeat motif.
+    pub repeat_gene_prob: f64,
+    /// Per-base divergence applied to each inserted repeat copy.
+    pub repeat_divergence: f64,
+    /// Probability that a multi-exon gene expresses a second isoform
+    /// that skips one internal exon (alternative splicing). ESTs sample
+    /// either isoform; the ground-truth cluster is still the gene.
+    pub alt_splice_prob: f64,
+    /// Probability that a read is a *chimera*: the concatenation of
+    /// fragments from two different genes — a classic cDNA library
+    /// artifact. A chimera's ground-truth label is its 5' gene, and its
+    /// index is recorded in [`crate::EstDataset::chimeras`].
+    pub chimera_prob: f64,
+    /// RNG seed; equal configs generate byte-identical data sets.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            num_genes: 100,
+            num_ests: 1000,
+            exons_per_gene: (2, 6),
+            exon_len: (120, 500),
+            intron_len: (60, 600),
+            est_len_mean: 550.0,
+            est_len_sd: 60.0,
+            est_len_min: 100,
+            error_rate: 0.02,
+            error_mix: (0.6, 0.2, 0.2),
+            reverse_prob: 0.5,
+            end_bias: 0.6,
+            expression: Expression::Zipf(1.0),
+            // Many distinct motifs with few carriers each: occasional
+            // pairwise false merges (the paper's OV of a few percent)
+            // without single-linkage chain reactions across the genome.
+            repeat_motifs: 16,
+            repeat_len: 100,
+            repeat_gene_prob: 0.10,
+            repeat_divergence: 0.05,
+            alt_splice_prob: 0.0,
+            chimera_prob: 0.0,
+            seed: 0x9ACE_2002,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A data set scaled to `num_ests` reads over a proportional number of
+    /// genes (~12 ESTs per gene on average, matching the Arabidopsis
+    /// benchmark's cluster-size ballpark), with the given seed.
+    pub fn sized(num_ests: usize, seed: u64) -> Self {
+        SimConfig {
+            num_ests,
+            num_genes: (num_ests / 12).max(1),
+            seed,
+            ..SimConfig::default()
+        }
+    }
+
+    /// Smaller, error-free variant — handy for exact-recovery tests.
+    pub fn error_free(mut self) -> Self {
+        self.error_rate = 0.0;
+        self
+    }
+
+    /// Variant with no shared repeat elements: unrelated genes share no
+    /// sequence, so a correct clusterer produces zero false positives.
+    pub fn repeat_free(mut self) -> Self {
+        self.repeat_gene_prob = 0.0;
+        self
+    }
+
+    /// Validate ranges and probabilities.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_genes == 0 {
+            return Err("num_genes must be positive".into());
+        }
+        if self.exons_per_gene.0 == 0 || self.exons_per_gene.0 > self.exons_per_gene.1 {
+            return Err(format!("bad exon count range {:?}", self.exons_per_gene));
+        }
+        if self.exon_len.0 == 0 || self.exon_len.0 > self.exon_len.1 {
+            return Err(format!("bad exon length range {:?}", self.exon_len));
+        }
+        if self.intron_len.0 > self.intron_len.1 {
+            return Err(format!("bad intron length range {:?}", self.intron_len));
+        }
+        for (name, p) in [
+            ("error_rate", self.error_rate),
+            ("reverse_prob", self.reverse_prob),
+            ("end_bias", self.end_bias),
+            ("repeat_gene_prob", self.repeat_gene_prob),
+            ("repeat_divergence", self.repeat_divergence),
+            ("alt_splice_prob", self.alt_splice_prob),
+            ("chimera_prob", self.chimera_prob),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} = {p} is not a probability"));
+            }
+        }
+        let (s, i, d) = self.error_mix;
+        if (s + i + d - 1.0).abs() > 1e-9 || s < 0.0 || i < 0.0 || d < 0.0 {
+            return Err(format!("error_mix {:?} must sum to 1", self.error_mix));
+        }
+        if self.est_len_mean <= 0.0 || self.est_len_sd < 0.0 || self.est_len_min == 0 {
+            return Err("bad EST length parameters".into());
+        }
+        if let Expression::Zipf(e) = self.expression {
+            if e <= 0.0 {
+                return Err(format!("Zipf exponent must be positive, got {e}"));
+            }
+        }
+        if self.repeat_gene_prob > 0.0 && (self.repeat_motifs == 0 || self.repeat_len == 0) {
+            return Err("repeats enabled but repeat_motifs/repeat_len is zero".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        SimConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn sized_scales_genes() {
+        let c = SimConfig::sized(2400, 7);
+        assert_eq!(c.num_ests, 2400);
+        assert_eq!(c.num_genes, 200);
+        assert_eq!(c.seed, 7);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn error_free_zeroes_rate() {
+        let c = SimConfig::default().error_free();
+        assert_eq!(c.error_rate, 0.0);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn repeat_free_disables_repeats() {
+        let c = SimConfig::default().repeat_free();
+        assert_eq!(c.repeat_gene_prob, 0.0);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_repeat_misconfig() {
+        let mut c = SimConfig::default();
+        c.repeat_motifs = 0;
+        assert!(c.validate().is_err());
+        c.repeat_gene_prob = 0.0;
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        let mut c = SimConfig::default();
+        c.error_rate = 1.5;
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::default();
+        c.error_mix = (0.5, 0.2, 0.2);
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::default();
+        c.exons_per_gene = (4, 2);
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::default();
+        c.expression = Expression::Zipf(0.0);
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::default();
+        c.num_genes = 0;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,390 @@
+//! Whole-dataset generation with ground truth.
+
+use crate::config::{Expression, SimConfig};
+use crate::est::sample_est;
+use crate::gene::{random_dna, GeneModel};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A synthetic EST collection with its correct clustering.
+#[derive(Debug, Clone)]
+pub struct EstDataset {
+    /// The reads, in sampling order.
+    pub ests: Vec<Vec<u8>>,
+    /// `truth[i]` is the index of the gene EST `i` was sampled from —
+    /// the correct clustering used for quality assessment.
+    pub truth: Vec<usize>,
+    /// `isoforms[i]` is which splice isoform of its gene EST `i` came
+    /// from (0 = full transcript; 1 = exon-skipped variant).
+    pub isoforms: Vec<usize>,
+    /// Indices of chimeric reads (fused fragments of two genes); their
+    /// `truth` entry is the 5' gene.
+    pub chimeras: Vec<usize>,
+    /// The gene models the data was sampled from.
+    pub genes: Vec<GeneModel>,
+    /// The configuration that produced this data set.
+    pub config: SimConfig,
+}
+
+impl EstDataset {
+    /// Number of ESTs.
+    pub fn len(&self) -> usize {
+        self.ests.len()
+    }
+
+    /// Whether the data set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ests.is_empty()
+    }
+
+    /// Total bases over all ESTs (the paper's `N`).
+    pub fn total_bases(&self) -> usize {
+        self.ests.iter().map(Vec::len).sum()
+    }
+
+    /// Number of distinct genes that actually received at least one EST
+    /// (the number of clusters a perfect clustering would produce).
+    pub fn true_cluster_count(&self) -> usize {
+        let mut seen = vec![false; self.genes.len()];
+        for &g in &self.truth {
+            seen[g] = true;
+        }
+        seen.iter().filter(|&&x| x).count()
+    }
+}
+
+/// Generate a data set from `cfg`. Deterministic: equal configs (including
+/// seeds) produce identical data sets.
+pub fn generate(cfg: &SimConfig) -> EstDataset {
+    cfg.validate().expect("invalid simulation config");
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+
+    // Transcriptome. Transcripts must be long enough to carry a minimal
+    // read; the exon ranges guarantee that only if min exon length ≥
+    // est_len_min, so re-draw undersized genes (bounded retries).
+    let mut genes = Vec::with_capacity(cfg.num_genes);
+    while genes.len() < cfg.num_genes {
+        let g = GeneModel::random(&mut rng, cfg.exons_per_gene, cfg.exon_len, cfg.intron_len);
+        if g.transcript_len() >= cfg.est_len_min {
+            genes.push(g);
+        }
+    }
+
+    // Repeat elements: transposon-like motifs shared by unrelated genes.
+    // A copy that ends up near a read end masquerades as a dovetail
+    // overlap between different genes — the principal source of
+    // over-prediction (FP) in real EST clustering.
+    if cfg.repeat_gene_prob > 0.0 {
+        let motifs: Vec<Vec<u8>> = (0..cfg.repeat_motifs)
+            .map(|_| random_dna(&mut rng, cfg.repeat_len))
+            .collect();
+        for gene in &mut genes {
+            if !rng.gen_bool(cfg.repeat_gene_prob) {
+                continue;
+            }
+            // Diverged copy of a random motif, inserted into a random exon.
+            let mut copy = motifs[rng.gen_range(0..motifs.len())].clone();
+            for b in copy.iter_mut() {
+                if rng.gen_bool(cfg.repeat_divergence) {
+                    const BASES: [u8; 4] = [b'A', b'C', b'G', b'T'];
+                    *b = BASES[rng.gen_range(0..4)];
+                }
+            }
+            let exon_idx = rng.gen_range(0..gene.exons.len());
+            let exon = &mut gene.exons[exon_idx];
+            let at = rng.gen_range(0..=exon.len());
+            exon.splice(at..at, copy);
+        }
+    }
+    // Isoforms: transcripts[g] lists the splice variants of gene g. The
+    // primary isoform is the full exon concatenation; with probability
+    // `alt_splice_prob`, a multi-exon gene also expresses a variant that
+    // skips one internal exon (or the 2nd of 2) — alternative splicing.
+    let transcripts: Vec<Vec<Vec<u8>>> = genes
+        .iter()
+        .map(|g| {
+            let mut isoforms = vec![g.transcript()];
+            if g.exons.len() >= 2 && cfg.alt_splice_prob > 0.0 && rng.gen_bool(cfg.alt_splice_prob)
+            {
+                let skip = if g.exons.len() == 2 {
+                    1
+                } else {
+                    rng.gen_range(1..g.exons.len() - 1)
+                };
+                let variant: Vec<u8> = g
+                    .exons
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != skip)
+                    .flat_map(|(_, e)| e.iter().copied())
+                    .collect();
+                if variant.len() >= cfg.est_len_min {
+                    isoforms.push(variant);
+                }
+            }
+            isoforms
+        })
+        .collect();
+
+    // Expression weights → cumulative distribution for gene choice.
+    let weights: Vec<f64> = match cfg.expression {
+        Expression::Uniform => vec![1.0; cfg.num_genes],
+        Expression::Zipf(s) => (0..cfg.num_genes)
+            .map(|k| 1.0 / ((k + 1) as f64).powf(s))
+            .collect(),
+    };
+    let total: f64 = weights.iter().sum();
+    let mut cumulative = Vec::with_capacity(weights.len());
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cumulative.push(acc);
+    }
+    // Guard against floating-point shortfall at the top end.
+    if let Some(last) = cumulative.last_mut() {
+        *last = 1.0;
+    }
+
+    let mut ests = Vec::with_capacity(cfg.num_ests);
+    let mut truth = Vec::with_capacity(cfg.num_ests);
+    let mut isoforms = Vec::with_capacity(cfg.num_ests);
+    let mut chimeras = Vec::new();
+    let pick_gene = |rng: &mut SmallRng| {
+        let roll: f64 = rng.gen_range(0.0..1.0);
+        cumulative.partition_point(|&c| c < roll).min(cfg.num_genes - 1)
+    };
+    for i in 0..cfg.num_ests {
+        let gene = pick_gene(&mut rng);
+        let iso = rng.gen_range(0..transcripts[gene].len());
+        if cfg.chimera_prob > 0.0 && cfg.num_genes > 1 && rng.gen_bool(cfg.chimera_prob) {
+            // Chimera: the 5' half reads from `gene`, the 3' half from a
+            // different gene — fused during library construction.
+            let mut other = pick_gene(&mut rng);
+            while other == gene {
+                other = pick_gene(&mut rng);
+            }
+            let head = sample_est(&mut rng, &transcripts[gene][iso], cfg);
+            let tail = sample_est(&mut rng, &transcripts[other][0], cfg);
+            let mut read = head[..head.len() / 2].to_vec();
+            read.extend_from_slice(&tail[tail.len() / 2..]);
+            ests.push(read);
+            truth.push(gene);
+            isoforms.push(iso);
+            chimeras.push(i);
+        } else {
+            ests.push(sample_est(&mut rng, &transcripts[gene][iso], cfg));
+            truth.push(gene);
+            isoforms.push(iso);
+        }
+    }
+
+    EstDataset {
+        ests,
+        truth,
+        isoforms,
+        chimeras,
+        genes,
+        config: cfg.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_counts() {
+        let cfg = SimConfig {
+            num_ests: 250,
+            num_genes: 20,
+            ..SimConfig::default()
+        };
+        let ds = generate(&cfg);
+        assert_eq!(ds.len(), 250);
+        assert_eq!(ds.truth.len(), 250);
+        assert_eq!(ds.genes.len(), 20);
+        assert!(ds.truth.iter().all(|&g| g < 20));
+        assert!(ds.total_bases() > 0);
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let cfg = SimConfig::sized(120, 99);
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.ests, b.ests);
+        assert_eq!(a.truth, b.truth);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&SimConfig::sized(120, 1));
+        let b = generate(&SimConfig::sized(120, 2));
+        assert_ne!(a.ests, b.ests);
+    }
+
+    #[test]
+    fn zipf_concentrates_expression() {
+        let cfg = SimConfig {
+            num_ests: 3000,
+            num_genes: 50,
+            expression: Expression::Zipf(1.2),
+            ..SimConfig::default()
+        };
+        let ds = generate(&cfg);
+        let mut counts = vec![0usize; 50];
+        for &g in &ds.truth {
+            counts[g] += 1;
+        }
+        // Gene 0 must dominate the tail genes decisively.
+        let tail_avg = counts[40..].iter().sum::<usize>() as f64 / 10.0;
+        assert!(
+            counts[0] as f64 > 4.0 * tail_avg.max(1.0),
+            "head {} vs tail avg {tail_avg}",
+            counts[0]
+        );
+    }
+
+    #[test]
+    fn uniform_expression_spreads() {
+        let cfg = SimConfig {
+            num_ests: 5000,
+            num_genes: 10,
+            expression: Expression::Uniform,
+            ..SimConfig::default()
+        };
+        let ds = generate(&cfg);
+        let mut counts = vec![0usize; 10];
+        for &g in &ds.truth {
+            counts[g] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (300..=700).contains(&c),
+                "uniform gene got {c} of 5000 ESTs"
+            );
+        }
+        assert_eq!(ds.true_cluster_count(), 10);
+    }
+
+    #[test]
+    fn ests_are_valid_dna() {
+        let ds = generate(&SimConfig::sized(200, 3));
+        for est in &ds.ests {
+            assert!(!est.is_empty());
+            assert!(est.iter().all(|b| matches!(b, b'A' | b'C' | b'G' | b'T')));
+        }
+    }
+
+    #[test]
+    fn repeats_create_cross_gene_similarity() {
+        let base = SimConfig {
+            num_genes: 40,
+            num_ests: 40,
+            expression: Expression::Uniform,
+            seed: 90,
+            ..SimConfig::default()
+        };
+        let with = generate(&SimConfig {
+            repeat_gene_prob: 0.9,
+            repeat_len: 150,
+            ..base.clone()
+        });
+        let without = generate(&base.clone().repeat_free());
+        // With aggressive repeats, some pair of *different* genes shares a
+        // long exact-ish substring; without, none do (beyond chance ~15bp).
+        let lcs_max = |ds: &EstDataset| {
+            let mut best = 0usize;
+            for i in 0..ds.genes.len() {
+                for j in (i + 1)..ds.genes.len() {
+                    let a = ds.genes[i].transcript();
+                    let b = ds.genes[j].transcript();
+                    // cheap k-mer based common-substring witness
+                    let k = 40;
+                    let mut set = std::collections::HashSet::new();
+                    for w in a.windows(k) {
+                        set.insert(w.to_vec());
+                    }
+                    if b.windows(k).any(|w| set.contains(w)) {
+                        best = best.max(k);
+                    }
+                }
+            }
+            best
+        };
+        assert!(lcs_max(&with) >= 40, "repeats produced no shared 40-mers");
+        assert_eq!(lcs_max(&without), 0, "repeat-free genes share 40-mers");
+    }
+
+    #[test]
+    fn chimeras_fuse_two_genes() {
+        let cfg = SimConfig {
+            num_genes: 20,
+            num_ests: 400,
+            chimera_prob: 0.25,
+            expression: Expression::Uniform,
+            seed: 93,
+            ..SimConfig::default()
+        };
+        let ds = generate(&cfg);
+        // Roughly a quarter of the reads are chimeric.
+        assert!(
+            (60..=140).contains(&ds.chimeras.len()),
+            "{} chimeras of 400",
+            ds.chimeras.len()
+        );
+        for &i in &ds.chimeras {
+            assert!(!ds.ests[i].is_empty());
+            assert!(ds.truth[i] < 20);
+        }
+        // Disabled: no chimeras recorded.
+        let plain = generate(&SimConfig {
+            chimera_prob: 0.0,
+            ..cfg
+        });
+        assert!(plain.chimeras.is_empty());
+        assert_eq!(plain.ests.len(), 400);
+    }
+
+    #[test]
+    fn alternative_splicing_produces_isoforms() {
+        let cfg = SimConfig {
+            num_genes: 30,
+            num_ests: 600,
+            exons_per_gene: (3, 5),
+            exon_len: (150, 300),
+            alt_splice_prob: 1.0,
+            expression: Expression::Uniform,
+            seed: 91,
+            ..SimConfig::default()
+        };
+        let ds = generate(&cfg);
+        assert_eq!(ds.isoforms.len(), 600);
+        let variants = ds.isoforms.iter().filter(|&&i| i == 1).count();
+        // Roughly half the reads come from the skipped isoform.
+        assert!(
+            (150..450).contains(&variants),
+            "{variants} variant reads of 600"
+        );
+        // Disabled splicing yields only isoform 0.
+        let plain = generate(&SimConfig {
+            alt_splice_prob: 0.0,
+            ..cfg
+        });
+        assert!(plain.isoforms.iter().all(|&i| i == 0));
+    }
+
+    #[test]
+    fn transcripts_can_carry_minimal_reads() {
+        let cfg = SimConfig {
+            num_genes: 30,
+            exon_len: (40, 90), // some genes would be too short without retry
+            exons_per_gene: (1, 3),
+            ..SimConfig::default()
+        };
+        let ds = generate(&cfg);
+        for g in &ds.genes {
+            assert!(g.transcript_len() >= cfg.est_len_min);
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! EST sampling: read placement, sequencing errors, strand orientation.
+
+use crate::config::SimConfig;
+use pace_seq::reverse_complement;
+use rand::Rng;
+
+/// Sample one EST from a transcript.
+///
+/// Read length is drawn from a clamped normal; placement is flush with the
+/// 5' or 3' end with probability `end_bias` (cDNAs are sequenced from
+/// their ends) and uniform otherwise; sequencing errors are applied
+/// per-base; the read is reverse-complemented with `reverse_prob`.
+pub fn sample_est<R: Rng>(rng: &mut R, transcript: &[u8], cfg: &SimConfig) -> Vec<u8> {
+    let len = draw_length(rng, cfg).min(transcript.len());
+    let max_start = transcript.len() - len;
+    let start = if max_start == 0 {
+        0
+    } else if rng.gen_bool(cfg.end_bias) {
+        // End-sequenced: flush against the 5' or 3' end.
+        if rng.gen_bool(0.5) {
+            0
+        } else {
+            max_start
+        }
+    } else {
+        rng.gen_range(0..=max_start)
+    };
+    let mut read = transcript[start..start + len].to_vec();
+    if cfg.error_rate > 0.0 {
+        read = apply_errors(rng, &read, cfg);
+    }
+    if rng.gen_bool(cfg.reverse_prob) {
+        read = reverse_complement(&read);
+    }
+    read
+}
+
+/// Draw a read length from the clamped normal distribution.
+fn draw_length<R: Rng>(rng: &mut R, cfg: &SimConfig) -> usize {
+    // Box–Muller: two uniforms → one standard normal deviate.
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    let len = cfg.est_len_mean + cfg.est_len_sd * z;
+    (len.round().max(cfg.est_len_min as f64)) as usize
+}
+
+/// Apply per-base substitution/insertion/deletion errors.
+pub fn apply_errors<R: Rng>(rng: &mut R, read: &[u8], cfg: &SimConfig) -> Vec<u8> {
+    const BASES: [u8; 4] = [b'A', b'C', b'G', b'T'];
+    let (sub, ins, _del) = cfg.error_mix;
+    let mut out = Vec::with_capacity(read.len() + 8);
+    for &b in read {
+        if rng.gen_bool(cfg.error_rate) {
+            let roll: f64 = rng.gen_range(0.0..1.0);
+            if roll < sub {
+                // Substitute with a *different* base.
+                let mut nb = BASES[rng.gen_range(0..4)];
+                while nb == b {
+                    nb = BASES[rng.gen_range(0..4)];
+                }
+                out.push(nb);
+            } else if roll < sub + ins {
+                // Insert a random base, keep the original.
+                out.push(BASES[rng.gen_range(0..4)]);
+                out.push(b);
+            }
+            // else: deletion — emit nothing.
+        } else {
+            out.push(b);
+        }
+    }
+    if out.is_empty() {
+        // Pathological all-deleted read; keep one base so the store
+        // accepts it.
+        out.push(read[0]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn cfg() -> SimConfig {
+        SimConfig::default()
+    }
+
+    #[test]
+    fn error_free_reads_are_exact_substrings() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut c = cfg().error_free();
+        c.reverse_prob = 0.0;
+        let transcript = crate::gene::random_dna(&mut rng, 2000);
+        for _ in 0..50 {
+            let read = sample_est(&mut rng, &transcript, &c);
+            assert!(read.len() >= c.est_len_min);
+            assert!(
+                transcript.windows(read.len()).any(|w| w == &read[..]),
+                "read is not a substring of its transcript"
+            );
+        }
+    }
+
+    #[test]
+    fn reverse_reads_are_revcomp_substrings() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut c = cfg().error_free();
+        c.reverse_prob = 1.0;
+        let transcript = crate::gene::random_dna(&mut rng, 1500);
+        for _ in 0..20 {
+            let read = sample_est(&mut rng, &transcript, &c);
+            let fwd = reverse_complement(&read);
+            assert!(transcript.windows(fwd.len()).any(|w| w == &fwd[..]));
+        }
+    }
+
+    #[test]
+    fn short_transcript_is_fully_read() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut c = cfg().error_free();
+        c.reverse_prob = 0.0;
+        let transcript = crate::gene::random_dna(&mut rng, 120); // < est_len_min? no: min 100
+        let read = sample_est(&mut rng, &transcript, &c);
+        assert!(read.len() <= 120);
+    }
+
+    #[test]
+    fn error_rate_roughly_matches() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let mut c = cfg();
+        c.error_rate = 0.10;
+        c.error_mix = (1.0, 0.0, 0.0); // substitutions only: length preserved
+        let read = crate::gene::random_dna(&mut rng, 20_000);
+        let noisy = apply_errors(&mut rng, &read, &c);
+        assert_eq!(noisy.len(), read.len());
+        let diffs = read.iter().zip(&noisy).filter(|(a, b)| a != b).count();
+        let rate = diffs as f64 / read.len() as f64;
+        assert!((0.07..0.13).contains(&rate), "observed rate {rate}");
+    }
+
+    #[test]
+    fn indel_errors_change_length() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut c = cfg();
+        c.error_rate = 0.2;
+        c.error_mix = (0.0, 1.0, 0.0); // insertions only
+        let read = crate::gene::random_dna(&mut rng, 5000);
+        let noisy = apply_errors(&mut rng, &read, &c);
+        assert!(noisy.len() > read.len());
+
+        c.error_mix = (0.0, 0.0, 1.0); // deletions only
+        let noisy = apply_errors(&mut rng, &read, &c);
+        assert!(noisy.len() < read.len());
+    }
+
+    #[test]
+    fn end_bias_places_reads_flush() {
+        let mut rng = SmallRng::seed_from_u64(10);
+        let mut c = cfg().error_free();
+        c.reverse_prob = 0.0;
+        c.end_bias = 1.0;
+        let transcript = crate::gene::random_dna(&mut rng, 3000);
+        for _ in 0..30 {
+            let read = sample_est(&mut rng, &transcript, &c);
+            let is_prefix = transcript.starts_with(&read);
+            let is_suffix = transcript.ends_with(&read);
+            assert!(is_prefix || is_suffix, "end-biased read not flush");
+        }
+    }
+
+    #[test]
+    fn lengths_follow_clamped_normal() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let c = cfg();
+        let lens: Vec<usize> = (0..2000).map(|_| draw_length(&mut rng, &c)).collect();
+        let mean = lens.iter().sum::<usize>() as f64 / lens.len() as f64;
+        assert!((mean - c.est_len_mean).abs() < 15.0, "mean length {mean}");
+        assert!(lens.iter().all(|&l| l >= c.est_len_min));
+    }
+}

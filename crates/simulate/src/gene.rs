@@ -1,0 +1,141 @@
+//! Gene models: exon/intron structure and splicing.
+//!
+//! A gene is a stretch of DNA composed of alternating exons and introns;
+//! transcription produces an mRNA that is the concatenation of the exons
+//! (paper, Figure 1). ESTs derive from cDNA copies of the mRNA, so only
+//! the spliced transcript matters for clustering — but the full structure
+//! is generated anyway so examples can exercise intron-aware scenarios
+//! (e.g. alternative-splicing detection, the paper's future work).
+
+use rand::Rng;
+
+/// A random DNA sequence of the given length (uniform base composition).
+pub fn random_dna<R: Rng>(rng: &mut R, len: usize) -> Vec<u8> {
+    const BASES: [u8; 4] = [b'A', b'C', b'G', b'T'];
+    (0..len).map(|_| BASES[rng.gen_range(0..4)]).collect()
+}
+
+/// One gene: `k` exons separated by `k − 1` introns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GeneModel {
+    /// Exon sequences, 5' to 3'.
+    pub exons: Vec<Vec<u8>>,
+    /// Intron sequences between consecutive exons.
+    pub introns: Vec<Vec<u8>>,
+}
+
+impl GeneModel {
+    /// Generate a random gene with the given structural ranges.
+    pub fn random<R: Rng>(
+        rng: &mut R,
+        exons_per_gene: (usize, usize),
+        exon_len: (usize, usize),
+        intron_len: (usize, usize),
+    ) -> Self {
+        let num_exons = rng.gen_range(exons_per_gene.0..=exons_per_gene.1);
+        let exons = (0..num_exons)
+            .map(|_| {
+                let len = rng.gen_range(exon_len.0..=exon_len.1);
+                random_dna(rng, len)
+            })
+            .collect::<Vec<_>>();
+        let introns = (0..num_exons.saturating_sub(1))
+            .map(|_| {
+                let len = rng.gen_range(intron_len.0..=intron_len.1);
+                random_dna(rng, len)
+            })
+            .collect();
+        GeneModel { exons, introns }
+    }
+
+    /// The spliced transcript: exons concatenated, introns removed.
+    pub fn transcript(&self) -> Vec<u8> {
+        let len = self.exons.iter().map(Vec::len).sum();
+        let mut mrna = Vec::with_capacity(len);
+        for exon in &self.exons {
+            mrna.extend_from_slice(exon);
+        }
+        mrna
+    }
+
+    /// The genomic sequence: exons and introns interleaved.
+    pub fn genomic(&self) -> Vec<u8> {
+        let mut dna = Vec::new();
+        for (i, exon) in self.exons.iter().enumerate() {
+            dna.extend_from_slice(exon);
+            if let Some(intron) = self.introns.get(i) {
+                dna.extend_from_slice(intron);
+            }
+        }
+        dna
+    }
+
+    /// Length of the spliced transcript.
+    pub fn transcript_len(&self) -> usize {
+        self.exons.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_dna_is_valid_and_sized() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let seq = random_dna(&mut rng, 500);
+        assert_eq!(seq.len(), 500);
+        assert!(seq.iter().all(|b| matches!(b, b'A' | b'C' | b'G' | b'T')));
+        // All four bases should appear in 500 draws.
+        for base in [b'A', b'C', b'G', b'T'] {
+            assert!(seq.contains(&base), "base {} missing", base as char);
+        }
+    }
+
+    #[test]
+    fn gene_structure_is_consistent() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let g = GeneModel::random(&mut rng, (1, 6), (50, 200), (40, 100));
+            assert!((1..=6).contains(&g.exons.len()));
+            assert_eq!(g.introns.len(), g.exons.len() - 1);
+            for e in &g.exons {
+                assert!((50..=200).contains(&e.len()));
+            }
+            for i in &g.introns {
+                assert!((40..=100).contains(&i.len()));
+            }
+        }
+    }
+
+    #[test]
+    fn transcript_is_exon_concatenation() {
+        let g = GeneModel {
+            exons: vec![b"AAAA".to_vec(), b"CCCC".to_vec(), b"GG".to_vec()],
+            introns: vec![b"TTTTTT".to_vec(), b"TT".to_vec()],
+        };
+        assert_eq!(g.transcript(), b"AAAACCCCGG");
+        assert_eq!(g.transcript_len(), 10);
+        assert_eq!(g.genomic(), b"AAAATTTTTTCCCCTTGG");
+    }
+
+    #[test]
+    fn single_exon_gene_has_no_introns() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let g = GeneModel::random(&mut rng, (1, 1), (100, 100), (50, 60));
+        assert_eq!(g.exons.len(), 1);
+        assert!(g.introns.is_empty());
+        assert_eq!(g.transcript(), g.genomic());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let make = || {
+            let mut rng = SmallRng::seed_from_u64(42);
+            GeneModel::random(&mut rng, (2, 4), (80, 120), (40, 80))
+        };
+        assert_eq!(make(), make());
+    }
+}

@@ -1,0 +1,28 @@
+//! Synthetic genome / transcriptome / EST generation.
+//!
+//! The paper evaluates on 81,414 *Arabidopsis thaliana* ESTs whose correct
+//! clustering is known because the full genome is available. That data set
+//! (and its curated truth) is not redistributable, so this crate builds
+//! the closest synthetic equivalent, exercising exactly the same code
+//! paths:
+//!
+//! * [`gene`] — genes with alternating exons and introns, spliced to mRNA
+//!   (Figure 1 of the paper);
+//! * [`est`] — ESTs sampled from mRNAs: reads of ~500–600 bases taken
+//!   from either end, with substitution/insertion/deletion sequencing
+//!   errors and random strand orientation (a gene can lie on either
+//!   strand of the double-stranded DNA);
+//! * [`dataset`] — whole data sets with per-EST ground-truth gene labels,
+//!   the "correct clustering obtained through alternative means" that
+//!   Table 2's quality metrics are computed against.
+//!
+//! Everything is deterministic given the seed in [`SimConfig`].
+
+pub mod config;
+pub mod dataset;
+pub mod est;
+pub mod gene;
+
+pub use config::{Expression, SimConfig};
+pub use dataset::{generate, EstDataset};
+pub use gene::{random_dna, GeneModel};

@@ -1,0 +1,62 @@
+//! Incremental clustering — the paper's closing open problem.
+//!
+//! "Is there a way to incrementally adjust the EST clusters when a new
+//! batch of ESTs is sequenced, instead of the current method of
+//! clustering all the ESTs from scratch?" ESTs arrive in sequencing
+//! batches; this example feeds three successive batches through
+//! [`pace::IncrementalClusterer`] and compares the alignment work and the
+//! final partition against re-clustering everything from scratch after
+//! each batch.
+//!
+//! ```text
+//! cargo run --release --example incremental_batches
+//! ```
+
+use pace::{ClusterConfig, IncrementalClusterer, Pace, PaceConfig, SimConfig};
+
+fn main() {
+    let data = pace::simulate::generate(&SimConfig::sized(1_200, 77));
+    let batches: Vec<&[Vec<u8>]> = vec![
+        &data.ests[..400],
+        &data.ests[400..800],
+        &data.ests[800..],
+    ];
+
+    // --- Incremental: clusters carried over, old-old pairs skipped.
+    let mut incremental = IncrementalClusterer::new(ClusterConfig::default());
+    let mut incremental_alignments = 0u64;
+    for (i, batch) in batches.iter().enumerate() {
+        let aligned = incremental.add_batch(batch).expect("valid DNA");
+        incremental_alignments += aligned;
+        println!(
+            "batch {}: +{} ESTs, {} alignments this round, {} clusters",
+            i + 1,
+            batch.len(),
+            aligned,
+            incremental.num_clusters()
+        );
+    }
+
+    // --- From scratch after every batch (what the paper's version does).
+    let mut scratch_alignments = 0u64;
+    let mut scratch_labels = Vec::new();
+    for upto in [400, 800, data.ests.len()] {
+        let outcome = Pace::new(PaceConfig::paper())
+            .cluster(&data.ests[..upto])
+            .expect("valid DNA");
+        scratch_alignments += outcome.result.stats.pairs_processed;
+        scratch_labels = outcome.result.labels;
+    }
+
+    // --- Compare.
+    let agreement = pace::quality::assess(&incremental.labels(), &scratch_labels);
+    println!("\nincremental vs from-scratch partition agreement: {agreement}");
+    println!(
+        "alignments: incremental {} vs repeated-from-scratch {} ({:.1}x saved)",
+        incremental_alignments,
+        scratch_alignments,
+        scratch_alignments as f64 / incremental_alignments.max(1) as f64
+    );
+    let final_quality = pace::quality::assess(&incremental.labels(), &data.truth);
+    println!("final quality vs ground truth: {final_quality}");
+}

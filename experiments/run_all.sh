@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Regenerate every table and figure of the paper and record the outputs.
+# PACE_SCALE divides the paper's EST counts (default 20).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+SCALE="${PACE_SCALE:-20}"
+export PACE_SCALE="$SCALE"
+echo "building release binaries..."
+cargo build --release -p pace-bench --bins
+for exp in table1 table2 table3 fig6a fig6b fig7 fig8 ablations; do
+    echo "=== $exp (scale 1/$SCALE) ==="
+    ./target/release/$exp | tee "experiments/${exp}.txt"
+done
+echo "all experiment outputs recorded under experiments/"

@@ -1,0 +1,274 @@
+//! `pace` — command-line interface to the clustering pipeline.
+//!
+//! ```text
+//! pace simulate --ests 2000 --genes 160 --seed 7 --out reads.fasta [--truth truth.tsv]
+//! pace cluster  --in reads.fasta --out clusters.tsv [--procs 4] [--psi 20]
+//!               [--batchsize 60] [--window 8] [--min-overlap 40] [--min-ratio 0.8]
+//! pace assess   --pred clusters.tsv --truth truth.tsv
+//! pace splice   --in reads.fasta --clusters clusters.tsv
+//! ```
+//!
+//! Cluster output is one `est_id<TAB>cluster_label` line per EST, in
+//! input order — trivially diffable and joinable. Argument parsing is
+//! hand-rolled (no CLI dependency): `--flag value` pairs only.
+
+use pace::core::{detect_splice_events, SpliceScanConfig};
+use pace::{Pace, PaceConfig, SimConfig};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "simulate" => cmd_simulate(rest),
+        "cluster" => cmd_cluster(rest),
+        "assess" => cmd_assess(rest),
+        "splice" => cmd_splice(rest),
+        "stats" => cmd_stats(rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("pace: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+pace — space and time efficient parallel EST clustering (ICPP 2002)
+
+USAGE:
+  pace simulate --ests N [--genes N] [--seed N] --out FILE [--truth FILE]
+  pace cluster  --in FASTA --out FILE [--procs N] [--psi N] [--window N]
+                [--batchsize N] [--min-overlap N] [--min-ratio F] [--truth FILE]
+  pace assess   --pred FILE --truth FILE
+  pace splice   --in FASTA --clusters FILE [--min-event N]
+  pace stats    --in FASTA";
+
+/// Parse `--key value` pairs.
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(key) = it.next() {
+        let Some(name) = key.strip_prefix("--") else {
+            return Err(format!("expected --flag, got {key:?}"));
+        };
+        let Some(value) = it.next() else {
+            return Err(format!("--{name} requires a value"));
+        };
+        flags.insert(name.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn get<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{name}: cannot parse {v:?}")),
+    }
+}
+
+fn require<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a str, String> {
+    flags
+        .get(name)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing required flag --{name}"))
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let ests: usize = get(&flags, "ests", 1000)?;
+    let genes: usize = get(&flags, "genes", (ests / 12).max(1))?;
+    let seed: u64 = get(&flags, "seed", 42)?;
+    let out = require(&flags, "out")?;
+
+    let cfg = SimConfig {
+        num_ests: ests,
+        num_genes: genes,
+        seed,
+        ..SimConfig::default()
+    };
+    let data = pace::simulate::generate(&cfg);
+
+    let records: Vec<pace::seq::FastaRecord> = data
+        .ests
+        .iter()
+        .enumerate()
+        .map(|(i, est)| pace::seq::FastaRecord {
+            id: format!("est_{i}"),
+            description: format!("gene={} isoform={}", data.truth[i], data.isoforms[i]),
+            sequence: est.clone(),
+        })
+        .collect();
+    let fasta = pace::seq::fasta::to_fasta_string(&records, 70);
+    std::fs::write(out, fasta).map_err(|e| format!("writing {out}: {e}"))?;
+    eprintln!("wrote {ests} ESTs from {genes} genes to {out}");
+
+    if let Some(truth_path) = flags.get("truth") {
+        let mut tsv = String::new();
+        for (i, &g) in data.truth.iter().enumerate() {
+            tsv.push_str(&format!("est_{i}\t{g}\n"));
+        }
+        std::fs::write(truth_path, tsv).map_err(|e| format!("writing {truth_path}: {e}"))?;
+        eprintln!("wrote ground truth to {truth_path}");
+    }
+    Ok(())
+}
+
+fn read_fasta_file(path: &str) -> Result<Vec<pace::seq::FastaRecord>, String> {
+    let mut records =
+        pace::seq::read_fasta_file(path).map_err(|e| format!("{path}: {e}"))?;
+    for rec in &mut records {
+        // Real EST data carries IUPAC ambiguity codes; map them to 'A'.
+        pace::seq::fasta::sanitize_sequence(&mut rec.sequence);
+    }
+    Ok(records)
+}
+
+/// Read a `id<TAB>label` file into (ids, labels).
+fn read_labels(path: &str) -> Result<(Vec<String>, Vec<usize>), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let mut ids = Vec::new();
+    let mut labels = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut parts = line.split('\t');
+        let id = parts
+            .next()
+            .ok_or_else(|| format!("{path}:{}: empty line", lineno + 1))?;
+        let label = parts
+            .next()
+            .ok_or_else(|| format!("{path}:{}: missing label column", lineno + 1))?;
+        ids.push(id.to_string());
+        labels.push(
+            label
+                .trim()
+                .parse()
+                .map_err(|_| format!("{path}:{}: bad label {label:?}", lineno + 1))?,
+        );
+    }
+    Ok((ids, labels))
+}
+
+fn cmd_cluster(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let input = require(&flags, "in")?;
+    let out = require(&flags, "out")?;
+
+    let mut config = PaceConfig::paper();
+    config.num_processors = get(&flags, "procs", 1)?;
+    config.cluster.psi = get(&flags, "psi", config.cluster.psi)?;
+    config.cluster.window_w = get(&flags, "window", config.cluster.window_w)?;
+    config.cluster.batchsize = get(&flags, "batchsize", config.cluster.batchsize)?;
+    config.cluster.overlap.min_overlap_len =
+        get(&flags, "min-overlap", config.cluster.overlap.min_overlap_len)?;
+    config.cluster.overlap.min_score_ratio =
+        get(&flags, "min-ratio", config.cluster.overlap.min_score_ratio)?;
+
+    let records = read_fasta_file(input)?;
+    let ests: Vec<Vec<u8>> = records.iter().map(|r| r.sequence.clone()).collect();
+    eprintln!("clustering {} ESTs ...", ests.len());
+
+    let outcome = Pace::new(config)
+        .cluster(&ests)
+        .map_err(|e| e.to_string())?;
+
+    let mut tsv = String::new();
+    for (rec, &label) in records.iter().zip(outcome.labels()) {
+        tsv.push_str(&format!("{}\t{}\n", rec.id, label));
+    }
+    std::fs::write(out, tsv).map_err(|e| format!("writing {out}: {e}"))?;
+
+    let report = pace::RunReport::from_outcome(&outcome, None);
+    eprint!("{report}");
+    eprintln!("wrote {} cluster labels to {out}", outcome.num_ests);
+
+    if let Some(truth_path) = flags.get("truth") {
+        let (_, truth) = read_labels(truth_path)?;
+        if truth.len() != outcome.num_ests {
+            return Err(format!(
+                "truth has {} entries, input has {}",
+                truth.len(),
+                outcome.num_ests
+            ));
+        }
+        eprintln!("quality: {}", outcome.quality(&truth));
+    }
+    Ok(())
+}
+
+fn cmd_assess(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let (pred_ids, pred) = read_labels(require(&flags, "pred")?)?;
+    let (truth_ids, truth) = read_labels(require(&flags, "truth")?)?;
+    if pred_ids != truth_ids {
+        return Err("prediction and truth files list different ESTs (or different order)".into());
+    }
+    let m = pace::quality::assess(&pred, &truth);
+    println!("{m}");
+    println!(
+        "TP {}  FP {}  FN {}  TN {}",
+        m.counts.tp, m.counts.fp, m.counts.fn_, m.counts.tn
+    );
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let records = read_fasta_file(require(&flags, "in")?)?;
+    let seqs: Vec<&[u8]> = records.iter().map(|r| r.sequence.as_slice()).collect();
+    match pace::seq::length_stats(&seqs) {
+        None => println!("no sequences"),
+        Some(stats) => {
+            println!("{stats}");
+            let [a, c, g, t] = pace::seq::base_composition(&seqs);
+            println!(
+                "composition: A {a}  C {c}  G {g}  T {t}  (GC {:.1}%)",
+                100.0 * pace::seq::gc_content(&seqs)
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_splice(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let records = read_fasta_file(require(&flags, "in")?)?;
+    let (label_ids, labels) = read_labels(require(&flags, "clusters")?)?;
+    let ids: Vec<String> = records.iter().map(|r| r.id.clone()).collect();
+    if ids != label_ids {
+        return Err("FASTA and cluster files list different ESTs (or different order)".into());
+    }
+    let ests: Vec<Vec<u8>> = records.into_iter().map(|r| r.sequence).collect();
+
+    let mut cfg = SpliceScanConfig::default();
+    cfg.min_event_len = get(&flags, "min-event", cfg.min_event_len)?;
+    let events = detect_splice_events(&ests, &labels, &cfg);
+    println!("long_read\tshort_read\tcluster\tevent_len\tleft_flank\tright_flank");
+    for e in &events {
+        println!(
+            "{}\t{}\t{}\t{}\t{}\t{}",
+            ids[e.long_read], ids[e.short_read], e.cluster, e.event_len, e.left_flank, e.right_flank
+        );
+    }
+    eprintln!("{} candidate splice events", events.len());
+    Ok(())
+}

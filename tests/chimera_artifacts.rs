@@ -1,0 +1,104 @@
+//! Chimeric reads — the library-construction artifact that fuses
+//! fragments of two genes into one EST — and what they do to clustering.
+//!
+//! A chimera genuinely overlaps reads of *both* its source genes, so a
+//! single-linkage clusterer will bridge the two true clusters through
+//! it. That is not a bug in PaCE (CAP3 and friends behave identically);
+//! these tests pin down the mechanism: over-prediction grows with the
+//! chimera rate, and removing the chimeric reads restores clean
+//! clustering of the remainder.
+
+use pace::{Pace, PaceConfig, SimConfig};
+
+fn test_config() -> PaceConfig {
+    let mut c = PaceConfig::small_inputs();
+    c.cluster.psi = 16;
+    c.cluster.overlap.min_overlap_len = 40;
+    c
+}
+
+fn sim(chimera_prob: f64, seed: u64) -> SimConfig {
+    SimConfig {
+        num_genes: 12,
+        num_ests: 150,
+        est_len_mean: 220.0,
+        est_len_sd: 25.0,
+        est_len_min: 120,
+        exon_len: (220, 400),
+        exons_per_gene: (1, 2),
+        chimera_prob,
+        seed,
+        ..SimConfig::default()
+    }
+    .error_free()
+    .repeat_free()
+}
+
+#[test]
+fn chimeras_raise_over_prediction() {
+    let clean = pace::simulate::generate(&sim(0.0, 301));
+    let dirty = pace::simulate::generate(&sim(0.15, 301));
+    assert!(!dirty.chimeras.is_empty());
+
+    let q_clean = Pace::new(test_config())
+        .cluster(&clean.ests)
+        .unwrap()
+        .quality(&clean.truth);
+    let q_dirty = Pace::new(test_config())
+        .cluster(&dirty.ests)
+        .unwrap()
+        .quality(&dirty.truth);
+
+    assert_eq!(q_clean.counts.fp, 0, "clean run must have no FPs: {q_clean}");
+    assert!(
+        q_dirty.counts.fp > 0,
+        "chimeras produced no over-prediction: {q_dirty}"
+    );
+}
+
+#[test]
+fn removing_chimeras_restores_clean_clustering() {
+    let dirty = pace::simulate::generate(&sim(0.2, 302));
+    let chimeric: std::collections::HashSet<usize> = dirty.chimeras.iter().copied().collect();
+    assert!(!chimeric.is_empty());
+
+    let kept: Vec<Vec<u8>> = dirty
+        .ests
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !chimeric.contains(i))
+        .map(|(_, e)| e.clone())
+        .collect();
+    let kept_truth: Vec<usize> = dirty
+        .truth
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !chimeric.contains(i))
+        .map(|(_, &t)| t)
+        .collect();
+
+    let q = Pace::new(test_config())
+        .cluster(&kept)
+        .unwrap()
+        .quality(&kept_truth);
+    assert_eq!(
+        q.counts.fp, 0,
+        "chimera-free subset still over-predicts: {q}"
+    );
+}
+
+#[test]
+fn chimera_truth_stays_with_five_prime_gene() {
+    let ds = pace::simulate::generate(&sim(0.3, 303));
+    for &i in &ds.chimeras {
+        // The 5' half of the read must actually come from its truth gene:
+        // its first 40 bases align into that gene's transcript (reads may
+        // be reverse-complemented, so check both orientations).
+        let gene_seq = ds.genes[ds.truth[i]].transcript();
+        let head: Vec<u8> = ds.ests[i][..40.min(ds.ests[i].len())].to_vec();
+        let head_rc = pace::seq::reverse_complement(&head);
+        let found = gene_seq.windows(head.len()).any(|w| w == &head[..])
+            || gene_seq.windows(head_rc.len()).any(|w| w == &head_rc[..]);
+        assert!(found, "chimera {i} head not found in its truth gene");
+    }
+}

@@ -1,0 +1,128 @@
+//! Integration tests for the `pace` command-line binary: the full
+//! simulate → cluster → assess → splice round trip through real files
+//! and process boundaries.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn pace_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pace"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("pace-cli-test-{}-{name}", std::process::id()));
+    dir
+}
+
+#[test]
+fn simulate_cluster_assess_roundtrip() {
+    let reads = tmp("reads.fa");
+    let truth = tmp("truth.tsv");
+    let clusters = tmp("clusters.tsv");
+
+    let out = pace_bin()
+        .args(["simulate", "--ests", "200", "--seed", "9"])
+        .arg("--out")
+        .arg(&reads)
+        .arg("--truth")
+        .arg(&truth)
+        .output()
+        .expect("spawn pace simulate");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(reads.exists() && truth.exists());
+
+    let out = pace_bin()
+        .args(["cluster", "--procs", "2"])
+        .arg("--in")
+        .arg(&reads)
+        .arg("--out")
+        .arg(&clusters)
+        .arg("--truth")
+        .arg(&truth)
+        .output()
+        .expect("spawn pace cluster");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{stderr}");
+    assert!(stderr.contains("quality"), "no quality line: {stderr}");
+
+    // The label file covers every EST exactly once, in order.
+    let labels = std::fs::read_to_string(&clusters).unwrap();
+    let lines: Vec<&str> = labels.lines().collect();
+    assert_eq!(lines.len(), 200);
+    assert!(lines[0].starts_with("est_0\t"));
+    assert!(lines[199].starts_with("est_199\t"));
+
+    let out = pace_bin()
+        .arg("assess")
+        .arg("--pred")
+        .arg(&clusters)
+        .arg("--truth")
+        .arg(&truth)
+        .output()
+        .expect("spawn pace assess");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("OQ"), "{stdout}");
+    assert!(stdout.contains("TP"), "{stdout}");
+
+    let out = pace_bin()
+        .arg("splice")
+        .arg("--in")
+        .arg(&reads)
+        .arg("--clusters")
+        .arg(&clusters)
+        .output()
+        .expect("spawn pace splice");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("long_read\t"), "{stdout}");
+
+    for f in [reads, truth, clusters] {
+        let _ = std::fs::remove_file(f);
+    }
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = pace_bin().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("USAGE"), "{stderr}");
+}
+
+#[test]
+fn missing_required_flag_is_reported() {
+    let out = pace_bin().args(["cluster", "--procs", "2"]).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--in"), "{stderr}");
+}
+
+#[test]
+fn cluster_rejects_missing_file() {
+    let out = pace_bin()
+        .args(["cluster", "--in", "/nonexistent/reads.fa", "--out", "/tmp/x"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn assess_rejects_mismatched_files() {
+    let a = tmp("a.tsv");
+    let b = tmp("b.tsv");
+    std::fs::write(&a, "est_0\t1\nest_1\t1\n").unwrap();
+    std::fs::write(&b, "est_0\t1\nest_2\t1\n").unwrap();
+    let out = pace_bin()
+        .arg("assess")
+        .arg("--pred")
+        .arg(&a)
+        .arg("--truth")
+        .arg(&b)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let _ = std::fs::remove_file(a);
+    let _ = std::fs::remove_file(b);
+}

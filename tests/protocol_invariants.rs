@@ -1,0 +1,107 @@
+//! Property-style integration tests of the clustering protocol across
+//! randomized workloads: the sequential and parallel drivers must agree
+//! on error-free data, stats invariants must hold for every driver, and
+//! the incremental clusterer must match from-scratch runs regardless of
+//! batch split points.
+
+use pace::{Pace, PaceConfig, SequenceStore, SimConfig};
+use proptest::prelude::*;
+
+fn cfg() -> PaceConfig {
+    let mut c = PaceConfig::small_inputs();
+    c.cluster.psi = 16;
+    c.cluster.overlap.min_overlap_len = 40;
+    c
+}
+
+fn sim(n: usize, genes: usize, seed: u64) -> SimConfig {
+    SimConfig {
+        num_genes: genes,
+        num_ests: n,
+        est_len_mean: 200.0,
+        est_len_sd: 20.0,
+        est_len_min: 120,
+        exon_len: (200, 350),
+        exons_per_gene: (1, 2),
+        seed,
+        ..SimConfig::default()
+    }
+    .error_free()
+}
+
+proptest! {
+    // These spin up full pipelines; keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Sequential and parallel produce the same partition on clean data,
+    /// for arbitrary seeds and rank counts.
+    #[test]
+    fn drivers_agree(seed in 0u64..1000, p in 2usize..6, n in 40usize..90) {
+        let ds = pace::simulate::generate(&sim(n, (n / 10).max(2), seed));
+        let store = SequenceStore::from_ests(&ds.ests).unwrap();
+        let seq = pace::cluster::cluster_sequential(&store, &cfg().cluster);
+        let par = pace::cluster::cluster_parallel(&store, &cfg().cluster, p);
+        let agreement = pace::quality::assess(&par.labels, &seq.labels);
+        prop_assert_eq!(
+            agreement.counts.fp + agreement.counts.fn_,
+            0,
+            "partitions diverge at seed {} p {}: {}", seed, p, agreement
+        );
+    }
+
+    /// Stats invariants hold for the sequential driver on noisy data.
+    #[test]
+    fn sequential_stats_invariants(seed in 0u64..1000, n in 30usize..80) {
+        let mut s = sim(n, (n / 8).max(2), seed);
+        s.error_rate = 0.02;
+        let ds = pace::simulate::generate(&s);
+        let outcome = Pace::new(cfg()).cluster(&ds.ests).unwrap();
+        let st = &outcome.result.stats;
+        prop_assert_eq!(st.pairs_generated, st.pairs_processed + st.pairs_skipped);
+        prop_assert!(st.pairs_accepted <= st.pairs_processed);
+        prop_assert!(st.merges <= st.pairs_accepted);
+        prop_assert_eq!(
+            outcome.num_clusters() as u64 + st.merges,
+            n as u64,
+            "n - merges must equal cluster count"
+        );
+        prop_assert_eq!(outcome.labels().len(), n);
+    }
+
+    /// The incremental clusterer matches from-scratch for any split point.
+    #[test]
+    fn incremental_split_invariance(seed in 0u64..500, split_pct in 10usize..90) {
+        let n = 60;
+        let ds = pace::simulate::generate(&sim(n, 6, seed));
+        let store = SequenceStore::from_ests(&ds.ests).unwrap();
+        let scratch = pace::cluster::cluster_sequential(&store, &cfg().cluster);
+
+        let split = n * split_pct / 100;
+        let mut inc = pace::IncrementalClusterer::new(cfg().cluster);
+        inc.add_batch(&ds.ests[..split]).unwrap();
+        inc.add_batch(&ds.ests[split..]).unwrap();
+
+        let agreement = pace::quality::assess(&inc.labels(), &scratch.labels);
+        prop_assert_eq!(
+            agreement.counts.fp + agreement.counts.fn_,
+            0,
+            "incremental diverges at seed {} split {}: {}", seed, split, agreement
+        );
+    }
+
+    /// Quality metrics from any clustering of simulated data are sane.
+    #[test]
+    fn quality_metrics_sane(seed in 0u64..1000, n in 30usize..70) {
+        let ds = pace::simulate::generate(&sim(n, (n / 10).max(2), seed));
+        let outcome = Pace::new(cfg()).cluster(&ds.ests).unwrap();
+        let q = outcome.quality(&ds.truth);
+        prop_assert!((0.0..=1.0).contains(&q.oq));
+        prop_assert!((0.0..=1.0).contains(&q.ov));
+        prop_assert!((0.0..=1.0).contains(&q.un));
+        prop_assert!((-1.0..=1.0).contains(&q.cc));
+        // Error-free, repeat-bearing-but-random clean genes: never merge
+        // unrelated genes whose sequences are genuinely independent.
+        // (repeats are on by default; only check OV is bounded, not zero)
+        prop_assert!(q.ov <= 0.5, "absurd over-prediction {}", q.ov);
+    }
+}
