@@ -35,12 +35,18 @@ pub struct Alignment {
 impl Alignment {
     /// Number of `Match` columns.
     pub fn matches(&self) -> usize {
-        self.ops.iter().filter(|o| matches!(o, AlignOp::Match)).count()
+        self.ops
+            .iter()
+            .filter(|o| matches!(o, AlignOp::Match))
+            .count()
     }
 
     /// Number of `Sub` columns.
     pub fn substitutions(&self) -> usize {
-        self.ops.iter().filter(|o| matches!(o, AlignOp::Sub)).count()
+        self.ops
+            .iter()
+            .filter(|o| matches!(o, AlignOp::Sub))
+            .count()
     }
 
     /// Number of gap columns (`Ins` + `Del`).
@@ -71,8 +77,8 @@ pub fn global_score(a: &[u8], b: &[u8], scoring: &Scoring) -> i32 {
     let mut x_prev = vec![NEG_INF; lb + 1];
     let mut y_prev = vec![NEG_INF; lb + 1];
     m_prev[0] = 0;
-    for j in 1..=lb {
-        y_prev[j] = scoring.gap_open + (j as i32 - 1) * scoring.gap_extend;
+    for (j, y) in y_prev.iter_mut().enumerate().skip(1) {
+        *y = scoring.gap_open + (j as i32 - 1) * scoring.gap_extend;
     }
 
     let mut m_cur = vec![NEG_INF; lb + 1];
@@ -303,7 +309,10 @@ mod tests {
     }
 
     fn dna(max: usize) -> impl Strategy<Value = Vec<u8>> {
-        proptest::collection::vec(proptest::sample::select(vec![b'A', b'C', b'G', b'T']), 0..max)
+        proptest::collection::vec(
+            proptest::sample::select(vec![b'A', b'C', b'G', b'T']),
+            0..max,
+        )
     }
 
     /// Independent O(n·m) reference with linear gaps for cross-checking.

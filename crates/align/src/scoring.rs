@@ -76,7 +76,10 @@ impl Scoring {
     /// Basic sanity check: match positive, penalties non-positive.
     pub fn validate(&self) -> Result<(), String> {
         if self.match_score <= 0 {
-            return Err(format!("match_score must be positive, got {}", self.match_score));
+            return Err(format!(
+                "match_score must be positive, got {}",
+                self.match_score
+            ));
         }
         for (name, v) in [
             ("mismatch", self.mismatch),
@@ -131,15 +134,13 @@ mod tests {
     fn validate_rejects_bad_schemes() {
         assert!(Scoring::linear(0, -1, -1).validate().is_err());
         assert!(Scoring::linear(1, 1, -1).validate().is_err());
-        assert!(
-            Scoring {
-                match_score: 1,
-                mismatch: -1,
-                gap_open: 2,
-                gap_extend: -1
-            }
-            .validate()
-            .is_err()
-        );
+        assert!(Scoring {
+            match_score: 1,
+            mismatch: -1,
+            gap_open: 2,
+            gap_extend: -1
+        }
+        .validate()
+        .is_err());
     }
 }

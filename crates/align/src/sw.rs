@@ -81,7 +81,10 @@ mod tests {
     }
 
     fn dna(max: usize) -> impl Strategy<Value = Vec<u8>> {
-        proptest::collection::vec(proptest::sample::select(vec![b'A', b'C', b'G', b'T']), 0..max)
+        proptest::collection::vec(
+            proptest::sample::select(vec![b'A', b'C', b'G', b'T']),
+            0..max,
+        )
     }
 
     proptest! {

@@ -42,7 +42,13 @@ fn consume_pairs(
         }
     }
     let labels = clusters.labels();
-    (aligned, skipped, accepted, labels, started.elapsed().as_secs_f64())
+    (
+        aligned,
+        skipped,
+        accepted,
+        labels,
+        started.elapsed().as_secs_f64(),
+    )
 }
 
 fn report(label: &str, aligned: u64, skipped: u64, time: f64, labels: &[usize], truth: &[usize]) {
@@ -63,7 +69,9 @@ fn report(label: &str, aligned: u64, skipped: u64, time: f64, labels: &[usize], 
 fn shuffle(pairs: &mut [CandidatePair], seed: u64) {
     let mut x = seed | 1;
     for i in (1..pairs.len()).rev() {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let j = ((x >> 33) as usize) % (i + 1);
         pairs.swap(i, j);
     }
@@ -87,8 +95,8 @@ fn main() {
 
     let cfg = paper_cfg();
     let forest = pace_gst::build_sequential(&store, cfg.window_w);
-    let sorted_pairs = PairGenerator::new(&store, &forest, PairGenConfig::new(cfg.psi))
-        .generate_all();
+    let sorted_pairs =
+        PairGenerator::new(&store, &forest, PairGenConfig::new(cfg.psi)).generate_all();
 
     // 1a. The paper's order: decreasing maximal-common-substring length.
     let (a, s, _, labels, t) = consume_pairs(&store, &cfg, &sorted_pairs);

@@ -10,8 +10,9 @@
 //! generated/processed gap widening as n (and thus per-gene coverage)
 //! grows.
 
-use pace_bench::{banner, dataset, max_ranks, paper_cfg, scaled, PAPER_SIZES};
-use pace_cluster::cluster_parallel;
+use pace_bench::{banner, dataset, max_ranks, maybe_write_metrics, paper_cfg, scaled, PAPER_SIZES};
+use pace_cluster::cluster_parallel_obs;
+use pace_obs::{Json, Obs};
 use pace_seq::SequenceStore;
 
 fn main() {
@@ -31,7 +32,8 @@ fn main() {
         // One seed for every size: the series reflects n, not seed luck.
         let ds = dataset(n, 6262);
         let store = SequenceStore::from_ests(&ds.ests).unwrap();
-        let r = cluster_parallel(&store, &paper_cfg(), p);
+        let obs = Obs::noop();
+        let (r, _) = cluster_parallel_obs(&store, &paper_cfg(), p, &obs);
         let s = &r.stats;
         println!(
             "{:>16} {:>12} {:>12} {:>12} {:>11.1}%",
@@ -40,6 +42,14 @@ fn main() {
             s.pairs_processed,
             s.pairs_accepted,
             100.0 * s.pairs_processed as f64 / s.pairs_generated.max(1) as f64
+        );
+        maybe_write_metrics(
+            &format!("fig7_n{n}"),
+            &obs,
+            vec![
+                ("p".to_string(), Json::Num(p as f64)),
+                ("num_ests".to_string(), Json::Num(n as f64)),
+            ],
         );
     }
     println!("\n(the processed/generated ratio should shrink as n grows — Figure 7)");

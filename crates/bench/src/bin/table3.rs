@@ -20,8 +20,9 @@
 //! wall-clock of the threaded run is printed alongside.
 
 use pace_bench::model::ScalingModel;
-use pace_bench::{banner, dataset, max_ranks, paper_cfg, scaled};
-use pace_cluster::cluster_parallel;
+use pace_bench::{banner, dataset, max_ranks, maybe_write_metrics, paper_cfg, scaled};
+use pace_cluster::cluster_parallel_obs;
+use pace_obs::{metric, Json, Obs};
 use pace_seq::SequenceStore;
 
 fn main() {
@@ -65,11 +66,29 @@ fn main() {
         );
         let mut p = 2;
         while p <= max_ranks() {
-            let r = cluster_parallel(&store, &paper_cfg(), p);
-            let t = &r.stats.timers;
+            // Read the component times back out of the shared metric
+            // registry: the per-phase max over ranks is the critical
+            // path, which is what Table 3 reports.
+            let obs = Obs::noop();
+            let (r, _) = cluster_parallel_obs(&store, &paper_cfg(), p, &obs);
+            let snap = obs.registry().snapshot();
+            let crit = |name: &str| snap.phases.get(name).map_or(0.0, |a| a.max);
             println!(
                 "{:>4} {:>13.3} {:>10.3} {:>10.3} {:>10.3} {:>8.3}",
-                p, t.partitioning, t.gst_construction, t.node_sorting, t.alignment, t.total
+                p,
+                crit(metric::PHASE_PARTITIONING),
+                crit(metric::PHASE_GST_CONSTRUCTION),
+                crit(metric::PHASE_NODE_SORTING),
+                crit(metric::PHASE_ALIGNMENT),
+                r.stats.timers.total
+            );
+            maybe_write_metrics(
+                &format!("table3_p{p}"),
+                &obs,
+                vec![
+                    ("p".to_string(), Json::Num(p as f64)),
+                    ("num_ests".to_string(), Json::Num(n as f64)),
+                ],
             );
             p *= 2;
         }

@@ -16,6 +16,7 @@
 pub mod model;
 
 use pace_cluster::ClusterConfig;
+use pace_obs::{Json, Obs};
 use pace_simulate::{EstDataset, SimConfig};
 
 /// The paper's benchmark data set sizes (Arabidopsis subsets).
@@ -64,6 +65,27 @@ pub fn dataset(n: usize, seed: u64) -> EstDataset {
 /// settings (window 8, ψ 20, batchsize 60).
 pub fn paper_cfg() -> ClusterConfig {
     ClusterConfig::default()
+}
+
+/// If `PACE_METRICS_DIR` is set, write the schema-versioned metrics
+/// report for one instrumented run to `<dir>/<tag>.json` — the same
+/// `pace_obs::report` document the CLI's `--metrics-out` produces. Meta
+/// entries are `(key, value)` pairs stored under the report's `"meta"`
+/// object; numbers should be passed as `Json::Num`. The directory is
+/// created if missing; failures are reported on stderr but never abort
+/// a benchmark.
+pub fn maybe_write_metrics(tag: &str, obs: &Obs, meta: Vec<(String, Json)>) {
+    let Ok(dir) = std::env::var("PACE_METRICS_DIR") else {
+        return;
+    };
+    let doc = pace_obs::report::to_json(&obs.registry().snapshot(), meta);
+    let path = std::path::Path::new(&dir).join(format!("{tag}.json"));
+    let write = std::fs::create_dir_all(&dir)
+        .and_then(|()| std::fs::write(&path, pace_obs::report::to_pretty_string(&doc)));
+    match write {
+        Ok(()) => eprintln!("[metrics] wrote {}", path.display()),
+        Err(e) => eprintln!("[metrics] could not write {}: {e}", path.display()),
+    }
 }
 
 /// Pretty horizontal rule for table output.

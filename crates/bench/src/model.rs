@@ -76,8 +76,7 @@ impl ScalingModel {
         let gst_construction = t.gst_construction * share;
         let node_sorting = t.node_sorting * share;
         let alignment = t.alignment / slaves as f64;
-        let accounted =
-            t.partitioning + t.gst_construction + t.node_sorting + t.alignment;
+        let accounted = t.partitioning + t.gst_construction + t.node_sorting + t.alignment;
         // Whatever the sequential driver spent outside the four phases
         // (pair generation, cluster bookkeeping) is suffix-tree-shaped
         // work on the slaves: scale it by the load share too.

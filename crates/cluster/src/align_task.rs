@@ -59,7 +59,9 @@ mod tests {
         let mut x = seed;
         (0..len)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 [b'A', b'C', b'G', b'T'][(x >> 33) as usize % 4]
             })
             .collect()

@@ -120,22 +120,28 @@ mod tests {
 
     #[test]
     fn validation_rejects_psi_below_window() {
-        let mut c = ClusterConfig::default();
-        c.psi = 4;
+        let c = ClusterConfig {
+            psi: 4,
+            ..ClusterConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 
     #[test]
     fn validation_rejects_zero_batch() {
-        let mut c = ClusterConfig::default();
-        c.batchsize = 0;
+        let c = ClusterConfig {
+            batchsize: 0,
+            ..ClusterConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 
     #[test]
     fn validation_rejects_tiny_workbuf() {
-        let mut c = ClusterConfig::default();
-        c.workbuf_cap = 10;
+        let c = ClusterConfig {
+            workbuf_cap: 10,
+            ..ClusterConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 }

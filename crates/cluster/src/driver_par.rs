@@ -7,17 +7,28 @@
 //! builds the subtrees it owns; (3) the clustering protocol runs until
 //! the master issues shutdowns. Phase timers are per-rank and reported as
 //! the cross-rank maxima (critical-path times, as in Table 3).
+//!
+//! Instrumentation mirrors the sequential driver: every phase is timed
+//! with a `pace-obs` span (per-rank series in the registry, critical
+//! path in the legacy `PhaseTimers`), communication counters are
+//! absorbed from `pace-mpisim`, the master emits periodic heartbeats
+//! (its busy fraction is the paper's "< 2%" claim) and a `merge` event
+//! for every union it performs.
 
 use crate::config::ClusterConfig;
-use crate::driver_seq::cluster_sequential;
+use crate::driver_seq::{cluster_sequential_obs, record_cluster_counters, record_gst_stats};
 use crate::master::Master;
 use crate::messages::Msg;
-use crate::slave::{run_slave, SlaveReportSummary};
+use crate::slave::{run_slave_obs, SlaveReportSummary};
 use crate::stats::{ClusterResult, ClusterStats, PhaseTimers};
+use crate::trace::MergeTrace;
 use pace_gst::{assign_buckets, build_forest_for_rank, count_buckets_stride, num_buckets};
-use pace_mpisim::run_world;
+use pace_mpisim::{run_world, WorldStats};
+use pace_obs::{metric, Event, Obs, Timer};
 use pace_seq::SequenceStore;
-use std::time::Instant;
+
+/// Emit a master heartbeat every this many handled reports.
+const HEARTBEAT_EVERY: u64 = 32;
 
 /// Per-rank results collected when the world joins.
 enum RankOutput {
@@ -25,8 +36,9 @@ enum RankOutput {
         labels: Vec<usize>,
         num_clusters: usize,
         stats: ClusterStats,
+        trace: MergeTrace,
         busy_frac: f64,
-        messages: u64,
+        comm: WorldStats,
         partitioning: f64,
     },
     Slave {
@@ -39,18 +51,40 @@ enum RankOutput {
 /// Cluster with `p` ranks (1 master + `p − 1` slaves). `p ≤ 1` falls back
 /// to the sequential driver.
 pub fn cluster_parallel(store: &SequenceStore, cfg: &ClusterConfig, p: usize) -> ClusterResult {
+    cluster_parallel_obs(store, cfg, p, &Obs::noop()).0
+}
+
+/// Like [`cluster_parallel`], additionally returning the master's
+/// [`MergeTrace`] — replaying it reproduces the returned labels.
+pub fn cluster_parallel_traced(
+    store: &SequenceStore,
+    cfg: &ClusterConfig,
+    p: usize,
+) -> (ClusterResult, MergeTrace) {
+    cluster_parallel_obs(store, cfg, p, &Obs::noop())
+}
+
+/// Fully instrumented parallel run. All ranks share `obs`: phase spans
+/// land in its per-rank series, communication and pair counters in its
+/// registry, heartbeats and merges in its event sink.
+pub fn cluster_parallel_obs(
+    store: &SequenceStore,
+    cfg: &ClusterConfig,
+    p: usize,
+    obs: &Obs,
+) -> (ClusterResult, MergeTrace) {
     cfg.validate().expect("invalid cluster config");
     if p <= 1 {
-        return cluster_sequential(store, cfg);
+        return cluster_sequential_obs(store, cfg, obs);
     }
     let num_slaves = p - 1;
-    let total_started = Instant::now();
+    let total_span = obs.span(metric::PHASE_TOTAL);
 
     let outputs = run_world(p, |rank| {
         if rank.rank() == 0 {
-            master_rank(&rank, store, cfg, num_slaves)
+            master_rank(&rank, store, cfg, num_slaves, obs)
         } else {
-            slave_rank(&rank, store, cfg, num_slaves)
+            slave_rank(&rank, store, cfg, num_slaves, obs)
         }
     });
 
@@ -58,26 +92,34 @@ pub fn cluster_parallel(store: &SequenceStore, cfg: &ClusterConfig, p: usize) ->
     let mut labels = Vec::new();
     let mut num_clusters = 0;
     let mut stats = ClusterStats::default();
+    let mut trace = MergeTrace::new();
     let mut timers = PhaseTimers::default();
     let mut generated_total = 0u64;
+    let mut unconsumed_total = 0u64;
     for out in outputs {
         match out {
             RankOutput::Master {
                 labels: l,
                 num_clusters: k,
                 stats: s,
+                trace: t,
                 busy_frac,
-                messages,
+                comm,
                 partitioning,
             } => {
                 labels = l;
                 num_clusters = k;
+                trace = t;
                 stats.pairs_processed = s.pairs_processed;
                 stats.pairs_accepted = s.pairs_accepted;
                 stats.pairs_skipped = s.pairs_skipped;
                 stats.merges = s.merges;
                 stats.master_busy_frac = busy_frac;
-                stats.messages = messages;
+                stats.messages = comm.messages;
+                let reg = obs.registry();
+                reg.add(metric::COMM_MESSAGES, comm.messages);
+                reg.add(metric::COMM_BARRIERS, comm.barriers);
+                reg.add(metric::COMM_REDUCTIONS, comm.reductions);
                 timers.max_with(&PhaseTimers {
                     partitioning,
                     ..PhaseTimers::default()
@@ -89,6 +131,7 @@ pub fn cluster_parallel(store: &SequenceStore, cfg: &ClusterConfig, p: usize) ->
                 gst_construction,
             } => {
                 generated_total += summary.gen.emitted;
+                unconsumed_total += summary.unconsumed;
                 timers.max_with(&PhaseTimers {
                     partitioning,
                     gst_construction,
@@ -100,14 +143,20 @@ pub fn cluster_parallel(store: &SequenceStore, cfg: &ClusterConfig, p: usize) ->
         }
     }
     stats.pairs_generated = generated_total;
-    timers.total = total_started.elapsed().as_secs_f64();
+    stats.pairs_unconsumed = unconsumed_total;
+    timers.total = total_span.finish();
     stats.timers = timers;
+    record_cluster_counters(obs, &stats);
+    obs.flush();
 
-    ClusterResult {
-        labels,
-        num_clusters,
-        stats,
-    }
+    (
+        ClusterResult {
+            labels,
+            num_clusters,
+            stats,
+        },
+        trace,
+    )
 }
 
 fn master_rank(
@@ -115,23 +164,28 @@ fn master_rank(
     store: &SequenceStore,
     cfg: &ClusterConfig,
     num_slaves: usize,
+    obs: &Obs,
 ) -> RankOutput {
     // Participate in the partitioning collectives with a zero
     // contribution (the master holds no input share).
-    let started = Instant::now();
+    let span = obs.span_on(metric::PHASE_PARTITIONING, 0);
     let zeros = vec![0u64; num_buckets(cfg.window_w)];
     let _global_counts = rank.allreduce_sum(&zeros);
-    let partitioning = started.elapsed().as_secs_f64();
+    let partitioning = span.finish();
     rank.barrier(); // slaves finish building their forests
 
     let mut master = Master::new(store.num_ests(), num_slaves, cfg.clone());
-    let loop_started = Instant::now();
-    let mut busy = 0.0f64;
+    let loop_t0 = obs.now();
+    let mut busy = Timer::new();
+    let mut reports = 0u64;
+    let mut merges_emitted = 0usize;
+    let mut hb_last_t = loop_t0;
+    let mut hb_last_processed = 0u64;
     while !master.is_done() {
         let (from, msg) = rank
             .recv()
             .expect("slaves must not terminate before shutdown");
-        let handle_started = Instant::now();
+        busy.start();
         match msg {
             Msg::Report {
                 results,
@@ -145,19 +199,51 @@ fn master_rank(
             }
             other => unreachable!("master received {}", other.kind()),
         }
-        busy += handle_started.elapsed().as_secs_f64();
+        busy.stop();
+
+        if obs.events_enabled() {
+            for r in &master.trace.records()[merges_emitted..] {
+                obs.emit(Event::Merge {
+                    t: obs.now(),
+                    est_a: r.est_a,
+                    est_b: r.est_b,
+                    mcs_len: r.mcs_len,
+                    score_ratio: r.score_ratio,
+                });
+            }
+            merges_emitted = master.trace.len();
+
+            reports += 1;
+            if reports.is_multiple_of(HEARTBEAT_EVERY) {
+                let now = obs.now();
+                let elapsed = (now - loop_t0).max(f64::EPSILON);
+                let processed = master.stats.pairs_processed;
+                let dt = (now - hb_last_t).max(f64::EPSILON);
+                obs.emit(Event::Heartbeat {
+                    rank: 0,
+                    t: now,
+                    busy_frac: busy.secs() / elapsed,
+                    pairs_per_sec: (processed - hb_last_processed) as f64 / dt,
+                    processed,
+                });
+                hb_last_t = now;
+                hb_last_processed = processed;
+            }
+        }
     }
-    let loop_total = loop_started.elapsed().as_secs_f64().max(f64::EPSILON);
+    let loop_total = (obs.now() - loop_t0).max(f64::EPSILON);
 
     let stats = master.stats;
+    let trace = master.trace.clone();
     let mut clusters = master.into_clusters();
     let labels = clusters.labels();
     RankOutput::Master {
         num_clusters: clusters.num_sets(),
         labels,
         stats,
-        busy_frac: busy / loop_total,
-        messages: rank.stats().messages,
+        trace,
+        busy_frac: busy.secs() / loop_total,
+        comm: rank.stats(),
         partitioning,
     }
 }
@@ -167,24 +253,26 @@ fn slave_rank(
     store: &SequenceStore,
     cfg: &ClusterConfig,
     num_slaves: usize,
+    obs: &Obs,
 ) -> RankOutput {
     let slave_id = rank.rank() - 1;
 
     // Phase 1: partitioning — count my share, combine, assign.
-    let started = Instant::now();
+    let span = obs.span_on(metric::PHASE_PARTITIONING, rank.rank());
     let local = count_buckets_stride(store, cfg.window_w, slave_id, num_slaves);
     let global = rank.allreduce_sum(&local);
     let partition = assign_buckets(&global, num_slaves);
-    let partitioning = started.elapsed().as_secs_f64();
+    let partitioning = span.finish();
 
     // Phase 2: build my buckets' subtrees.
-    let started = Instant::now();
+    let span = obs.span_on(metric::PHASE_GST_CONSTRUCTION, rank.rank());
     let forest = build_forest_for_rank(store, &partition, slave_id);
-    let gst_construction = started.elapsed().as_secs_f64();
+    let gst_construction = span.finish();
+    record_gst_stats(obs, &partition, &forest);
     rank.barrier();
 
     // Phases 3–4: the slave protocol (node sorting happens inside).
-    let summary = run_slave(rank, 0, store, &forest, cfg);
+    let summary = run_slave_obs(rank, 0, store, &forest, cfg, obs);
     RankOutput::Slave {
         summary,
         partitioning,
@@ -195,6 +283,7 @@ fn slave_rank(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::driver_seq::cluster_sequential;
     use pace_simulate::{generate, SimConfig};
 
     fn small_cfg() -> ClusterConfig {
@@ -294,11 +383,103 @@ mod tests {
         let store = SequenceStore::from_ests(&ds.ests).unwrap();
         let r = cluster_parallel(&store, &small_cfg(), 3);
         let s = &r.stats;
-        // Some pairs may remain in slave PAIRBUFs at shutdown, so
-        // generated ≥ processed + skipped is the invariant here.
-        assert!(s.pairs_generated >= s.pairs_processed + s.pairs_skipped);
+        // Exact flow conservation: every generated pair is processed,
+        // skipped, or still sitting in a slave's PAIRBUF at shutdown.
+        assert_eq!(
+            s.pairs_generated,
+            s.pairs_processed + s.pairs_skipped + s.pairs_unconsumed
+        );
+        assert!(s.pairs_accepted <= s.pairs_processed);
         assert!(s.merges <= s.pairs_accepted);
         assert!(s.timers.total > 0.0);
         assert!(s.timers.gst_construction > 0.0);
+    }
+
+    #[test]
+    fn trace_replay_matches_parallel_labels() {
+        let ds = dataset(80, 27);
+        let store = SequenceStore::from_ests(&ds.ests).unwrap();
+        let (r, trace) = cluster_parallel_traced(&store, &small_cfg(), 3);
+        assert_eq!(trace.len() as u64, r.stats.merges);
+        let replayed = trace.replay(80);
+        let agreement = pace_quality::assess(&replayed, &r.labels);
+        assert_eq!(
+            agreement.counts.fp + agreement.counts.fn_,
+            0,
+            "trace replay diverges from the parallel partition"
+        );
+    }
+
+    #[test]
+    fn registry_absorbs_comm_and_phase_series() {
+        let ds = dataset(60, 28);
+        let store = SequenceStore::from_ests(&ds.ests).unwrap();
+        let obs = Obs::noop();
+        let (r, _) = cluster_parallel_obs(&store, &small_cfg(), 4, &obs);
+        let snap = obs.registry().snapshot();
+        assert_eq!(snap.counters[metric::COMM_MESSAGES], r.stats.messages);
+        assert!(snap.counters[metric::COMM_BARRIERS] >= 1);
+        assert!(snap.counters[metric::COMM_REDUCTIONS] >= 1);
+        assert_eq!(
+            snap.counters[metric::PAIRS_GENERATED],
+            r.stats.pairs_generated
+        );
+        // Every rank recorded a partitioning span; the 3 slaves recorded
+        // gst/sort/align spans.
+        assert_eq!(snap.phases[metric::PHASE_PARTITIONING].count, 4);
+        assert_eq!(snap.phases[metric::PHASE_GST_CONSTRUCTION].count, 3);
+        assert_eq!(snap.phases[metric::PHASE_ALIGNMENT].count, 3);
+        // The legacy critical-path timers equal the cross-rank maxima.
+        assert!(
+            (snap.phases[metric::PHASE_GST_CONSTRUCTION].max - r.stats.timers.gst_construction)
+                .abs()
+                < 1e-9
+        );
+        assert!((snap.phases[metric::PHASE_ALIGNMENT].max - r.stats.timers.alignment).abs() < 1e-9);
+        assert_eq!(
+            snap.gauges[metric::MASTER_BUSY_FRAC],
+            r.stats.master_busy_frac
+        );
+        // The generators' MCS histogram covers every generated pair.
+        assert_eq!(
+            snap.histograms[metric::PAIRS_MCS_LEN].count(),
+            r.stats.pairs_generated
+        );
+    }
+
+    #[test]
+    fn events_stream_heartbeats_and_merges() {
+        let ds = dataset(100, 29);
+        let store = SequenceStore::from_ests(&ds.ests).unwrap();
+        let sink = pace_obs::VecSink::shared();
+        let obs = Obs::with_sink(Box::new(sink.clone()));
+        let (r, trace) = cluster_parallel_obs(&store, &small_cfg(), 3, &obs);
+        let events = sink.snapshot();
+        let merges: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Merge { est_a, est_b, .. } => Some((*est_a, *est_b)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(merges.len() as u64, r.stats.merges);
+        let traced: Vec<_> = trace.records().iter().map(|m| (m.est_a, m.est_b)).collect();
+        assert_eq!(merges, traced, "merge events must mirror the trace order");
+        // Phase spans from every rank are present and well-formed.
+        let starts = events
+            .iter()
+            .filter(|e| matches!(e, Event::PhaseStart { .. }))
+            .count();
+        let ends = events
+            .iter()
+            .filter(|e| matches!(e, Event::PhaseEnd { .. }))
+            .count();
+        assert_eq!(starts, ends);
+        assert!(starts >= 4, "expected at least one span per rank");
+        for e in &events {
+            if let Event::Heartbeat { busy_frac, .. } = e {
+                assert!((0.0..=1.0).contains(busy_frac));
+            }
+        }
     }
 }

@@ -5,19 +5,23 @@
 //! pairs already clustered together, align the rest, merge on acceptance.
 //! This is the semantic reference the parallel driver is compared
 //! against, and the engine used when `p = 1`.
+//!
+//! All phase timing goes through `pace-obs` spans; the legacy
+//! [`PhaseTimers`](crate::stats::PhaseTimers) struct is populated from
+//! the spans' return values, so the two views always agree.
 
 use crate::align_task::align_pair;
 use crate::config::ClusterConfig;
 use crate::stats::{ClusterResult, ClusterStats};
 use crate::trace::MergeTrace;
 use pace_dsu::DisjointSets;
+use pace_obs::{metric, Event, Obs, Timer};
 use pace_pairgen::{PairGenConfig, PairGenerator};
 use pace_seq::SequenceStore;
-use std::time::Instant;
 
 /// Cluster `store`'s ESTs sequentially.
 pub fn cluster_sequential(store: &SequenceStore, cfg: &ClusterConfig) -> ClusterResult {
-    cluster_sequential_traced(store, cfg).0
+    cluster_sequential_obs(store, cfg, &Obs::noop()).0
 }
 
 /// Like [`cluster_sequential`], additionally returning the [`MergeTrace`]
@@ -27,22 +31,34 @@ pub fn cluster_sequential_traced(
     store: &SequenceStore,
     cfg: &ClusterConfig,
 ) -> (ClusterResult, MergeTrace) {
+    cluster_sequential_obs(store, cfg, &Obs::noop())
+}
+
+/// Fully instrumented sequential run: phase timings, counters and the
+/// MCS-length histogram land in `obs`'s registry, and accepted merges
+/// are emitted as events when a real sink is attached.
+pub fn cluster_sequential_obs(
+    store: &SequenceStore,
+    cfg: &ClusterConfig,
+    obs: &Obs,
+) -> (ClusterResult, MergeTrace) {
     cfg.validate().expect("invalid cluster config");
-    let total_started = Instant::now();
+    let total_span = obs.span(metric::PHASE_TOTAL);
     let mut stats = ClusterStats::default();
 
     // Phase 1+2: bucket partitioning and GST construction (single rank).
-    let phase_started = Instant::now();
+    let span = obs.span(metric::PHASE_PARTITIONING);
     let counts = pace_gst::count_buckets(store, cfg.window_w);
     let partition = pace_gst::assign_buckets(&counts, 1);
-    stats.timers.partitioning = phase_started.elapsed().as_secs_f64();
+    stats.timers.partitioning = span.finish();
 
-    let phase_started = Instant::now();
+    let span = obs.span(metric::PHASE_GST_CONSTRUCTION);
     let forest = pace_gst::build_forest_for_rank(store, &partition, 0);
-    stats.timers.gst_construction = phase_started.elapsed().as_secs_f64();
+    stats.timers.gst_construction = span.finish();
+    record_gst_stats(obs, &partition, &forest);
 
     // Phase 3: node collection + sort (generator setup).
-    let phase_started = Instant::now();
+    let span = obs.span(metric::PHASE_NODE_SORTING);
     let mut generator = PairGenerator::new(
         store,
         &forest,
@@ -51,11 +67,13 @@ pub fn cluster_sequential_traced(
             order: cfg.order,
         },
     );
-    stats.timers.node_sorting = phase_started.elapsed().as_secs_f64();
+    stats.timers.node_sorting = span.finish();
 
-    // Phase 4: demand-driven clustering loop.
+    // Phase 4: demand-driven clustering loop. Alignment runs in many
+    // short bursts, so it accumulates on a Timer and is recorded once.
     let mut clusters = DisjointSets::new(store.num_ests());
     let mut trace = MergeTrace::new();
+    let mut align_timer = Timer::new();
     loop {
         let batch = generator.next_batch(cfg.batchsize);
         if batch.is_empty() {
@@ -67,21 +85,37 @@ pub fn cluster_sequential_traced(
                 stats.pairs_skipped += 1;
                 continue;
             }
-            let align_started = Instant::now();
-            let outcome = align_pair(store, &pair, cfg);
-            stats.timers.alignment += align_started.elapsed().as_secs_f64();
+            let outcome = align_timer.time(|| align_pair(store, &pair, cfg));
             stats.pairs_processed += 1;
             if outcome.accepted {
                 stats.pairs_accepted += 1;
                 if clusters.union(i, j) {
                     stats.merges += 1;
                     trace.record(&outcome);
+                    obs.emit_with(|| Event::Merge {
+                        t: obs.now(),
+                        est_a: i,
+                        est_b: j,
+                        mcs_len: outcome.pair.mcs_len,
+                        score_ratio: outcome.score_ratio,
+                    });
                 }
             }
         }
     }
+    stats.timers.alignment = align_timer.secs();
+    obs.registry()
+        .record_phase(metric::PHASE_ALIGNMENT, 0, stats.timers.alignment);
     stats.pairs_generated = generator.stats().emitted;
-    stats.timers.total = total_started.elapsed().as_secs_f64();
+    // Sequential conservation is exact with nothing buffered:
+    // generated == processed + skipped.
+    stats.pairs_unconsumed = 0;
+    for (&len, &n) in generator.emitted_by_mcs_len() {
+        obs.registry()
+            .observe_n(metric::PAIRS_MCS_LEN, len as u64, n);
+    }
+    stats.timers.total = total_span.finish();
+    record_cluster_counters(obs, &stats);
 
     let labels = clusters.labels();
     (
@@ -92,6 +126,39 @@ pub fn cluster_sequential_traced(
         },
         trace,
     )
+}
+
+/// Record a built forest's shape into the registry.
+pub(crate) fn record_gst_stats(
+    obs: &Obs,
+    partition: &pace_gst::BucketPartition,
+    forest: &pace_gst::LocalForest,
+) {
+    let nonempty = partition.counts.iter().filter(|&&c| c > 0).count() as u64;
+    // Buckets are a global property; every rank sees the same partition,
+    // so only rank 0's forest-owner records them (sequential: rank 0).
+    if forest.rank == 0 {
+        obs.registry().add(metric::GST_BUCKETS, nonempty);
+    }
+    obs.registry()
+        .add(metric::GST_SUBTREES, forest.subtrees.len() as u64);
+    obs.registry()
+        .add(metric::GST_NODES, forest.num_nodes() as u64);
+    obs.registry()
+        .set_gauge_max(metric::GST_MAX_DEPTH, forest.max_depth() as f64);
+}
+
+/// Fold the final [`ClusterStats`] into the registry, so both drivers
+/// report through the same counter names.
+pub(crate) fn record_cluster_counters(obs: &Obs, stats: &ClusterStats) {
+    let reg = obs.registry();
+    reg.add(metric::PAIRS_GENERATED, stats.pairs_generated);
+    reg.add(metric::PAIRS_PROCESSED, stats.pairs_processed);
+    reg.add(metric::PAIRS_ACCEPTED, stats.pairs_accepted);
+    reg.add(metric::PAIRS_SKIPPED, stats.pairs_skipped);
+    reg.add(metric::PAIRS_UNCONSUMED, stats.pairs_unconsumed);
+    reg.add(metric::MERGES, stats.merges);
+    reg.set_gauge(metric::MASTER_BUSY_FRAC, stats.master_busy_frac);
 }
 
 /// Convenience used by tests and examples: cluster raw EST byte vectors.
@@ -228,15 +295,15 @@ mod tests {
         let ds = generate(&sim);
         let r = cluster_ests(&ds.ests, &small_cfg());
         let s = &r.stats;
-        assert_eq!(s.pairs_generated, s.pairs_processed + s.pairs_skipped);
+        assert_eq!(s.pairs_unconsumed, 0, "sequential driver buffers nothing");
+        assert_eq!(
+            s.pairs_generated,
+            s.pairs_processed + s.pairs_skipped + s.pairs_unconsumed
+        );
         assert!(s.pairs_accepted <= s.pairs_processed);
         assert!(s.merges <= s.pairs_accepted);
         assert_eq!(r.labels.len(), 60);
-        assert_eq!(
-            r.num_clusters,
-            r.clusters().len(),
-            "cluster count mismatch"
-        );
+        assert_eq!(r.num_clusters, r.clusters().len(), "cluster count mismatch");
         // n ESTs and m merges leave exactly n − m clusters.
         assert_eq!(r.num_clusters as u64, 60 - s.merges);
     }
@@ -268,6 +335,69 @@ mod tests {
             assert!(r.mcs_len >= small_cfg().psi);
             assert!(r.score_ratio >= small_cfg().overlap.min_score_ratio - 1e-9);
         }
+    }
+
+    #[test]
+    fn registry_agrees_with_stats() {
+        let sim = SimConfig {
+            num_genes: 5,
+            num_ests: 50,
+            est_len_mean: 200.0,
+            est_len_sd: 20.0,
+            est_len_min: 120,
+            seed: 17,
+            ..SimConfig::default()
+        };
+        let ds = generate(&sim);
+        let store = SequenceStore::from_ests(&ds.ests).unwrap();
+        let obs = Obs::noop();
+        let (result, _) = cluster_sequential_obs(&store, &small_cfg(), &obs);
+        let snap = obs.registry().snapshot();
+        let s = &result.stats;
+        assert_eq!(snap.counters[metric::PAIRS_GENERATED], s.pairs_generated);
+        assert_eq!(snap.counters[metric::PAIRS_PROCESSED], s.pairs_processed);
+        assert_eq!(snap.counters[metric::MERGES], s.merges);
+        // The MCS histogram covers every generated pair.
+        assert_eq!(
+            snap.histograms[metric::PAIRS_MCS_LEN].count(),
+            s.pairs_generated
+        );
+        // Spans and the legacy timers are two views of the same clocks.
+        let total = &snap.phases[metric::PHASE_TOTAL];
+        assert_eq!(total.count, 1);
+        assert!((total.max - s.timers.total).abs() < 1e-9);
+        assert!(snap.counters[metric::GST_NODES] > 0);
+        assert!(snap.counters[metric::GST_BUCKETS] > 0);
+        assert!(snap.gauges[metric::GST_MAX_DEPTH] >= small_cfg().psi as f64);
+    }
+
+    #[test]
+    fn merge_events_match_trace() {
+        let sim = SimConfig {
+            num_genes: 4,
+            num_ests: 40,
+            est_len_mean: 200.0,
+            est_len_sd: 20.0,
+            est_len_min: 120,
+            seed: 18,
+            ..SimConfig::default()
+        };
+        let ds = generate(&sim);
+        let store = SequenceStore::from_ests(&ds.ests).unwrap();
+        let sink = pace_obs::VecSink::shared();
+        let obs = Obs::with_sink(Box::new(sink.clone()));
+        let (result, trace) = cluster_sequential_obs(&store, &small_cfg(), &obs);
+        let merges: Vec<_> = sink
+            .snapshot()
+            .into_iter()
+            .filter_map(|e| match e {
+                Event::Merge { est_a, est_b, .. } => Some((est_a, est_b)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(merges.len() as u64, result.stats.merges);
+        let traced: Vec<_> = trace.records().iter().map(|r| (r.est_a, r.est_b)).collect();
+        assert_eq!(merges, traced);
     }
 
     #[test]

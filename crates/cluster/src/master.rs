@@ -14,6 +14,7 @@ use crate::align_task::PairOutcome;
 use crate::config::ClusterConfig;
 use crate::messages::Msg;
 use crate::stats::ClusterStats;
+use crate::trace::MergeTrace;
 use pace_dsu::DisjointSets;
 use pace_pairgen::CandidatePair;
 use std::collections::VecDeque;
@@ -40,6 +41,8 @@ pub struct Master {
     waiting: VecDeque<usize>,
     /// Statistics accumulated master-side.
     pub stats: ClusterStats,
+    /// Audit log of every merge, in the order it was performed.
+    pub trace: MergeTrace,
     done: bool,
 }
 
@@ -60,6 +63,7 @@ impl Master {
             owed_results: vec![true; num_slaves],
             waiting: VecDeque::new(),
             stats: ClusterStats::default(),
+            trace: MergeTrace::new(),
             done: false,
         }
     }
@@ -103,6 +107,7 @@ impl Master {
                 let (i, j) = r.pair.est_indices();
                 if self.clusters.union(i, j) {
                     self.stats.merges += 1;
+                    self.trace.record(r);
                 }
             }
         }
@@ -335,7 +340,8 @@ mod tests {
         let r0 = drain_slave(&mut m, 0);
         assert!(
             r0.iter()
-                .any(|(s, msg)| *s == 0 && matches!(msg, Msg::Work { pairs, .. } if pairs.is_empty())),
+                .any(|(s, msg)| *s == 0
+                    && matches!(msg, Msg::Work { pairs, .. } if pairs.is_empty())),
             "flush Work expected"
         );
         assert!(!m.is_done());

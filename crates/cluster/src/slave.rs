@@ -20,10 +20,10 @@ use crate::config::ClusterConfig;
 use crate::messages::Msg;
 use pace_gst::LocalForest;
 use pace_mpisim::Rank;
+use pace_obs::{metric, Obs, Timer};
 use pace_pairgen::{CandidatePair, GenStats, PairGenConfig, PairGenerator};
 use pace_seq::SequenceStore;
 use std::collections::VecDeque;
-use std::time::Instant;
 
 /// How many pairs to generate per idle poll while waiting for the master
 /// (small, so the slave stays responsive).
@@ -45,9 +45,14 @@ pub struct SlaveReportSummary {
     pub gen: GenStats,
     /// Phase timers.
     pub timers: SlaveTimers,
+    /// Pairs still sitting in `PAIRBUF` at shutdown: generated, counted
+    /// by the generator, but never shipped to the master. Closes the
+    /// flow-conservation balance
+    /// `emitted == processed + skipped + unconsumed`.
+    pub unconsumed: u64,
 }
 
-/// Run the slave protocol to completion. `master` is the master's rank id.
+/// Run the slave protocol to completion with no instrumentation.
 pub fn run_slave(
     rank: &Rank<Msg>,
     master: usize,
@@ -55,9 +60,25 @@ pub fn run_slave(
     forest: &LocalForest,
     cfg: &ClusterConfig,
 ) -> SlaveReportSummary {
+    run_slave_obs(rank, master, store, forest, cfg, &Obs::noop())
+}
+
+/// Run the slave protocol to completion, instrumented. `master` is the
+/// master's rank id. Phase timings land in `obs`'s per-rank series and
+/// the generator's MCS-length distribution in the
+/// [`metric::PAIRS_MCS_LEN`] histogram.
+pub fn run_slave_obs(
+    rank: &Rank<Msg>,
+    master: usize,
+    store: &SequenceStore,
+    forest: &LocalForest,
+    cfg: &ClusterConfig,
+    obs: &Obs,
+) -> SlaveReportSummary {
     let mut timers = SlaveTimers::default();
 
-    let sort_started = Instant::now();
+    let mut sort_timer = Timer::new();
+    sort_timer.start();
     let mut generator = PairGenerator::new(
         store,
         forest,
@@ -66,7 +87,28 @@ pub fn run_slave(
             order: cfg.order,
         },
     );
-    timers.node_sorting = sort_started.elapsed().as_secs_f64();
+    timers.node_sorting = sort_timer.stop();
+
+    // One closure owns the shutdown bookkeeping so every exit path
+    // reports identically (including the abnormal world-teardown ones).
+    let finish = |generator: &PairGenerator,
+                  timers: SlaveTimers,
+                  pairbuf: &VecDeque<CandidatePair>|
+     -> SlaveReportSummary {
+        for (&len, &n) in generator.emitted_by_mcs_len() {
+            obs.registry()
+                .observe_n(metric::PAIRS_MCS_LEN, len as u64, n);
+        }
+        obs.registry()
+            .record_phase(metric::PHASE_NODE_SORTING, rank.rank(), timers.node_sorting);
+        obs.registry()
+            .record_phase(metric::PHASE_ALIGNMENT, rank.rank(), timers.alignment);
+        SlaveReportSummary {
+            gen: generator.stats(),
+            timers,
+            unconsumed: pairbuf.len() as u64,
+        }
+    };
 
     let mut pairbuf: VecDeque<CandidatePair> = VecDeque::new();
 
@@ -97,10 +139,7 @@ pub fn run_slave(
                 Err(_) => {
                     // World torn down without a Shutdown (should not
                     // happen in normal operation).
-                    return SlaveReportSummary {
-                        gen: generator.stats(),
-                        timers,
-                    };
+                    return finish(&generator, timers, &pairbuf);
                 }
                 Ok(None) => {
                     if !generator.is_exhausted() && pairbuf.len() < cfg.pairbuf_cap {
@@ -110,12 +149,7 @@ pub fn run_slave(
                         // Nothing useful to do: block.
                         match rank.recv() {
                             Ok((_, msg)) => break msg,
-                            Err(_) => {
-                                return SlaveReportSummary {
-                                    gen: generator.stats(),
-                                    timers,
-                                }
-                            }
+                            Err(_) => return finish(&generator, timers, &pairbuf),
                         }
                     }
                 }
@@ -124,10 +158,7 @@ pub fn run_slave(
 
         match msg {
             Msg::Shutdown => {
-                return SlaveReportSummary {
-                    gen: generator.stats(),
-                    timers,
-                };
+                return finish(&generator, timers, &pairbuf);
             }
             Msg::Work { pairs, request } => {
                 // Top PAIRBUF up to the requested E.
@@ -159,9 +190,10 @@ fn align_batch(
     cfg: &ClusterConfig,
     timers: &mut SlaveTimers,
 ) -> Vec<PairOutcome> {
-    let started = Instant::now();
+    let mut timer = Timer::new();
+    timer.start();
     let out = batch.iter().map(|p| align_pair(store, p, cfg)).collect();
-    timers.alignment += started.elapsed().as_secs_f64();
+    timers.alignment += timer.stop();
     out
 }
 

@@ -57,13 +57,22 @@ fn with_slave<R: Send>(
 }
 
 /// Receive the next Report, failing on anything else.
-fn recv_report(rank: &pace_mpisim::Rank<Msg>) -> (Vec<pace_cluster::PairOutcome>, Vec<pace_pairgen::CandidatePair>, bool) {
+fn recv_report(
+    rank: &pace_mpisim::Rank<Msg>,
+) -> (
+    Vec<pace_cluster::PairOutcome>,
+    Vec<pace_pairgen::CandidatePair>,
+    bool,
+) {
     match rank.recv().expect("slave alive") {
-        (1, Msg::Report {
-            results,
-            pairs,
-            exhausted,
-        }) => (results, pairs, exhausted),
+        (
+            1,
+            Msg::Report {
+                results,
+                pairs,
+                exhausted,
+            },
+        ) => (results, pairs, exhausted),
         (from, other) => panic!("expected Report from 1, got {} from {from}", other.kind()),
     }
 }
@@ -172,6 +181,29 @@ fn slave_reports_exhausted_when_drained() {
         rounds
     });
     assert!(out[0].unwrap() < 100);
+}
+
+#[test]
+fn protocol_traffic_is_counted_by_comm_stats() {
+    let store = workload(60, 75);
+    let cfg = cfg();
+    let out = with_slave(&store, &cfg, |rank| {
+        let (_r0, _p0, _) = recv_report(rank);
+        rank.send(
+            1,
+            Msg::Work {
+                pairs: vec![],
+                request: 5,
+            },
+        );
+        let (_r1, _p1, _) = recv_report(rank);
+        rank.send(1, Msg::Shutdown);
+        rank.stats()
+    });
+    let comm = out[0].unwrap();
+    // Two reports from the slave plus two sends from the script — the
+    // world-level counter must see all of them.
+    assert!(comm.messages >= 4, "messages = {}", comm.messages);
 }
 
 #[test]

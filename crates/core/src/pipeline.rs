@@ -1,6 +1,9 @@
 //! The one-call clustering pipeline.
 
-use pace_cluster::{cluster_parallel, cluster_sequential, ClusterConfig, ClusterResult};
+use pace_cluster::{
+    cluster_parallel_obs, cluster_sequential_obs, ClusterConfig, ClusterResult, MergeTrace,
+};
+use pace_obs::Obs;
 use pace_quality::QualityMetrics;
 use pace_seq::{SeqError, SequenceStore};
 
@@ -78,6 +81,8 @@ pub struct PaceOutcome {
     pub total_bases: usize,
     /// Ranks used.
     pub num_processors: usize,
+    /// Ordered log of every accepted merge (replayable).
+    pub trace: MergeTrace,
 }
 
 impl Pace {
@@ -99,6 +104,18 @@ impl Pace {
 
     /// Cluster a pre-built sequence store.
     pub fn cluster_store(&self, store: &SequenceStore) -> Result<PaceOutcome, PaceError> {
+        self.cluster_store_obs(store, &Obs::noop())
+    }
+
+    /// Cluster a pre-built sequence store with instrumentation: phase
+    /// timings, counters and histograms accumulate in `obs`'s registry
+    /// (ready for a `pace_obs::report` document), and structured events
+    /// stream to its sink. The merge trace is kept on the outcome.
+    pub fn cluster_store_obs(
+        &self,
+        store: &SequenceStore,
+        obs: &Obs,
+    ) -> Result<PaceOutcome, PaceError> {
         self.config
             .cluster
             .validate()
@@ -106,16 +123,17 @@ impl Pace {
         if self.config.num_processors == 0 {
             return Err(PaceError::BadConfig("num_processors must be ≥ 1".into()));
         }
-        let result = if self.config.num_processors <= 1 {
-            cluster_sequential(store, &self.config.cluster)
+        let (result, trace) = if self.config.num_processors <= 1 {
+            cluster_sequential_obs(store, &self.config.cluster, obs)
         } else {
-            cluster_parallel(store, &self.config.cluster, self.config.num_processors)
+            cluster_parallel_obs(store, &self.config.cluster, self.config.num_processors, obs)
         };
         Ok(PaceOutcome {
             num_ests: store.num_ests(),
             total_bases: store.total_input_chars(),
             num_processors: self.config.num_processors,
             result,
+            trace,
         })
     }
 }
@@ -182,6 +200,36 @@ mod tests {
         let q = outcome.quality(&ds.truth);
         assert!(q.cc > 0.8, "{q}");
         assert_eq!(outcome.num_processors, 4);
+    }
+
+    #[test]
+    fn outcome_trace_replays_to_labels() {
+        let ds = dataset(80, 43);
+        for p in [1, 3] {
+            let mut cfg = test_config();
+            cfg.num_processors = p;
+            let outcome = Pace::new(cfg).cluster(&ds.ests).unwrap();
+            assert_eq!(outcome.trace.len() as u64, outcome.result.stats.merges);
+            let replayed = outcome.trace.replay(outcome.num_ests);
+            let agreement = pace_quality::assess(&replayed, outcome.labels());
+            assert_eq!(agreement.counts.fp + agreement.counts.fn_, 0, "p={p}");
+        }
+    }
+
+    #[test]
+    fn obs_registry_fills_through_the_pipeline() {
+        let ds = dataset(60, 44);
+        let store = SequenceStore::from_ests(&ds.ests).unwrap();
+        let obs = Obs::noop();
+        let outcome = Pace::new(test_config())
+            .cluster_store_obs(&store, &obs)
+            .unwrap();
+        let snap = obs.registry().snapshot();
+        assert_eq!(
+            snap.counters["pairs.generated"],
+            outcome.result.stats.pairs_generated
+        );
+        assert!(snap.phases.contains_key("total"));
     }
 
     #[test]

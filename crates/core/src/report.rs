@@ -2,11 +2,11 @@
 //! EXPERIMENTS.md.
 
 use crate::pipeline::PaceOutcome;
+use pace_obs::Json;
 use pace_quality::QualityMetrics;
-use serde::{Deserialize, Serialize};
 
 /// A flat, serializable record of one clustering run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// Number of input ESTs.
     pub num_ests: usize,
@@ -80,8 +80,70 @@ impl RunReport {
 
     /// Render a Table 2–style quality row (`OQ OV UN CC`), if assessed.
     pub fn table2_row(&self) -> Option<String> {
-        self.quality.map(|(oq, ov, un, cc)| {
-            format!("OQ {oq:6.2}  OV {ov:5.2}  UN {un:5.2}  CC {cc:6.2}")
+        self.quality
+            .map(|(oq, ov, un, cc)| format!("OQ {oq:6.2}  OV {ov:5.2}  UN {un:5.2}  CC {cc:6.2}"))
+    }
+
+    /// Serialize as a JSON object (via `pace-obs`; the workspace has no
+    /// serde).
+    pub fn to_json(&self) -> Json {
+        let quality = match self.quality {
+            Some((oq, ov, un, cc)) => Json::obj([
+                ("oq", Json::Num(oq)),
+                ("ov", Json::Num(ov)),
+                ("un", Json::Num(un)),
+                ("cc", Json::Num(cc)),
+            ]),
+            None => Json::Null,
+        };
+        Json::obj([
+            ("num_ests", Json::Num(self.num_ests as f64)),
+            ("total_bases", Json::Num(self.total_bases as f64)),
+            ("num_processors", Json::Num(self.num_processors as f64)),
+            ("num_clusters", Json::Num(self.num_clusters as f64)),
+            ("pairs_generated", Json::Num(self.pairs_generated as f64)),
+            ("pairs_processed", Json::Num(self.pairs_processed as f64)),
+            ("pairs_accepted", Json::Num(self.pairs_accepted as f64)),
+            ("pairs_skipped", Json::Num(self.pairs_skipped as f64)),
+            ("partitioning_secs", Json::Num(self.partitioning_secs)),
+            ("gst_secs", Json::Num(self.gst_secs)),
+            ("sort_secs", Json::Num(self.sort_secs)),
+            ("align_secs", Json::Num(self.align_secs)),
+            ("total_secs", Json::Num(self.total_secs)),
+            ("master_busy_frac", Json::Num(self.master_busy_frac)),
+            ("quality", quality),
+        ])
+    }
+
+    /// Parse a report previously produced by [`RunReport::to_json`].
+    pub fn from_json(doc: &Json) -> Option<Self> {
+        let u = |k: &str| doc.get(k)?.as_u64();
+        let f = |k: &str| doc.get(k)?.as_f64();
+        let quality = match doc.get("quality")? {
+            Json::Null => None,
+            q => Some((
+                q.get("oq")?.as_f64()?,
+                q.get("ov")?.as_f64()?,
+                q.get("un")?.as_f64()?,
+                q.get("cc")?.as_f64()?,
+            )),
+        };
+        Some(RunReport {
+            num_ests: u("num_ests")? as usize,
+            total_bases: u("total_bases")? as usize,
+            num_processors: u("num_processors")? as usize,
+            num_clusters: u("num_clusters")? as usize,
+            pairs_generated: u("pairs_generated")?,
+            pairs_processed: u("pairs_processed")?,
+            pairs_accepted: u("pairs_accepted")?,
+            pairs_skipped: u("pairs_skipped")?,
+            partitioning_secs: f("partitioning_secs")?,
+            gst_secs: f("gst_secs")?,
+            sort_secs: f("sort_secs")?,
+            align_secs: f("align_secs")?,
+            total_secs: f("total_secs")?,
+            master_busy_frac: f("master_busy_frac")?,
+            quality,
         })
     }
 }
@@ -145,6 +207,16 @@ mod tests {
         assert!(text.contains("quality"));
         assert!(report.table2_row().is_some());
         assert!(!report.table3_row().is_empty());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let (out, truth) = outcome();
+        let q = out.quality(&truth);
+        let report = RunReport::from_outcome(&out, Some(q));
+        let text = report.to_json().to_string();
+        let back = RunReport::from_json(&pace_obs::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, report);
     }
 
     #[test]

@@ -170,7 +170,10 @@ fn scan_pair(
             left_flank: lc,
             right_flank: rc,
         };
-        if best.as_ref().is_none_or(|b| candidate.event_len > b.event_len) {
+        if best
+            .as_ref()
+            .is_none_or(|b| candidate.event_len > b.event_len)
+        {
             best = Some(candidate);
         }
     }
@@ -186,7 +189,9 @@ mod tests {
         let mut x = seed;
         (0..len)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 [b'A', b'C', b'G', b'T'][(x >> 33) as usize % 4]
             })
             .collect()
@@ -221,11 +226,7 @@ mod tests {
         let e3 = lcg_dna(6, 150);
         let long: Vec<u8> = [&e1[..], &e2, &e3].concat();
         let short = pace_seq::reverse_complement(&[&e1[..], &e3].concat());
-        let events = detect_splice_events(
-            &[long, short],
-            &[7, 7],
-            &SpliceScanConfig::default(),
-        );
+        let events = detect_splice_events(&[long, short], &[7, 7], &SpliceScanConfig::default());
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].cluster, 7);
         assert_eq!(events[0].long_read, 0);

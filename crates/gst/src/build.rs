@@ -111,8 +111,7 @@ fn build_group(store: &SequenceStore, tree: &mut Subtree, group: &mut [SuffixRef
             push_leaf(tree, store, end_group, d);
             start = ends;
         }
-        for c in 0..4 {
-            let len = counts[c];
+        for &len in counts.iter() {
             if len == 0 {
                 continue;
             }

@@ -39,6 +39,15 @@ impl LocalForest {
         self.subtrees.iter().map(|t| t.memory_bytes()).sum()
     }
 
+    /// Deepest node (string depth, in bases) across the forest.
+    pub fn max_depth(&self) -> u32 {
+        self.subtrees
+            .iter()
+            .flat_map(|t| t.node_depths().map(|(_, d)| d))
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Validate every subtree (test helper).
     pub fn validate(&self, store: &SequenceStore) -> Result<(), String> {
         for t in &self.subtrees {
@@ -164,5 +173,9 @@ mod tests {
         let f = build_sequential(&s, 2);
         assert!(f.memory_bytes() > 0);
         assert!(f.num_nodes() > 0);
+        // The whole string is a repeated suffix path; the deepest node
+        // must be at least w deep and no deeper than the longest string.
+        assert!(f.max_depth() >= 2);
+        assert!(f.max_depth() <= 8);
     }
 }

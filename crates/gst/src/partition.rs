@@ -229,9 +229,7 @@ mod tests {
         // alone and spreads the rest.
         let mut counts = vec![0u64; num_buckets(2)];
         counts[0] = 1000;
-        for b in 1..=10 {
-            counts[b] = 100;
-        }
+        counts[1..=10].fill(100);
         let part = assign_buckets(&counts, 2);
         let load = part.load_per_rank();
         assert_eq!(load.iter().sum::<u64>(), 2000);

@@ -185,10 +185,16 @@ impl Subtree {
         for v in 0..n {
             let node = &self.nodes[v as usize];
             if node.rightmost < v || node.rightmost >= n {
-                return Err(format!("node {v}: rightmost {} out of range", node.rightmost));
+                return Err(format!(
+                    "node {v}: rightmost {} out of range",
+                    node.rightmost
+                ));
             }
             if !self.nodes[node.rightmost as usize].is_leaf_raw(node.rightmost) {
-                return Err(format!("node {v}: rightmost {} is not a leaf", node.rightmost));
+                return Err(format!(
+                    "node {v}: rightmost {} is not a leaf",
+                    node.rightmost
+                ));
             }
             if self.is_leaf(v) {
                 let sufs = self.leaf_suffixes(v);

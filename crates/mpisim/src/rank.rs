@@ -67,7 +67,11 @@ impl<M: Send> Rank<M> {
     /// receiver arrive in order. Sending to a rank that has already
     /// finished silently discards the message.
     pub fn send(&self, to: usize, msg: M) {
-        assert!(to < self.size, "rank {to} out of range (size {})", self.size);
+        assert!(
+            to < self.size,
+            "rank {to} out of range (size {})",
+            self.size
+        );
         self.stats.record_message();
         // An Err means the receiver's inbox was dropped (rank finished);
         // MPI semantics at shutdown are undefined, we choose "discard".

@@ -116,8 +116,8 @@ mod tests {
             v
         });
         // Rank r receives from its predecessor.
-        for r in 0..p {
-            assert_eq!(out[r], ((r + p - 1) % p) as u64);
+        for (r, &v) in out.iter().enumerate() {
+            assert_eq!(v, ((r + p - 1) % p) as u64);
         }
     }
 

@@ -1,0 +1,219 @@
+//! `pace-obs` — the unified observability layer for the PaCE
+//! reproduction.
+//!
+//! The paper's evaluation is an observability story: Table 3 is a
+//! per-phase timing breakdown, Figure 7 tracks pairs
+//! generated/processed/accepted over time, Figure 8 counts
+//! communication volume, and the central efficiency claim is "the
+//! master is busy < 2% of the time". This crate gives every layer of
+//! the pipeline one substrate to record those numbers through:
+//!
+//! - [`Span`] / [`Timer`] — RAII phase timing that feeds the registry
+//!   (and still backs the legacy `PhaseTimers` struct in
+//!   `pace-cluster`).
+//! - [`Registry`] — thread-safe named counters, gauges, log-bucketed
+//!   histograms, and per-rank phase series with min/mean/max
+//!   aggregates.
+//! - [`EventSink`] — pluggable structured-event stream:
+//!   [`NullSink`] (zero-overhead default), [`VecSink`] (test capture),
+//!   [`JsonlSink`] (line-delimited JSON file).
+//! - [`report`] — a schema-versioned JSON run report assembled from a
+//!   registry snapshot, shared by the CLI (`--metrics-out`) and the
+//!   bench binaries.
+//!
+//! Everything is std-only (plus the workspace's vendored `parking_lot`
+//! shim); the crate pulls in no external dependencies.
+//!
+//! # Metric naming conventions
+//!
+//! Dotted lowercase names, grouped by subsystem:
+//!
+//! | name | kind | meaning |
+//! |---|---|---|
+//! | `pairs.generated` … `pairs.unconsumed` | counter | pair life cycle |
+//! | `merges` | counter | accepted union-find merges |
+//! | `comm.messages` / `comm.barriers` / `comm.reductions` | counter | mpisim traffic |
+//! | `gst.buckets` / `gst.nodes` / `gst.subtrees` | counter | GST build size |
+//! | `gst.max_depth` | gauge | deepest GST node (string depth) |
+//! | `master.busy_frac` | gauge | fraction of wall time the master worked |
+//! | `pairs.mcs_len` | histogram | generated pairs by maximal-common-substring length |
+//! | `partitioning`, `gst_construction`, `node_sorting`, `alignment`, `total` | phase | per-rank phase timings |
+
+pub mod json;
+pub mod metric;
+pub mod registry;
+pub mod report;
+pub mod sink;
+pub mod span;
+
+pub use json::Json;
+pub use registry::{Counter, Histogram, PhaseAgg, Registry, RegistrySnapshot};
+pub use report::SCHEMA_VERSION;
+pub use sink::{Event, EventSink, JsonlSink, NullSink, VecSink};
+pub use span::{Span, Timer};
+
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Inner {
+    registry: Registry,
+    sink: Box<dyn EventSink>,
+    /// `true` unless the sink is a `NullSink`; lets hot paths skip
+    /// building `Event` values entirely.
+    events_enabled: bool,
+    epoch: Instant,
+}
+
+/// Cheaply clonable handle to one run's observability state: a metric
+/// registry plus an event sink. `Obs` is `Send + Sync`; every rank of
+/// the parallel driver shares one handle.
+#[derive(Clone)]
+pub struct Obs {
+    inner: Arc<Inner>,
+}
+
+impl Obs {
+    /// An `Obs` that aggregates metrics but drops events ([`NullSink`]).
+    /// This is the default for library callers; the registry still
+    /// fills so reports can always be produced.
+    pub fn noop() -> Self {
+        Obs::with_sink(Box::new(NullSink))
+    }
+
+    /// An `Obs` emitting events into the given sink.
+    pub fn with_sink(sink: Box<dyn EventSink>) -> Self {
+        let events_enabled = !sink.is_null();
+        Obs {
+            inner: Arc::new(Inner {
+                registry: Registry::new(),
+                sink,
+                events_enabled,
+                epoch: Instant::now(),
+            }),
+        }
+    }
+
+    /// The metric registry shared by all clones of this handle.
+    pub fn registry(&self) -> &Registry {
+        &self.inner.registry
+    }
+
+    /// Seconds since this `Obs` was created (the run's time origin).
+    pub fn now(&self) -> f64 {
+        self.inner.epoch.elapsed().as_secs_f64()
+    }
+
+    /// Whether events are observable (i.e. the sink is not `NullSink`).
+    /// Hot paths should gate event construction on this, or use
+    /// [`Obs::emit_with`].
+    pub fn events_enabled(&self) -> bool {
+        self.inner.events_enabled
+    }
+
+    /// Emit one event to the sink.
+    pub fn emit(&self, event: Event) {
+        if self.inner.events_enabled {
+            self.inner.sink.emit(&event);
+        }
+    }
+
+    /// Emit lazily: the event is only built if a real sink is attached.
+    pub fn emit_with(&self, make: impl FnOnce() -> Event) {
+        if self.inner.events_enabled {
+            self.inner.sink.emit(&make());
+        }
+    }
+
+    /// Flush the sink (e.g. the JSONL writer's buffer).
+    pub fn flush(&self) {
+        self.inner.sink.flush();
+    }
+
+    /// Open an RAII span for `phase` on rank 0.
+    pub fn span<'a>(&'a self, phase: &'a str) -> Span<'a> {
+        self.span_on(phase, 0)
+    }
+
+    /// Open an RAII span for `phase` on the given rank. Emits
+    /// `PhaseStart` now and, at [`Span::finish`] (or drop),
+    /// records the duration into the registry's phase series and emits
+    /// `PhaseEnd`.
+    pub fn span_on<'a>(&'a self, phase: &'a str, rank: usize) -> Span<'a> {
+        Span::begin(self, phase, rank)
+    }
+
+    /// Convenience: a counter handle (see [`Registry::counter`]).
+    pub fn counter(&self, name: &str) -> Counter {
+        self.inner.registry.counter(name)
+    }
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs")
+            .field("events_enabled", &self.inner.events_enabled)
+            .finish()
+    }
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Obs::noop()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handle_is_send_sync_and_cheap_to_clone() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Obs>();
+        let obs = Obs::noop();
+        let clones: Vec<Obs> = (0..8).map(|_| obs.clone()).collect();
+        std::thread::scope(|s| {
+            for (i, o) in clones.iter().enumerate() {
+                s.spawn(move || o.counter("shared").add(i as u64 + 1));
+            }
+        });
+        assert_eq!(obs.registry().snapshot().counters["shared"], 36);
+    }
+
+    #[test]
+    fn null_sink_disables_events() {
+        let obs = Obs::noop();
+        assert!(!obs.events_enabled());
+        let mut built = false;
+        obs.emit_with(|| {
+            built = true;
+            Event::Message {
+                t: 0.0,
+                text: "never".into(),
+            }
+        });
+        assert!(!built, "NullSink must not build events");
+    }
+
+    #[test]
+    fn vec_sink_captures_span_events() {
+        let sink = VecSink::shared();
+        let obs = Obs::with_sink(Box::new(sink.clone()));
+        let span = obs.span_on("alignment", 3);
+        let secs = span.finish();
+        assert!(secs >= 0.0);
+        let events = sink.snapshot();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(
+            &events[0],
+            Event::PhaseStart { phase, rank: 3, .. } if phase == "alignment"
+        ));
+        assert!(matches!(
+            &events[1],
+            Event::PhaseEnd { phase, rank: 3, secs, .. }
+                if phase == "alignment" && *secs >= 0.0
+        ));
+        let agg = &obs.registry().snapshot().phases["alignment"];
+        assert_eq!(agg.count, 1);
+    }
+}

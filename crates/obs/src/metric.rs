@@ -1,0 +1,53 @@
+//! Canonical metric and phase names.
+//!
+//! Every producer (both drivers, the GST builder, the pair generators,
+//! the communication layer) records through these constants, so a
+//! report's keys are stable across the sequential and parallel paths
+//! and consumers never match on ad-hoc strings. See the crate-level
+//! table for meanings.
+
+/// Counter: promising pairs emitted by the generators.
+pub const PAIRS_GENERATED: &str = "pairs.generated";
+/// Counter: pairs the alignment kernel actually ran on.
+pub const PAIRS_PROCESSED: &str = "pairs.processed";
+/// Counter: alignments accepted as merge evidence.
+pub const PAIRS_ACCEPTED: &str = "pairs.accepted";
+/// Counter: pairs discarded because their ESTs already shared a cluster.
+pub const PAIRS_SKIPPED: &str = "pairs.skipped";
+/// Counter: pairs generated but still buffered at shutdown.
+pub const PAIRS_UNCONSUMED: &str = "pairs.unconsumed";
+/// Counter: accepted alignments that actually merged two clusters.
+pub const MERGES: &str = "merges";
+
+/// Counter: point-to-point messages delivered.
+pub const COMM_MESSAGES: &str = "comm.messages";
+/// Counter: barrier episodes completed.
+pub const COMM_BARRIERS: &str = "comm.barriers";
+/// Counter: reduction collectives completed.
+pub const COMM_REDUCTIONS: &str = "comm.reductions";
+
+/// Counter: distinct GST buckets built.
+pub const GST_BUCKETS: &str = "gst.buckets";
+/// Counter: total GST nodes across all subtrees.
+pub const GST_NODES: &str = "gst.nodes";
+/// Counter: subtrees (one per non-empty bucket).
+pub const GST_SUBTREES: &str = "gst.subtrees";
+/// Gauge: deepest node (string depth) in any subtree.
+pub const GST_MAX_DEPTH: &str = "gst.max_depth";
+
+/// Gauge: fraction of wall time the master spent busy.
+pub const MASTER_BUSY_FRAC: &str = "master.busy_frac";
+
+/// Histogram: generated pairs by maximal-common-substring length.
+pub const PAIRS_MCS_LEN: &str = "pairs.mcs_len";
+
+/// Phase: bucket counting, global summation and bucket assignment.
+pub const PHASE_PARTITIONING: &str = "partitioning";
+/// Phase: per-bucket subtree construction.
+pub const PHASE_GST_CONSTRUCTION: &str = "gst_construction";
+/// Phase: node collection + string-depth sorting (generator setup).
+pub const PHASE_NODE_SORTING: &str = "node_sorting";
+/// Phase: pairwise (anchored banded) alignment.
+pub const PHASE_ALIGNMENT: &str = "alignment";
+/// Phase: end-to-end wall clock.
+pub const PHASE_TOTAL: &str = "total";

@@ -1,0 +1,312 @@
+//! Thread-safe metric registry: named counters, gauges, log-bucketed
+//! histograms, and per-rank phase series.
+//!
+//! Counters are lock-free after first lookup (callers hold a
+//! [`Counter`] handle wrapping an `Arc<AtomicU64>`); gauges, histograms
+//! and phase series take a short mutex. All maps are `BTreeMap` so
+//! snapshots and reports iterate in stable, diff-friendly order.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A handle to one named counter; cloning shares the underlying cell.
+#[derive(Clone, Debug)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add `delta` to the counter.
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A histogram over power-of-two buckets: bucket `i` counts values `v`
+/// with `floor(log2(v)) == i - 1` (bucket 0 holds `v == 0`). This keeps
+/// e.g. "pairs per maximal-common-substring length" compact regardless
+/// of range.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Histogram {
+    counts: BTreeMap<u32, u64>,
+    count: u64,
+    sum: u64,
+}
+
+impl Histogram {
+    fn bucket_of(value: u64) -> u32 {
+        u64::BITS - value.leading_zeros()
+    }
+
+    /// The inclusive lower bound of a bucket index.
+    pub fn bucket_lo(bucket: u32) -> u64 {
+        if bucket == 0 {
+            0
+        } else {
+            1u64 << (bucket - 1)
+        }
+    }
+
+    /// Record one observation of `value`.
+    pub fn observe(&mut self, value: u64) {
+        self.observe_n(value, 1);
+    }
+
+    /// Record `n` observations of `value` at once (used when absorbing
+    /// pre-aggregated stats like pairgen's per-MCS-length counts).
+    pub fn observe_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        *self.counts.entry(Self::bucket_of(value)).or_insert(0) += n;
+        self.count += n;
+        self.sum += value.saturating_mul(n);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Non-empty buckets as `(bucket_lower_bound, count)` in ascending
+    /// order.
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .map(|(&b, &c)| (Self::bucket_lo(b), c))
+            .collect()
+    }
+}
+
+/// Aggregate of one phase's per-rank durations.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PhaseAgg {
+    /// Number of recorded durations (usually = participating ranks).
+    pub count: u64,
+    pub min: f64,
+    pub mean: f64,
+    /// The slowest rank — the phase's critical path in a barrier-
+    /// synchronized run, and what Table 3 reports.
+    pub max: f64,
+    pub sum: f64,
+}
+
+/// A stable, lock-free copy of the registry for reporting and tests.
+#[derive(Clone, Debug, Default)]
+pub struct RegistrySnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, f64>,
+    pub histograms: BTreeMap<String, Histogram>,
+    pub phases: BTreeMap<String, PhaseAgg>,
+    /// Raw `(rank, secs)` series behind each phase aggregate.
+    pub phase_series: BTreeMap<String, Vec<(usize, f64)>>,
+}
+
+#[derive(Default)]
+struct Tables {
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+    phases: BTreeMap<String, Vec<(usize, f64)>>,
+}
+
+/// The thread-safe metric registry. One per [`crate::Obs`].
+#[derive(Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    tables: Mutex<Tables>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Get (or create) a counter handle. Hold the handle across a hot
+    /// loop; lookup takes a lock but updates are atomic.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut counters = self.counters.lock();
+        match counters.get(name) {
+            Some(cell) => Counter(Arc::clone(cell)),
+            None => {
+                let cell = Arc::new(AtomicU64::new(0));
+                counters.insert(name.to_string(), Arc::clone(&cell));
+                Counter(cell)
+            }
+        }
+    }
+
+    /// Add to a named counter without keeping a handle.
+    pub fn add(&self, name: &str, delta: u64) {
+        self.counter(name).add(delta);
+    }
+
+    /// Set a gauge to an instantaneous value (last write wins).
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        self.tables.lock().gauges.insert(name.to_string(), value);
+    }
+
+    /// Raise a gauge to `value` if it is higher than the current value
+    /// (used for cross-rank maxima like the deepest GST node).
+    pub fn set_gauge_max(&self, name: &str, value: f64) {
+        let mut tables = self.tables.lock();
+        let slot = tables.gauges.entry(name.to_string()).or_insert(value);
+        if value > *slot {
+            *slot = value;
+        }
+    }
+
+    /// Record one observation into a named histogram.
+    pub fn observe(&self, name: &str, value: u64) {
+        self.observe_n(name, value, 1);
+    }
+
+    /// Record `n` observations of `value` into a named histogram.
+    pub fn observe_n(&self, name: &str, value: u64, n: u64) {
+        self.tables
+            .lock()
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .observe_n(value, n);
+    }
+
+    /// Append one duration to a phase's per-rank series.
+    pub fn record_phase(&self, phase: &str, rank: usize, secs: f64) {
+        self.tables
+            .lock()
+            .phases
+            .entry(phase.to_string())
+            .or_default()
+            .push((rank, secs));
+    }
+
+    /// Take a consistent copy of everything for reporting.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let counters = self
+            .counters
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        let tables = self.tables.lock();
+        let phases = tables
+            .phases
+            .iter()
+            .map(|(k, series)| (k.clone(), aggregate(series)))
+            .collect();
+        RegistrySnapshot {
+            counters,
+            gauges: tables.gauges.clone(),
+            histograms: tables.histograms.clone(),
+            phases,
+            phase_series: tables.phases.clone(),
+        }
+    }
+}
+
+fn aggregate(series: &[(usize, f64)]) -> PhaseAgg {
+    if series.is_empty() {
+        return PhaseAgg::default();
+    }
+    let mut agg = PhaseAgg {
+        count: series.len() as u64,
+        min: f64::INFINITY,
+        mean: 0.0,
+        max: f64::NEG_INFINITY,
+        sum: 0.0,
+    };
+    for &(_, secs) in series {
+        agg.min = agg.min.min(secs);
+        agg.max = agg.max.max(secs);
+        agg.sum += secs;
+    }
+    agg.mean = agg.sum / series.len() as f64;
+    agg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_atomic_across_threads() {
+        let reg = Registry::new();
+        let c = reg.counter("hits");
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.snapshot().counters["hits"], 8000);
+        assert_eq!(c.get(), 8000);
+    }
+
+    #[test]
+    fn histogram_buckets_by_power_of_two() {
+        let mut h = Histogram::default();
+        h.observe(0);
+        h.observe(1);
+        h.observe(2);
+        h.observe(3);
+        h.observe_n(16, 5);
+        assert_eq!(h.count(), 9);
+        assert_eq!(h.sum(), 86); // 0 + 1 + 2 + 3 + 5·16
+                                 // buckets: [0,0]=1, [1,1]=1, [2,3]=2, [16,31]=5
+        assert_eq!(h.buckets(), vec![(0, 1), (1, 1), (2, 2), (16, 5)]);
+    }
+
+    #[test]
+    fn phase_aggregates_min_mean_max() {
+        let reg = Registry::new();
+        reg.record_phase("alignment", 1, 1.0);
+        reg.record_phase("alignment", 2, 3.0);
+        reg.record_phase("alignment", 3, 2.0);
+        let agg = reg.snapshot().phases["alignment"];
+        assert_eq!(agg.count, 3);
+        assert_eq!(agg.min, 1.0);
+        assert_eq!(agg.max, 3.0);
+        assert!((agg.mean - 2.0).abs() < 1e-12);
+        assert!((agg.sum - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gauge_max_keeps_the_peak() {
+        let reg = Registry::new();
+        reg.set_gauge_max("depth", 10.0);
+        reg.set_gauge_max("depth", 4.0);
+        reg.set_gauge_max("depth", 12.0);
+        assert_eq!(reg.snapshot().gauges["depth"], 12.0);
+    }
+
+    #[test]
+    fn snapshot_is_stable_ordered() {
+        let reg = Registry::new();
+        reg.add("b", 2);
+        reg.add("a", 1);
+        reg.set_gauge("z", 0.5);
+        let snap = reg.snapshot();
+        let keys: Vec<_> = snap.counters.keys().cloned().collect();
+        assert_eq!(keys, vec!["a", "b"]);
+        assert_eq!(snap.gauges["z"], 0.5);
+    }
+}

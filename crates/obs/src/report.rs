@@ -1,0 +1,197 @@
+//! The schema-versioned JSON run report.
+//!
+//! One document per run, assembled from a [`RegistrySnapshot`] plus
+//! caller-supplied metadata. Both drivers, the CLI (`--metrics-out`)
+//! and the bench binaries produce this same shape, so every number in
+//! EXPERIMENTS.md traces back to the registry the production path
+//! filled.
+//!
+//! Layout (all sections present, possibly empty):
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "meta":     { "num_ests": 500, "num_processors": 4, ... },
+//!   "timers":   { "alignment": {"min":…,"mean":…,"max":…,"sum":…,"count":…}, … },
+//!   "counters": { "pairs.generated": 1234, … },
+//!   "gauges":   { "master.busy_frac": 0.013, … },
+//!   "histograms": { "pairs.mcs_len": {"count":…,"sum":…,"buckets":[[lo,count],…]}, … }
+//! }
+//! ```
+//!
+//! `timers.<phase>.max` is the critical path (slowest rank) — the
+//! number a Table 3 row reports; `min`/`mean` expose imbalance.
+
+use crate::json::Json;
+use crate::registry::{PhaseAgg, RegistrySnapshot};
+
+/// Version of the report layout. Bump on breaking shape changes;
+/// consumers must check it before reading further.
+pub const SCHEMA_VERSION: u64 = 1;
+
+fn agg_to_json(agg: &PhaseAgg) -> Json {
+    Json::obj([
+        ("min", Json::Num(agg.min)),
+        ("mean", Json::Num(agg.mean)),
+        ("max", Json::Num(agg.max)),
+        ("sum", Json::Num(agg.sum)),
+        ("count", Json::Num(agg.count as f64)),
+    ])
+}
+
+/// Render a snapshot (plus metadata entries) as a report document.
+pub fn to_json(snapshot: &RegistrySnapshot, meta: Vec<(String, Json)>) -> Json {
+    let timers = Json::Obj(
+        snapshot
+            .phases
+            .iter()
+            .map(|(name, agg)| (name.clone(), agg_to_json(agg)))
+            .collect(),
+    );
+    let counters = Json::Obj(
+        snapshot
+            .counters
+            .iter()
+            .map(|(name, &v)| (name.clone(), Json::Num(v as f64)))
+            .collect(),
+    );
+    let gauges = Json::Obj(
+        snapshot
+            .gauges
+            .iter()
+            .map(|(name, &v)| (name.clone(), Json::Num(v)))
+            .collect(),
+    );
+    let histograms = Json::Obj(
+        snapshot
+            .histograms
+            .iter()
+            .map(|(name, h)| {
+                let buckets = Json::Arr(
+                    h.buckets()
+                        .into_iter()
+                        .map(|(lo, count)| {
+                            Json::Arr(vec![Json::Num(lo as f64), Json::Num(count as f64)])
+                        })
+                        .collect(),
+                );
+                (
+                    name.clone(),
+                    Json::obj([
+                        ("count", Json::Num(h.count() as f64)),
+                        ("sum", Json::Num(h.sum() as f64)),
+                        ("buckets", buckets),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    Json::obj([
+        ("schema_version", Json::Num(SCHEMA_VERSION as f64)),
+        ("meta", Json::Obj(meta)),
+        ("timers", timers),
+        ("counters", counters),
+        ("gauges", gauges),
+        ("histograms", histograms),
+    ])
+}
+
+/// Pretty-print a report with one top-level section per line block —
+/// still valid JSON, but humane to `less` and diff.
+pub fn to_pretty_string(report: &Json) -> String {
+    fn indent(out: &mut String, depth: usize) {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+    }
+    fn write(value: &Json, out: &mut String, depth: usize) {
+        match value {
+            Json::Obj(entries) if !entries.is_empty() && depth < 2 => {
+                out.push_str("{\n");
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    indent(out, depth + 1);
+                    out.push_str(&Json::Str(k.clone()).to_string());
+                    out.push_str(": ");
+                    write(v, out, depth + 1);
+                    if i + 1 < entries.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                indent(out, depth);
+                out.push('}');
+            }
+            other => out.push_str(&other.to_string()),
+        }
+    }
+    let mut out = String::new();
+    write(report, &mut out, 0);
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::registry::Registry;
+
+    fn sample_registry() -> Registry {
+        let reg = Registry::new();
+        reg.add("pairs.generated", 120);
+        reg.add("pairs.processed", 100);
+        reg.set_gauge("master.busy_frac", 0.015);
+        reg.observe_n("pairs.mcs_len", 20, 90);
+        reg.observe_n("pairs.mcs_len", 40, 30);
+        for rank in 1..4 {
+            reg.record_phase("alignment", rank, rank as f64);
+        }
+        reg
+    }
+
+    #[test]
+    fn report_is_schema_versioned_and_parseable() {
+        let reg = sample_registry();
+        let doc = to_json(
+            &reg.snapshot(),
+            vec![("num_ests".to_string(), Json::Num(500.0))],
+        );
+        let text = doc.to_string();
+        let back = json::parse(&text).unwrap();
+        assert_eq!(
+            back.get("schema_version").unwrap().as_u64(),
+            Some(SCHEMA_VERSION)
+        );
+        assert_eq!(
+            back.get("meta").unwrap().get("num_ests").unwrap().as_u64(),
+            Some(500)
+        );
+        assert_eq!(
+            back.get("counters")
+                .unwrap()
+                .get("pairs.generated")
+                .unwrap()
+                .as_u64(),
+            Some(120)
+        );
+        let align = back.get("timers").unwrap().get("alignment").unwrap();
+        assert_eq!(align.get("count").unwrap().as_u64(), Some(3));
+        assert_eq!(align.get("max").unwrap().as_f64(), Some(3.0));
+        assert_eq!(align.get("min").unwrap().as_f64(), Some(1.0));
+        let hist = back
+            .get("histograms")
+            .unwrap()
+            .get("pairs.mcs_len")
+            .unwrap();
+        assert_eq!(hist.get("count").unwrap().as_u64(), Some(120));
+    }
+
+    #[test]
+    fn pretty_output_is_still_valid_json() {
+        let reg = sample_registry();
+        let doc = to_json(&reg.snapshot(), vec![]);
+        let pretty = to_pretty_string(&doc);
+        assert!(pretty.lines().count() > 5, "should be multi-line");
+        assert_eq!(json::parse(&pretty).unwrap(), doc);
+    }
+}

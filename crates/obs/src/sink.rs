@@ -1,0 +1,277 @@
+//! Structured run events and pluggable sinks.
+//!
+//! Events are the *stream* side of observability (the registry is the
+//! *aggregate* side): phase boundaries, periodic rank heartbeats, and
+//! accepted merges. Sinks decide what happens to them:
+//! [`NullSink`] drops everything (and lets [`crate::Obs`] skip building
+//! events at all), [`VecSink`] captures them for tests, and
+//! [`JsonlSink`] writes one JSON object per line for offline analysis.
+
+use crate::json::Json;
+use parking_lot::Mutex;
+use std::io::Write;
+use std::sync::Arc;
+
+/// One structured event. `t` is seconds since the run's [`crate::Obs`]
+/// was created.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Event {
+    /// A phase span opened on a rank.
+    PhaseStart { phase: String, rank: usize, t: f64 },
+    /// A phase span closed; `secs` is its duration.
+    PhaseEnd {
+        phase: String,
+        rank: usize,
+        t: f64,
+        secs: f64,
+    },
+    /// Periodic progress from a rank (the master emits these with its
+    /// busy fraction; slaves with their alignment throughput).
+    Heartbeat {
+        rank: usize,
+        t: f64,
+        /// Fraction of wall time spent doing work (not waiting).
+        busy_frac: f64,
+        /// Pairs aligned per second since the previous heartbeat.
+        pairs_per_sec: f64,
+        /// Cumulative pairs processed by this rank.
+        processed: u64,
+    },
+    /// An accepted merge of two ESTs' clusters.
+    Merge {
+        t: f64,
+        est_a: usize,
+        est_b: usize,
+        mcs_len: u32,
+        score_ratio: f64,
+    },
+    /// Free-form annotation.
+    Message { t: f64, text: String },
+}
+
+impl Event {
+    /// The event's wire name (the JSONL `"ev"` field).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::PhaseStart { .. } => "phase_start",
+            Event::PhaseEnd { .. } => "phase_end",
+            Event::Heartbeat { .. } => "heartbeat",
+            Event::Merge { .. } => "merge",
+            Event::Message { .. } => "message",
+        }
+    }
+
+    /// Encode as a single JSON object.
+    pub fn to_json(&self) -> Json {
+        let mut entries: Vec<(String, Json)> =
+            vec![("ev".to_string(), Json::Str(self.kind().to_string()))];
+        match self {
+            Event::PhaseStart { phase, rank, t } => {
+                entries.push(("phase".into(), Json::Str(phase.clone())));
+                entries.push(("rank".into(), Json::Num(*rank as f64)));
+                entries.push(("t".into(), Json::Num(*t)));
+            }
+            Event::PhaseEnd {
+                phase,
+                rank,
+                t,
+                secs,
+            } => {
+                entries.push(("phase".into(), Json::Str(phase.clone())));
+                entries.push(("rank".into(), Json::Num(*rank as f64)));
+                entries.push(("t".into(), Json::Num(*t)));
+                entries.push(("secs".into(), Json::Num(*secs)));
+            }
+            Event::Heartbeat {
+                rank,
+                t,
+                busy_frac,
+                pairs_per_sec,
+                processed,
+            } => {
+                entries.push(("rank".into(), Json::Num(*rank as f64)));
+                entries.push(("t".into(), Json::Num(*t)));
+                entries.push(("busy_frac".into(), Json::Num(*busy_frac)));
+                entries.push(("pairs_per_sec".into(), Json::Num(*pairs_per_sec)));
+                entries.push(("processed".into(), Json::Num(*processed as f64)));
+            }
+            Event::Merge {
+                t,
+                est_a,
+                est_b,
+                mcs_len,
+                score_ratio,
+            } => {
+                entries.push(("t".into(), Json::Num(*t)));
+                entries.push(("est_a".into(), Json::Num(*est_a as f64)));
+                entries.push(("est_b".into(), Json::Num(*est_b as f64)));
+                entries.push(("mcs_len".into(), Json::Num(*mcs_len as f64)));
+                entries.push(("score_ratio".into(), Json::Num(*score_ratio)));
+            }
+            Event::Message { t, text } => {
+                entries.push(("t".into(), Json::Num(*t)));
+                entries.push(("text".into(), Json::Str(text.clone())));
+            }
+        }
+        Json::Obj(entries)
+    }
+}
+
+/// Where events go. Implementations must be thread-safe: every rank of
+/// the parallel driver emits through the same sink.
+pub trait EventSink: Send + Sync {
+    fn emit(&self, event: &Event);
+
+    /// Flush any buffering; called at the end of a run.
+    fn flush(&self) {}
+
+    /// `true` only for [`NullSink`]; lets `Obs` skip event
+    /// construction entirely.
+    fn is_null(&self) -> bool {
+        false
+    }
+}
+
+/// Drops every event. The zero-overhead default.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn emit(&self, _event: &Event) {}
+
+    fn is_null(&self) -> bool {
+        true
+    }
+}
+
+/// Captures events in memory; clone the handle to inspect from a test
+/// while an `Obs` owns the other clone.
+#[derive(Debug, Default, Clone)]
+pub struct VecSink {
+    events: Arc<Mutex<Vec<Event>>>,
+}
+
+impl VecSink {
+    /// A new shared capture buffer.
+    pub fn shared() -> Self {
+        VecSink::default()
+    }
+
+    /// Copy of everything captured so far.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.events.lock().clone()
+    }
+
+    /// Number of captured events.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl EventSink for VecSink {
+    fn emit(&self, event: &Event) {
+        self.events.lock().push(event.clone());
+    }
+}
+
+/// Writes one JSON object per event, newline-delimited, to any writer
+/// (usually a file opened by the CLI for `--events-out`).
+pub struct JsonlSink {
+    writer: Mutex<Box<dyn Write + Send>>,
+}
+
+impl JsonlSink {
+    pub fn new(writer: Box<dyn Write + Send>) -> Self {
+        JsonlSink {
+            writer: Mutex::new(writer),
+        }
+    }
+
+    /// Open (create/truncate) a JSONL file at `path`.
+    pub fn create(path: &std::path::Path) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(JsonlSink::new(Box::new(std::io::BufWriter::new(file))))
+    }
+}
+
+impl EventSink for JsonlSink {
+    fn emit(&self, event: &Event) {
+        let mut w = self.writer.lock();
+        // Serialization can't fail; I/O errors are deliberately ignored
+        // rather than crashing a compute run over a full disk.
+        let _ = writeln!(w, "{}", event.to_json());
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn event_json_has_kind_and_fields() {
+        let e = Event::Merge {
+            t: 1.5,
+            est_a: 3,
+            est_b: 9,
+            mcs_len: 21,
+            score_ratio: 0.97,
+        };
+        let j = e.to_json();
+        assert_eq!(j.get("ev").unwrap().as_str(), Some("merge"));
+        assert_eq!(j.get("est_b").unwrap().as_u64(), Some(9));
+        assert_eq!(j.get("score_ratio").unwrap().as_f64(), Some(0.97));
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let buf = Arc::new(Mutex::new(Vec::<u8>::new()));
+
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedBuf {
+            fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let sink = JsonlSink::new(Box::new(SharedBuf(Arc::clone(&buf))));
+        sink.emit(&Event::PhaseStart {
+            phase: "gst_construction".into(),
+            rank: 0,
+            t: 0.0,
+        });
+        sink.emit(&Event::Heartbeat {
+            rank: 2,
+            t: 0.5,
+            busy_frac: 0.013,
+            pairs_per_sec: 812.0,
+            processed: 406,
+        });
+        sink.flush();
+
+        let text = String::from_utf8(buf.lock().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let hb = json::parse(lines[1]).unwrap();
+        assert_eq!(hb.get("ev").unwrap().as_str(), Some("heartbeat"));
+        assert_eq!(hb.get("processed").unwrap().as_u64(), Some(406));
+    }
+
+    #[test]
+    fn null_sink_reports_null() {
+        assert!(NullSink.is_null());
+        assert!(!VecSink::shared().is_null());
+    }
+}

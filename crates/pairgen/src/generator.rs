@@ -308,6 +308,7 @@ impl<'s> PairGenerator<'s> {
 /// Filter and normalize one raw pair, pushing it to the buffer if it
 /// survives (see [`CandidatePair`] for the normalization rules).
 #[inline]
+#[allow(clippy::too_many_arguments)]
 fn emit(
     buffer: &mut VecDeque<CandidatePair>,
     stats: &mut GenStats,
@@ -453,7 +454,9 @@ mod tests {
         let s = store(&[b"TTTTGACGTACGG", b"GACGTACGGCCCC"]);
         let (pairs, _) = generate(&s, 2, 10);
         assert!(
-            pairs.iter().all(|p| p.est_indices() != (0, 1) || p.mcs_len >= 10),
+            pairs
+                .iter()
+                .all(|p| p.est_indices() != (0, 1) || p.mcs_len >= 10),
             "mcs below psi emitted"
         );
         let (pairs, _) = generate(&s, 2, 9);
@@ -494,8 +497,7 @@ mod tests {
             b"CATCATGGCTTAGGCCAATT",
         ]);
         let forest = build_sequential(&s, 2);
-        let one_shot =
-            PairGenerator::new(&s, &forest, PairGenConfig::new(6)).generate_all();
+        let one_shot = PairGenerator::new(&s, &forest, PairGenConfig::new(6)).generate_all();
         let mut g = PairGenerator::new(&s, &forest, PairGenConfig::new(6));
         let mut batched = Vec::new();
         while !g.is_exhausted() {

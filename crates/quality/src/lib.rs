@@ -111,9 +111,12 @@ impl QualityMetrics {
         let oq_den = tp + fp + fn_;
         let oq = if oq_den == 0.0 { 1.0 } else { tp / oq_den };
         let ov = if tp + fp == 0.0 { 0.0 } else { fp / (tp + fp) };
-        let un = if tp + fn_ == 0.0 { 0.0 } else { fn_ / (tp + fn_) };
-        let cc_den =
-            ((tp + fp) * (tn + fn_) * (tp + fn_) * (tn + fp)).sqrt();
+        let un = if tp + fn_ == 0.0 {
+            0.0
+        } else {
+            fn_ / (tp + fn_)
+        };
+        let cc_den = ((tp + fp) * (tn + fn_) * (tp + fn_) * (tn + fp)).sqrt();
         let cc = if cc_den == 0.0 {
             // Degenerate table (e.g. everything in one cluster in both
             // labelings): perfect agreement ⇔ no disagreeing pairs.

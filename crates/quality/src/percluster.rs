@@ -141,9 +141,13 @@ mod tests {
         let truth = vec![0, 0, 1, 1, 2];
         let diags = cluster_diagnostics(&truth, &truth);
         assert_eq!(diags.len(), 3);
-        assert!(diags.iter().all(|d| d.purity == 1.0 && d.truth_classes == 1));
+        assert!(diags
+            .iter()
+            .all(|d| d.purity == 1.0 && d.truth_classes == 1));
         let genes = gene_diagnostics(&truth, &truth);
-        assert!(genes.iter().all(|g| g.fragments == 1 && g.completeness == 1.0));
+        assert!(genes
+            .iter()
+            .all(|g| g.fragments == 1 && g.completeness == 1.0));
     }
 
     #[test]

@@ -104,10 +104,7 @@ impl TryFrom<u8> for Base {
 /// Returns `true` if `byte` is a valid upper- or lower-case DNA base.
 #[inline]
 pub fn is_dna(byte: u8) -> bool {
-    matches!(
-        byte,
-        b'A' | b'C' | b'G' | b'T' | b'a' | b'c' | b'g' | b't'
-    )
+    matches!(byte, b'A' | b'C' | b'G' | b'T' | b'a' | b'c' | b'g' | b't')
 }
 
 /// Validate that every byte of `seq` is a DNA base.

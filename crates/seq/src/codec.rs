@@ -78,7 +78,15 @@ mod tests {
 
     #[test]
     fn roundtrip_small() {
-        for s in [&b""[..], b"A", b"AC", b"ACG", b"ACGT", b"ACGTA", b"TTTTTTTTT"] {
+        for s in [
+            &b""[..],
+            b"A",
+            b"AC",
+            b"ACG",
+            b"ACGT",
+            b"ACGTA",
+            b"TTTTTTTTT",
+        ] {
             let packed = PackedDna::from_ascii(s).unwrap();
             assert_eq!(packed.len(), s.len());
             assert_eq!(packed.to_ascii(), s);

@@ -61,7 +61,7 @@ impl StrId {
     /// Which strand this string represents.
     #[inline]
     pub fn strand(self) -> Strand {
-        if self.0 % 2 == 0 {
+        if self.0.is_multiple_of(2) {
             Strand::Forward
         } else {
             Strand::Reverse

@@ -37,7 +37,7 @@ pub mod store;
 pub use alphabet::{Base, ALPHABET_SIZE, DNA_BASES};
 pub use error::SeqError;
 pub use fasta::{parse_fasta, read_fasta_file, write_fasta, write_fasta_file, FastaRecord};
-pub use ids::{EstId, Strand, StrId};
+pub use ids::{EstId, StrId, Strand};
 pub use revcomp::{complement_base, reverse_complement, reverse_complement_in_place};
 pub use stats::{base_composition, gc_content, length_stats, LengthStats};
 pub use store::SequenceStore;

@@ -9,7 +9,7 @@
 
 use crate::alphabet::validate_dna;
 use crate::error::SeqError;
-use crate::ids::{EstId, Strand, StrId};
+use crate::ids::{EstId, StrId, Strand};
 use crate::revcomp::reverse_complement_into;
 
 /// Immutable container of all ESTs and their reverse complements.

@@ -206,8 +206,10 @@ mod tests {
 
     #[test]
     fn validation_catches_repeat_misconfig() {
-        let mut c = SimConfig::default();
-        c.repeat_motifs = 0;
+        let mut c = SimConfig {
+            repeat_motifs: 0,
+            ..SimConfig::default()
+        };
         assert!(c.validate().is_err());
         c.repeat_gene_prob = 0.0;
         assert!(c.validate().is_ok());
@@ -215,24 +217,30 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_values() {
-        let mut c = SimConfig::default();
-        c.error_rate = 1.5;
-        assert!(c.validate().is_err());
-
-        let mut c = SimConfig::default();
-        c.error_mix = (0.5, 0.2, 0.2);
-        assert!(c.validate().is_err());
-
-        let mut c = SimConfig::default();
-        c.exons_per_gene = (4, 2);
-        assert!(c.validate().is_err());
-
-        let mut c = SimConfig::default();
-        c.expression = Expression::Zipf(0.0);
-        assert!(c.validate().is_err());
-
-        let mut c = SimConfig::default();
-        c.num_genes = 0;
-        assert!(c.validate().is_err());
+        let bad = [
+            SimConfig {
+                error_rate: 1.5,
+                ..SimConfig::default()
+            },
+            SimConfig {
+                error_mix: (0.5, 0.2, 0.2),
+                ..SimConfig::default()
+            },
+            SimConfig {
+                exons_per_gene: (4, 2),
+                ..SimConfig::default()
+            },
+            SimConfig {
+                expression: Expression::Zipf(0.0),
+                ..SimConfig::default()
+            },
+            SimConfig {
+                num_genes: 0,
+                ..SimConfig::default()
+            },
+        ];
+        for c in bad {
+            assert!(c.validate().is_err());
+        }
     }
 }

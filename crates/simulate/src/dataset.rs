@@ -151,7 +151,9 @@ pub fn generate(cfg: &SimConfig) -> EstDataset {
     let mut chimeras = Vec::new();
     let pick_gene = |rng: &mut SmallRng| {
         let roll: f64 = rng.gen_range(0.0..1.0);
-        cumulative.partition_point(|&c| c < roll).min(cfg.num_genes - 1)
+        cumulative
+            .partition_point(|&c| c < roll)
+            .min(cfg.num_genes - 1)
     };
     for i in 0..cfg.num_ests {
         let gene = pick_gene(&mut rng);

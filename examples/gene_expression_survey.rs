@@ -30,12 +30,7 @@ fn main() {
     let outcome = Pace::new(config).cluster(&data.ests).expect("valid DNA");
 
     // Recovered expression profile: cluster sizes, largest first.
-    let mut recovered: Vec<usize> = outcome
-        .result
-        .clusters()
-        .iter()
-        .map(|c| c.len())
-        .collect();
+    let mut recovered: Vec<usize> = outcome.result.clusters().iter().map(|c| c.len()).collect();
     recovered.sort_unstable_by(|a, b| b.cmp(a));
 
     // True profile: EST count per gene, largest first.

@@ -16,11 +16,7 @@ use pace::{ClusterConfig, IncrementalClusterer, Pace, PaceConfig, SimConfig};
 
 fn main() {
     let data = pace::simulate::generate(&SimConfig::sized(1_200, 77));
-    let batches: Vec<&[Vec<u8>]> = vec![
-        &data.ests[..400],
-        &data.ests[400..800],
-        &data.ests[800..],
-    ];
+    let batches: Vec<&[Vec<u8>]> = vec![&data.ests[..400], &data.ests[400..800], &data.ests[800..]];
 
     // --- Incremental: clusters carried over, old-old pairs skipped.
     let mut incremental = IncrementalClusterer::new(ClusterConfig::default());

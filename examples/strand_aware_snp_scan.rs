@@ -53,7 +53,11 @@ fn main() {
             let rev = reverse_complement(&fwd);
             let aln_f = global_align(&reference, &fwd, &scoring);
             let aln_r = global_align(&reference, &rev, &scoring);
-            let aln = if aln_f.score >= aln_r.score { aln_f } else { aln_r };
+            let aln = if aln_f.score >= aln_r.score {
+                aln_f
+            } else {
+                aln_r
+            };
             // A SNP candidate: an isolated substitution inside an
             // otherwise high-identity alignment.
             if aln.identity() > 0.9 {

@@ -1,0 +1,55 @@
+//! Offline stand-in for `crossbeam`, covering exactly the slice of its
+//! API this workspace uses: `channel::{unbounded, Sender, Receiver}` and
+//! the receive error types.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors std-only shims for its external dependencies (see
+//! `shims/README.md`). `std::sync::mpsc` provides the same semantics the
+//! runtime relies on: unbounded FIFO channels, cloneable senders,
+//! per-sender ordering, and disconnection errors once every endpoint on
+//! the other side is gone.
+
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, Sender};
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// Create an unbounded FIFO channel (`crossbeam::channel::unbounded`).
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::*;
+
+    #[test]
+    fn fifo_and_disconnect() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.try_recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn senders_are_clone_send_sync() {
+        fn assert_send_sync<T: Send + Sync + Clone>(_: &T) {}
+        let (tx, _rx) = unbounded::<u64>();
+        assert_send_sync(&tx);
+        let tx2 = tx.clone();
+        drop(tx2);
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (_tx, rx) = unbounded::<()>();
+        let err = rx
+            .recv_timeout(std::time::Duration::from_millis(1))
+            .unwrap_err();
+        assert_eq!(err, RecvTimeoutError::Timeout);
+    }
+}

@@ -1,0 +1,181 @@
+//! Offline stand-in for `rayon`, covering the data-parallel subset this
+//! workspace uses: `slice.par_iter().map(f).collect()` and
+//! `range.into_par_iter().map(f).collect()`.
+//!
+//! Unlike a pure sequential fallback, `collect` genuinely fans the map
+//! out across `std::thread::scope` workers (one contiguous chunk per
+//! thread, results concatenated in order), so the baseline clusterer's
+//! parallel alignment phase and the distributed-GST builder keep real
+//! multi-core speedups. There is no work-stealing: with one long chunk
+//! and many short ones the longest chunk bounds the wall clock, which is
+//! acceptable for the uniform workloads these call sites have.
+
+use std::ops::Range;
+
+/// An indexable, thread-shareable source of items for a parallel map.
+pub trait Source: Sync {
+    type Item;
+    fn len(&self) -> usize;
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    fn get(&self, index: usize) -> Self::Item;
+}
+
+/// A borrowed slice as a parallel source (items are `&T`).
+pub struct SliceSource<'a, T>(&'a [T]);
+
+impl<'a, T: Sync> Source for SliceSource<'a, T> {
+    type Item = &'a T;
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn get(&self, index: usize) -> &'a T {
+        &self.0[index]
+    }
+}
+
+/// A `Range<usize>` as a parallel source (items are the indices).
+pub struct RangeSource(usize, usize);
+
+impl Source for RangeSource {
+    type Item = usize;
+    fn len(&self) -> usize {
+        self.1 - self.0
+    }
+    fn get(&self, index: usize) -> usize {
+        self.0 + index
+    }
+}
+
+/// Entry point of a parallel chain; only `.map()` is supported.
+pub struct Par<S>(S);
+
+impl<S: Source> Par<S> {
+    pub fn map<F, R>(self, f: F) -> ParMap<S, F>
+    where
+        F: Fn(S::Item) -> R + Sync,
+        R: Send,
+    {
+        ParMap { src: self.0, f }
+    }
+}
+
+/// A mapped parallel chain, ready to `.collect()`.
+pub struct ParMap<S, F> {
+    src: S,
+    f: F,
+}
+
+impl<S, F, R> ParMap<S, F>
+where
+    S: Source,
+    F: Fn(S::Item) -> R + Sync,
+    R: Send,
+{
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let n = self.src.len();
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(n.max(1))
+            .min(16);
+        if threads <= 1 || n <= 1 {
+            return (0..n).map(|i| (self.f)(self.src.get(i))).collect();
+        }
+        let chunk = n.div_ceil(threads);
+        let src = &self.src;
+        let f = &self.f;
+        let mut parts: Vec<Vec<R>> = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    scope.spawn(move || {
+                        let lo = t * chunk;
+                        let hi = ((t + 1) * chunk).min(n);
+                        (lo..hi).map(|i| f(src.get(i))).collect::<Vec<R>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                parts.push(h.join().expect("rayon shim worker panicked"));
+            }
+        });
+        parts.into_iter().flatten().collect()
+    }
+}
+
+/// `par_iter()` on borrowed collections.
+pub trait IntoParallelRefIterator<'a> {
+    type Iter;
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = Par<SliceSource<'a, T>>;
+    fn par_iter(&'a self) -> Self::Iter {
+        Par(SliceSource(self))
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = Par<SliceSource<'a, T>>;
+    fn par_iter(&'a self) -> Self::Iter {
+        Par(SliceSource(self))
+    }
+}
+
+/// `into_par_iter()` on owned sources.
+pub trait IntoParallelIterator {
+    type Iter;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = Par<RangeSource>;
+    fn into_par_iter(self) -> Self::Iter {
+        Par(RangeSource(self.start, self.end))
+    }
+}
+
+pub mod prelude {
+    pub use super::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn slice_map_collect_preserves_order() {
+        let data: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = data.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled.len(), data.len());
+        assert!(doubled.iter().enumerate().all(|(i, &v)| v == 2 * i as u64));
+    }
+
+    #[test]
+    fn range_map_collect() {
+        let squares: Vec<usize> = (0..1000).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares[31], 961);
+        assert_eq!(squares.len(), 1000);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<u8> = Vec::<u8>::new().par_iter().map(|&b| b).collect();
+        assert!(empty.is_empty());
+        let one: Vec<usize> = (5..6).into_par_iter().map(|i| i).collect();
+        assert_eq!(one, vec![5]);
+    }
+
+    #[test]
+    fn closures_see_shared_state() {
+        let base = vec![10u64; 64];
+        let out: Vec<u64> = (0..64)
+            .into_par_iter()
+            .map(|i| base[i] + i as u64)
+            .collect();
+        assert_eq!(out[63], 73);
+    }
+}

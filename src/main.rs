@@ -10,7 +10,14 @@
 //!
 //! Cluster output is one `est_id<TAB>cluster_label` line per EST, in
 //! input order — trivially diffable and joinable. Argument parsing is
-//! hand-rolled (no CLI dependency): `--flag value` pairs only.
+//! hand-rolled (no CLI dependency): `--flag value` pairs plus a few
+//! boolean switches (`-v`/`--verbose`, `--quiet`).
+//!
+//! Observability (cluster subcommand):
+//! `--metrics-out FILE` writes the schema-versioned JSON run report,
+//! `--events-out FILE` streams JSONL events (phase spans, master
+//! heartbeats, accepted merges), `-v` prints the report to stderr,
+//! `--quiet` silences everything but errors.
 
 use pace::core::{detect_splice_events, SpliceScanConfig};
 use pace::{Pace, PaceConfig, SimConfig};
@@ -51,18 +58,29 @@ USAGE:
   pace simulate --ests N [--genes N] [--seed N] --out FILE [--truth FILE]
   pace cluster  --in FASTA --out FILE [--procs N] [--psi N] [--window N]
                 [--batchsize N] [--min-overlap N] [--min-ratio F] [--truth FILE]
+                [--metrics-out FILE] [--events-out FILE] [-v|--verbose] [--quiet]
   pace assess   --pred FILE --truth FILE
   pace splice   --in FASTA --clusters FILE [--min-event N]
   pace stats    --in FASTA";
 
-/// Parse `--key value` pairs.
+/// Switches that take no value; stored with the value `"true"`.
+const BOOL_FLAGS: &[&str] = &["verbose", "quiet"];
+
+/// Parse `--key value` pairs and boolean switches.
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
     let mut it = args.iter();
     while let Some(key) = it.next() {
-        let Some(name) = key.strip_prefix("--") else {
-            return Err(format!("expected --flag, got {key:?}"));
+        let name = match key.as_str() {
+            "-v" => "verbose",
+            k => k
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got {key:?}"))?,
         };
+        if BOOL_FLAGS.contains(&name) {
+            flags.insert(name.to_string(), "true".to_string());
+            continue;
+        }
         let Some(value) = it.next() else {
             return Err(format!("--{name} requires a value"));
         };
@@ -132,8 +150,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
 }
 
 fn read_fasta_file(path: &str) -> Result<Vec<pace::seq::FastaRecord>, String> {
-    let mut records =
-        pace::seq::read_fasta_file(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut records = pace::seq::read_fasta_file(path).map_err(|e| format!("{path}: {e}"))?;
     for rec in &mut records {
         // Real EST data carries IUPAC ambiguity codes; map them to 'A'.
         pace::seq::fasta::sanitize_sequence(&mut rec.sequence);
@@ -168,28 +185,70 @@ fn read_labels(path: &str) -> Result<(Vec<String>, Vec<usize>), String> {
     Ok((ids, labels))
 }
 
+/// Assemble the schema-versioned metrics document for one run.
+fn run_report_json(obs: &pace::obs::Obs, outcome: &pace::PaceOutcome) -> pace::obs::Json {
+    use pace::obs::Json;
+    let meta = vec![
+        ("num_ests".to_string(), Json::Num(outcome.num_ests as f64)),
+        (
+            "total_bases".to_string(),
+            Json::Num(outcome.total_bases as f64),
+        ),
+        (
+            "num_processors".to_string(),
+            Json::Num(outcome.num_processors as f64),
+        ),
+        (
+            "num_clusters".to_string(),
+            Json::Num(outcome.num_clusters() as f64),
+        ),
+    ];
+    pace::obs::report::to_json(&obs.registry().snapshot(), meta)
+}
+
 fn cmd_cluster(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args)?;
     let input = require(&flags, "in")?;
     let out = require(&flags, "out")?;
+    let verbose = flags.contains_key("verbose");
+    let quiet = flags.contains_key("quiet");
+    if verbose && quiet {
+        return Err("--verbose and --quiet are mutually exclusive".into());
+    }
 
     let mut config = PaceConfig::paper();
     config.num_processors = get(&flags, "procs", 1)?;
     config.cluster.psi = get(&flags, "psi", config.cluster.psi)?;
     config.cluster.window_w = get(&flags, "window", config.cluster.window_w)?;
     config.cluster.batchsize = get(&flags, "batchsize", config.cluster.batchsize)?;
-    config.cluster.overlap.min_overlap_len =
-        get(&flags, "min-overlap", config.cluster.overlap.min_overlap_len)?;
+    config.cluster.overlap.min_overlap_len = get(
+        &flags,
+        "min-overlap",
+        config.cluster.overlap.min_overlap_len,
+    )?;
     config.cluster.overlap.min_score_ratio =
         get(&flags, "min-ratio", config.cluster.overlap.min_score_ratio)?;
 
     let records = read_fasta_file(input)?;
     let ests: Vec<Vec<u8>> = records.iter().map(|r| r.sequence.clone()).collect();
-    eprintln!("clustering {} ESTs ...", ests.len());
+    if !quiet {
+        eprintln!("clustering {} ESTs ...", ests.len());
+    }
 
+    let obs = match flags.get("events-out") {
+        Some(path) => {
+            let sink = pace::obs::JsonlSink::create(std::path::Path::new(path))
+                .map_err(|e| format!("opening {path}: {e}"))?;
+            pace::obs::Obs::with_sink(Box::new(sink))
+        }
+        None => pace::obs::Obs::noop(),
+    };
+
+    let store = pace::SequenceStore::from_ests(&ests).map_err(|e| format!("invalid input: {e}"))?;
     let outcome = Pace::new(config)
-        .cluster(&ests)
+        .cluster_store_obs(&store, &obs)
         .map_err(|e| e.to_string())?;
+    obs.flush();
 
     let mut tsv = String::new();
     for (rec, &label) in records.iter().zip(outcome.labels()) {
@@ -197,9 +256,25 @@ fn cmd_cluster(args: &[String]) -> Result<(), String> {
     }
     std::fs::write(out, tsv).map_err(|e| format!("writing {out}: {e}"))?;
 
-    let report = pace::RunReport::from_outcome(&outcome, None);
-    eprint!("{report}");
-    eprintln!("wrote {} cluster labels to {out}", outcome.num_ests);
+    if !quiet {
+        let report = pace::RunReport::from_outcome(&outcome, None);
+        eprint!("{report}");
+        eprintln!("wrote {} cluster labels to {out}", outcome.num_ests);
+    }
+
+    if flags.contains_key("metrics-out") || verbose {
+        let doc = run_report_json(&obs, &outcome);
+        if let Some(path) = flags.get("metrics-out") {
+            std::fs::write(path, pace::obs::report::to_pretty_string(&doc))
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            if !quiet {
+                eprintln!("wrote metrics report to {path}");
+            }
+        }
+        if verbose {
+            eprint!("{}", pace::obs::report::to_pretty_string(&doc));
+        }
+    }
 
     if let Some(truth_path) = flags.get("truth") {
         let (_, truth) = read_labels(truth_path)?;
@@ -266,7 +341,12 @@ fn cmd_splice(args: &[String]) -> Result<(), String> {
     for e in &events {
         println!(
             "{}\t{}\t{}\t{}\t{}\t{}",
-            ids[e.long_read], ids[e.short_read], e.cluster, e.event_len, e.left_flank, e.right_flank
+            ids[e.long_read],
+            ids[e.short_read],
+            e.cluster,
+            e.event_len,
+            e.left_flank,
+            e.right_flank
         );
     }
     eprintln!("{} candidate splice events", events.len());

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-03024f0c6bb9f306.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-03024f0c6bb9f306: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-2989c9e86bc4e0af.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-2989c9e86bc4e0af: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-fb490be676bb3a4a.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-fb490be676bb3a4a: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

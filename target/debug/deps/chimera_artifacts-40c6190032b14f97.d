@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chimera_artifacts-40c6190032b14f97.d: tests/chimera_artifacts.rs
+
+/root/repo/target/debug/deps/chimera_artifacts-40c6190032b14f97: tests/chimera_artifacts.rs
+
+tests/chimera_artifacts.rs:

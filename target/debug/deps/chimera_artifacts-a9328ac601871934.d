@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chimera_artifacts-a9328ac601871934.d: tests/chimera_artifacts.rs
+
+/root/repo/target/debug/deps/chimera_artifacts-a9328ac601871934: tests/chimera_artifacts.rs
+
+tests/chimera_artifacts.rs:

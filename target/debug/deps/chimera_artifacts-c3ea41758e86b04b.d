@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chimera_artifacts-c3ea41758e86b04b.d: tests/chimera_artifacts.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchimera_artifacts-c3ea41758e86b04b.rmeta: tests/chimera_artifacts.rs Cargo.toml
+
+tests/chimera_artifacts.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

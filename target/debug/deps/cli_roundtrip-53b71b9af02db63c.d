@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli_roundtrip-53b71b9af02db63c.d: tests/cli_roundtrip.rs
+
+/root/repo/target/debug/deps/cli_roundtrip-53b71b9af02db63c: tests/cli_roundtrip.rs
+
+tests/cli_roundtrip.rs:
+
+# env-dep:CARGO_BIN_EXE_pace=/root/repo/target/debug/pace

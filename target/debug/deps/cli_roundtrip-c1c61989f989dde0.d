@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli_roundtrip-c1c61989f989dde0.d: tests/cli_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli_roundtrip-c1c61989f989dde0.rmeta: tests/cli_roundtrip.rs Cargo.toml
+
+tests/cli_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_pace=placeholder:pace
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli_roundtrip-c2cfa65658db280d.d: tests/cli_roundtrip.rs
+
+/root/repo/target/debug/deps/cli_roundtrip-c2cfa65658db280d: tests/cli_roundtrip.rs
+
+tests/cli_roundtrip.rs:
+
+# env-dep:CARGO_BIN_EXE_pace=/root/repo/target/debug/pace

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-7aaf25eccfcb5682.d: shims/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/crossbeam-7aaf25eccfcb5682: shims/crossbeam/src/lib.rs
+
+shims/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/distributed_pairgen-62f7adabfcd3502f.d: tests/distributed_pairgen.rs
+
+/root/repo/target/debug/deps/distributed_pairgen-62f7adabfcd3502f: tests/distributed_pairgen.rs
+
+tests/distributed_pairgen.rs:

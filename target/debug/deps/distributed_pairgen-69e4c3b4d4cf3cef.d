@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/distributed_pairgen-69e4c3b4d4cf3cef.d: tests/distributed_pairgen.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdistributed_pairgen-69e4c3b4d4cf3cef.rmeta: tests/distributed_pairgen.rs Cargo.toml
+
+tests/distributed_pairgen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/distributed_pairgen-9bd5c9dfb9a4612a.d: tests/distributed_pairgen.rs
+
+/root/repo/target/debug/deps/distributed_pairgen-9bd5c9dfb9a4612a: tests/distributed_pairgen.rs
+
+tests/distributed_pairgen.rs:

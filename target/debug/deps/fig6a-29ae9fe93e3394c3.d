@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6a-29ae9fe93e3394c3.d: crates/bench/src/bin/fig6a.rs
+
+/root/repo/target/debug/deps/fig6a-29ae9fe93e3394c3: crates/bench/src/bin/fig6a.rs
+
+crates/bench/src/bin/fig6a.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6a-4db016b7637b2ae4.d: crates/bench/src/bin/fig6a.rs
+
+/root/repo/target/debug/deps/fig6a-4db016b7637b2ae4: crates/bench/src/bin/fig6a.rs
+
+crates/bench/src/bin/fig6a.rs:

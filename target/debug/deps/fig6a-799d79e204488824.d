@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6a-799d79e204488824.d: crates/bench/src/bin/fig6a.rs
+
+/root/repo/target/debug/deps/fig6a-799d79e204488824: crates/bench/src/bin/fig6a.rs
+
+crates/bench/src/bin/fig6a.rs:

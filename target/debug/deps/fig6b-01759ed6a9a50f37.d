@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6b-01759ed6a9a50f37.d: crates/bench/src/bin/fig6b.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6b-01759ed6a9a50f37.rmeta: crates/bench/src/bin/fig6b.rs Cargo.toml
+
+crates/bench/src/bin/fig6b.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

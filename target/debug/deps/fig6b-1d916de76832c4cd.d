@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6b-1d916de76832c4cd.d: crates/bench/src/bin/fig6b.rs
+
+/root/repo/target/debug/deps/fig6b-1d916de76832c4cd: crates/bench/src/bin/fig6b.rs
+
+crates/bench/src/bin/fig6b.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6b-68ed1f1caa8a461c.d: crates/bench/src/bin/fig6b.rs
+
+/root/repo/target/debug/deps/fig6b-68ed1f1caa8a461c: crates/bench/src/bin/fig6b.rs
+
+crates/bench/src/bin/fig6b.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6b-adae52cdae2243ce.d: crates/bench/src/bin/fig6b.rs
+
+/root/repo/target/debug/deps/fig6b-adae52cdae2243ce: crates/bench/src/bin/fig6b.rs
+
+crates/bench/src/bin/fig6b.rs:

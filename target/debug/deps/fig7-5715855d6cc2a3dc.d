@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-5715855d6cc2a3dc.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-5715855d6cc2a3dc: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

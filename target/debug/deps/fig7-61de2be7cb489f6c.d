@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-61de2be7cb489f6c.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-61de2be7cb489f6c: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-f8ce97632cd27035.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-f8ce97632cd27035: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-5c76e0c354621628.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-5c76e0c354621628: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-60f8e066dea83bdc.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-60f8e066dea83bdc: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

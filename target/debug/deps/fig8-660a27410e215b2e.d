@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-660a27410e215b2e.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-660a27410e215b2e: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pace-0155cf8a8abfb56d.d: src/lib.rs
+
+/root/repo/target/debug/deps/libpace-0155cf8a8abfb56d.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libpace-0155cf8a8abfb56d.rmeta: src/lib.rs
+
+src/lib.rs:

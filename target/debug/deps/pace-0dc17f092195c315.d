@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pace-0dc17f092195c315.d: src/lib.rs
+
+/root/repo/target/debug/deps/libpace-0dc17f092195c315.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libpace-0dc17f092195c315.rmeta: src/lib.rs
+
+src/lib.rs:

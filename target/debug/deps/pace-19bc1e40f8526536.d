@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pace-19bc1e40f8526536.d: src/main.rs
+
+/root/repo/target/debug/deps/pace-19bc1e40f8526536: src/main.rs
+
+src/main.rs:

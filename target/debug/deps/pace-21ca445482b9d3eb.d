@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pace-21ca445482b9d3eb.d: src/lib.rs
+
+/root/repo/target/debug/deps/pace-21ca445482b9d3eb: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pace-23fa7891acb901fa.d: src/main.rs
+
+/root/repo/target/debug/deps/pace-23fa7891acb901fa: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pace-2e356c6ca18b4067.d: src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpace-2e356c6ca18b4067.rmeta: src/main.rs Cargo.toml
+
+src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pace-950da94149ec28e2.d: src/main.rs
+
+/root/repo/target/debug/deps/pace-950da94149ec28e2: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pace-ab70e6ad9e9f5804.d: src/lib.rs
+
+/root/repo/target/debug/deps/pace-ab70e6ad9e9f5804: src/lib.rs
+
+src/lib.rs:

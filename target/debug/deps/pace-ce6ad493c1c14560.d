@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pace-ce6ad493c1c14560.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpace-ce6ad493c1c14560.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

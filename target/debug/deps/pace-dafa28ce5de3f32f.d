@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pace-dafa28ce5de3f32f.d: src/main.rs
+
+/root/repo/target/debug/deps/pace-dafa28ce5de3f32f: src/main.rs
+
+src/main.rs:

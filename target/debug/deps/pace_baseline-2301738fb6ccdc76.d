@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pace_baseline-2301738fb6ccdc76.d: crates/baseline/src/lib.rs
+
+/root/repo/target/debug/deps/pace_baseline-2301738fb6ccdc76: crates/baseline/src/lib.rs
+
+crates/baseline/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pace_baseline-6bb5fe488f673169.d: crates/baseline/src/lib.rs
+
+/root/repo/target/debug/deps/libpace_baseline-6bb5fe488f673169.rlib: crates/baseline/src/lib.rs
+
+/root/repo/target/debug/deps/libpace_baseline-6bb5fe488f673169.rmeta: crates/baseline/src/lib.rs
+
+crates/baseline/src/lib.rs:

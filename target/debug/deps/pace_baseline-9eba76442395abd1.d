@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pace_baseline-9eba76442395abd1.d: crates/baseline/src/lib.rs
+
+/root/repo/target/debug/deps/pace_baseline-9eba76442395abd1: crates/baseline/src/lib.rs
+
+crates/baseline/src/lib.rs:

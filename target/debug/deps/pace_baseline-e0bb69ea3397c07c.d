@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pace_baseline-e0bb69ea3397c07c.d: crates/baseline/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpace_baseline-e0bb69ea3397c07c.rmeta: crates/baseline/src/lib.rs Cargo.toml
+
+crates/baseline/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/pace_bench-11c9fc812e1baabd.d: crates/bench/src/lib.rs crates/bench/src/model.rs
+
+/root/repo/target/debug/deps/pace_bench-11c9fc812e1baabd: crates/bench/src/lib.rs crates/bench/src/model.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/model.rs:

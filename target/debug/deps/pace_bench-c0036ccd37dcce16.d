@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pace_bench-c0036ccd37dcce16.d: crates/bench/src/lib.rs crates/bench/src/model.rs
+
+/root/repo/target/debug/deps/libpace_bench-c0036ccd37dcce16.rlib: crates/bench/src/lib.rs crates/bench/src/model.rs
+
+/root/repo/target/debug/deps/libpace_bench-c0036ccd37dcce16.rmeta: crates/bench/src/lib.rs crates/bench/src/model.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/model.rs:

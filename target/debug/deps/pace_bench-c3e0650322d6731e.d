@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/pace_bench-c3e0650322d6731e.d: crates/bench/src/lib.rs crates/bench/src/model.rs
+
+/root/repo/target/debug/deps/pace_bench-c3e0650322d6731e: crates/bench/src/lib.rs crates/bench/src/model.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/model.rs:

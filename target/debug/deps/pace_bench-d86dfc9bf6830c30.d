@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pace_bench-d86dfc9bf6830c30.d: crates/bench/src/lib.rs crates/bench/src/model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpace_bench-d86dfc9bf6830c30.rmeta: crates/bench/src/lib.rs crates/bench/src/model.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pace_bench-df6ba56bde38cea2.d: crates/bench/src/lib.rs crates/bench/src/model.rs
+
+/root/repo/target/debug/deps/libpace_bench-df6ba56bde38cea2.rlib: crates/bench/src/lib.rs crates/bench/src/model.rs
+
+/root/repo/target/debug/deps/libpace_bench-df6ba56bde38cea2.rmeta: crates/bench/src/lib.rs crates/bench/src/model.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/model.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pace_cluster-673beacb1bbd2204.d: crates/cluster/src/lib.rs crates/cluster/src/align_task.rs crates/cluster/src/config.rs crates/cluster/src/driver_par.rs crates/cluster/src/driver_seq.rs crates/cluster/src/master.rs crates/cluster/src/messages.rs crates/cluster/src/slave.rs crates/cluster/src/stats.rs crates/cluster/src/trace.rs
+
+/root/repo/target/debug/deps/pace_cluster-673beacb1bbd2204: crates/cluster/src/lib.rs crates/cluster/src/align_task.rs crates/cluster/src/config.rs crates/cluster/src/driver_par.rs crates/cluster/src/driver_seq.rs crates/cluster/src/master.rs crates/cluster/src/messages.rs crates/cluster/src/slave.rs crates/cluster/src/stats.rs crates/cluster/src/trace.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/align_task.rs:
+crates/cluster/src/config.rs:
+crates/cluster/src/driver_par.rs:
+crates/cluster/src/driver_seq.rs:
+crates/cluster/src/master.rs:
+crates/cluster/src/messages.rs:
+crates/cluster/src/slave.rs:
+crates/cluster/src/stats.rs:
+crates/cluster/src/trace.rs:

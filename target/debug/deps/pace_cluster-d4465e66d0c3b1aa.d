@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/pace_cluster-d4465e66d0c3b1aa.d: crates/cluster/src/lib.rs crates/cluster/src/align_task.rs crates/cluster/src/config.rs crates/cluster/src/driver_par.rs crates/cluster/src/driver_seq.rs crates/cluster/src/master.rs crates/cluster/src/messages.rs crates/cluster/src/slave.rs crates/cluster/src/stats.rs crates/cluster/src/trace.rs
+
+/root/repo/target/debug/deps/libpace_cluster-d4465e66d0c3b1aa.rlib: crates/cluster/src/lib.rs crates/cluster/src/align_task.rs crates/cluster/src/config.rs crates/cluster/src/driver_par.rs crates/cluster/src/driver_seq.rs crates/cluster/src/master.rs crates/cluster/src/messages.rs crates/cluster/src/slave.rs crates/cluster/src/stats.rs crates/cluster/src/trace.rs
+
+/root/repo/target/debug/deps/libpace_cluster-d4465e66d0c3b1aa.rmeta: crates/cluster/src/lib.rs crates/cluster/src/align_task.rs crates/cluster/src/config.rs crates/cluster/src/driver_par.rs crates/cluster/src/driver_seq.rs crates/cluster/src/master.rs crates/cluster/src/messages.rs crates/cluster/src/slave.rs crates/cluster/src/stats.rs crates/cluster/src/trace.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/align_task.rs:
+crates/cluster/src/config.rs:
+crates/cluster/src/driver_par.rs:
+crates/cluster/src/driver_seq.rs:
+crates/cluster/src/master.rs:
+crates/cluster/src/messages.rs:
+crates/cluster/src/slave.rs:
+crates/cluster/src/stats.rs:
+crates/cluster/src/trace.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/pace_cluster-debe26f300d00e30.d: crates/cluster/src/lib.rs crates/cluster/src/align_task.rs crates/cluster/src/config.rs crates/cluster/src/driver_par.rs crates/cluster/src/driver_seq.rs crates/cluster/src/master.rs crates/cluster/src/messages.rs crates/cluster/src/slave.rs crates/cluster/src/stats.rs crates/cluster/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpace_cluster-debe26f300d00e30.rmeta: crates/cluster/src/lib.rs crates/cluster/src/align_task.rs crates/cluster/src/config.rs crates/cluster/src/driver_par.rs crates/cluster/src/driver_seq.rs crates/cluster/src/master.rs crates/cluster/src/messages.rs crates/cluster/src/slave.rs crates/cluster/src/stats.rs crates/cluster/src/trace.rs Cargo.toml
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/align_task.rs:
+crates/cluster/src/config.rs:
+crates/cluster/src/driver_par.rs:
+crates/cluster/src/driver_seq.rs:
+crates/cluster/src/master.rs:
+crates/cluster/src/messages.rs:
+crates/cluster/src/slave.rs:
+crates/cluster/src/stats.rs:
+crates/cluster/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pace_core-6c72ec1b9b36c825.d: crates/core/src/lib.rs crates/core/src/incremental.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/splice.rs
+
+/root/repo/target/debug/deps/libpace_core-6c72ec1b9b36c825.rlib: crates/core/src/lib.rs crates/core/src/incremental.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/splice.rs
+
+/root/repo/target/debug/deps/libpace_core-6c72ec1b9b36c825.rmeta: crates/core/src/lib.rs crates/core/src/incremental.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/splice.rs
+
+crates/core/src/lib.rs:
+crates/core/src/incremental.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/report.rs:
+crates/core/src/splice.rs:

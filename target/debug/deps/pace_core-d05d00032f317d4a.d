@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pace_core-d05d00032f317d4a.d: crates/core/src/lib.rs crates/core/src/incremental.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/splice.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpace_core-d05d00032f317d4a.rmeta: crates/core/src/lib.rs crates/core/src/incremental.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/splice.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/incremental.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/report.rs:
+crates/core/src/splice.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pace_core-ffe5b375369facdb.d: crates/core/src/lib.rs crates/core/src/incremental.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/splice.rs
+
+/root/repo/target/debug/deps/pace_core-ffe5b375369facdb: crates/core/src/lib.rs crates/core/src/incremental.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/splice.rs
+
+crates/core/src/lib.rs:
+crates/core/src/incremental.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/report.rs:
+crates/core/src/splice.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pace_dsu-47bd0cf42b0d768a.d: crates/dsu/src/lib.rs crates/dsu/src/concurrent.rs crates/dsu/src/dsu.rs
+
+/root/repo/target/debug/deps/libpace_dsu-47bd0cf42b0d768a.rlib: crates/dsu/src/lib.rs crates/dsu/src/concurrent.rs crates/dsu/src/dsu.rs
+
+/root/repo/target/debug/deps/libpace_dsu-47bd0cf42b0d768a.rmeta: crates/dsu/src/lib.rs crates/dsu/src/concurrent.rs crates/dsu/src/dsu.rs
+
+crates/dsu/src/lib.rs:
+crates/dsu/src/concurrent.rs:
+crates/dsu/src/dsu.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pace_dsu-a76fe94ff8445ca5.d: crates/dsu/src/lib.rs crates/dsu/src/concurrent.rs crates/dsu/src/dsu.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpace_dsu-a76fe94ff8445ca5.rmeta: crates/dsu/src/lib.rs crates/dsu/src/concurrent.rs crates/dsu/src/dsu.rs Cargo.toml
+
+crates/dsu/src/lib.rs:
+crates/dsu/src/concurrent.rs:
+crates/dsu/src/dsu.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pace_dsu-b49fa979fad8dde8.d: crates/dsu/src/lib.rs crates/dsu/src/concurrent.rs crates/dsu/src/dsu.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpace_dsu-b49fa979fad8dde8.rmeta: crates/dsu/src/lib.rs crates/dsu/src/concurrent.rs crates/dsu/src/dsu.rs Cargo.toml
+
+crates/dsu/src/lib.rs:
+crates/dsu/src/concurrent.rs:
+crates/dsu/src/dsu.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pace_dsu-f3a9b1204f0189f8.d: crates/dsu/src/lib.rs crates/dsu/src/concurrent.rs crates/dsu/src/dsu.rs
+
+/root/repo/target/debug/deps/pace_dsu-f3a9b1204f0189f8: crates/dsu/src/lib.rs crates/dsu/src/concurrent.rs crates/dsu/src/dsu.rs
+
+crates/dsu/src/lib.rs:
+crates/dsu/src/concurrent.rs:
+crates/dsu/src/dsu.rs:

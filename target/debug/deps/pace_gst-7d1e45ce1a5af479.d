@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pace_gst-7d1e45ce1a5af479.d: crates/gst/src/lib.rs crates/gst/src/bucket.rs crates/gst/src/build.rs crates/gst/src/forest.rs crates/gst/src/partition.rs crates/gst/src/tree.rs
+
+/root/repo/target/debug/deps/libpace_gst-7d1e45ce1a5af479.rlib: crates/gst/src/lib.rs crates/gst/src/bucket.rs crates/gst/src/build.rs crates/gst/src/forest.rs crates/gst/src/partition.rs crates/gst/src/tree.rs
+
+/root/repo/target/debug/deps/libpace_gst-7d1e45ce1a5af479.rmeta: crates/gst/src/lib.rs crates/gst/src/bucket.rs crates/gst/src/build.rs crates/gst/src/forest.rs crates/gst/src/partition.rs crates/gst/src/tree.rs
+
+crates/gst/src/lib.rs:
+crates/gst/src/bucket.rs:
+crates/gst/src/build.rs:
+crates/gst/src/forest.rs:
+crates/gst/src/partition.rs:
+crates/gst/src/tree.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pace_gst-9ecb5913ab6a1685.d: crates/gst/src/lib.rs crates/gst/src/bucket.rs crates/gst/src/build.rs crates/gst/src/forest.rs crates/gst/src/partition.rs crates/gst/src/tree.rs
+
+/root/repo/target/debug/deps/pace_gst-9ecb5913ab6a1685: crates/gst/src/lib.rs crates/gst/src/bucket.rs crates/gst/src/build.rs crates/gst/src/forest.rs crates/gst/src/partition.rs crates/gst/src/tree.rs
+
+crates/gst/src/lib.rs:
+crates/gst/src/bucket.rs:
+crates/gst/src/build.rs:
+crates/gst/src/forest.rs:
+crates/gst/src/partition.rs:
+crates/gst/src/tree.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pace_gst-df76491a3840ee67.d: crates/gst/src/lib.rs crates/gst/src/bucket.rs crates/gst/src/build.rs crates/gst/src/forest.rs crates/gst/src/partition.rs crates/gst/src/tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpace_gst-df76491a3840ee67.rmeta: crates/gst/src/lib.rs crates/gst/src/bucket.rs crates/gst/src/build.rs crates/gst/src/forest.rs crates/gst/src/partition.rs crates/gst/src/tree.rs Cargo.toml
+
+crates/gst/src/lib.rs:
+crates/gst/src/bucket.rs:
+crates/gst/src/build.rs:
+crates/gst/src/forest.rs:
+crates/gst/src/partition.rs:
+crates/gst/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pace_obs-2f2d8e8bede6b4a0.d: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/metric.rs crates/obs/src/registry.rs crates/obs/src/report.rs crates/obs/src/sink.rs crates/obs/src/span.rs
+
+/root/repo/target/debug/deps/libpace_obs-2f2d8e8bede6b4a0.rlib: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/metric.rs crates/obs/src/registry.rs crates/obs/src/report.rs crates/obs/src/sink.rs crates/obs/src/span.rs
+
+/root/repo/target/debug/deps/libpace_obs-2f2d8e8bede6b4a0.rmeta: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/metric.rs crates/obs/src/registry.rs crates/obs/src/report.rs crates/obs/src/sink.rs crates/obs/src/span.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/json.rs:
+crates/obs/src/metric.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/report.rs:
+crates/obs/src/sink.rs:
+crates/obs/src/span.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/pace_obs-9ef067272f9eb757.d: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/metric.rs crates/obs/src/registry.rs crates/obs/src/report.rs crates/obs/src/sink.rs crates/obs/src/span.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpace_obs-9ef067272f9eb757.rmeta: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/metric.rs crates/obs/src/registry.rs crates/obs/src/report.rs crates/obs/src/sink.rs crates/obs/src/span.rs Cargo.toml
+
+crates/obs/src/lib.rs:
+crates/obs/src/json.rs:
+crates/obs/src/metric.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/report.rs:
+crates/obs/src/sink.rs:
+crates/obs/src/span.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pace_obs-caee60db819654d2.d: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/metric.rs crates/obs/src/registry.rs crates/obs/src/report.rs crates/obs/src/sink.rs crates/obs/src/span.rs
+
+/root/repo/target/debug/deps/pace_obs-caee60db819654d2: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/metric.rs crates/obs/src/registry.rs crates/obs/src/report.rs crates/obs/src/sink.rs crates/obs/src/span.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/json.rs:
+crates/obs/src/metric.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/report.rs:
+crates/obs/src/sink.rs:
+crates/obs/src/span.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pace_pairgen-267df9dd7af681f8.d: crates/pairgen/src/lib.rs crates/pairgen/src/generator.rs crates/pairgen/src/lset.rs crates/pairgen/src/pair.rs
+
+/root/repo/target/debug/deps/pace_pairgen-267df9dd7af681f8: crates/pairgen/src/lib.rs crates/pairgen/src/generator.rs crates/pairgen/src/lset.rs crates/pairgen/src/pair.rs
+
+crates/pairgen/src/lib.rs:
+crates/pairgen/src/generator.rs:
+crates/pairgen/src/lset.rs:
+crates/pairgen/src/pair.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pace_pairgen-7a268d047990ec54.d: crates/pairgen/src/lib.rs crates/pairgen/src/generator.rs crates/pairgen/src/lset.rs crates/pairgen/src/pair.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpace_pairgen-7a268d047990ec54.rmeta: crates/pairgen/src/lib.rs crates/pairgen/src/generator.rs crates/pairgen/src/lset.rs crates/pairgen/src/pair.rs Cargo.toml
+
+crates/pairgen/src/lib.rs:
+crates/pairgen/src/generator.rs:
+crates/pairgen/src/lset.rs:
+crates/pairgen/src/pair.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

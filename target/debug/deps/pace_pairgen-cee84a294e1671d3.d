@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pace_pairgen-cee84a294e1671d3.d: crates/pairgen/src/lib.rs crates/pairgen/src/generator.rs crates/pairgen/src/lset.rs crates/pairgen/src/pair.rs
+
+/root/repo/target/debug/deps/libpace_pairgen-cee84a294e1671d3.rlib: crates/pairgen/src/lib.rs crates/pairgen/src/generator.rs crates/pairgen/src/lset.rs crates/pairgen/src/pair.rs
+
+/root/repo/target/debug/deps/libpace_pairgen-cee84a294e1671d3.rmeta: crates/pairgen/src/lib.rs crates/pairgen/src/generator.rs crates/pairgen/src/lset.rs crates/pairgen/src/pair.rs
+
+crates/pairgen/src/lib.rs:
+crates/pairgen/src/generator.rs:
+crates/pairgen/src/lset.rs:
+crates/pairgen/src/pair.rs:

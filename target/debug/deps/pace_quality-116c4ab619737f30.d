@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/pace_quality-116c4ab619737f30.d: crates/quality/src/lib.rs crates/quality/src/percluster.rs
+
+/root/repo/target/debug/deps/pace_quality-116c4ab619737f30: crates/quality/src/lib.rs crates/quality/src/percluster.rs
+
+crates/quality/src/lib.rs:
+crates/quality/src/percluster.rs:

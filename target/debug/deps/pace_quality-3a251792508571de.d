@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pace_quality-3a251792508571de.d: crates/quality/src/lib.rs crates/quality/src/percluster.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpace_quality-3a251792508571de.rmeta: crates/quality/src/lib.rs crates/quality/src/percluster.rs Cargo.toml
+
+crates/quality/src/lib.rs:
+crates/quality/src/percluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

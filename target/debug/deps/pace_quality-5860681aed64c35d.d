@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pace_quality-5860681aed64c35d.d: crates/quality/src/lib.rs crates/quality/src/percluster.rs
+
+/root/repo/target/debug/deps/libpace_quality-5860681aed64c35d.rlib: crates/quality/src/lib.rs crates/quality/src/percluster.rs
+
+/root/repo/target/debug/deps/libpace_quality-5860681aed64c35d.rmeta: crates/quality/src/lib.rs crates/quality/src/percluster.rs
+
+crates/quality/src/lib.rs:
+crates/quality/src/percluster.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pace_quality-bfc08c6b23de7ad7.d: crates/quality/src/lib.rs crates/quality/src/percluster.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpace_quality-bfc08c6b23de7ad7.rmeta: crates/quality/src/lib.rs crates/quality/src/percluster.rs Cargo.toml
+
+crates/quality/src/lib.rs:
+crates/quality/src/percluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

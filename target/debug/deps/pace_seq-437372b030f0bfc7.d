@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/pace_seq-437372b030f0bfc7.d: crates/seq/src/lib.rs crates/seq/src/alphabet.rs crates/seq/src/codec.rs crates/seq/src/error.rs crates/seq/src/fasta.rs crates/seq/src/ids.rs crates/seq/src/revcomp.rs crates/seq/src/stats.rs crates/seq/src/store.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpace_seq-437372b030f0bfc7.rmeta: crates/seq/src/lib.rs crates/seq/src/alphabet.rs crates/seq/src/codec.rs crates/seq/src/error.rs crates/seq/src/fasta.rs crates/seq/src/ids.rs crates/seq/src/revcomp.rs crates/seq/src/stats.rs crates/seq/src/store.rs Cargo.toml
+
+crates/seq/src/lib.rs:
+crates/seq/src/alphabet.rs:
+crates/seq/src/codec.rs:
+crates/seq/src/error.rs:
+crates/seq/src/fasta.rs:
+crates/seq/src/ids.rs:
+crates/seq/src/revcomp.rs:
+crates/seq/src/stats.rs:
+crates/seq/src/store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

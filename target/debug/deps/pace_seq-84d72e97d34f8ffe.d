@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pace_seq-84d72e97d34f8ffe.d: crates/seq/src/lib.rs crates/seq/src/alphabet.rs crates/seq/src/codec.rs crates/seq/src/error.rs crates/seq/src/fasta.rs crates/seq/src/ids.rs crates/seq/src/revcomp.rs crates/seq/src/stats.rs crates/seq/src/store.rs
+
+/root/repo/target/debug/deps/pace_seq-84d72e97d34f8ffe: crates/seq/src/lib.rs crates/seq/src/alphabet.rs crates/seq/src/codec.rs crates/seq/src/error.rs crates/seq/src/fasta.rs crates/seq/src/ids.rs crates/seq/src/revcomp.rs crates/seq/src/stats.rs crates/seq/src/store.rs
+
+crates/seq/src/lib.rs:
+crates/seq/src/alphabet.rs:
+crates/seq/src/codec.rs:
+crates/seq/src/error.rs:
+crates/seq/src/fasta.rs:
+crates/seq/src/ids.rs:
+crates/seq/src/revcomp.rs:
+crates/seq/src/stats.rs:
+crates/seq/src/store.rs:

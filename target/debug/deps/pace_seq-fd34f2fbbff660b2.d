@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/pace_seq-fd34f2fbbff660b2.d: crates/seq/src/lib.rs crates/seq/src/alphabet.rs crates/seq/src/codec.rs crates/seq/src/error.rs crates/seq/src/fasta.rs crates/seq/src/ids.rs crates/seq/src/revcomp.rs crates/seq/src/stats.rs crates/seq/src/store.rs
+
+/root/repo/target/debug/deps/libpace_seq-fd34f2fbbff660b2.rlib: crates/seq/src/lib.rs crates/seq/src/alphabet.rs crates/seq/src/codec.rs crates/seq/src/error.rs crates/seq/src/fasta.rs crates/seq/src/ids.rs crates/seq/src/revcomp.rs crates/seq/src/stats.rs crates/seq/src/store.rs
+
+/root/repo/target/debug/deps/libpace_seq-fd34f2fbbff660b2.rmeta: crates/seq/src/lib.rs crates/seq/src/alphabet.rs crates/seq/src/codec.rs crates/seq/src/error.rs crates/seq/src/fasta.rs crates/seq/src/ids.rs crates/seq/src/revcomp.rs crates/seq/src/stats.rs crates/seq/src/store.rs
+
+crates/seq/src/lib.rs:
+crates/seq/src/alphabet.rs:
+crates/seq/src/codec.rs:
+crates/seq/src/error.rs:
+crates/seq/src/fasta.rs:
+crates/seq/src/ids.rs:
+crates/seq/src/revcomp.rs:
+crates/seq/src/stats.rs:
+crates/seq/src/store.rs:

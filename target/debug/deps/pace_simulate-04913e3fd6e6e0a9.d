@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pace_simulate-04913e3fd6e6e0a9.d: crates/simulate/src/lib.rs crates/simulate/src/config.rs crates/simulate/src/dataset.rs crates/simulate/src/est.rs crates/simulate/src/gene.rs
+
+/root/repo/target/debug/deps/libpace_simulate-04913e3fd6e6e0a9.rlib: crates/simulate/src/lib.rs crates/simulate/src/config.rs crates/simulate/src/dataset.rs crates/simulate/src/est.rs crates/simulate/src/gene.rs
+
+/root/repo/target/debug/deps/libpace_simulate-04913e3fd6e6e0a9.rmeta: crates/simulate/src/lib.rs crates/simulate/src/config.rs crates/simulate/src/dataset.rs crates/simulate/src/est.rs crates/simulate/src/gene.rs
+
+crates/simulate/src/lib.rs:
+crates/simulate/src/config.rs:
+crates/simulate/src/dataset.rs:
+crates/simulate/src/est.rs:
+crates/simulate/src/gene.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pace_simulate-615ab7fbc0310c14.d: crates/simulate/src/lib.rs crates/simulate/src/config.rs crates/simulate/src/dataset.rs crates/simulate/src/est.rs crates/simulate/src/gene.rs
+
+/root/repo/target/debug/deps/pace_simulate-615ab7fbc0310c14: crates/simulate/src/lib.rs crates/simulate/src/config.rs crates/simulate/src/dataset.rs crates/simulate/src/est.rs crates/simulate/src/gene.rs
+
+crates/simulate/src/lib.rs:
+crates/simulate/src/config.rs:
+crates/simulate/src/dataset.rs:
+crates/simulate/src/est.rs:
+crates/simulate/src/gene.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pace_simulate-9b9085b81dca091d.d: crates/simulate/src/lib.rs crates/simulate/src/config.rs crates/simulate/src/dataset.rs crates/simulate/src/est.rs crates/simulate/src/gene.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpace_simulate-9b9085b81dca091d.rmeta: crates/simulate/src/lib.rs crates/simulate/src/config.rs crates/simulate/src/dataset.rs crates/simulate/src/est.rs crates/simulate/src/gene.rs Cargo.toml
+
+crates/simulate/src/lib.rs:
+crates/simulate/src/config.rs:
+crates/simulate/src/dataset.rs:
+crates/simulate/src/est.rs:
+crates/simulate/src/gene.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

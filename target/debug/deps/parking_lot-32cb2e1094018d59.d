@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-32cb2e1094018d59.d: shims/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/parking_lot-32cb2e1094018d59: shims/parking_lot/src/lib.rs
+
+shims/parking_lot/src/lib.rs:

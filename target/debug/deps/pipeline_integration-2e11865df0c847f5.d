@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_integration-2e11865df0c847f5.d: tests/pipeline_integration.rs
+
+/root/repo/target/debug/deps/pipeline_integration-2e11865df0c847f5: tests/pipeline_integration.rs
+
+tests/pipeline_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_integration-7be01ec5cad58213.d: tests/pipeline_integration.rs
+
+/root/repo/target/debug/deps/pipeline_integration-7be01ec5cad58213: tests/pipeline_integration.rs
+
+tests/pipeline_integration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline_integration-d8a9d890bb0a0ee8.d: tests/pipeline_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_integration-d8a9d890bb0a0ee8.rmeta: tests/pipeline_integration.rs Cargo.toml
+
+tests/pipeline_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-49d01fcae4de6a3d.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-49d01fcae4de6a3d.rlib: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-49d01fcae4de6a3d.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-eb5a191ce90a6b3b.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-eb5a191ce90a6b3b: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

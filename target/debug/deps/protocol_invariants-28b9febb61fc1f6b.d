@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocol_invariants-28b9febb61fc1f6b.d: tests/protocol_invariants.rs
+
+/root/repo/target/debug/deps/protocol_invariants-28b9febb61fc1f6b: tests/protocol_invariants.rs
+
+tests/protocol_invariants.rs:

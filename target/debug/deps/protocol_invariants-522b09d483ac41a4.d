@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/protocol_invariants-522b09d483ac41a4.d: tests/protocol_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprotocol_invariants-522b09d483ac41a4.rmeta: tests/protocol_invariants.rs Cargo.toml
+
+tests/protocol_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

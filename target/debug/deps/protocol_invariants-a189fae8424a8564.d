@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocol_invariants-a189fae8424a8564.d: tests/protocol_invariants.rs
+
+/root/repo/target/debug/deps/protocol_invariants-a189fae8424a8564: tests/protocol_invariants.rs
+
+tests/protocol_invariants.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-94499e71a04559c8.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-94499e71a04559c8.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-94499e71a04559c8.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-b5ff79d8ea4a9506.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-b5ff79d8ea4a9506: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

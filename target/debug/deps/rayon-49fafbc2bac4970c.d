@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rayon-49fafbc2bac4970c.d: shims/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-49fafbc2bac4970c.rlib: shims/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-49fafbc2bac4970c.rmeta: shims/rayon/src/lib.rs
+
+shims/rayon/src/lib.rs:

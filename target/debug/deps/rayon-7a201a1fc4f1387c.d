@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rayon-7a201a1fc4f1387c.d: shims/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/rayon-7a201a1fc4f1387c: shims/rayon/src/lib.rs
+
+shims/rayon/src/lib.rs:

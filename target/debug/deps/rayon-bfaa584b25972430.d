@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rayon-bfaa584b25972430.d: shims/rayon/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librayon-bfaa584b25972430.rmeta: shims/rayon/src/lib.rs Cargo.toml
+
+shims/rayon/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rayon-ecba6af60069b839.d: shims/rayon/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librayon-ecba6af60069b839.rmeta: shims/rayon/src/lib.rs Cargo.toml
+
+shims/rayon/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

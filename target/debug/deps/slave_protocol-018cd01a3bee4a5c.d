@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/slave_protocol-018cd01a3bee4a5c.d: crates/cluster/tests/slave_protocol.rs
+
+/root/repo/target/debug/deps/slave_protocol-018cd01a3bee4a5c: crates/cluster/tests/slave_protocol.rs
+
+crates/cluster/tests/slave_protocol.rs:

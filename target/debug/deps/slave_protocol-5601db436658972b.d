@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/slave_protocol-5601db436658972b.d: crates/cluster/tests/slave_protocol.rs Cargo.toml
+
+/root/repo/target/debug/deps/libslave_protocol-5601db436658972b.rmeta: crates/cluster/tests/slave_protocol.rs Cargo.toml
+
+crates/cluster/tests/slave_protocol.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

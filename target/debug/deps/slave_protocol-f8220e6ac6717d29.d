@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/slave_protocol-f8220e6ac6717d29.d: crates/cluster/tests/slave_protocol.rs
+
+/root/repo/target/debug/deps/slave_protocol-f8220e6ac6717d29: crates/cluster/tests/slave_protocol.rs
+
+crates/cluster/tests/slave_protocol.rs:

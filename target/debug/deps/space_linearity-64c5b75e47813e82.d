@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/space_linearity-64c5b75e47813e82.d: tests/space_linearity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspace_linearity-64c5b75e47813e82.rmeta: tests/space_linearity.rs Cargo.toml
+
+tests/space_linearity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/space_linearity-a13ed44c71ac7227.d: tests/space_linearity.rs
+
+/root/repo/target/debug/deps/space_linearity-a13ed44c71ac7227: tests/space_linearity.rs
+
+tests/space_linearity.rs:

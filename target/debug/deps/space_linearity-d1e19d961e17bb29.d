@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/space_linearity-d1e19d961e17bb29.d: tests/space_linearity.rs
+
+/root/repo/target/debug/deps/space_linearity-d1e19d961e17bb29: tests/space_linearity.rs
+
+tests/space_linearity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-0f79a8900699bd09.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-0f79a8900699bd09: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-7bf26a6a88e4c582.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-7bf26a6a88e4c582: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

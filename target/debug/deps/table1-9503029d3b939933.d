@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-9503029d3b939933.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-9503029d3b939933: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

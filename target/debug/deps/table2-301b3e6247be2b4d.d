@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-301b3e6247be2b4d.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-301b3e6247be2b4d: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

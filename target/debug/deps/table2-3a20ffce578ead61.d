@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-3a20ffce578ead61.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-3a20ffce578ead61: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-badb500d59cbf449.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-badb500d59cbf449: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

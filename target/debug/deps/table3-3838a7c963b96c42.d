@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-3838a7c963b96c42.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-3838a7c963b96c42: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-9e40c111cf81d214.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-9e40c111cf81d214: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-f59b9e6ef5e5b25d.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-f59b9e6ef5e5b25d: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

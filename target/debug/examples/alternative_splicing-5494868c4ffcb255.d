@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/alternative_splicing-5494868c4ffcb255.d: examples/alternative_splicing.rs
+
+/root/repo/target/debug/examples/alternative_splicing-5494868c4ffcb255: examples/alternative_splicing.rs
+
+examples/alternative_splicing.rs:

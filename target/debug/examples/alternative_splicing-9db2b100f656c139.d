@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/alternative_splicing-9db2b100f656c139.d: examples/alternative_splicing.rs Cargo.toml
+
+/root/repo/target/debug/examples/libalternative_splicing-9db2b100f656c139.rmeta: examples/alternative_splicing.rs Cargo.toml
+
+examples/alternative_splicing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/alternative_splicing-e0d2da05f92fe712.d: examples/alternative_splicing.rs
+
+/root/repo/target/debug/examples/alternative_splicing-e0d2da05f92fe712: examples/alternative_splicing.rs
+
+examples/alternative_splicing.rs:

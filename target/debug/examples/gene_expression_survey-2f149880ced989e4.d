@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gene_expression_survey-2f149880ced989e4.d: examples/gene_expression_survey.rs
+
+/root/repo/target/debug/examples/gene_expression_survey-2f149880ced989e4: examples/gene_expression_survey.rs
+
+examples/gene_expression_survey.rs:

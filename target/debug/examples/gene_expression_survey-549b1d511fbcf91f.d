@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gene_expression_survey-549b1d511fbcf91f.d: examples/gene_expression_survey.rs
+
+/root/repo/target/debug/examples/gene_expression_survey-549b1d511fbcf91f: examples/gene_expression_survey.rs
+
+examples/gene_expression_survey.rs:

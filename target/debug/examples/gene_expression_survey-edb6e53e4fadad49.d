@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/gene_expression_survey-edb6e53e4fadad49.d: examples/gene_expression_survey.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgene_expression_survey-edb6e53e4fadad49.rmeta: examples/gene_expression_survey.rs Cargo.toml
+
+examples/gene_expression_survey.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/incremental_batches-63a6bcc8c19e07ac.d: examples/incremental_batches.rs
+
+/root/repo/target/debug/examples/incremental_batches-63a6bcc8c19e07ac: examples/incremental_batches.rs
+
+examples/incremental_batches.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/incremental_batches-79ca6c0e267741d5.d: examples/incremental_batches.rs
+
+/root/repo/target/debug/examples/incremental_batches-79ca6c0e267741d5: examples/incremental_batches.rs
+
+examples/incremental_batches.rs:

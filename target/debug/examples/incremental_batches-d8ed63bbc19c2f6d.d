@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/incremental_batches-d8ed63bbc19c2f6d.d: examples/incremental_batches.rs Cargo.toml
+
+/root/repo/target/debug/examples/libincremental_batches-d8ed63bbc19c2f6d.rmeta: examples/incremental_batches.rs Cargo.toml
+
+examples/incremental_batches.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-bd69b61ac1d15683.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-bd69b61ac1d15683: examples/quickstart.rs
+
+examples/quickstart.rs:

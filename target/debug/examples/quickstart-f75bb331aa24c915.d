@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f75bb331aa24c915.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f75bb331aa24c915: examples/quickstart.rs
+
+examples/quickstart.rs:

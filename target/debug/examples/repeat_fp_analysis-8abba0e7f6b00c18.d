@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/repeat_fp_analysis-8abba0e7f6b00c18.d: examples/repeat_fp_analysis.rs Cargo.toml
+
+/root/repo/target/debug/examples/librepeat_fp_analysis-8abba0e7f6b00c18.rmeta: examples/repeat_fp_analysis.rs Cargo.toml
+
+examples/repeat_fp_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

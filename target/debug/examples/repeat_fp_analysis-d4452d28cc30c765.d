@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/repeat_fp_analysis-d4452d28cc30c765.d: examples/repeat_fp_analysis.rs
+
+/root/repo/target/debug/examples/repeat_fp_analysis-d4452d28cc30c765: examples/repeat_fp_analysis.rs
+
+examples/repeat_fp_analysis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/repeat_fp_analysis-ddb44fedc9e0a069.d: examples/repeat_fp_analysis.rs
+
+/root/repo/target/debug/examples/repeat_fp_analysis-ddb44fedc9e0a069: examples/repeat_fp_analysis.rs
+
+examples/repeat_fp_analysis.rs:

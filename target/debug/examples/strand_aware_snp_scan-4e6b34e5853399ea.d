@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/strand_aware_snp_scan-4e6b34e5853399ea.d: examples/strand_aware_snp_scan.rs Cargo.toml
+
+/root/repo/target/debug/examples/libstrand_aware_snp_scan-4e6b34e5853399ea.rmeta: examples/strand_aware_snp_scan.rs Cargo.toml
+
+examples/strand_aware_snp_scan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/strand_aware_snp_scan-bfd483510c6ce705.d: examples/strand_aware_snp_scan.rs
+
+/root/repo/target/debug/examples/strand_aware_snp_scan-bfd483510c6ce705: examples/strand_aware_snp_scan.rs
+
+examples/strand_aware_snp_scan.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-6544b113e6badb79.d: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-6544b113e6badb79.rlib: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-6544b113e6badb79.rmeta: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-ab0b42e1bb56a9fe.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-ab0b42e1bb56a9fe: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

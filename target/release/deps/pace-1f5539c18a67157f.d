@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pace-1f5539c18a67157f.d: src/lib.rs
+
+/root/repo/target/release/deps/libpace-1f5539c18a67157f.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libpace-1f5539c18a67157f.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pace-75574dd514ddda80.d: src/main.rs
+
+/root/repo/target/release/deps/pace-75574dd514ddda80: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pace_baseline-0186e64f743f499f.d: crates/baseline/src/lib.rs
+
+/root/repo/target/release/deps/libpace_baseline-0186e64f743f499f.rlib: crates/baseline/src/lib.rs
+
+/root/repo/target/release/deps/libpace_baseline-0186e64f743f499f.rmeta: crates/baseline/src/lib.rs
+
+crates/baseline/src/lib.rs:

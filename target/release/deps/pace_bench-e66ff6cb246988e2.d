@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/pace_bench-e66ff6cb246988e2.d: crates/bench/src/lib.rs crates/bench/src/model.rs
+
+/root/repo/target/release/deps/libpace_bench-e66ff6cb246988e2.rlib: crates/bench/src/lib.rs crates/bench/src/model.rs
+
+/root/repo/target/release/deps/libpace_bench-e66ff6cb246988e2.rmeta: crates/bench/src/lib.rs crates/bench/src/model.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/model.rs:

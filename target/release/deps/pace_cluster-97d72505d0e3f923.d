@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/pace_cluster-97d72505d0e3f923.d: crates/cluster/src/lib.rs crates/cluster/src/align_task.rs crates/cluster/src/config.rs crates/cluster/src/driver_par.rs crates/cluster/src/driver_seq.rs crates/cluster/src/master.rs crates/cluster/src/messages.rs crates/cluster/src/slave.rs crates/cluster/src/stats.rs crates/cluster/src/trace.rs
+
+/root/repo/target/release/deps/libpace_cluster-97d72505d0e3f923.rlib: crates/cluster/src/lib.rs crates/cluster/src/align_task.rs crates/cluster/src/config.rs crates/cluster/src/driver_par.rs crates/cluster/src/driver_seq.rs crates/cluster/src/master.rs crates/cluster/src/messages.rs crates/cluster/src/slave.rs crates/cluster/src/stats.rs crates/cluster/src/trace.rs
+
+/root/repo/target/release/deps/libpace_cluster-97d72505d0e3f923.rmeta: crates/cluster/src/lib.rs crates/cluster/src/align_task.rs crates/cluster/src/config.rs crates/cluster/src/driver_par.rs crates/cluster/src/driver_seq.rs crates/cluster/src/master.rs crates/cluster/src/messages.rs crates/cluster/src/slave.rs crates/cluster/src/stats.rs crates/cluster/src/trace.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/align_task.rs:
+crates/cluster/src/config.rs:
+crates/cluster/src/driver_par.rs:
+crates/cluster/src/driver_seq.rs:
+crates/cluster/src/master.rs:
+crates/cluster/src/messages.rs:
+crates/cluster/src/slave.rs:
+crates/cluster/src/stats.rs:
+crates/cluster/src/trace.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/pace_core-5b7a45709b993b0f.d: crates/core/src/lib.rs crates/core/src/incremental.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/splice.rs
+
+/root/repo/target/release/deps/libpace_core-5b7a45709b993b0f.rlib: crates/core/src/lib.rs crates/core/src/incremental.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/splice.rs
+
+/root/repo/target/release/deps/libpace_core-5b7a45709b993b0f.rmeta: crates/core/src/lib.rs crates/core/src/incremental.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/splice.rs
+
+crates/core/src/lib.rs:
+crates/core/src/incremental.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/report.rs:
+crates/core/src/splice.rs:

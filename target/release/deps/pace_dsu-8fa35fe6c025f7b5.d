@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/pace_dsu-8fa35fe6c025f7b5.d: crates/dsu/src/lib.rs crates/dsu/src/concurrent.rs crates/dsu/src/dsu.rs
+
+/root/repo/target/release/deps/libpace_dsu-8fa35fe6c025f7b5.rlib: crates/dsu/src/lib.rs crates/dsu/src/concurrent.rs crates/dsu/src/dsu.rs
+
+/root/repo/target/release/deps/libpace_dsu-8fa35fe6c025f7b5.rmeta: crates/dsu/src/lib.rs crates/dsu/src/concurrent.rs crates/dsu/src/dsu.rs
+
+crates/dsu/src/lib.rs:
+crates/dsu/src/concurrent.rs:
+crates/dsu/src/dsu.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/pace_gst-e212713ffdbc3875.d: crates/gst/src/lib.rs crates/gst/src/bucket.rs crates/gst/src/build.rs crates/gst/src/forest.rs crates/gst/src/partition.rs crates/gst/src/tree.rs
+
+/root/repo/target/release/deps/libpace_gst-e212713ffdbc3875.rlib: crates/gst/src/lib.rs crates/gst/src/bucket.rs crates/gst/src/build.rs crates/gst/src/forest.rs crates/gst/src/partition.rs crates/gst/src/tree.rs
+
+/root/repo/target/release/deps/libpace_gst-e212713ffdbc3875.rmeta: crates/gst/src/lib.rs crates/gst/src/bucket.rs crates/gst/src/build.rs crates/gst/src/forest.rs crates/gst/src/partition.rs crates/gst/src/tree.rs
+
+crates/gst/src/lib.rs:
+crates/gst/src/bucket.rs:
+crates/gst/src/build.rs:
+crates/gst/src/forest.rs:
+crates/gst/src/partition.rs:
+crates/gst/src/tree.rs:

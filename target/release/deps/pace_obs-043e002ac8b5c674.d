@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/pace_obs-043e002ac8b5c674.d: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/metric.rs crates/obs/src/registry.rs crates/obs/src/report.rs crates/obs/src/sink.rs crates/obs/src/span.rs
+
+/root/repo/target/release/deps/libpace_obs-043e002ac8b5c674.rlib: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/metric.rs crates/obs/src/registry.rs crates/obs/src/report.rs crates/obs/src/sink.rs crates/obs/src/span.rs
+
+/root/repo/target/release/deps/libpace_obs-043e002ac8b5c674.rmeta: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/metric.rs crates/obs/src/registry.rs crates/obs/src/report.rs crates/obs/src/sink.rs crates/obs/src/span.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/json.rs:
+crates/obs/src/metric.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/report.rs:
+crates/obs/src/sink.rs:
+crates/obs/src/span.rs:

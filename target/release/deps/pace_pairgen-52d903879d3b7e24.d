@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/pace_pairgen-52d903879d3b7e24.d: crates/pairgen/src/lib.rs crates/pairgen/src/generator.rs crates/pairgen/src/lset.rs crates/pairgen/src/pair.rs
+
+/root/repo/target/release/deps/libpace_pairgen-52d903879d3b7e24.rlib: crates/pairgen/src/lib.rs crates/pairgen/src/generator.rs crates/pairgen/src/lset.rs crates/pairgen/src/pair.rs
+
+/root/repo/target/release/deps/libpace_pairgen-52d903879d3b7e24.rmeta: crates/pairgen/src/lib.rs crates/pairgen/src/generator.rs crates/pairgen/src/lset.rs crates/pairgen/src/pair.rs
+
+crates/pairgen/src/lib.rs:
+crates/pairgen/src/generator.rs:
+crates/pairgen/src/lset.rs:
+crates/pairgen/src/pair.rs:

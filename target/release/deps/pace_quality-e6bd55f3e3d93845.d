@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/pace_quality-e6bd55f3e3d93845.d: crates/quality/src/lib.rs crates/quality/src/percluster.rs
+
+/root/repo/target/release/deps/libpace_quality-e6bd55f3e3d93845.rlib: crates/quality/src/lib.rs crates/quality/src/percluster.rs
+
+/root/repo/target/release/deps/libpace_quality-e6bd55f3e3d93845.rmeta: crates/quality/src/lib.rs crates/quality/src/percluster.rs
+
+crates/quality/src/lib.rs:
+crates/quality/src/percluster.rs:

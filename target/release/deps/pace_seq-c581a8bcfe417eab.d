@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/pace_seq-c581a8bcfe417eab.d: crates/seq/src/lib.rs crates/seq/src/alphabet.rs crates/seq/src/codec.rs crates/seq/src/error.rs crates/seq/src/fasta.rs crates/seq/src/ids.rs crates/seq/src/revcomp.rs crates/seq/src/stats.rs crates/seq/src/store.rs
+
+/root/repo/target/release/deps/libpace_seq-c581a8bcfe417eab.rlib: crates/seq/src/lib.rs crates/seq/src/alphabet.rs crates/seq/src/codec.rs crates/seq/src/error.rs crates/seq/src/fasta.rs crates/seq/src/ids.rs crates/seq/src/revcomp.rs crates/seq/src/stats.rs crates/seq/src/store.rs
+
+/root/repo/target/release/deps/libpace_seq-c581a8bcfe417eab.rmeta: crates/seq/src/lib.rs crates/seq/src/alphabet.rs crates/seq/src/codec.rs crates/seq/src/error.rs crates/seq/src/fasta.rs crates/seq/src/ids.rs crates/seq/src/revcomp.rs crates/seq/src/stats.rs crates/seq/src/store.rs
+
+crates/seq/src/lib.rs:
+crates/seq/src/alphabet.rs:
+crates/seq/src/codec.rs:
+crates/seq/src/error.rs:
+crates/seq/src/fasta.rs:
+crates/seq/src/ids.rs:
+crates/seq/src/revcomp.rs:
+crates/seq/src/stats.rs:
+crates/seq/src/store.rs:

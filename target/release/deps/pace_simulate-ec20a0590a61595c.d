@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/pace_simulate-ec20a0590a61595c.d: crates/simulate/src/lib.rs crates/simulate/src/config.rs crates/simulate/src/dataset.rs crates/simulate/src/est.rs crates/simulate/src/gene.rs
+
+/root/repo/target/release/deps/libpace_simulate-ec20a0590a61595c.rlib: crates/simulate/src/lib.rs crates/simulate/src/config.rs crates/simulate/src/dataset.rs crates/simulate/src/est.rs crates/simulate/src/gene.rs
+
+/root/repo/target/release/deps/libpace_simulate-ec20a0590a61595c.rmeta: crates/simulate/src/lib.rs crates/simulate/src/config.rs crates/simulate/src/dataset.rs crates/simulate/src/est.rs crates/simulate/src/gene.rs
+
+crates/simulate/src/lib.rs:
+crates/simulate/src/config.rs:
+crates/simulate/src/dataset.rs:
+crates/simulate/src/est.rs:
+crates/simulate/src/gene.rs:

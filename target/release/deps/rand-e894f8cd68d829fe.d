@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-e894f8cd68d829fe.d: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-e894f8cd68d829fe.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-e894f8cd68d829fe.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rayon-44c51e5c02487780.d: shims/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-44c51e5c02487780.rlib: shims/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-44c51e5c02487780.rmeta: shims/rayon/src/lib.rs
+
+shims/rayon/src/lib.rs:

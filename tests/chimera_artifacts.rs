@@ -49,7 +49,10 @@ fn chimeras_raise_over_prediction() {
         .unwrap()
         .quality(&dirty.truth);
 
-    assert_eq!(q_clean.counts.fp, 0, "clean run must have no FPs: {q_clean}");
+    assert_eq!(
+        q_clean.counts.fp, 0,
+        "clean run must have no FPs: {q_clean}"
+    );
     assert!(
         q_dirty.counts.fp > 0,
         "chimeras produced no over-prediction: {q_dirty}"

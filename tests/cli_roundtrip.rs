@@ -29,7 +29,11 @@ fn simulate_cluster_assess_roundtrip() {
         .arg(&truth)
         .output()
         .expect("spawn pace simulate");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(reads.exists() && truth.exists());
 
     let out = pace_bin()
@@ -93,7 +97,10 @@ fn unknown_command_fails_with_usage() {
 
 #[test]
 fn missing_required_flag_is_reported() {
-    let out = pace_bin().args(["cluster", "--procs", "2"]).output().unwrap();
+    let out = pace_bin()
+        .args(["cluster", "--procs", "2"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("--in"), "{stderr}");
@@ -102,7 +109,13 @@ fn missing_required_flag_is_reported() {
 #[test]
 fn cluster_rejects_missing_file() {
     let out = pace_bin()
-        .args(["cluster", "--in", "/nonexistent/reads.fa", "--out", "/tmp/x"])
+        .args([
+            "cluster",
+            "--in",
+            "/nonexistent/reads.fa",
+            "--out",
+            "/tmp/x",
+        ])
         .output()
         .unwrap();
     assert!(!out.status.success());

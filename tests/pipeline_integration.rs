@@ -126,8 +126,14 @@ fn deterministic_end_to_end() {
     let ds = dataset(80, 106, 0.02);
     let a = Pace::new(test_config()).cluster(&ds.ests).unwrap();
     let b = Pace::new(test_config()).cluster(&ds.ests).unwrap();
-    assert_eq!(a.result.labels, b.result.labels, "sequential run not deterministic");
-    assert_eq!(a.result.stats.pairs_processed, b.result.stats.pairs_processed);
+    assert_eq!(
+        a.result.labels, b.result.labels,
+        "sequential run not deterministic"
+    );
+    assert_eq!(
+        a.result.stats.pairs_processed,
+        b.result.stats.pairs_processed
+    );
 }
 
 #[test]
