@@ -8,9 +8,11 @@
 //! sequences is exhausted, so the result always spans to sequence ends and
 //! classifies as one of the four accepted overlap patterns of Figure 5b.
 
-use crate::banded::banded_extension;
+use crate::banded::banded_extension_with;
 use crate::overlap::{classify_overlap, decide, AcceptDecision, OverlapKind, OverlapParams};
 use crate::scoring::Scoring;
+use crate::view::SeqView;
+use crate::workspace::AlignWorkspace;
 
 /// A shared exact substring: `a[a_pos..a_pos+len] == b[b_pos..b_pos+len]`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,9 +28,37 @@ pub struct Anchor {
 impl Anchor {
     /// Check the anchor against the actual sequences (debug aid).
     pub fn verify(&self, a: &[u8], b: &[u8]) -> bool {
+        self.verify_on(a, b)
+    }
+
+    /// [`Anchor::verify`] over any [`SeqView`].
+    pub fn verify_on<V: SeqView>(&self, a: V, b: V) -> bool {
         self.a_pos + self.len <= a.len()
             && self.b_pos + self.len <= b.len()
-            && a[self.a_pos..self.a_pos + self.len] == b[self.b_pos..self.b_pos + self.len]
+            && (0..self.len).all(|k| a.at(self.a_pos + k) == b.at(self.b_pos + k))
+    }
+
+    /// Upper bound on the overlap length reachable by extending this
+    /// anchor with a band of half-width `radius`, measured on the longer
+    /// side (the convention of [`AnchoredAlignment::overlap_len`]).
+    ///
+    /// Each extension can consume at most the remaining bases of one
+    /// string, and the other string can run at most `radius` further
+    /// (the band constraint). Since no alignment produced by
+    /// [`align_anchored`] can exceed this bound, comparing it against
+    /// the minimum-overlap accept threshold yields an *exactly lossless*
+    /// prefilter: pairs rejected here could never have been accepted.
+    pub fn max_overlap_reach(&self, a_len: usize, b_len: usize, radius: usize) -> usize {
+        debug_assert!(self.a_pos + self.len <= a_len && self.b_pos + self.len <= b_len);
+        // Left of the anchor: consumable prefix on each side.
+        let left_a = self.a_pos.min(self.b_pos + radius);
+        let left_b = self.b_pos.min(self.a_pos + radius);
+        // Right of the anchor: consumable suffix on each side.
+        let a_rem = a_len - self.a_pos - self.len;
+        let b_rem = b_len - self.b_pos - self.len;
+        let right_a = a_rem.min(b_rem + radius);
+        let right_b = b_rem.min(a_rem + radius);
+        self.len + left_a.max(left_b) + right_a.max(right_b)
     }
 }
 
@@ -60,6 +90,9 @@ impl AnchoredAlignment {
 ///
 /// `radius` is the DP band half-width: the number of insertions/deletions
 /// tolerated between the two sequences on each side of the anchor.
+///
+/// Convenience wrapper that allocates a fresh workspace; hot paths use
+/// [`align_anchored_with`].
 pub fn align_anchored(
     a: &[u8],
     b: &[u8],
@@ -67,18 +100,39 @@ pub fn align_anchored(
     scoring: &Scoring,
     radius: usize,
 ) -> AnchoredAlignment {
-    debug_assert!(anchor.verify(a, b), "anchor does not match sequences");
+    align_anchored_with(a, b, anchor, scoring, radius, &mut AlignWorkspace::new())
+}
+
+/// [`align_anchored`] over any [`SeqView`], reusing `ws` scratch.
+///
+/// The reversed anchor prefixes for the left extension are copied into
+/// workspace-owned buffers so the DP scans contiguous forward slices
+/// (a reversed-index adapter in the inner loop costs ~10% end to end) —
+/// with a warm workspace the whole call still performs zero heap
+/// allocations.
+pub fn align_anchored_with<V: SeqView>(
+    a: V,
+    b: V,
+    anchor: Anchor,
+    scoring: &Scoring,
+    radius: usize,
+    ws: &mut AlignWorkspace,
+) -> AnchoredAlignment {
+    debug_assert!(anchor.verify_on(a, b), "anchor does not match sequences");
 
     // Left: align the reversed prefixes so the path is anchored at the
-    // match start and runs toward the string starts.
-    let a_left: Vec<u8> = a[..anchor.a_pos].iter().rev().copied().collect();
-    let b_left: Vec<u8> = b[..anchor.b_pos].iter().rev().copied().collect();
-    let left = banded_extension(&a_left, &b_left, scoring, radius);
+    // match start and runs toward the string starts. Taking the buffers
+    // out of the workspace frees it for the extension call below.
+    let (mut rev_a, mut rev_b) = ws.take_rev();
+    rev_a.extend((0..anchor.a_pos).rev().map(|i| a.at(i)));
+    rev_b.extend((0..anchor.b_pos).rev().map(|i| b.at(i)));
+    let left = banded_extension_with(&rev_a[..], &rev_b[..], scoring, radius, ws);
+    ws.put_rev(rev_a, rev_b);
 
     // Right: align the suffixes after the match.
-    let a_right = &a[anchor.a_pos + anchor.len..];
-    let b_right = &b[anchor.b_pos + anchor.len..];
-    let right = banded_extension(a_right, b_right, scoring, radius);
+    let a_right = a.slice(anchor.a_pos + anchor.len, a.len());
+    let b_right = b.slice(anchor.b_pos + anchor.len, b.len());
+    let right = banded_extension_with(a_right, b_right, scoring, radius, ws);
 
     let a_start = anchor.a_pos - left.a_consumed;
     let b_start = anchor.b_pos - left.b_consumed;
@@ -96,6 +150,39 @@ pub fn align_anchored(
         b_end,
         kind,
     }
+}
+
+/// Exact-match identity along the anchor's diagonal, over the maximal
+/// no-indel overlap the anchor admits (anchor bases count as matches).
+///
+/// A cheap O(overlap) probe used as an *optional, lossy* prefilter: a
+/// pair whose diagonal identity is far below the accept threshold will
+/// rarely be rescued by the few indels the band allows, so skipping its
+/// DP trades a small amount of sensitivity for throughput (the CD-HIT
+/// family of clusterers is built on exactly this kind of short-circuit
+/// filter). Disabled by default in the clustering engine.
+pub fn diagonal_identity<V: SeqView>(a: V, b: V, anchor: Anchor) -> f64 {
+    debug_assert!(anchor.verify_on(a, b), "anchor does not match sequences");
+    let left = anchor.a_pos.min(anchor.b_pos);
+    let a_rem = a.len() - anchor.a_pos - anchor.len;
+    let b_rem = b.len() - anchor.b_pos - anchor.len;
+    let right = a_rem.min(b_rem);
+    let total = left + anchor.len + right;
+    if total == 0 {
+        return 1.0;
+    }
+    let mut matches = anchor.len;
+    for k in 1..=left {
+        if a.at(anchor.a_pos - k) == b.at(anchor.b_pos - k) {
+            matches += 1;
+        }
+    }
+    for k in 0..right {
+        if a.at(anchor.a_pos + anchor.len + k) == b.at(anchor.b_pos + anchor.len + k) {
+            matches += 1;
+        }
+    }
+    matches as f64 / total as f64
 }
 
 /// Apply the accept criterion ([`crate::overlap::decide`]) to an anchored
@@ -218,6 +305,45 @@ mod tests {
         .verify(b"TAA", b"AA"));
     }
 
+    #[test]
+    fn diagonal_identity_basics() {
+        let a = b"AAAACCCCGGGG";
+        let b = b"CCCCGGGGTTTT";
+        let anchor = anchor_of(a, b);
+        // The anchor spans the whole diagonal overlap: identity 1.
+        assert_eq!(diagonal_identity(&a[..], &b[..], anchor), 1.0);
+        // A mismatching left flank on the diagonal dilutes it: the AAAA
+        // and TTTT prefixes sit on the anchor diagonal and never match.
+        let a2 = b"AAAACCCCGGGG";
+        let b2 = b"TTTTCCCCGGGGAA";
+        let anchor2 = anchor_of(a2, b2); // CCCCGGGG at a_pos 4 / b_pos 4
+        assert_eq!(anchor2.len, 8);
+        let id = diagonal_identity(&a2[..], &b2[..], anchor2);
+        assert!((id - 8.0 / 12.0).abs() < 1e-12, "id = {id}");
+    }
+
+    #[test]
+    fn max_reach_bounds_simple_cases() {
+        // Dovetail: anchor at the junction, radius 0.
+        let anchor = Anchor {
+            a_pos: 4,
+            b_pos: 0,
+            len: 8,
+        };
+        // At radius 0 nothing can run past the partner string: b has no
+        // prefix left of the anchor and a no suffix right of it.
+        assert_eq!(anchor.max_overlap_reach(12, 12, 0), 8);
+        // With a band, each side can run `radius` bases past the other.
+        assert_eq!(anchor.max_overlap_reach(12, 12, 3), 8 + 3 + 3);
+        // An anchor spanning both full strings reaches exactly their length.
+        let full = Anchor {
+            a_pos: 0,
+            b_pos: 0,
+            len: 12,
+        };
+        assert_eq!(full.max_overlap_reach(12, 12, 5), 12);
+    }
+
     fn dna(min: usize, max: usize) -> impl Strategy<Value = Vec<u8>> {
         proptest::collection::vec(
             proptest::sample::select(vec![b'A', b'C', b'G', b'T']),
@@ -250,6 +376,41 @@ mod tests {
             // The overlap must touch one start and one end.
             prop_assert!(aln.a_start == 0 || aln.b_start == 0);
             prop_assert!(aln.a_end == a.len() || aln.b_end == b.len());
+        }
+
+        /// The geometric reach bound is never exceeded by the actual
+        /// alignment — the losslessness guarantee of the prefilter.
+        #[test]
+        fn max_reach_dominates_actual_overlap(
+            a in dna(10, 50),
+            b in dna(10, 50),
+            radius in 0usize..5,
+        ) {
+            let anchor = anchor_of(&a, &b);
+            prop_assume!(anchor.len >= 1);
+            let s = Scoring::default_est();
+            let aln = align_anchored(&a, &b, anchor, &s, radius);
+            let bound = anchor.max_overlap_reach(a.len(), b.len(), radius);
+            prop_assert!(
+                aln.overlap_len() <= bound,
+                "overlap {} exceeds reach bound {}",
+                aln.overlap_len(),
+                bound
+            );
+        }
+
+        /// Diagonal identity is a true fraction and hits 1 exactly on
+        /// identical strings.
+        #[test]
+        fn diagonal_identity_is_fraction(a in dna(5, 40), cut in 0usize..10) {
+            let anchor = anchor_of(&a, &a);
+            let id = diagonal_identity(&a[..], &a[..], anchor);
+            prop_assert_eq!(id, 1.0);
+            let b = &a[cut.min(a.len() - 1)..];
+            let anchor = anchor_of(&a, b);
+            prop_assume!(anchor.len >= 1);
+            let id = diagonal_identity(&a[..], b, anchor);
+            prop_assert!((0.0..=1.0).contains(&id));
         }
     }
 }

@@ -7,6 +7,8 @@
 
 use crate::nw::NEG_INF;
 use crate::scoring::Scoring;
+use crate::view::SeqView;
+use crate::workspace::AlignWorkspace;
 
 /// Result of a banded extension from an anchor corner.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,19 +26,31 @@ pub struct ExtensionResult {
 /// Returns `None` when the band cannot connect the two corners, i.e. when
 /// `|a.len() − b.len()| > radius`. With `radius ≥ max(len)` this equals
 /// [`crate::nw::global_score`] — the property the tests pin down.
+///
+/// Convenience wrapper that allocates a fresh workspace; hot paths use
+/// [`banded_global_score_with`].
 pub fn banded_global_score(a: &[u8], b: &[u8], scoring: &Scoring, radius: usize) -> Option<i32> {
+    banded_global_score_with(a, b, scoring, radius, &mut AlignWorkspace::new())
+}
+
+/// [`banded_global_score`] over any [`SeqView`], reusing `ws` scratch.
+pub fn banded_global_score_with<V: SeqView>(
+    a: V,
+    b: V,
+    scoring: &Scoring,
+    radius: usize,
+    ws: &mut AlignWorkspace,
+) -> Option<i32> {
     let (la, lb) = (a.len(), b.len());
     if la.abs_diff(lb) > radius {
         return None;
     }
-    let (m, x, y) = banded_fill(a, b, scoring, radius);
+    banded_fill(a, b, scoring, radius, ws);
     let w = 2 * radius + 1;
     // Cell (la, lb) lives at band offset lb - la + radius.
     let off = (lb + radius) - la; // in range because |la-lb| <= radius
-    let v = m[band_idx(la, off, w)]
-        .max(x[band_idx(la, off, w)])
-        .max(y[band_idx(la, off, w)]);
-    Some(v)
+    let idx = band_idx(la, off, w);
+    Some(ws.band_m[idx].max(ws.band_x[idx]).max(ws.band_y[idx]))
 }
 
 /// Banded extension: the path starts pinned at `(0, 0)` (the anchor edge)
@@ -46,7 +60,21 @@ pub fn banded_global_score(a: &[u8], b: &[u8], scoring: &Scoring, radius: usize)
 ///
 /// Tie-breaking is deterministic: highest score, then most total bases
 /// consumed, then most bases of `a`.
+///
+/// Convenience wrapper that allocates a fresh workspace; hot paths use
+/// [`banded_extension_with`].
 pub fn banded_extension(a: &[u8], b: &[u8], scoring: &Scoring, radius: usize) -> ExtensionResult {
+    banded_extension_with(a, b, scoring, radius, &mut AlignWorkspace::new())
+}
+
+/// [`banded_extension`] over any [`SeqView`], reusing `ws` scratch.
+pub fn banded_extension_with<V: SeqView>(
+    a: V,
+    b: V,
+    scoring: &Scoring,
+    radius: usize,
+    ws: &mut AlignWorkspace,
+) -> ExtensionResult {
     let (la, lb) = (a.len(), b.len());
     if la == 0 || lb == 0 {
         // One side has nothing left: the anchor already touches its end
@@ -57,7 +85,8 @@ pub fn banded_extension(a: &[u8], b: &[u8], scoring: &Scoring, radius: usize) ->
             b_consumed: 0,
         };
     }
-    let (m, x, y) = banded_fill(a, b, scoring, radius);
+    banded_fill(a, b, scoring, radius, ws);
+    let (m, x, y) = (&ws.band_m, &ws.band_x, &ws.band_y);
     let w = 2 * radius + 1;
 
     let mut best = ExtensionResult {
@@ -125,21 +154,21 @@ fn band_bounds(i: usize, lb: usize, radius: usize) -> (usize, usize) {
     (lo, hi)
 }
 
-/// Fill the three Gotoh matrices over the band. Matrices are stored
-/// row-major with `2·radius + 1` offsets per row; offset `o` in row `i`
-/// holds column `j = i + o − radius`.
-fn banded_fill(
-    a: &[u8],
-    b: &[u8],
-    scoring: &Scoring,
-    radius: usize,
-) -> (Vec<i32>, Vec<i32>, Vec<i32>) {
+/// Fill the workspace's three Gotoh matrices over the band. Matrices are
+/// stored row-major with `2·radius + 1` offsets per row; offset `o` in
+/// row `i` holds column `j = i + o − radius`. Allocation-free once the
+/// workspace has grown to the input size.
+fn banded_fill<V: SeqView>(a: V, b: V, scoring: &Scoring, radius: usize, ws: &mut AlignWorkspace) {
     let (la, lb) = (a.len(), b.len());
     let w = 2 * radius + 1;
     let size = (la + 1) * w;
-    let mut m = vec![NEG_INF; size];
-    let mut x = vec![NEG_INF; size];
-    let mut y = vec![NEG_INF; size];
+    ws.reset_band(size, NEG_INF);
+    let AlignWorkspace {
+        band_m: m,
+        band_x: x,
+        band_y: y,
+        ..
+    } = ws;
 
     // Row 0: j in [0, radius].
     m[band_idx(0, radius, w)] = 0;
@@ -160,7 +189,7 @@ fn banded_fill(
             // Diagonal predecessor (i-1, j-1) keeps the same offset.
             let pidx = band_idx(i - 1, off, w);
             let diag = m[pidx].max(x[pidx]).max(y[pidx]);
-            m[idx] = diag.saturating_add(scoring.pair(a[i - 1], b[j - 1]));
+            m[idx] = diag.saturating_add(scoring.pair(a.at(i - 1), b.at(j - 1)));
             // Vertical predecessor (i-1, j) sits one offset to the right.
             if off + 1 < w {
                 let vidx = band_idx(i - 1, off + 1, w);
@@ -179,7 +208,6 @@ fn banded_fill(
             }
         }
     }
-    (m, x, y)
 }
 
 #[cfg(test)]

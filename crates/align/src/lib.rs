@@ -38,11 +38,19 @@ pub mod overlap;
 pub mod scoring;
 pub mod semiglobal;
 pub mod sw;
+pub mod view;
+pub mod workspace;
 
-pub use anchored::{align_anchored, decide_outcome, Anchor, AnchoredAlignment};
-pub use banded::banded_global_score;
-pub use nw::{global_align, global_score, AlignOp, Alignment};
+pub use anchored::{
+    align_anchored, align_anchored_with, decide_outcome, diagonal_identity, Anchor,
+    AnchoredAlignment,
+};
+pub use banded::{banded_extension, banded_extension_with, banded_global_score};
+pub use banded::{banded_global_score_with, ExtensionResult};
+pub use nw::{global_align, global_score, global_score_with, AlignOp, Alignment};
 pub use overlap::{classify_overlap, AcceptDecision, OverlapKind, OverlapParams};
 pub use scoring::Scoring;
-pub use semiglobal::{semiglobal_align, SemiglobalAlignment};
-pub use sw::local_score;
+pub use semiglobal::{semiglobal_align, semiglobal_align_with, SemiglobalAlignment};
+pub use sw::{local_score, local_score_with};
+pub use view::{Rev, SeqView};
+pub use workspace::AlignWorkspace;

@@ -6,6 +6,8 @@
 //! property-tested against them.
 
 use crate::scoring::Scoring;
+use crate::view::SeqView;
+use crate::workspace::AlignWorkspace;
 
 /// Effectively −∞ for DP cells, far from i32 overflow when added to.
 pub(crate) const NEG_INF: i32 = i32::MIN / 4;
@@ -70,20 +72,36 @@ impl Alignment {
 /// Global alignment score of `a` vs `b` (no traceback, rolling rows).
 ///
 /// Affine gaps: a run of `k` gap columns costs `gap_open + (k-1)·gap_extend`.
+///
+/// Convenience wrapper that allocates a fresh workspace; hot paths use
+/// [`global_score_with`].
 pub fn global_score(a: &[u8], b: &[u8], scoring: &Scoring) -> i32 {
+    global_score_with(a, b, scoring, &mut AlignWorkspace::new())
+}
+
+/// [`global_score`] over any [`SeqView`], reusing `ws` scratch.
+pub fn global_score_with<V: SeqView>(
+    a: V,
+    b: V,
+    scoring: &Scoring,
+    ws: &mut AlignWorkspace,
+) -> i32 {
     let (la, lb) = (a.len(), b.len());
     // m = ends in pair, x = ends in gap consuming `a`, y = gap consuming `b`.
-    let mut m_prev = vec![NEG_INF; lb + 1];
-    let mut x_prev = vec![NEG_INF; lb + 1];
-    let mut y_prev = vec![NEG_INF; lb + 1];
+    ws.reset_rows(lb + 1, NEG_INF);
+    let AlignWorkspace {
+        m_prev,
+        x_prev,
+        y_prev,
+        m_cur,
+        x_cur,
+        y_cur,
+        ..
+    } = ws;
     m_prev[0] = 0;
     for (j, y) in y_prev.iter_mut().enumerate().skip(1) {
         *y = scoring.gap_open + (j as i32 - 1) * scoring.gap_extend;
     }
-
-    let mut m_cur = vec![NEG_INF; lb + 1];
-    let mut x_cur = vec![NEG_INF; lb + 1];
-    let mut y_cur = vec![NEG_INF; lb + 1];
 
     for i in 1..=la {
         m_cur[0] = NEG_INF;
@@ -91,7 +109,7 @@ pub fn global_score(a: &[u8], b: &[u8], scoring: &Scoring) -> i32 {
         x_cur[0] = scoring.gap_open + (i as i32 - 1) * scoring.gap_extend;
         for j in 1..=lb {
             let diag = m_prev[j - 1].max(x_prev[j - 1]).max(y_prev[j - 1]);
-            m_cur[j] = diag.saturating_add(scoring.pair(a[i - 1], b[j - 1]));
+            m_cur[j] = diag.saturating_add(scoring.pair(a.at(i - 1), b.at(j - 1)));
             x_cur[j] = (m_prev[j] + scoring.gap_open)
                 .max(x_prev[j] + scoring.gap_extend)
                 .max(y_prev[j] + scoring.gap_open);
@@ -99,9 +117,9 @@ pub fn global_score(a: &[u8], b: &[u8], scoring: &Scoring) -> i32 {
                 .max(y_cur[j - 1] + scoring.gap_extend)
                 .max(x_cur[j - 1] + scoring.gap_open);
         }
-        std::mem::swap(&mut m_prev, &mut m_cur);
-        std::mem::swap(&mut x_prev, &mut x_cur);
-        std::mem::swap(&mut y_prev, &mut y_cur);
+        std::mem::swap(m_prev, m_cur);
+        std::mem::swap(x_prev, x_cur);
+        std::mem::swap(y_prev, y_cur);
     }
     m_prev[lb].max(x_prev[lb]).max(y_prev[lb])
 }

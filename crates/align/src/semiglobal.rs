@@ -10,6 +10,8 @@
 
 use crate::overlap::{classify_overlap, OverlapKind};
 use crate::scoring::Scoring;
+use crate::view::SeqView;
+use crate::workspace::AlignWorkspace;
 
 /// A scored overlap alignment with its coordinates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,13 +44,30 @@ impl SemiglobalAlignment {
 /// interior gaps adds little here and the baseline does not need it).
 /// Origin coordinates are threaded through the DP so no traceback matrix
 /// is materialized.
+///
+/// Convenience wrapper that allocates a fresh workspace; hot paths use
+/// [`semiglobal_align_with`].
 pub fn semiglobal_align(a: &[u8], b: &[u8], scoring: &Scoring) -> SemiglobalAlignment {
+    semiglobal_align_with(a, b, scoring, &mut AlignWorkspace::new())
+}
+
+/// [`semiglobal_align`] over any [`SeqView`], reusing `ws` scratch.
+pub fn semiglobal_align_with<V: SeqView>(
+    a: V,
+    b: V,
+    scoring: &Scoring,
+    ws: &mut AlignWorkspace,
+) -> SemiglobalAlignment {
     let (la, lb) = (a.len(), b.len());
     let gap = scoring.gap_extend;
 
     // score[j], origin[j] for the current row; origin = (a_start, b_start).
-    let mut score: Vec<i32> = vec![0; lb + 1];
-    let mut origin: Vec<(u32, u32)> = (0..=lb as u32).map(|j| (0, j)).collect();
+    ws.reset_semi(lb + 1);
+    let AlignWorkspace {
+        semi_score: score,
+        semi_origin: origin,
+        ..
+    } = ws;
 
     let mut best = SemiglobalAlignment {
         score: 0,
@@ -82,7 +101,7 @@ pub fn semiglobal_align(a: &[u8], b: &[u8], scoring: &Scoring) -> SemiglobalAlig
         score[0] = 0;
         origin[0] = (i as u32, 0);
         for j in 1..=lb {
-            let diag = prev_diag_score + scoring.pair(a[i - 1], b[j - 1]);
+            let diag = prev_diag_score + scoring.pair(a.at(i - 1), b.at(j - 1));
             let up = score[j] + gap; // consumes a[i-1]
             let left = score[j - 1] + gap; // consumes b[j-1]
             prev_diag_score = score[j];

@@ -3,31 +3,51 @@
 //! Used by the quality tooling and tests as an upper bound: any overlap
 //! alignment score is at most the best local alignment score.
 
+use crate::nw::NEG_INF;
 use crate::scoring::Scoring;
+use crate::view::SeqView;
+use crate::workspace::AlignWorkspace;
 
 /// Best local alignment score between `a` and `b` (never negative).
+///
+/// Convenience wrapper that allocates a fresh workspace; hot paths use
+/// [`local_score_with`].
 pub fn local_score(a: &[u8], b: &[u8], scoring: &Scoring) -> i32 {
-    const NEG: i32 = i32::MIN / 4;
+    local_score_with(a, b, scoring, &mut AlignWorkspace::new())
+}
+
+/// [`local_score`] over any [`SeqView`], reusing `ws` scratch.
+pub fn local_score_with<V: SeqView>(a: V, b: V, scoring: &Scoring, ws: &mut AlignWorkspace) -> i32 {
     let lb = b.len();
-    let mut m_prev = vec![0i32; lb + 1];
-    let mut x_prev = vec![NEG; lb + 1];
-    let mut y_prev = vec![NEG; lb + 1];
+    ws.reset_rows(lb + 1, NEG_INF);
+    let AlignWorkspace {
+        m_prev,
+        x_prev,
+        y_prev,
+        m_cur,
+        x_cur,
+        y_cur,
+        ..
+    } = ws;
+    for m in m_prev.iter_mut() {
+        *m = 0;
+    }
     let mut best = 0i32;
 
     for i in 1..=a.len() {
-        let mut m_cur = vec![0i32; lb + 1];
-        let mut x_cur = vec![NEG; lb + 1];
-        let mut y_cur = vec![NEG; lb + 1];
+        m_cur[0] = 0;
+        x_cur[0] = NEG_INF;
+        y_cur[0] = NEG_INF;
         for j in 1..=lb {
             let diag = m_prev[j - 1].max(x_prev[j - 1]).max(y_prev[j - 1]).max(0);
-            m_cur[j] = diag + scoring.pair(a[i - 1], b[j - 1]);
+            m_cur[j] = diag + scoring.pair(a.at(i - 1), b.at(j - 1));
             x_cur[j] = (m_prev[j] + scoring.gap_open).max(x_prev[j] + scoring.gap_extend);
             y_cur[j] = (m_cur[j - 1] + scoring.gap_open).max(y_cur[j - 1] + scoring.gap_extend);
             best = best.max(m_cur[j]).max(x_cur[j]).max(y_cur[j]);
         }
-        m_prev = m_cur;
-        x_prev = x_cur;
-        y_prev = y_cur;
+        std::mem::swap(m_prev, m_cur);
+        std::mem::swap(x_prev, x_cur);
+        std::mem::swap(y_prev, y_cur);
     }
     best
 }

@@ -1,0 +1,152 @@
+//! Generic read-only sequence views for the DP kernels.
+//!
+//! Every alignment kernel in this crate is generic over [`SeqView`], so
+//! the same monomorphized code runs over plain ASCII slices *and* over
+//! the 2-bit packed representation of `pace-seq` ([`PackedSlice`]) with
+//! no unpack-to-ASCII copies. The scoring scheme only compares symbols
+//! for equality, so any self-consistent encoding produces identical
+//! scores — the packed-vs-ASCII equivalence property test pins this down.
+//!
+//! [`Rev`] adapts any view to read back-to-front in O(1), which lets the
+//! anchored kernel extend leftwards from an anchor without materializing
+//! reversed prefix copies per pair.
+
+use pace_seq::PackedSlice;
+
+/// Read-only random access to a sequence of symbols.
+///
+/// Implementations must be cheap to copy (they are taken by value) and
+/// `at`/`slice` must be O(1). The symbol type is `u8` but its meaning is
+/// representation-defined (ASCII bytes or 2-bit codes) — kernels only
+/// ever compare symbols from the *same* representation for equality.
+pub trait SeqView: Copy {
+    /// Number of symbols.
+    fn len(&self) -> usize;
+
+    /// The symbol at position `i` (`i < len()`).
+    fn at(&self, i: usize) -> u8;
+
+    /// Sub-view over the half-open range `[start, end)`.
+    fn slice(self, start: usize, end: usize) -> Self;
+
+    /// Whether the view is empty.
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl SeqView for &[u8] {
+    #[inline]
+    fn len(&self) -> usize {
+        <[u8]>::len(self)
+    }
+
+    #[inline]
+    fn at(&self, i: usize) -> u8 {
+        self[i]
+    }
+
+    #[inline]
+    fn slice(self, start: usize, end: usize) -> Self {
+        &self[start..end]
+    }
+}
+
+impl SeqView for PackedSlice<'_> {
+    #[inline]
+    fn len(&self) -> usize {
+        PackedSlice::len(self)
+    }
+
+    #[inline]
+    fn at(&self, i: usize) -> u8 {
+        self.code_at(i)
+    }
+
+    #[inline]
+    fn slice(self, start: usize, end: usize) -> Self {
+        PackedSlice::slice(self, start, end)
+    }
+}
+
+/// A reversed adapter: `Rev(v).at(i) == v.at(v.len() - 1 - i)`.
+///
+/// Sub-slicing maps back onto the underlying view, so every operation
+/// stays O(1) and allocation-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rev<V: SeqView>(pub V);
+
+impl<V: SeqView> SeqView for Rev<V> {
+    #[inline]
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    #[inline]
+    fn at(&self, i: usize) -> u8 {
+        self.0.at(self.0.len() - 1 - i)
+    }
+
+    #[inline]
+    fn slice(self, start: usize, end: usize) -> Self {
+        let n = self.0.len();
+        Rev(self.0.slice(n - end, n - start))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pace_seq::PackedDna;
+
+    fn collect<V: SeqView>(v: V) -> Vec<u8> {
+        (0..v.len()).map(|i| v.at(i)).collect()
+    }
+
+    #[test]
+    fn ascii_view_matches_slice() {
+        let s = b"ACGTACGT";
+        let v: &[u8] = s;
+        assert_eq!(collect(v), s);
+        assert_eq!(collect(SeqView::slice(v, 2, 6)), &s[2..6]);
+        assert!(SeqView::slice(v, 3, 3).is_empty());
+    }
+
+    #[test]
+    fn packed_view_yields_codes() {
+        let packed = PackedDna::from_ascii(b"ACGT").unwrap();
+        assert_eq!(collect(packed.as_slice()), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn rev_reads_backwards() {
+        let s: &[u8] = b"ACGT";
+        assert_eq!(collect(Rev(s)), b"TGCA");
+        // Rev of Rev is the identity.
+        assert_eq!(collect(Rev(Rev(s))), b"ACGT");
+    }
+
+    #[test]
+    fn rev_slice_maps_onto_base_view() {
+        let s: &[u8] = b"ACGTGG";
+        let r = Rev(s); // GGTGCA
+        assert_eq!(collect(r), b"GGTGCA");
+        assert_eq!(collect(r.slice(1, 4)), b"GTG");
+        assert_eq!(collect(r.slice(0, 0)), b"");
+        assert_eq!(collect(r.slice(6, 6)), b"");
+    }
+
+    #[test]
+    fn rev_packed_agrees_with_rev_ascii() {
+        let ascii = b"ACGTACGTGGAT";
+        let packed = PackedDna::from_ascii(ascii).unwrap();
+        let rev_codes = collect(Rev(packed.as_slice()));
+        let rev_ascii = collect(Rev(&ascii[..]));
+        let decoded: Vec<u8> = rev_ascii
+            .iter()
+            .map(|&b| pace_seq::Base::from_ascii(b).unwrap().code())
+            .collect();
+        assert_eq!(rev_codes, decoded);
+    }
+}

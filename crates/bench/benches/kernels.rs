@@ -5,18 +5,20 @@
 //! * `pair_generation` — the engine behind Figure 7's generated curve;
 //! * `alignment`    — Table 3's "pairwise alignment" column: anchored
 //!   banded extension vs the full-width DP the baseline uses (Table 1);
+//! * `align_batch`  — one slave work batch through the three alignment
+//!   paths: fresh DP scratch per pair, reused workspace, reused + packed;
 //! * `dsu`          — the master's CLUSTERS operations;
 //! * `quality`      — the Table 2 metric computation;
 //! * `end_to_end`   — one small full clustering run (Figures 6a/6b).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use pace_align::{align_anchored, Anchor, Scoring};
+use pace_align::{align_anchored, align_anchored_with, AlignWorkspace, Anchor, Scoring};
 use pace_bench::{dataset, paper_cfg};
-use pace_cluster::cluster_sequential;
+use pace_cluster::{align_pair, cluster_sequential, AlignContext};
 use pace_dsu::DisjointSets;
 use pace_gst::{assign_buckets, build_forest_for_rank, count_buckets};
 use pace_pairgen::{PairGenConfig, PairGenerator};
-use pace_seq::SequenceStore;
+use pace_seq::{PackedText, SequenceStore};
 use std::hint::black_box;
 
 fn bench_gst_build(c: &mut Criterion) {
@@ -74,12 +76,65 @@ fn bench_alignment(c: &mut Criterion) {
     c.bench_function("alignment/anchored_banded_r8", |bch| {
         bch.iter(|| black_box(align_anchored(a, b, anchor, &scoring, 8)))
     });
+    c.bench_function("alignment/anchored_banded_r8_reused_ws", |bch| {
+        let mut ws = AlignWorkspace::new();
+        bch.iter(|| black_box(align_anchored_with(a, b, anchor, &scoring, 8, &mut ws)))
+    });
     c.bench_function("alignment/full_width_dp", |bch| {
         bch.iter(|| black_box(align_anchored(a, b, anchor, &scoring, a.len().max(b.len()))))
     });
     c.bench_function("alignment/semiglobal_unanchored", |bch| {
         bch.iter(|| black_box(pace_align::semiglobal_align(a, b, &scoring)))
     });
+}
+
+fn bench_workspace_reuse(c: &mut Criterion) {
+    // A full work batch — the slave's unit of dispatch — through the
+    // three alignment paths: fresh DP scratch per pair (the pre-context
+    // behaviour), one reused per-rank workspace (the hot path), and the
+    // reused workspace over the 2-bit packed representation.
+    let ds = dataset(200, 9106);
+    let store = SequenceStore::from_ests(&ds.ests).unwrap();
+    let counts = count_buckets(&store, 8);
+    let partition = assign_buckets(&counts, 1);
+    let forest = build_forest_for_rank(&store, &partition, 0);
+    let pairs = PairGenerator::new(&store, &forest, PairGenConfig::new(20)).generate_all();
+    let cfg = paper_cfg();
+    let batch: Vec<_> = pairs.iter().take(cfg.batchsize).copied().collect();
+    assert!(!batch.is_empty(), "workload produces promising pairs");
+    let packed = PackedText::from_store(&store);
+
+    let mut group = c.benchmark_group("align_batch");
+    group.bench_function("fresh_workspace_per_pair", |b| {
+        b.iter(|| {
+            let accepted: u32 = batch
+                .iter()
+                .map(|p| align_pair(&store, p, &cfg).accepted as u32)
+                .sum();
+            black_box(accepted)
+        })
+    });
+    group.bench_function("reused_workspace", |b| {
+        let mut ctx = AlignContext::new(&store, None);
+        b.iter(|| {
+            let accepted: u32 = batch
+                .iter()
+                .map(|p| ctx.align(p, &cfg).accepted as u32)
+                .sum();
+            black_box(accepted)
+        })
+    });
+    group.bench_function("reused_workspace_packed", |b| {
+        let mut ctx = AlignContext::new(&store, Some(&packed));
+        b.iter(|| {
+            let accepted: u32 = batch
+                .iter()
+                .map(|p| ctx.align(p, &cfg).accepted as u32)
+                .sum();
+            black_box(accepted)
+        })
+    });
+    group.finish();
 }
 
 fn bench_dsu(c: &mut Criterion) {
@@ -128,6 +183,7 @@ criterion_group!(
     bench_gst_build,
     bench_node_sort_and_pairgen,
     bench_alignment,
+    bench_workspace_reuse,
     bench_dsu,
     bench_quality,
     bench_end_to_end

@@ -1,0 +1,182 @@
+//! Deterministic smoke benchmark for CI.
+//!
+//! Runs one small, fixed-seed clustering workload through the parallel
+//! driver `PACE_SMOKE_REPS` times and records, next to the standard
+//! per-run metrics report, the per-phase *minimum* critical-path time
+//! across reps — the noise-robust statistic `scripts/bench_gate.sh`
+//! compares against the committed `bench/baseline.json`.
+//!
+//! Outputs:
+//! - `$PACE_METRICS_DIR/smoke.json` — gate document: `phase_min` object
+//!   plus the last rep's full registry report sections.
+//! - `$PACE_BENCH_TRAJECTORY` (default `BENCH_smoke.json`) — a JSON
+//!   array the run appends one trajectory entry to, so successive CI
+//!   runs accumulate a timing history artifact.
+//!
+//! Knobs: `PACE_SMOKE_N` (ESTs, default 800), `PACE_SMOKE_REPS`
+//! (default 3). The seed and rank count are fixed — the workload must
+//! be bit-identical on every run.
+
+use pace_bench::{banner, dataset, paper_cfg};
+use pace_cluster::cluster_parallel_obs;
+use pace_obs::{metric, Json, Obs};
+use pace_seq::SequenceStore;
+use std::collections::BTreeMap;
+
+/// Fixed seed: the smoke workload must be identical on every run.
+const SMOKE_SEED: u64 = 3000;
+/// Ranks for the parallel driver (1 master + 2 slaves).
+const SMOKE_RANKS: usize = 3;
+/// Phases the gate tracks.
+const GATE_PHASES: [&str; 5] = [
+    metric::PHASE_PARTITIONING,
+    metric::PHASE_GST_CONSTRUCTION,
+    metric::PHASE_NODE_SORTING,
+    metric::PHASE_ALIGNMENT,
+    metric::PHASE_TOTAL,
+];
+
+fn env_usize(name: &str, default: usize, min: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= min)
+        .unwrap_or(default)
+}
+
+fn main() {
+    banner(
+        "Smoke bench: fixed-seed clustering workload",
+        "CI regression sentinel; compare against bench/baseline.json",
+    );
+    let n = env_usize("PACE_SMOKE_N", 800, 60);
+    let reps = env_usize("PACE_SMOKE_REPS", 3, 1);
+    let ds = dataset(n, SMOKE_SEED);
+    let store = SequenceStore::from_ests(&ds.ests).unwrap();
+    println!(
+        "n = {n} ESTs, {} bases, p = {SMOKE_RANKS}, reps = {reps}",
+        ds.total_bases()
+    );
+
+    let mut phase_min: BTreeMap<String, f64> = BTreeMap::new();
+    let mut last: Option<(Obs, pace_cluster::ClusterResult)> = None;
+    for rep in 1..=reps {
+        let obs = Obs::noop();
+        let (r, _) = cluster_parallel_obs(&store, &paper_cfg(), SMOKE_RANKS, &obs);
+        let snap = obs.registry().snapshot();
+        let crit = |name: &str| snap.phases.get(name).map_or(0.0, |a| a.max);
+        println!(
+            "rep {rep}: partitioning {:.4}s, gst {:.4}s, node_sorting {:.4}s, \
+             alignment {:.4}s, total {:.4}s",
+            crit(metric::PHASE_PARTITIONING),
+            crit(metric::PHASE_GST_CONSTRUCTION),
+            crit(metric::PHASE_NODE_SORTING),
+            crit(metric::PHASE_ALIGNMENT),
+            crit(metric::PHASE_TOTAL),
+        );
+        for phase in GATE_PHASES {
+            let t = crit(phase);
+            phase_min
+                .entry(phase.to_string())
+                .and_modify(|m| *m = m.min(t))
+                .or_insert(t);
+        }
+        last = Some((obs, r));
+    }
+    let (obs, r) = last.expect("at least one rep");
+    println!(
+        "pairs: generated {}, processed {}, accepted {}, clusters {}",
+        r.stats.pairs_generated, r.stats.pairs_processed, r.stats.pairs_accepted, r.num_clusters
+    );
+
+    let snap = obs.registry().snapshot();
+    check_workspace_reuse(&snap, &r);
+
+    // Gate document: the standard report plus the cross-rep phase minima.
+    let meta = vec![
+        ("p".to_string(), Json::Num(SMOKE_RANKS as f64)),
+        ("num_ests".to_string(), Json::Num(n as f64)),
+        ("seed".to_string(), Json::Num(SMOKE_SEED as f64)),
+        ("reps".to_string(), Json::Num(reps as f64)),
+    ];
+    let mut doc = pace_obs::report::to_json(&snap, meta);
+    let min_obj = Json::from_map(&phase_min);
+    if let Json::Obj(entries) = &mut doc {
+        entries.push(("phase_min".to_string(), min_obj.clone()));
+    }
+    if let Ok(dir) = std::env::var("PACE_METRICS_DIR") {
+        let path = std::path::Path::new(&dir).join("smoke.json");
+        let write = std::fs::create_dir_all(&dir)
+            .and_then(|()| std::fs::write(&path, pace_obs::report::to_pretty_string(&doc)));
+        match write {
+            Ok(()) => eprintln!("[metrics] wrote {}", path.display()),
+            Err(e) => eprintln!("[metrics] could not write {}: {e}", path.display()),
+        }
+    }
+    append_trajectory(&min_obj, &snap, n, reps);
+}
+
+/// The tentpole's allocation discipline, asserted on every CI run: each
+/// pair aligned must have gone through a reused per-rank workspace
+/// (`align.ws_reuses == pairs.processed`), i.e. zero per-pair heap
+/// allocations in the align phase.
+fn check_workspace_reuse(snap: &pace_obs::RegistrySnapshot, r: &pace_cluster::ClusterResult) {
+    let reuses = snap.counters.get(metric::ALIGN_WS_REUSES).copied();
+    match reuses {
+        Some(reuses) if reuses == r.stats.pairs_processed => {
+            println!(
+                "workspace reuse: {reuses} kernel calls over {} per-rank workspaces — \
+                 zero per-pair allocations",
+                SMOKE_RANKS - 1
+            );
+        }
+        Some(reuses) => {
+            eprintln!(
+                "FAIL: workspace reuses ({reuses}) != pairs processed ({})",
+                r.stats.pairs_processed
+            );
+            std::process::exit(1);
+        }
+        None => {
+            eprintln!(
+                "FAIL: {} counter missing from registry",
+                metric::ALIGN_WS_REUSES
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Append one entry to the trajectory file (a JSON array). A missing or
+/// malformed file starts a fresh array; failures never abort the bench.
+fn append_trajectory(phase_min: &Json, snap: &pace_obs::RegistrySnapshot, n: usize, reps: usize) {
+    let path =
+        std::env::var("PACE_BENCH_TRAJECTORY").unwrap_or_else(|_| "BENCH_smoke.json".to_string());
+    let mut entries = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|text| pace_obs::json::parse(&text).ok())
+        .and_then(|v| match v {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        })
+        .unwrap_or_default();
+    let counters = Json::Obj(
+        snap.counters
+            .iter()
+            .map(|(k, &v)| (k.clone(), Json::Num(v as f64)))
+            .collect(),
+    );
+    entries.push(Json::obj([
+        ("schema_version", Json::Num(pace_obs::SCHEMA_VERSION as f64)),
+        ("bench", Json::Str("smoke".into())),
+        ("num_ests", Json::Num(n as f64)),
+        ("p", Json::Num(SMOKE_RANKS as f64)),
+        ("reps", Json::Num(reps as f64)),
+        ("phase_min", phase_min.clone()),
+        ("counters", counters),
+    ]));
+    match std::fs::write(&path, Json::Arr(entries).to_line()) {
+        Ok(()) => eprintln!("[metrics] appended trajectory entry to {path}"),
+        Err(e) => eprintln!("[metrics] could not write {path}: {e}"),
+    }
+}

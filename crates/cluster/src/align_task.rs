@@ -1,9 +1,17 @@
 //! The per-pair alignment task slaves execute.
+//!
+//! The hot path is [`AlignContext`]: one per rank, owning the DP
+//! workspace (so a slave allocates its band and row buffers once, not
+//! once per pair), the optional 2-bit packed view of the store, and the
+//! cheap pre-alignment filters. [`align_pair`] remains as the
+//! single-shot convenience used by tests and tools.
 
 use crate::config::ClusterConfig;
-use pace_align::{align_anchored, decide_outcome, Anchor};
+use pace_align::{
+    align_anchored_with, decide_outcome, diagonal_identity, AlignWorkspace, Anchor, SeqView,
+};
 use pace_pairgen::CandidatePair;
-use pace_seq::SequenceStore;
+use pace_seq::{PackedText, SequenceStore};
 
 /// Result of aligning one promising pair.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -16,24 +24,152 @@ pub struct PairOutcome {
     pub score_ratio: f64,
 }
 
-/// Align `pair` by extending its maximal-common-substring anchor in both
-/// directions with banded DP (Figure 5a) and applying the accept
-/// criterion against the four patterns of Figure 5b.
-pub fn align_pair(store: &SequenceStore, pair: &CandidatePair, cfg: &ClusterConfig) -> PairOutcome {
-    let a = store.seq(pair.s1);
-    let b = store.seq(pair.s2);
-    let anchor = Anchor {
-        a_pos: pair.off1 as usize,
-        b_pos: pair.off2 as usize,
-        len: pair.mcs_len as usize,
-    };
-    let aln = align_anchored(a, b, anchor, &cfg.scoring, cfg.band_radius);
-    let decision = decide_outcome(&aln, &cfg.scoring, &cfg.overlap);
+/// Per-rank alignment state: sequences, reusable DP scratch, counters.
+///
+/// A context lives for a whole rank (or a whole sequential run) and is
+/// threaded through every batch, so the banded/row buffers inside its
+/// [`AlignWorkspace`] are allocated once and only ever *grow* to the
+/// largest pair seen. [`AlignContext::pairs_handled`] therefore counts
+/// exactly the pairs served without per-pair heap allocation — the
+/// number the smoke benchmark checks against `pairs.processed`.
+pub struct AlignContext<'s> {
+    store: &'s SequenceStore,
+    /// 2-bit packed mirror of the store; `Some` routes the kernels over
+    /// packed codes instead of ASCII bytes (identical scores).
+    packed: Option<&'s PackedText>,
+    ws: AlignWorkspace,
+    pairs_handled: u64,
+    pairs_prefiltered: u64,
+}
+
+impl<'s> AlignContext<'s> {
+    /// A context over `store`, optionally aligning on `packed` codes.
+    pub fn new(store: &'s SequenceStore, packed: Option<&'s PackedText>) -> Self {
+        AlignContext {
+            store,
+            packed,
+            ws: AlignWorkspace::new(),
+            pairs_handled: 0,
+            pairs_prefiltered: 0,
+        }
+    }
+
+    /// Pairs served by this context (every [`align`](Self::align) call).
+    pub fn pairs_handled(&self) -> u64 {
+        self.pairs_handled
+    }
+
+    /// Pairs rejected by the prefilters without any DP.
+    pub fn pairs_prefiltered(&self) -> u64 {
+        self.pairs_prefiltered
+    }
+
+    /// Workspace resets performed so far (diagnostic; see
+    /// [`AlignWorkspace::uses`]).
+    pub fn workspace_uses(&self) -> u64 {
+        self.ws.uses()
+    }
+
+    /// Current heap footprint of the reused DP scratch.
+    pub fn workspace_bytes(&self) -> usize {
+        self.ws.capacity_bytes()
+    }
+
+    /// Align `pair` by extending its maximal-common-substring anchor in
+    /// both directions with banded DP (Figure 5a) and applying the
+    /// accept criterion against the four patterns of Figure 5b.
+    ///
+    /// Before any DP runs, two cheap filters get a veto:
+    /// 1. the *lossless* geometry bound ([`Anchor::max_overlap_reach`]):
+    ///    if even a maximally gapped extension cannot reach
+    ///    `overlap.min_overlap_len`, the pair is rejected outright;
+    /// 2. the optional *lossy* diagonal-identity threshold
+    ///    (`prefilter_min_diag_identity > 0`).
+    ///
+    /// Prefiltered pairs still produce a (rejected) [`PairOutcome`], so
+    /// flow conservation over processed pairs is unchanged.
+    pub fn align(&mut self, pair: &CandidatePair, cfg: &ClusterConfig) -> PairOutcome {
+        self.pairs_handled += 1;
+        let anchor = Anchor {
+            a_pos: pair.off1 as usize,
+            b_pos: pair.off2 as usize,
+            len: pair.mcs_len as usize,
+        };
+        if cfg.prefilter_overlap {
+            let a_len = self.store.len_of(pair.s1);
+            let b_len = self.store.len_of(pair.s2);
+            if anchor.max_overlap_reach(a_len, b_len, cfg.band_radius) < cfg.overlap.min_overlap_len
+            {
+                self.pairs_prefiltered += 1;
+                return rejected(pair);
+            }
+        }
+        let (outcome, prefiltered) = match self.packed {
+            Some(text) => extend_and_decide(
+                text.slice(pair.s1),
+                text.slice(pair.s2),
+                anchor,
+                pair,
+                cfg,
+                &mut self.ws,
+            ),
+            None => extend_and_decide(
+                self.store.seq(pair.s1),
+                self.store.seq(pair.s2),
+                anchor,
+                pair,
+                cfg,
+                &mut self.ws,
+            ),
+        };
+        if prefiltered {
+            self.pairs_prefiltered += 1;
+        }
+        outcome
+    }
+}
+
+/// A rejected outcome that never reached the DP kernels.
+fn rejected(pair: &CandidatePair) -> PairOutcome {
     PairOutcome {
         pair: *pair,
-        accepted: decision.accepted,
-        score_ratio: decision.ratio,
+        accepted: false,
+        score_ratio: 0.0,
     }
+}
+
+/// Representation-generic tail of the task: optional identity filter,
+/// anchored extension, accept decision. Returns the outcome and whether
+/// the identity filter vetoed the DP.
+fn extend_and_decide<V: SeqView>(
+    a: V,
+    b: V,
+    anchor: Anchor,
+    pair: &CandidatePair,
+    cfg: &ClusterConfig,
+    ws: &mut AlignWorkspace,
+) -> (PairOutcome, bool) {
+    if cfg.prefilter_min_diag_identity > 0.0
+        && diagonal_identity(a, b, anchor) < cfg.prefilter_min_diag_identity
+    {
+        return (rejected(pair), true);
+    }
+    let aln = align_anchored_with(a, b, anchor, &cfg.scoring, cfg.band_radius, ws);
+    let decision = decide_outcome(&aln, &cfg.scoring, &cfg.overlap);
+    (
+        PairOutcome {
+            pair: *pair,
+            accepted: decision.accepted,
+            score_ratio: decision.ratio,
+        },
+        false,
+    )
+}
+
+/// Align one pair with a throwaway context (tests, tools, baselines).
+/// Hot paths keep an [`AlignContext`] alive across batches instead.
+pub fn align_pair(store: &SequenceStore, pair: &CandidatePair, cfg: &ClusterConfig) -> PairOutcome {
+    AlignContext::new(store, None).align(pair, cfg)
 }
 
 #[cfg(test)]
@@ -117,5 +253,105 @@ mod tests {
             assert_eq!(o.pair.s1.strand(), Strand::Forward);
             assert!((0.0..=1.0 + 1e-9).contains(&o.score_ratio));
         }
+    }
+
+    #[test]
+    fn context_reuse_matches_single_shot() {
+        // One context serving every pair must decide exactly like a
+        // fresh context per pair, on both representations.
+        let template = lcg_dna(4242, 150);
+        let (store, pairs) = pair_of(
+            &[&template[..90], &template[40..120], &template[70..]],
+            12,
+            4,
+        );
+        assert!(!pairs.is_empty());
+        let cfg = ClusterConfig::small();
+        let packed = PackedText::from_store(&store);
+
+        let mut ascii_ctx = AlignContext::new(&store, None);
+        let mut packed_ctx = AlignContext::new(&store, Some(&packed));
+        for p in &pairs {
+            let single = align_pair(&store, p, &cfg);
+            assert_eq!(ascii_ctx.align(p, &cfg), single);
+            assert_eq!(packed_ctx.align(p, &cfg), single);
+        }
+        assert_eq!(ascii_ctx.pairs_handled(), pairs.len() as u64);
+        assert_eq!(packed_ctx.pairs_handled(), pairs.len() as u64);
+    }
+
+    #[test]
+    fn geometry_prefilter_rejects_unreachable_overlaps() {
+        // Tiny anchor at opposite extremes of two long reads: the
+        // required overlap is unreachable, so no DP should run.
+        let mut a = lcg_dna(7, 60);
+        a.extend_from_slice(b"ACGTACGTACGT");
+        let mut b = b"ACGTACGTACGT".to_vec();
+        b.extend(lcg_dna(8, 60));
+        let store = SequenceStore::from_ests(&[&a, &b]).unwrap();
+        let pair = CandidatePair {
+            s1: EstId(0).str_id(Strand::Forward),
+            s2: EstId(1).str_id(Strand::Forward),
+            off1: 60,
+            off2: 0,
+            mcs_len: 12,
+        };
+        let mut cfg = ClusterConfig::small();
+        cfg.overlap.min_overlap_len = 60; // reach is 12 + radius slack only
+        cfg.band_radius = 4;
+
+        let mut ctx = AlignContext::new(&store, None);
+        let o = ctx.align(&pair, &cfg);
+        assert!(!o.accepted);
+        assert_eq!(ctx.pairs_prefiltered(), 1);
+        assert_eq!(ctx.workspace_uses(), 0, "prefiltered pair must skip DP");
+
+        // The filter must be lossless: disabling it and running the full
+        // DP reaches the same *decision* (the ratio may differ — a
+        // prefiltered pair reports 0.0 without computing one).
+        cfg.prefilter_overlap = false;
+        let mut unfiltered = AlignContext::new(&store, None);
+        assert!(!unfiltered.align(&pair, &cfg).accepted);
+        assert_eq!(unfiltered.pairs_prefiltered(), 0);
+    }
+
+    #[test]
+    fn diag_identity_prefilter_vetoes_noisy_diagonals() {
+        // A planted 12-mer anchor between otherwise-unrelated reads:
+        // the anchor diagonal is ~25% identity outside the word.
+        let mut a = lcg_dna(71, 30);
+        a.extend_from_slice(b"GGGGCCCCGGGG");
+        a.extend(lcg_dna(72, 30));
+        let mut b = lcg_dna(73, 30);
+        b.extend_from_slice(b"GGGGCCCCGGGG");
+        b.extend(lcg_dna(74, 30));
+        let store = SequenceStore::from_ests(&[&a, &b]).unwrap();
+        let pair = CandidatePair {
+            s1: EstId(0).str_id(Strand::Forward),
+            s2: EstId(1).str_id(Strand::Forward),
+            off1: 30,
+            off2: 30,
+            mcs_len: 12,
+        };
+        let mut cfg = ClusterConfig::small();
+        cfg.prefilter_overlap = false;
+        assert_eq!(
+            ClusterConfig::default().prefilter_min_diag_identity,
+            0.0,
+            "lossy filter must be opt-in"
+        );
+
+        // Off by default: the pair goes through the full DP.
+        let mut open = AlignContext::new(&store, None);
+        open.align(&pair, &cfg);
+        assert_eq!(open.pairs_prefiltered(), 0);
+
+        // Demanding 90% identity vetoes it before any DP.
+        cfg.prefilter_min_diag_identity = 0.9;
+        let mut strict = AlignContext::new(&store, None);
+        let o = strict.align(&pair, &cfg);
+        assert!(!o.accepted);
+        assert_eq!(strict.pairs_prefiltered(), 1);
+        assert_eq!(strict.workspace_uses(), 0, "vetoed pair must skip DP");
     }
 }

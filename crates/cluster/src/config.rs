@@ -32,6 +32,22 @@ pub struct ClusterConfig {
     /// (`true` in PaCE; `false` reproduces the traditional behaviour for
     /// ablation).
     pub skip_clustered_pairs: bool,
+    /// Reject a pair without running any DP when its anchor geometry
+    /// proves the overlap cannot reach `overlap.min_overlap_len` even
+    /// with every band-radius gap spent (lossless — the bound is an
+    /// upper bound on the achievable overlap, property-tested in
+    /// `pace-align`).
+    pub prefilter_overlap: bool,
+    /// Minimum exact-match fraction along the anchor diagonal for a pair
+    /// to be aligned at all. `0.0` disables the filter (the default);
+    /// positive values trade recall for speed (lossy) — useful on very
+    /// noisy inputs where most promising pairs fail the score ratio.
+    pub prefilter_min_diag_identity: f64,
+    /// Align directly over the 2-bit packed representation instead of
+    /// the ASCII store. Scores are bit-identical (equality-only scoring;
+    /// property-tested); the packed text costs one extra pass at startup
+    /// but quarters the bytes the alignment kernel touches.
+    pub packed_alignment: bool,
 }
 
 impl Default for ClusterConfig {
@@ -47,6 +63,9 @@ impl Default for ClusterConfig {
             band_radius: 8,
             order: PairOrder::DecreasingMcs,
             skip_clustered_pairs: true,
+            prefilter_overlap: true,
+            prefilter_min_diag_identity: 0.0,
+            packed_alignment: false,
         }
     }
 }
@@ -96,6 +115,12 @@ impl ClusterConfig {
                 self.overlap.min_score_ratio
             ));
         }
+        if !(0.0..=1.0).contains(&self.prefilter_min_diag_identity) {
+            return Err(format!(
+                "prefilter_min_diag_identity {} not a fraction",
+                self.prefilter_min_diag_identity
+            ));
+        }
         Ok(())
     }
 }
@@ -131,6 +156,20 @@ mod tests {
     fn validation_rejects_zero_batch() {
         let c = ClusterConfig {
             batchsize: 0,
+            ..ClusterConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_bad_diag_identity() {
+        let c = ClusterConfig {
+            prefilter_min_diag_identity: 1.5,
+            ..ClusterConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = ClusterConfig {
+            prefilter_min_diag_identity: -0.1,
             ..ClusterConfig::default()
         };
         assert!(c.validate().is_err());

@@ -25,7 +25,7 @@ use crate::trace::MergeTrace;
 use pace_gst::{assign_buckets, build_forest_for_rank, count_buckets_stride, num_buckets};
 use pace_mpisim::{run_world, WorldStats};
 use pace_obs::{metric, Event, Obs, Timer};
-use pace_seq::SequenceStore;
+use pace_seq::{PackedText, SequenceStore};
 
 /// Emit a master heartbeat every this many handled reports.
 const HEARTBEAT_EVERY: u64 = 32;
@@ -80,11 +80,15 @@ pub fn cluster_parallel_obs(
     let num_slaves = p - 1;
     let total_span = obs.span(metric::PHASE_TOTAL);
 
+    // Pack once, share read-only across every slave's alignment context.
+    let packed = cfg.packed_alignment.then(|| PackedText::from_store(store));
+    let packed_ref = packed.as_ref();
+
     let outputs = run_world(p, |rank| {
         if rank.rank() == 0 {
             master_rank(&rank, store, cfg, num_slaves, obs)
         } else {
-            slave_rank(&rank, store, cfg, num_slaves, obs)
+            slave_rank(&rank, store, packed_ref, cfg, num_slaves, obs)
         }
     });
 
@@ -96,6 +100,8 @@ pub fn cluster_parallel_obs(
     let mut timers = PhaseTimers::default();
     let mut generated_total = 0u64;
     let mut unconsumed_total = 0u64;
+    let mut prefiltered_total = 0u64;
+    let mut ws_reuses_total = 0u64;
     for out in outputs {
         match out {
             RankOutput::Master {
@@ -132,6 +138,8 @@ pub fn cluster_parallel_obs(
             } => {
                 generated_total += summary.gen.emitted;
                 unconsumed_total += summary.unconsumed;
+                prefiltered_total += summary.prefiltered;
+                ws_reuses_total += summary.ws_reuses;
                 timers.max_with(&PhaseTimers {
                     partitioning,
                     gst_construction,
@@ -144,8 +152,12 @@ pub fn cluster_parallel_obs(
     }
     stats.pairs_generated = generated_total;
     stats.pairs_unconsumed = unconsumed_total;
+    stats.pairs_prefiltered = prefiltered_total;
     timers.total = total_span.finish();
     stats.timers = timers;
+    // Every result the master folded in came off a slave's long-lived
+    // workspace, so this equals `pairs.processed` by construction.
+    obs.registry().add(metric::ALIGN_WS_REUSES, ws_reuses_total);
     record_cluster_counters(obs, &stats);
     obs.flush();
 
@@ -251,6 +263,7 @@ fn master_rank(
 fn slave_rank(
     rank: &pace_mpisim::Rank<Msg>,
     store: &SequenceStore,
+    packed: Option<&PackedText>,
     cfg: &ClusterConfig,
     num_slaves: usize,
     obs: &Obs,
@@ -272,7 +285,7 @@ fn slave_rank(
     rank.barrier();
 
     // Phases 3–4: the slave protocol (node sorting happens inside).
-    let summary = run_slave_obs(rank, 0, store, &forest, cfg, obs);
+    let summary = run_slave_obs(rank, 0, store, packed, &forest, cfg, obs);
     RankOutput::Slave {
         summary,
         partitioning,

@@ -10,14 +10,14 @@
 //! [`PhaseTimers`](crate::stats::PhaseTimers) struct is populated from
 //! the spans' return values, so the two views always agree.
 
-use crate::align_task::align_pair;
+use crate::align_task::AlignContext;
 use crate::config::ClusterConfig;
 use crate::stats::{ClusterResult, ClusterStats};
 use crate::trace::MergeTrace;
 use pace_dsu::DisjointSets;
 use pace_obs::{metric, Event, Obs, Timer};
-use pace_pairgen::{PairGenConfig, PairGenerator};
-use pace_seq::SequenceStore;
+use pace_pairgen::{CandidatePair, PairGenConfig, PairGenerator};
+use pace_seq::{PackedText, SequenceStore};
 
 /// Cluster `store`'s ESTs sequentially.
 pub fn cluster_sequential(store: &SequenceStore, cfg: &ClusterConfig) -> ClusterResult {
@@ -71,21 +71,26 @@ pub fn cluster_sequential_obs(
 
     // Phase 4: demand-driven clustering loop. Alignment runs in many
     // short bursts, so it accumulates on a Timer and is recorded once.
+    // One context (and one batch buffer) serves the whole run: DP
+    // scratch and the batch vector are allocated once, never per pair.
+    let packed = cfg.packed_alignment.then(|| PackedText::from_store(store));
+    let mut ctx = AlignContext::new(store, packed.as_ref());
     let mut clusters = DisjointSets::new(store.num_ests());
     let mut trace = MergeTrace::new();
     let mut align_timer = Timer::new();
+    let mut batch: Vec<CandidatePair> = Vec::new();
     loop {
-        let batch = generator.next_batch(cfg.batchsize);
+        generator.next_batch_into(cfg.batchsize, &mut batch);
         if batch.is_empty() {
             break;
         }
-        for pair in batch {
+        for &pair in &batch {
             let (i, j) = pair.est_indices();
             if cfg.skip_clustered_pairs && clusters.same(i, j) {
                 stats.pairs_skipped += 1;
                 continue;
             }
-            let outcome = align_timer.time(|| align_pair(store, &pair, cfg));
+            let outcome = align_timer.time(|| ctx.align(&pair, cfg));
             stats.pairs_processed += 1;
             if outcome.accepted {
                 stats.pairs_accepted += 1;
@@ -107,6 +112,10 @@ pub fn cluster_sequential_obs(
     obs.registry()
         .record_phase(metric::PHASE_ALIGNMENT, 0, stats.timers.alignment);
     stats.pairs_generated = generator.stats().emitted;
+    stats.pairs_prefiltered = ctx.pairs_prefiltered();
+    debug_assert_eq!(ctx.pairs_handled(), stats.pairs_processed);
+    obs.registry()
+        .add(metric::ALIGN_WS_REUSES, ctx.pairs_handled());
     // Sequential conservation is exact with nothing buffered:
     // generated == processed + skipped.
     stats.pairs_unconsumed = 0;
@@ -157,6 +166,7 @@ pub(crate) fn record_cluster_counters(obs: &Obs, stats: &ClusterStats) {
     reg.add(metric::PAIRS_ACCEPTED, stats.pairs_accepted);
     reg.add(metric::PAIRS_SKIPPED, stats.pairs_skipped);
     reg.add(metric::PAIRS_UNCONSUMED, stats.pairs_unconsumed);
+    reg.add(metric::PAIRS_PREFILTERED, stats.pairs_prefiltered);
     reg.add(metric::MERGES, stats.merges);
     reg.set_gauge(metric::MASTER_BUSY_FRAC, stats.master_busy_frac);
 }

@@ -30,7 +30,7 @@ pub mod slave;
 pub mod stats;
 pub mod trace;
 
-pub use align_task::{align_pair, PairOutcome};
+pub use align_task::{align_pair, AlignContext, PairOutcome};
 pub use config::ClusterConfig;
 pub use driver_par::{cluster_parallel, cluster_parallel_obs, cluster_parallel_traced};
 pub use driver_seq::{cluster_sequential, cluster_sequential_obs, cluster_sequential_traced};

@@ -15,14 +15,14 @@
 //! aligned and sent with portion 3 as the unsolicited first report,
 //! portion 2 becomes the first `NEXTWORK`.
 
-use crate::align_task::{align_pair, PairOutcome};
+use crate::align_task::{AlignContext, PairOutcome};
 use crate::config::ClusterConfig;
 use crate::messages::Msg;
 use pace_gst::LocalForest;
 use pace_mpisim::Rank;
 use pace_obs::{metric, Obs, Timer};
 use pace_pairgen::{CandidatePair, GenStats, PairGenConfig, PairGenerator};
-use pace_seq::SequenceStore;
+use pace_seq::{PackedText, SequenceStore};
 use std::collections::VecDeque;
 
 /// How many pairs to generate per idle poll while waiting for the master
@@ -50,6 +50,12 @@ pub struct SlaveReportSummary {
     /// flow-conservation balance
     /// `emitted == processed + skipped + unconsumed`.
     pub unconsumed: u64,
+    /// Pairs this slave rejected via the cheap pre-alignment filters
+    /// (no DP cell filled).
+    pub prefiltered: u64,
+    /// Pairs this slave served through its reused alignment workspace —
+    /// every pair it aligned, since the context lives for the whole rank.
+    pub ws_reuses: u64,
 }
 
 /// Run the slave protocol to completion with no instrumentation.
@@ -60,17 +66,19 @@ pub fn run_slave(
     forest: &LocalForest,
     cfg: &ClusterConfig,
 ) -> SlaveReportSummary {
-    run_slave_obs(rank, master, store, forest, cfg, &Obs::noop())
+    run_slave_obs(rank, master, store, None, forest, cfg, &Obs::noop())
 }
 
 /// Run the slave protocol to completion, instrumented. `master` is the
-/// master's rank id. Phase timings land in `obs`'s per-rank series and
-/// the generator's MCS-length distribution in the
-/// [`metric::PAIRS_MCS_LEN`] histogram.
+/// master's rank id; `packed` is the shared 2-bit view the alignment
+/// kernel reads when `cfg.packed_alignment` built one. Phase timings
+/// land in `obs`'s per-rank series and the generator's MCS-length
+/// distribution in the [`metric::PAIRS_MCS_LEN`] histogram.
 pub fn run_slave_obs(
     rank: &Rank<Msg>,
     master: usize,
     store: &SequenceStore,
+    packed: Option<&PackedText>,
     forest: &LocalForest,
     cfg: &ClusterConfig,
     obs: &Obs,
@@ -89,11 +97,16 @@ pub fn run_slave_obs(
     );
     timers.node_sorting = sort_timer.stop();
 
+    // One alignment context for the whole rank: DP scratch is allocated
+    // once here and only grows to the largest pair this slave ever sees.
+    let mut ctx = AlignContext::new(store, packed);
+
     // One closure owns the shutdown bookkeeping so every exit path
     // reports identically (including the abnormal world-teardown ones).
     let finish = |generator: &PairGenerator,
                   timers: SlaveTimers,
-                  pairbuf: &VecDeque<CandidatePair>|
+                  pairbuf: &VecDeque<CandidatePair>,
+                  ctx: &AlignContext|
      -> SlaveReportSummary {
         for (&len, &n) in generator.emitted_by_mcs_len() {
             obs.registry()
@@ -107,6 +120,8 @@ pub fn run_slave_obs(
             gen: generator.stats(),
             timers,
             unconsumed: pairbuf.len() as u64,
+            prefiltered: ctx.pairs_prefiltered(),
+            ws_reuses: ctx.pairs_handled(),
         }
     };
 
@@ -116,7 +131,7 @@ pub fn run_slave_obs(
     let portion1 = generator.next_batch(cfg.batchsize);
     let portion2 = generator.next_batch(cfg.batchsize);
     let portion3 = generator.next_batch(cfg.batchsize);
-    let first_results = align_batch(store, &portion1, cfg, &mut timers);
+    let first_results = align_batch(&mut ctx, &portion1, cfg, &mut timers, obs, rank.rank());
     rank.send(
         master,
         Msg::Report {
@@ -130,7 +145,7 @@ pub fn run_slave_obs(
     loop {
         // Compute alignments on NEXTWORK; the master's reply to our last
         // report travels concurrently.
-        let results = align_batch(store, &nextwork, cfg, &mut timers);
+        let results = align_batch(&mut ctx, &nextwork, cfg, &mut timers, obs, rank.rank());
 
         // Wait for the master, generating pairs in the meantime.
         let msg = loop {
@@ -139,7 +154,7 @@ pub fn run_slave_obs(
                 Err(_) => {
                     // World torn down without a Shutdown (should not
                     // happen in normal operation).
-                    return finish(&generator, timers, &pairbuf);
+                    return finish(&generator, timers, &pairbuf, &ctx);
                 }
                 Ok(None) => {
                     if !generator.is_exhausted() && pairbuf.len() < cfg.pairbuf_cap {
@@ -149,7 +164,7 @@ pub fn run_slave_obs(
                         // Nothing useful to do: block.
                         match rank.recv() {
                             Ok((_, msg)) => break msg,
-                            Err(_) => return finish(&generator, timers, &pairbuf),
+                            Err(_) => return finish(&generator, timers, &pairbuf, &ctx),
                         }
                     }
                 }
@@ -158,7 +173,7 @@ pub fn run_slave_obs(
 
         match msg {
             Msg::Shutdown => {
-                return finish(&generator, timers, &pairbuf);
+                return finish(&generator, timers, &pairbuf, &ctx);
             }
             Msg::Work { pairs, request } => {
                 // Top PAIRBUF up to the requested E.
@@ -183,17 +198,24 @@ pub fn run_slave_obs(
     }
 }
 
-/// Align a batch, timing the kernel.
+/// Align one work batch through the rank's shared context. Each
+/// non-empty batch is its own [`metric::PHASE_ALIGN_BATCH`] span (the
+/// per-batch series behind batch-size tuning); the elapsed time also
+/// accumulates into the rank's legacy alignment total.
 fn align_batch(
-    store: &SequenceStore,
+    ctx: &mut AlignContext,
     batch: &[CandidatePair],
     cfg: &ClusterConfig,
     timers: &mut SlaveTimers,
+    obs: &Obs,
+    rank_id: usize,
 ) -> Vec<PairOutcome> {
-    let mut timer = Timer::new();
-    timer.start();
-    let out = batch.iter().map(|p| align_pair(store, p, cfg)).collect();
-    timers.alignment += timer.stop();
+    if batch.is_empty() {
+        return Vec::new();
+    }
+    let span = obs.span_on(metric::PHASE_ALIGN_BATCH, rank_id);
+    let out = batch.iter().map(|p| ctx.align(p, cfg)).collect();
+    timers.alignment += span.finish();
     out
 }
 

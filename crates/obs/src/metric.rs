@@ -18,6 +18,15 @@ pub const PAIRS_SKIPPED: &str = "pairs.skipped";
 pub const PAIRS_UNCONSUMED: &str = "pairs.unconsumed";
 /// Counter: accepted alignments that actually merged two clusters.
 pub const MERGES: &str = "merges";
+/// Counter: pairs rejected by the cheap pre-alignment filter (anchor
+/// geometry bound or diagonal identity) before any DP cell was filled.
+pub const PAIRS_PREFILTERED: &str = "pairs.prefiltered";
+
+/// Counter: pairs served by a reused per-rank alignment workspace — the
+/// allocation-free hot path. Equal to `pairs.processed` when every
+/// alignment went through a long-lived [`AlignContext`]-style context
+/// rather than allocating fresh DP scratch per pair.
+pub const ALIGN_WS_REUSES: &str = "align.ws_reuses";
 
 /// Counter: point-to-point messages delivered.
 pub const COMM_MESSAGES: &str = "comm.messages";
@@ -49,5 +58,10 @@ pub const PHASE_GST_CONSTRUCTION: &str = "gst_construction";
 pub const PHASE_NODE_SORTING: &str = "node_sorting";
 /// Phase: pairwise (anchored banded) alignment.
 pub const PHASE_ALIGNMENT: &str = "alignment";
+/// Phase: one slave work batch through the alignment kernel. Finer
+/// grained than [`PHASE_ALIGNMENT`] (which is recorded once per rank as
+/// the kernel-time total): one span per non-empty batch, so the series
+/// exposes batch-size effects and stragglers.
+pub const PHASE_ALIGN_BATCH: &str = "align_batch";
 /// Phase: end-to-end wall clock.
 pub const PHASE_TOTAL: &str = "total";

@@ -174,13 +174,23 @@ impl<'s> PairGenerator<'s> {
     /// as far as needed. Returns fewer than `max` only when the forest is
     /// exhausted; an empty vector means no pairs remain.
     pub fn next_batch(&mut self, max: usize) -> Vec<CandidatePair> {
+        let mut out = Vec::new();
+        self.next_batch_into(max, &mut out);
+        out
+    }
+
+    /// [`next_batch`](Self::next_batch) into a caller-owned buffer: `out`
+    /// is cleared and refilled, so a driver looping over batches reuses
+    /// one allocation for the whole run.
+    pub fn next_batch_into(&mut self, max: usize, out: &mut Vec<CandidatePair>) {
+        out.clear();
         while self.buffer.len() < max && self.pos < self.schedule.len() {
             let (t, v) = self.schedule[self.pos];
             self.pos += 1;
             self.process_node(t as usize, v);
         }
         let take = max.min(self.buffer.len());
-        self.buffer.drain(..take).collect()
+        out.extend(self.buffer.drain(..take));
     }
 
     /// Drain every remaining pair (convenience for tests and the baseline).

@@ -24,6 +24,17 @@ pub enum SeqError {
         /// 0-based index of the EST in the input batch.
         index: usize,
     },
+    /// A slice range `[start, end)` that is inverted or exceeds the
+    /// sequence length (from [`crate::codec::PackedDna::slice_ascii`] and
+    /// friends).
+    SliceOutOfBounds {
+        /// Inclusive start of the requested range.
+        start: usize,
+        /// Exclusive end of the requested range.
+        end: usize,
+        /// Length of the sequence being sliced.
+        len: usize,
+    },
     /// Underlying I/O failure (message only, to keep the error `Clone + Eq`).
     Io(String),
 }
@@ -48,6 +59,10 @@ impl std::fmt::Display for SeqError {
             SeqError::EmptySequence { index } => {
                 write!(f, "EST #{index} is empty")
             }
+            SeqError::SliceOutOfBounds { start, end, len } => write!(
+                f,
+                "slice range {start}..{end} out of bounds for sequence of length {len}"
+            ),
             SeqError::Io(msg) => write!(f, "I/O error: {msg}"),
         }
     }

@@ -35,6 +35,7 @@ pub mod stats;
 pub mod store;
 
 pub use alphabet::{Base, ALPHABET_SIZE, DNA_BASES};
+pub use codec::{PackedDna, PackedSlice, PackedText};
 pub use error::SeqError;
 pub use fasta::{parse_fasta, read_fasta_file, write_fasta, write_fasta_file, FastaRecord};
 pub use ids::{EstId, StrId, Strand};

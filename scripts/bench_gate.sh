@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# Benchmark regression gate.
+#
+# Compares the smoke bench's cross-rep phase minima (bench_out/smoke.json,
+# written by `target/release/smoke` with PACE_METRICS_DIR set) against the
+# committed reference in bench/baseline.json. Fails when a *gated* phase —
+# alignment or node_sorting, the two phases this code path owns — regresses
+# by more than the tolerance (default 25%). The other phases and the total
+# are reported for context but never fail the gate: on shared CI runners
+# their noise swamps any signal.
+#
+# The gate statistic is a min-over-reps, which is robust to transient load
+# spikes but still machine-relative: the committed baseline is only
+# meaningful on hardware comparable to the machine that produced it.
+#
+# Overriding the gate
+# -------------------
+# A legitimate slowdown (algorithm change with better accuracy, extra
+# bookkeeping a feature needs) is shipped by either
+#   * refreshing bench/baseline.json in the same PR (see the "note" field
+#     inside it and EXPERIMENTS.md for the recipe), or
+#   * setting BENCH_GATE_SKIP=1 on the CI job (e.g. export it in the
+#     workflow step after applying a `bench-gate-override` PR label),
+#     which turns a failure into a warning.
+#
+# Usage: scripts/bench_gate.sh [smoke.json] [baseline.json]
+#   BENCH_GATE_TOLERANCE  fractional slowdown allowed (default 0.25)
+#   BENCH_GATE_SKIP=1     report, but never fail
+set -euo pipefail
+
+SMOKE=${1:-bench_out/smoke.json}
+BASELINE=${2:-bench/baseline.json}
+TOLERANCE=${BENCH_GATE_TOLERANCE:-0.25}
+
+if [[ ! -f "$SMOKE" ]]; then
+    echo "bench_gate: smoke report '$SMOKE' not found (run the smoke bench first)" >&2
+    exit 2
+fi
+if [[ ! -f "$BASELINE" ]]; then
+    echo "bench_gate: baseline '$BASELINE' not found" >&2
+    exit 2
+fi
+
+python3 - "$SMOKE" "$BASELINE" "$TOLERANCE" "${BENCH_GATE_SKIP:-0}" <<'PY'
+import json
+import sys
+
+smoke_path, baseline_path, tolerance, skip = sys.argv[1:5]
+tolerance = float(tolerance)
+skip = skip not in ("", "0", "false")
+
+smoke = json.load(open(smoke_path))
+baseline = json.load(open(baseline_path))
+current = smoke["phase_min"]
+reference = baseline["phase_min"]
+
+GATED = ("alignment", "node_sorting")
+
+failures = []
+print(f"bench_gate: tolerance {tolerance:.0%}, baseline {baseline_path}")
+print(f"{'phase':<18} {'baseline':>10} {'current':>10} {'ratio':>7}  gated")
+for phase in sorted(reference):
+    ref = reference[phase]
+    cur = current.get(phase)
+    if cur is None:
+        failures.append(f"phase '{phase}' missing from {smoke_path}")
+        continue
+    ratio = cur / ref if ref > 0 else float("inf")
+    gated = phase in GATED
+    flag = "yes" if gated else "no"
+    verdict = ""
+    if gated and ratio > 1.0 + tolerance:
+        verdict = "  << REGRESSION"
+        failures.append(
+            f"{phase}: {cur:.4f}s vs baseline {ref:.4f}s "
+            f"({ratio:.2f}x > {1.0 + tolerance:.2f}x allowed)"
+        )
+    print(f"{phase:<18} {ref:>9.4f}s {cur:>9.4f}s {ratio:>6.2f}x  {flag}{verdict}")
+
+if failures:
+    print()
+    for f in failures:
+        print(f"bench_gate: FAIL {f}")
+    if skip:
+        print("bench_gate: BENCH_GATE_SKIP set — reporting only, not failing")
+        sys.exit(0)
+    print("bench_gate: refresh bench/baseline.json or set BENCH_GATE_SKIP=1 "
+          "(see header of scripts/bench_gate.sh)")
+    sys.exit(1)
+print("bench_gate: OK")
+PY

@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/pace_align-977da5a5ee2c3707.d: crates/align/src/lib.rs crates/align/src/anchored.rs crates/align/src/banded.rs crates/align/src/nw.rs crates/align/src/overlap.rs crates/align/src/scoring.rs crates/align/src/semiglobal.rs crates/align/src/sw.rs
+/root/repo/target/debug/deps/pace_align-977da5a5ee2c3707.d: crates/align/src/lib.rs crates/align/src/anchored.rs crates/align/src/banded.rs crates/align/src/nw.rs crates/align/src/overlap.rs crates/align/src/scoring.rs crates/align/src/semiglobal.rs crates/align/src/sw.rs crates/align/src/view.rs crates/align/src/workspace.rs
 
-/root/repo/target/debug/deps/libpace_align-977da5a5ee2c3707.rlib: crates/align/src/lib.rs crates/align/src/anchored.rs crates/align/src/banded.rs crates/align/src/nw.rs crates/align/src/overlap.rs crates/align/src/scoring.rs crates/align/src/semiglobal.rs crates/align/src/sw.rs
+/root/repo/target/debug/deps/libpace_align-977da5a5ee2c3707.rlib: crates/align/src/lib.rs crates/align/src/anchored.rs crates/align/src/banded.rs crates/align/src/nw.rs crates/align/src/overlap.rs crates/align/src/scoring.rs crates/align/src/semiglobal.rs crates/align/src/sw.rs crates/align/src/view.rs crates/align/src/workspace.rs
 
-/root/repo/target/debug/deps/libpace_align-977da5a5ee2c3707.rmeta: crates/align/src/lib.rs crates/align/src/anchored.rs crates/align/src/banded.rs crates/align/src/nw.rs crates/align/src/overlap.rs crates/align/src/scoring.rs crates/align/src/semiglobal.rs crates/align/src/sw.rs
+/root/repo/target/debug/deps/libpace_align-977da5a5ee2c3707.rmeta: crates/align/src/lib.rs crates/align/src/anchored.rs crates/align/src/banded.rs crates/align/src/nw.rs crates/align/src/overlap.rs crates/align/src/scoring.rs crates/align/src/semiglobal.rs crates/align/src/sw.rs crates/align/src/view.rs crates/align/src/workspace.rs
 
 crates/align/src/lib.rs:
 crates/align/src/anchored.rs:
@@ -12,3 +12,5 @@ crates/align/src/overlap.rs:
 crates/align/src/scoring.rs:
 crates/align/src/semiglobal.rs:
 crates/align/src/sw.rs:
+crates/align/src/view.rs:
+crates/align/src/workspace.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/pace_align-a60cde5161e1253f.d: crates/align/src/lib.rs crates/align/src/anchored.rs crates/align/src/banded.rs crates/align/src/nw.rs crates/align/src/overlap.rs crates/align/src/scoring.rs crates/align/src/semiglobal.rs crates/align/src/sw.rs
+/root/repo/target/debug/deps/pace_align-a60cde5161e1253f.d: crates/align/src/lib.rs crates/align/src/anchored.rs crates/align/src/banded.rs crates/align/src/nw.rs crates/align/src/overlap.rs crates/align/src/scoring.rs crates/align/src/semiglobal.rs crates/align/src/sw.rs crates/align/src/view.rs crates/align/src/workspace.rs
 
-/root/repo/target/debug/deps/pace_align-a60cde5161e1253f: crates/align/src/lib.rs crates/align/src/anchored.rs crates/align/src/banded.rs crates/align/src/nw.rs crates/align/src/overlap.rs crates/align/src/scoring.rs crates/align/src/semiglobal.rs crates/align/src/sw.rs
+/root/repo/target/debug/deps/pace_align-a60cde5161e1253f: crates/align/src/lib.rs crates/align/src/anchored.rs crates/align/src/banded.rs crates/align/src/nw.rs crates/align/src/overlap.rs crates/align/src/scoring.rs crates/align/src/semiglobal.rs crates/align/src/sw.rs crates/align/src/view.rs crates/align/src/workspace.rs
 
 crates/align/src/lib.rs:
 crates/align/src/anchored.rs:
@@ -10,3 +10,5 @@ crates/align/src/overlap.rs:
 crates/align/src/scoring.rs:
 crates/align/src/semiglobal.rs:
 crates/align/src/sw.rs:
+crates/align/src/view.rs:
+crates/align/src/workspace.rs:

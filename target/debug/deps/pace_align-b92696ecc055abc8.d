@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/pace_align-b92696ecc055abc8.d: crates/align/src/lib.rs crates/align/src/anchored.rs crates/align/src/banded.rs crates/align/src/nw.rs crates/align/src/overlap.rs crates/align/src/scoring.rs crates/align/src/semiglobal.rs crates/align/src/sw.rs Cargo.toml
+/root/repo/target/debug/deps/pace_align-b92696ecc055abc8.d: crates/align/src/lib.rs crates/align/src/anchored.rs crates/align/src/banded.rs crates/align/src/nw.rs crates/align/src/overlap.rs crates/align/src/scoring.rs crates/align/src/semiglobal.rs crates/align/src/sw.rs crates/align/src/view.rs crates/align/src/workspace.rs Cargo.toml
 
-/root/repo/target/debug/deps/libpace_align-b92696ecc055abc8.rmeta: crates/align/src/lib.rs crates/align/src/anchored.rs crates/align/src/banded.rs crates/align/src/nw.rs crates/align/src/overlap.rs crates/align/src/scoring.rs crates/align/src/semiglobal.rs crates/align/src/sw.rs Cargo.toml
+/root/repo/target/debug/deps/libpace_align-b92696ecc055abc8.rmeta: crates/align/src/lib.rs crates/align/src/anchored.rs crates/align/src/banded.rs crates/align/src/nw.rs crates/align/src/overlap.rs crates/align/src/scoring.rs crates/align/src/semiglobal.rs crates/align/src/sw.rs crates/align/src/view.rs crates/align/src/workspace.rs Cargo.toml
 
 crates/align/src/lib.rs:
 crates/align/src/anchored.rs:
@@ -10,6 +10,8 @@ crates/align/src/overlap.rs:
 crates/align/src/scoring.rs:
 crates/align/src/semiglobal.rs:
 crates/align/src/sw.rs:
+crates/align/src/view.rs:
+crates/align/src/workspace.rs:
 Cargo.toml:
 
 # env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/packed_equivalence-eac474cbae4894ec.d: crates/align/tests/packed_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpacked_equivalence-eac474cbae4894ec.rmeta: crates/align/tests/packed_equivalence.rs Cargo.toml
+
+crates/align/tests/packed_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/packed_equivalence-edeba8d58a84c998.d: crates/align/tests/packed_equivalence.rs
+
+/root/repo/target/debug/deps/packed_equivalence-edeba8d58a84c998: crates/align/tests/packed_equivalence.rs
+
+crates/align/tests/packed_equivalence.rs:

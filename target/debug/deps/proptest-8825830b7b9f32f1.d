@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-8825830b7b9f32f1.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-8825830b7b9f32f1.rlib: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-8825830b7b9f32f1.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-a3b0bfcda533efbb.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-a3b0bfcda533efbb: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-adab65f566d2599a.d: shims/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-adab65f566d2599a.rmeta: shims/proptest/src/lib.rs Cargo.toml
+
+shims/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-be2e1fe5468cb1f9.d: shims/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-be2e1fe5468cb1f9.rmeta: shims/rand/src/lib.rs Cargo.toml
+
+shims/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

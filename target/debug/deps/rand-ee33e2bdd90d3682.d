@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-ee33e2bdd90d3682.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-ee33e2bdd90d3682.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-ee33e2bdd90d3682.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

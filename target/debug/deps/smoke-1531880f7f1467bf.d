@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smoke-1531880f7f1467bf.d: crates/bench/src/bin/smoke.rs
+
+/root/repo/target/debug/deps/smoke-1531880f7f1467bf: crates/bench/src/bin/smoke.rs
+
+crates/bench/src/bin/smoke.rs:

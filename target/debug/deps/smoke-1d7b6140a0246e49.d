@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smoke-1d7b6140a0246e49.d: crates/bench/src/bin/smoke.rs
+
+/root/repo/target/debug/deps/smoke-1d7b6140a0246e49: crates/bench/src/bin/smoke.rs
+
+crates/bench/src/bin/smoke.rs:

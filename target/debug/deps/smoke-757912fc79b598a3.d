@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/smoke-757912fc79b598a3.d: crates/bench/src/bin/smoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmoke-757912fc79b598a3.rmeta: crates/bench/src/bin/smoke.rs Cargo.toml
+
+crates/bench/src/bin/smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

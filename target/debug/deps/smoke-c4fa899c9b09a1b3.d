@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/smoke-c4fa899c9b09a1b3.d: crates/bench/src/bin/smoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmoke-c4fa899c9b09a1b3.rmeta: crates/bench/src/bin/smoke.rs Cargo.toml
+
+crates/bench/src/bin/smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

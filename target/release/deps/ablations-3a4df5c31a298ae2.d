@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-3a4df5c31a298ae2.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-3a4df5c31a298ae2: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

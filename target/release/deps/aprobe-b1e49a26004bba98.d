@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/aprobe-b1e49a26004bba98.d: crates/bench/src/bin/aprobe.rs
+
+/root/repo/target/release/deps/aprobe-b1e49a26004bba98: crates/bench/src/bin/aprobe.rs
+
+crates/bench/src/bin/aprobe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bprobe-16ead6f0258e9bc2.d: crates/bench/src/bin/bprobe.rs
+
+/root/repo/target/release/deps/bprobe-16ead6f0258e9bc2: crates/bench/src/bin/bprobe.rs
+
+crates/bench/src/bin/bprobe.rs:

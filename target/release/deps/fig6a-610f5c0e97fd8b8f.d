@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6a-610f5c0e97fd8b8f.d: crates/bench/src/bin/fig6a.rs
+
+/root/repo/target/release/deps/fig6a-610f5c0e97fd8b8f: crates/bench/src/bin/fig6a.rs
+
+crates/bench/src/bin/fig6a.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6b-ac9ce35eb00cefc2.d: crates/bench/src/bin/fig6b.rs
+
+/root/repo/target/release/deps/fig6b-ac9ce35eb00cefc2: crates/bench/src/bin/fig6b.rs
+
+crates/bench/src/bin/fig6b.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-7c68cfe12c82f582.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-7c68cfe12c82f582: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kernels-992e255bd55e857e.d: crates/bench/benches/kernels.rs
+
+/root/repo/target/release/deps/kernels-992e255bd55e857e: crates/bench/benches/kernels.rs
+
+crates/bench/benches/kernels.rs:

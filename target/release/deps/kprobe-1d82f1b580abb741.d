@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kprobe-1d82f1b580abb741.d: crates/bench/src/bin/kprobe.rs
+
+/root/repo/target/release/deps/kprobe-1d82f1b580abb741: crates/bench/src/bin/kprobe.rs
+
+crates/bench/src/bin/kprobe.rs:

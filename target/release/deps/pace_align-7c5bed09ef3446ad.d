@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/pace_align-7c5bed09ef3446ad.d: crates/align/src/lib.rs crates/align/src/anchored.rs crates/align/src/banded.rs crates/align/src/nw.rs crates/align/src/overlap.rs crates/align/src/scoring.rs crates/align/src/semiglobal.rs crates/align/src/sw.rs
+/root/repo/target/release/deps/pace_align-7c5bed09ef3446ad.d: crates/align/src/lib.rs crates/align/src/anchored.rs crates/align/src/banded.rs crates/align/src/nw.rs crates/align/src/overlap.rs crates/align/src/scoring.rs crates/align/src/semiglobal.rs crates/align/src/sw.rs crates/align/src/view.rs crates/align/src/workspace.rs
 
-/root/repo/target/release/deps/libpace_align-7c5bed09ef3446ad.rlib: crates/align/src/lib.rs crates/align/src/anchored.rs crates/align/src/banded.rs crates/align/src/nw.rs crates/align/src/overlap.rs crates/align/src/scoring.rs crates/align/src/semiglobal.rs crates/align/src/sw.rs
+/root/repo/target/release/deps/libpace_align-7c5bed09ef3446ad.rlib: crates/align/src/lib.rs crates/align/src/anchored.rs crates/align/src/banded.rs crates/align/src/nw.rs crates/align/src/overlap.rs crates/align/src/scoring.rs crates/align/src/semiglobal.rs crates/align/src/sw.rs crates/align/src/view.rs crates/align/src/workspace.rs
 
-/root/repo/target/release/deps/libpace_align-7c5bed09ef3446ad.rmeta: crates/align/src/lib.rs crates/align/src/anchored.rs crates/align/src/banded.rs crates/align/src/nw.rs crates/align/src/overlap.rs crates/align/src/scoring.rs crates/align/src/semiglobal.rs crates/align/src/sw.rs
+/root/repo/target/release/deps/libpace_align-7c5bed09ef3446ad.rmeta: crates/align/src/lib.rs crates/align/src/anchored.rs crates/align/src/banded.rs crates/align/src/nw.rs crates/align/src/overlap.rs crates/align/src/scoring.rs crates/align/src/semiglobal.rs crates/align/src/sw.rs crates/align/src/view.rs crates/align/src/workspace.rs
 
 crates/align/src/lib.rs:
 crates/align/src/anchored.rs:
@@ -12,3 +12,5 @@ crates/align/src/overlap.rs:
 crates/align/src/scoring.rs:
 crates/align/src/semiglobal.rs:
 crates/align/src/sw.rs:
+crates/align/src/view.rs:
+crates/align/src/workspace.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-622ab800d9f4be81.d: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-622ab800d9f4be81.rlib: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-622ab800d9f4be81.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/seedprobe-238a3e9e25180226.d: crates/bench/src/bin/seedprobe.rs
+
+/root/repo/target/release/deps/seedprobe-238a3e9e25180226: crates/bench/src/bin/seedprobe.rs
+
+crates/bench/src/bin/seedprobe.rs:

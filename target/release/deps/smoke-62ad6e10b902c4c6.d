@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/smoke-62ad6e10b902c4c6.d: crates/bench/src/bin/smoke.rs
+
+/root/repo/target/release/deps/smoke-62ad6e10b902c4c6: crates/bench/src/bin/smoke.rs
+
+crates/bench/src/bin/smoke.rs:

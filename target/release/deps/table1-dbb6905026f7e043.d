@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-dbb6905026f7e043.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-dbb6905026f7e043: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-36c232dcbc013f17.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-36c232dcbc013f17: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-1bbb1eb3cefba0a1.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-1bbb1eb3cefba0a1: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:
