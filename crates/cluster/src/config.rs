@@ -48,6 +48,13 @@ pub struct ClusterConfig {
     /// property-tested); the packed text costs one extra pass at startup
     /// but quarters the bytes the alignment kernel touches.
     pub packed_alignment: bool,
+    /// Seconds the master waits for a slave's report before re-sending
+    /// the outstanding `Work` batch. Generous by default — on the
+    /// fault-free path no deadline ever fires.
+    pub slave_timeout: f64,
+    /// Resends of one outstanding batch before the master declares the
+    /// slave dead and reassigns its pairs to the survivors.
+    pub max_retries: u32,
 }
 
 impl Default for ClusterConfig {
@@ -66,6 +73,8 @@ impl Default for ClusterConfig {
             prefilter_overlap: true,
             prefilter_min_diag_identity: 0.0,
             packed_alignment: false,
+            slave_timeout: 5.0,
+            max_retries: 5,
         }
     }
 }
@@ -121,6 +130,12 @@ impl ClusterConfig {
                 self.prefilter_min_diag_identity
             ));
         }
+        if self.slave_timeout <= 0.0 || !self.slave_timeout.is_finite() {
+            return Err(format!(
+                "slave_timeout {} must be a positive finite number of seconds",
+                self.slave_timeout
+            ));
+        }
         Ok(())
     }
 }
@@ -173,6 +188,17 @@ mod tests {
             ..ClusterConfig::default()
         };
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_bad_slave_timeout() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let c = ClusterConfig {
+                slave_timeout: bad,
+                ..ClusterConfig::default()
+            };
+            assert!(c.validate().is_err(), "slave_timeout {bad} accepted");
+        }
     }
 
     #[test]

@@ -17,18 +17,27 @@
 
 use crate::config::ClusterConfig;
 use crate::driver_seq::{cluster_sequential_obs, record_cluster_counters, record_gst_stats};
+use crate::master::FaultNote;
 use crate::master::Master;
 use crate::messages::Msg;
 use crate::slave::{run_slave_obs, SlaveReportSummary};
 use crate::stats::{ClusterResult, ClusterStats, PhaseTimers};
 use crate::trace::MergeTrace;
 use pace_gst::{assign_buckets, build_forest_for_rank, count_buckets_stride, num_buckets};
-use pace_mpisim::{run_world, WorldStats};
+use pace_mpisim::{run_world_with_faults, FaultPlan, FaultSnapshot, WorldStats};
 use pace_obs::{metric, Event, Obs, Timer};
 use pace_seq::{PackedText, SequenceStore};
+use std::time::Duration;
 
 /// Emit a master heartbeat every this many handled reports.
 const HEARTBEAT_EVERY: u64 = 32;
+
+/// Copies of each `Shutdown` sent when a fault plan is active. Shutdown
+/// has no acknowledgement, so bounded redundancy (three distinct
+/// transport sequence numbers) is what guarantees delivery past the
+/// bounded per-channel drop rules of seeded plans
+/// (`pace_mpisim::MAX_SEEDED_DROPS_PER_CHANNEL`).
+const SHUTDOWN_REDUNDANCY: usize = 3;
 
 /// Per-rank results collected when the world joins.
 enum RankOutput {
@@ -39,6 +48,7 @@ enum RankOutput {
         trace: MergeTrace,
         busy_frac: f64,
         comm: WorldStats,
+        injected: FaultSnapshot,
         partitioning: f64,
     },
     Slave {
@@ -73,6 +83,21 @@ pub fn cluster_parallel_obs(
     p: usize,
     obs: &Obs,
 ) -> (ClusterResult, MergeTrace) {
+    cluster_parallel_faults(store, cfg, p, &FaultPlan::none(), obs)
+}
+
+/// [`cluster_parallel_obs`] under a deterministic
+/// [`FaultPlan`](pace_mpisim::FaultPlan): messages between ranks may be
+/// dropped, delayed, or silenced by an injected crash, and the master's
+/// timeout/retry/reassignment machinery recovers. With an empty plan
+/// this *is* `cluster_parallel_obs`.
+pub fn cluster_parallel_faults(
+    store: &SequenceStore,
+    cfg: &ClusterConfig,
+    p: usize,
+    plan: &FaultPlan,
+    obs: &Obs,
+) -> (ClusterResult, MergeTrace) {
     cfg.validate().expect("invalid cluster config");
     if p <= 1 {
         return cluster_sequential_obs(store, cfg, obs);
@@ -84,9 +109,10 @@ pub fn cluster_parallel_obs(
     let packed = cfg.packed_alignment.then(|| PackedText::from_store(store));
     let packed_ref = packed.as_ref();
 
-    let outputs = run_world(p, |rank| {
+    let under_faults = !plan.is_empty();
+    let outputs = run_world_with_faults(p, plan, |rank| {
         if rank.rank() == 0 {
-            master_rank(&rank, store, cfg, num_slaves, obs)
+            master_rank(&rank, store, cfg, num_slaves, under_faults, obs)
         } else {
             slave_rank(&rank, store, packed_ref, cfg, num_slaves, obs)
         }
@@ -111,21 +137,30 @@ pub fn cluster_parallel_obs(
                 trace: t,
                 busy_frac,
                 comm,
+                injected,
                 partitioning,
             } => {
                 labels = l;
                 num_clusters = k;
                 trace = t;
+                // Master-side `pairs_generated` counts pairs *received*
+                // in reports; the slave generator totals replace it
+                // below, with the shortfall becoming `faults.lost_pairs`.
                 stats.pairs_processed = s.pairs_processed;
                 stats.pairs_accepted = s.pairs_accepted;
                 stats.pairs_skipped = s.pairs_skipped;
                 stats.merges = s.merges;
+                stats.faults = s.faults;
                 stats.master_busy_frac = busy_frac;
                 stats.messages = comm.messages;
                 let reg = obs.registry();
                 reg.add(metric::COMM_MESSAGES, comm.messages);
                 reg.add(metric::COMM_BARRIERS, comm.barriers);
                 reg.add(metric::COMM_REDUCTIONS, comm.reductions);
+                reg.add(metric::FAULTS_INJECTED_DROPS, injected.dropped);
+                reg.add(metric::FAULTS_INJECTED_DELAYS, injected.delayed);
+                reg.add(metric::FAULTS_INJECTED_CRASHES, injected.crashes);
+                reg.add(metric::FAULTS_INJECTED_STALLS, injected.stalls);
                 timers.max_with(&PhaseTimers {
                     partitioning,
                     ..PhaseTimers::default()
@@ -150,8 +185,19 @@ pub fn cluster_parallel_obs(
             }
         }
     }
+    // Pairs the generators emitted that were neither resolved by the
+    // master (processed or skipped) nor still buffered on a slave were
+    // lost to injected faults: dropped in flight, or held by a slave
+    // that died. Folding them into `pairs_unconsumed` keeps `generated
+    // == processed + skipped + unconsumed` exact under every schedule.
+    // Fault-free runs — and drop/delay-only plans, whose every report
+    // is eventually delivered via resend — have `lost == 0`, which the
+    // tests assert as the non-tautological form of conservation.
+    let lost = generated_total
+        .saturating_sub(stats.pairs_processed + stats.pairs_skipped + unconsumed_total);
+    stats.faults.lost_pairs = lost;
     stats.pairs_generated = generated_total;
-    stats.pairs_unconsumed = unconsumed_total;
+    stats.pairs_unconsumed = unconsumed_total + lost;
     stats.pairs_prefiltered = prefiltered_total;
     timers.total = total_span.finish();
     stats.timers = timers;
@@ -176,6 +222,7 @@ fn master_rank(
     store: &SequenceStore,
     cfg: &ClusterConfig,
     num_slaves: usize,
+    under_faults: bool,
     obs: &Obs,
 ) -> RankOutput {
     // Participate in the partitioning collectives with a zero
@@ -187,6 +234,24 @@ fn master_rank(
     rank.barrier(); // slaves finish building their forests
 
     let mut master = Master::new(store.num_ests(), num_slaves, cfg.clone());
+    master.begin(obs.now());
+    // Wake at a quarter of the slave timeout so overdue batches are
+    // noticed promptly without busy-spinning.
+    let poll = Duration::from_secs_f64((cfg.slave_timeout / 4.0).clamp(0.001, 0.05));
+    let send_replies = |replies: Vec<(usize, Msg)>| {
+        for (slave, reply) in replies {
+            // Shutdown has no ack; under a fault plan, bounded
+            // redundancy carries it past the bounded drop rules.
+            let copies = match (&reply, under_faults) {
+                (Msg::Shutdown, true) => SHUTDOWN_REDUNDANCY,
+                _ => 1,
+            };
+            for _ in 1..copies {
+                rank.send(slave + 1, reply.clone());
+            }
+            rank.send(slave + 1, reply);
+        }
+    };
     let loop_t0 = obs.now();
     let mut busy = Timer::new();
     let mut reports = 0u64;
@@ -194,26 +259,71 @@ fn master_rank(
     let mut hb_last_t = loop_t0;
     let mut hb_last_processed = 0u64;
     while !master.is_done() {
-        let (from, msg) = rank
-            .recv()
-            .expect("slaves must not terminate before shutdown");
-        busy.start();
-        match msg {
-            Msg::Report {
-                results,
-                pairs,
-                exhausted,
-            } => {
-                debug_assert!(from >= 1);
-                for (slave, reply) in master.handle_report(from - 1, results, pairs, exhausted) {
-                    rank.send(slave + 1, reply);
+        let mut got_report = false;
+        match rank.recv_timeout(poll) {
+            Ok(Some((from, msg))) => {
+                busy.start();
+                match msg {
+                    Msg::Report {
+                        seq,
+                        results,
+                        pairs,
+                        exhausted,
+                    } => {
+                        debug_assert!(from >= 1);
+                        got_report = true;
+                        send_replies(master.handle_report(
+                            from - 1,
+                            seq,
+                            results,
+                            pairs,
+                            exhausted,
+                            obs.now(),
+                        ));
+                    }
+                    other => unreachable!("master received {}", other.kind()),
                 }
+                busy.stop();
             }
-            other => unreachable!("master received {}", other.kind()),
+            Ok(None) => {}
+            Err(_) => {
+                // The world is tearing down: every slave is gone (a
+                // crashed run, or an external abort). Settle the books
+                // and stop instead of waiting on messages that can
+                // never arrive.
+                master.handle_world_down();
+            }
         }
-        busy.stop();
+        if !master.is_done() {
+            busy.start();
+            send_replies(master.tick(obs.now()));
+            busy.stop();
+        }
 
         if obs.events_enabled() {
+            for note in master.drain_fault_notes() {
+                let (kind, detail) = match note {
+                    FaultNote::Resend { slave, seq, retry } => {
+                        ("resend", format!("slave {slave} seq {seq} retry {retry}"))
+                    }
+                    FaultNote::DeadSlave { slave, reassigned } => (
+                        "dead_slave",
+                        format!("slave {slave}, {reassigned} pairs reassigned"),
+                    ),
+                    FaultNote::DuplicateReport { slave, seq } => {
+                        ("duplicate_report", format!("slave {slave} seq {seq}"))
+                    }
+                    FaultNote::Abandoned { pairs } => {
+                        ("abandoned", format!("{pairs} pairs, no live slaves"))
+                    }
+                };
+                obs.emit(Event::Fault {
+                    t: obs.now(),
+                    rank: 0,
+                    kind: kind.to_string(),
+                    detail,
+                });
+            }
             for r in &master.trace.records()[merges_emitted..] {
                 obs.emit(Event::Merge {
                     t: obs.now(),
@@ -225,8 +335,8 @@ fn master_rank(
             }
             merges_emitted = master.trace.len();
 
-            reports += 1;
-            if reports.is_multiple_of(HEARTBEAT_EVERY) {
+            reports += u64::from(got_report);
+            if got_report && reports.is_multiple_of(HEARTBEAT_EVERY) {
                 let now = obs.now();
                 let elapsed = (now - loop_t0).max(f64::EPSILON);
                 let processed = master.stats.pairs_processed;
@@ -256,6 +366,7 @@ fn master_rank(
         trace,
         busy_frac: busy.secs() / loop_total,
         comm: rank.stats(),
+        injected: rank.fault_stats(),
         partitioning,
     }
 }

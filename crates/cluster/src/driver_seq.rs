@@ -168,6 +168,18 @@ pub(crate) fn record_cluster_counters(obs: &Obs, stats: &ClusterStats) {
     reg.add(metric::PAIRS_UNCONSUMED, stats.pairs_unconsumed);
     reg.add(metric::PAIRS_PREFILTERED, stats.pairs_prefiltered);
     reg.add(metric::MERGES, stats.merges);
+    reg.add(metric::FAULTS_RETRIES, stats.faults.retries);
+    reg.add(
+        metric::FAULTS_DUPLICATE_REPORTS,
+        stats.faults.duplicate_reports,
+    );
+    reg.add(metric::FAULTS_DEAD_SLAVES, stats.faults.dead_slaves);
+    reg.add(
+        metric::FAULTS_REASSIGNED_PAIRS,
+        stats.faults.reassigned_pairs,
+    );
+    reg.add(metric::FAULTS_ABANDONED_PAIRS, stats.faults.abandoned_pairs);
+    reg.add(metric::FAULTS_LOST_PAIRS, stats.faults.lost_pairs);
     reg.set_gauge(metric::MASTER_BUSY_FRAC, stats.master_busy_frac);
 }
 

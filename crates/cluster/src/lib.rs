@@ -32,7 +32,10 @@ pub mod trace;
 
 pub use align_task::{align_pair, AlignContext, PairOutcome};
 pub use config::ClusterConfig;
-pub use driver_par::{cluster_parallel, cluster_parallel_obs, cluster_parallel_traced};
+pub use driver_par::{
+    cluster_parallel, cluster_parallel_faults, cluster_parallel_obs, cluster_parallel_traced,
+};
 pub use driver_seq::{cluster_sequential, cluster_sequential_obs, cluster_sequential_traced};
-pub use stats::{ClusterResult, ClusterStats, PhaseTimers};
+pub use master::FaultNote;
+pub use stats::{ClusterResult, ClusterStats, FaultStats, PhaseTimers};
 pub use trace::{MergeRecord, MergeTrace};

@@ -5,10 +5,20 @@ use pace_pairgen::CandidatePair;
 
 /// Messages flowing in either direction (the mpisim channel is typed with
 /// this single enum).
+///
+/// `Work` and `Report` carry a per-slave batch sequence number so the
+/// protocol survives loss and duplication: the master only sends a new
+/// sequence once the previous one's report has arrived, re-sends an
+/// unanswered `Work` under the *same* sequence number, and a slave
+/// answers a duplicate `Work` by re-sending its cached report instead of
+/// aligning anything twice. The slave's unsolicited startup report is
+/// sequence 0; fresh master batches count from 1.
 #[derive(Debug, Clone)]
 pub enum Msg {
     /// Slave → master: alignment results plus freshly generated pairs.
     Report {
+        /// Sequence number of the `Work` this answers (0 = startup).
+        seq: u64,
         /// Outcomes of the most recent batch of alignments (`R`).
         results: Vec<PairOutcome>,
         /// Promising pairs generated on demand (`P`).
@@ -19,6 +29,9 @@ pub enum Msg {
     },
     /// Master → slave: work to align plus the next pair request size.
     Work {
+        /// Per-slave batch sequence number (0 = probe for a lost
+        /// startup report; re-sent batches reuse their original value).
+        seq: u64,
         /// Pairs to align (`W ≤ batchsize`).
         pairs: Vec<CandidatePair>,
         /// How many pairs to include in the next report (`E`).
@@ -47,6 +60,7 @@ mod tests {
     fn kinds() {
         assert_eq!(
             Msg::Report {
+                seq: 0,
                 results: vec![],
                 pairs: vec![],
                 exhausted: false
@@ -56,6 +70,7 @@ mod tests {
         );
         assert_eq!(
             Msg::Work {
+                seq: 1,
                 pairs: vec![],
                 request: 0
             }

@@ -127,19 +127,23 @@ pub fn run_slave_obs(
 
     let mut pairbuf: VecDeque<CandidatePair> = VecDeque::new();
 
-    // Startup: three equal portions of batchsize pairs.
+    // Startup: three equal portions of batchsize pairs. The unsolicited
+    // startup report is sequence 0; the cached copy answers duplicate
+    // `Work` messages (the master re-sends a batch when our report goes
+    // missing) without ever re-aligning anything.
     let portion1 = generator.next_batch(cfg.batchsize);
     let portion2 = generator.next_batch(cfg.batchsize);
     let portion3 = generator.next_batch(cfg.batchsize);
     let first_results = align_batch(&mut ctx, &portion1, cfg, &mut timers, obs, rank.rank());
-    rank.send(
-        master,
-        Msg::Report {
-            results: first_results,
-            pairs: portion3,
-            exhausted: generator.is_exhausted() && pairbuf.is_empty(),
-        },
-    );
+    let startup = Msg::Report {
+        seq: 0,
+        results: first_results,
+        pairs: portion3,
+        exhausted: generator.is_exhausted() && pairbuf.is_empty(),
+    };
+    rank.send(master, startup.clone());
+    let mut last_report = startup;
+    let mut last_seq: u64 = 0;
     let mut nextwork = portion2;
 
     loop {
@@ -147,10 +151,13 @@ pub fn run_slave_obs(
         // report travels concurrently.
         let results = align_batch(&mut ctx, &nextwork, cfg, &mut timers, obs, rank.rank());
 
-        // Wait for the master, generating pairs in the meantime.
-        let msg = loop {
-            match rank.try_recv() {
-                Ok(Some((_, msg))) => break msg,
+        // Wait for the master, generating pairs in the meantime. A
+        // duplicate `Work` (sequence we already handled) means the
+        // master lost our report: answer with the cached copy and keep
+        // waiting — the pairs it carries were aligned exactly once.
+        let msg = 'wait: loop {
+            let incoming = match rank.try_recv() {
+                Ok(Some((_, msg))) => Some(msg),
                 Err(_) => {
                     // World torn down without a Shutdown (should not
                     // happen in normal operation).
@@ -160,14 +167,22 @@ pub fn run_slave_obs(
                     if !generator.is_exhausted() && pairbuf.len() < cfg.pairbuf_cap {
                         let room = cfg.pairbuf_cap - pairbuf.len();
                         pairbuf.extend(generator.next_batch(IDLE_GEN_CHUNK.min(room)));
+                        None
                     } else {
                         // Nothing useful to do: block.
                         match rank.recv() {
-                            Ok((_, msg)) => break msg,
+                            Ok((_, msg)) => Some(msg),
                             Err(_) => return finish(&generator, timers, &pairbuf, &ctx),
                         }
                     }
                 }
+            };
+            match incoming {
+                Some(Msg::Work { seq, .. }) if seq <= last_seq => {
+                    rank.send(master, last_report.clone());
+                }
+                Some(msg) => break 'wait msg,
+                None => {}
             }
         };
 
@@ -175,7 +190,12 @@ pub fn run_slave_obs(
             Msg::Shutdown => {
                 return finish(&generator, timers, &pairbuf, &ctx);
             }
-            Msg::Work { pairs, request } => {
+            Msg::Work {
+                seq,
+                pairs,
+                request,
+            } => {
+                debug_assert_eq!(seq, last_seq + 1, "master skipped a sequence number");
                 // Top PAIRBUF up to the requested E.
                 while pairbuf.len() < request && !generator.is_exhausted() {
                     let want = (request - pairbuf.len()).max(IDLE_GEN_CHUNK);
@@ -183,14 +203,15 @@ pub fn run_slave_obs(
                 }
                 let take = request.min(pairbuf.len());
                 let outgoing: Vec<CandidatePair> = pairbuf.drain(..take).collect();
-                rank.send(
-                    master,
-                    Msg::Report {
-                        results,
-                        pairs: outgoing,
-                        exhausted: generator.is_exhausted() && pairbuf.is_empty(),
-                    },
-                );
+                let report = Msg::Report {
+                    seq,
+                    results,
+                    pairs: outgoing,
+                    exhausted: generator.is_exhausted() && pairbuf.is_empty(),
+                };
+                rank.send(master, report.clone());
+                last_report = report;
+                last_seq = seq;
                 nextwork = pairs;
             }
             Msg::Report { .. } => unreachable!("slaves never receive reports"),

@@ -68,6 +68,7 @@ fn recv_report(
         (
             1,
             Msg::Report {
+                seq: _,
                 results,
                 pairs,
                 exhausted,
@@ -104,6 +105,7 @@ fn work_reply_returns_results_and_tops_up_to_e() {
         rank.send(
             1,
             Msg::Work {
+                seq: 1,
                 pairs: vec![],
                 request: 25,
             },
@@ -128,6 +130,7 @@ fn dispatched_work_results_come_back_on_next_interaction() {
         rank.send(
             1,
             Msg::Work {
+                seq: 1,
                 pairs: p0,
                 request: 0,
             },
@@ -140,6 +143,7 @@ fn dispatched_work_results_come_back_on_next_interaction() {
         rank.send(
             1,
             Msg::Work {
+                seq: 2,
                 pairs: vec![],
                 request: 0,
             },
@@ -158,11 +162,12 @@ fn slave_reports_exhausted_when_drained() {
     let cfg = cfg();
     let out = with_slave(&store, &cfg, |rank| {
         let (_, _, mut exhausted) = recv_report(rank);
-        let mut rounds = 0;
+        let mut rounds = 0u64;
         while !exhausted {
             rank.send(
                 1,
                 Msg::Work {
+                    seq: rounds + 1,
                     pairs: vec![],
                     request: 1000,
                 },
@@ -192,6 +197,7 @@ fn protocol_traffic_is_counted_by_comm_stats() {
         rank.send(
             1,
             Msg::Work {
+                seq: 1,
                 pairs: vec![],
                 request: 5,
             },

@@ -1,8 +1,9 @@
 //! The one-call clustering pipeline.
 
 use pace_cluster::{
-    cluster_parallel_obs, cluster_sequential_obs, ClusterConfig, ClusterResult, MergeTrace,
+    cluster_parallel_faults, cluster_sequential_obs, ClusterConfig, ClusterResult, MergeTrace,
 };
+use pace_mpisim::FaultPlan;
 use pace_obs::Obs;
 use pace_quality::QualityMetrics;
 use pace_seq::{SeqError, SequenceStore};
@@ -16,6 +17,12 @@ pub struct PaceConfig {
     /// Ranks to run: 1 = sequential; `p ≥ 2` = one master + `p − 1`
     /// slaves on the thread-backed message-passing runtime.
     pub num_processors: usize,
+    /// Deterministic fault-injection plan for the message-passing
+    /// runtime (drops, delays, crashes, stalls). The default empty plan
+    /// keeps the runtime on its zero-overhead path; a non-empty plan
+    /// only affects parallel runs (`num_processors ≥ 2`) and exercises
+    /// the master's timeout/retry/reassignment recovery machinery.
+    pub faults: FaultPlan,
 }
 
 impl Default for PaceConfig {
@@ -23,6 +30,7 @@ impl Default for PaceConfig {
         PaceConfig {
             cluster: ClusterConfig::default(),
             num_processors: 1,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -40,6 +48,7 @@ impl PaceConfig {
         PaceConfig {
             cluster: ClusterConfig::small(),
             num_processors: 1,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -126,7 +135,13 @@ impl Pace {
         let (result, trace) = if self.config.num_processors <= 1 {
             cluster_sequential_obs(store, &self.config.cluster, obs)
         } else {
-            cluster_parallel_obs(store, &self.config.cluster, self.config.num_processors, obs)
+            cluster_parallel_faults(
+                store,
+                &self.config.cluster,
+                self.config.num_processors,
+                &self.config.faults,
+                obs,
+            )
         };
         Ok(PaceOutcome {
             num_ests: store.num_ests(),

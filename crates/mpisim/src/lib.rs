@@ -33,11 +33,13 @@
 //! ```
 
 mod collectives;
+mod fault;
 mod group;
 mod rank;
 mod stats;
 mod world;
 
+pub use fault::{FaultAction, FaultPlan, FaultProfile, FaultSnapshot, StallSpec};
 pub use rank::{Rank, RecvError};
 pub use stats::{CommStats, WorldStats};
-pub use world::run_world;
+pub use world::{run_world, run_world_with_faults};

@@ -1,10 +1,12 @@
 //! The per-rank communicator handle.
 
 use crate::collectives::CollectiveState;
+use crate::fault::{FaultCounters, RankFaults, SendFate};
 use crate::stats::CommStats;
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::cell::RefCell;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Error returned by [`Rank::recv`] when no message can ever arrive
 /// (every other rank has finished and dropped its senders).
@@ -29,9 +31,17 @@ pub struct Rank<M: Send> {
     inbox: Receiver<(usize, M)>,
     collectives: Arc<CollectiveState>,
     stats: Arc<CommStats>,
+    /// Injection state when the world runs under a non-empty
+    /// [`FaultPlan`](crate::FaultPlan); `None` on the default path. A
+    /// rank handle lives on exactly one thread, so a `RefCell` suffices.
+    faults: Option<RefCell<RankFaults<M>>>,
+    fault_counters: Arc<FaultCounters>,
 }
 
 impl<M: Send> Rank<M> {
+    // Internal constructor: `run_world_with_faults` is the only caller,
+    // and each argument is one world-shared channel/state handle.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         rank: usize,
         size: usize,
@@ -39,6 +49,8 @@ impl<M: Send> Rank<M> {
         inbox: Receiver<(usize, M)>,
         collectives: Arc<CollectiveState>,
         stats: Arc<CommStats>,
+        faults: Option<RankFaults<M>>,
+        fault_counters: Arc<FaultCounters>,
     ) -> Self {
         Rank {
             rank,
@@ -47,7 +59,29 @@ impl<M: Send> Rank<M> {
             inbox,
             collectives,
             stats,
+            faults: faults.map(RefCell::new),
+            fault_counters,
         }
+    }
+
+    /// Whether an injected crash has killed this rank. A crashed rank's
+    /// sends are discarded and its receives error out.
+    fn is_crashed(&self) -> bool {
+        self.faults.as_ref().is_some_and(|f| f.borrow().crashed())
+    }
+
+    /// Run one scheduled stall, if this rank has any left.
+    fn maybe_stall(&self) {
+        if let Some(f) = &self.faults {
+            f.borrow_mut().maybe_stall();
+        }
+    }
+
+    fn deliver(&self, to: usize, msg: M) {
+        self.stats.record_message();
+        // An Err means the receiver's inbox was dropped (rank finished);
+        // MPI semantics at shutdown are undefined, we choose "discard".
+        let _ = self.senders[to].send((self.rank, msg));
     }
 
     /// This rank's id in `0..size`.
@@ -72,10 +106,22 @@ impl<M: Send> Rank<M> {
             "rank {to} out of range (size {})",
             self.size
         );
-        self.stats.record_message();
-        // An Err means the receiver's inbox was dropped (rank finished);
-        // MPI semantics at shutdown are undefined, we choose "discard".
-        let _ = self.senders[to].send((self.rank, msg));
+        match &self.faults {
+            None => self.deliver(to, msg),
+            Some(f) => match f.borrow_mut().on_send(to, msg) {
+                SendFate::Deliver(m, matured) => {
+                    self.deliver(to, m);
+                    for m in matured {
+                        self.deliver(to, m);
+                    }
+                }
+                SendFate::Swallowed(matured) => {
+                    for m in matured {
+                        self.deliver(to, m);
+                    }
+                }
+            },
+        }
     }
 
     /// Block until a message arrives; returns `(source_rank, message)`.
@@ -86,6 +132,10 @@ impl<M: Send> Rank<M> {
     /// channel disconnection alone cannot signal termination because each
     /// rank keeps a sender to its own inbox for self-sends.
     pub fn recv(&self) -> Result<(usize, M), RecvError> {
+        if self.is_crashed() {
+            return Err(RecvError);
+        }
+        self.maybe_stall();
         loop {
             match self.inbox.recv_timeout(Duration::from_millis(1)) {
                 Ok(envelope) => return Ok(envelope),
@@ -111,6 +161,9 @@ impl<M: Send> Rank<M> {
     /// This is the primitive the slave loop uses to *generate pairs while
     /// waiting* for the master's next batch.
     pub fn try_recv(&self) -> Result<Option<(usize, M)>, RecvError> {
+        if self.is_crashed() {
+            return Err(RecvError);
+        }
         match self.inbox.try_recv() {
             Ok(envelope) => Ok(Some(envelope)),
             Err(TryRecvError::Empty) => Ok(None),
@@ -118,8 +171,41 @@ impl<M: Send> Rank<M> {
         }
     }
 
+    /// Bounded-wait receive: `Ok(Some(..))` when a message arrived within
+    /// `timeout`, `Ok(None)` on timeout, `Err` once no message can ever
+    /// arrive (same termination rule as [`Rank::recv`]).
+    ///
+    /// This is the primitive a recovering master uses: it must wake up on
+    /// its own to notice a silent slave, which a plain blocking `recv`
+    /// can never do.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Option<(usize, M)>, RecvError> {
+        if self.is_crashed() {
+            return Err(RecvError);
+        }
+        self.maybe_stall();
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.inbox.recv_timeout(Duration::from_millis(1)) {
+                Ok(envelope) => return Ok(Some(envelope)),
+                Err(RecvTimeoutError::Disconnected) => return Err(RecvError),
+                Err(RecvTimeoutError::Timeout) => {
+                    if self.collectives.alive() <= 1 {
+                        return match self.inbox.try_recv() {
+                            Ok(envelope) => Ok(Some(envelope)),
+                            Err(_) => Err(RecvError),
+                        };
+                    }
+                    if Instant::now() >= deadline {
+                        return Ok(None);
+                    }
+                }
+            }
+        }
+    }
+
     /// Synchronize all ranks (`MPI_Barrier`).
     pub fn barrier(&self) {
+        self.maybe_stall();
         self.collectives.barrier(self.rank);
         if self.rank == 0 {
             self.stats.record_barrier();
@@ -131,6 +217,7 @@ impl<M: Send> Rank<M> {
     /// slices of identical length. This is the "parallel summation
     /// algorithm" the paper uses to count bucket sizes globally.
     pub fn allreduce_sum(&self, local: &[u64]) -> Vec<u64> {
+        self.maybe_stall();
         if self.rank == 0 {
             self.stats.record_reduction();
         }
@@ -139,6 +226,7 @@ impl<M: Send> Rank<M> {
 
     /// Maximum across ranks of a single value (`MPI_Allreduce` / `MPI_MAX`).
     pub fn allreduce_max(&self, local: u64) -> u64 {
+        self.maybe_stall();
         if self.rank == 0 {
             self.stats.record_reduction();
         }
@@ -148,6 +236,26 @@ impl<M: Send> Rank<M> {
     /// Snapshot of the world-wide communication statistics.
     pub fn stats(&self) -> crate::stats::WorldStats {
         self.stats.snapshot()
+    }
+
+    /// Snapshot of the world-wide injected-fault counters (all zero when
+    /// the world runs without a [`FaultPlan`](crate::FaultPlan)).
+    pub fn fault_stats(&self) -> crate::fault::FaultSnapshot {
+        self.fault_counters.snapshot()
+    }
+}
+
+impl<M: Send> Drop for Rank<M> {
+    /// Flush delayed messages a finishing sender still holds — delay
+    /// must reorder, never lose. Runs before the world's done-guard
+    /// decrements the alive count (the closure drops its `Rank` first),
+    /// so a peer's final drain observes these messages.
+    fn drop(&mut self) {
+        if let Some(f) = &self.faults {
+            for (to, msg) in f.borrow_mut().drain_all() {
+                self.deliver(to, msg);
+            }
+        }
     }
 }
 

@@ -1,6 +1,7 @@
 //! World construction: spawn one thread per rank and run a closure on each.
 
 use crate::collectives::CollectiveState;
+use crate::fault::{FaultCounters, FaultPlan};
 use crate::rank::Rank;
 use crate::stats::CommStats;
 use crossbeam::channel::unbounded;
@@ -19,9 +20,22 @@ where
     R: Send,
     F: Fn(Rank<M>) -> R + Sync,
 {
+    run_world_with_faults(p, &FaultPlan::none(), f)
+}
+
+/// [`run_world`] under a deterministic [`FaultPlan`]. An empty plan adds
+/// no per-rank state and leaves every messaging path byte-identical to
+/// the plain world.
+pub fn run_world_with_faults<M, R, F>(p: usize, plan: &FaultPlan, f: F) -> Vec<R>
+where
+    M: Send,
+    R: Send,
+    F: Fn(Rank<M>) -> R + Sync,
+{
     assert!(p > 0, "world size must be at least 1");
     let stats = Arc::new(CommStats::new());
     let collectives = Arc::new(CollectiveState::new(p));
+    let fault_counters = Arc::new(FaultCounters::default());
 
     let mut senders = Vec::with_capacity(p);
     let mut inboxes = Vec::with_capacity(p);
@@ -42,6 +56,8 @@ where
                 inbox,
                 Arc::clone(&collectives),
                 Arc::clone(&stats),
+                plan.compile_for(id, p, &fault_counters),
+                Arc::clone(&fault_counters),
             )
         })
         .collect();

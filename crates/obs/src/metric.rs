@@ -47,6 +47,33 @@ pub const GST_MAX_DEPTH: &str = "gst.max_depth";
 /// Gauge: fraction of wall time the master spent busy.
 pub const MASTER_BUSY_FRAC: &str = "master.busy_frac";
 
+/// Counter: `Work` batches the master re-sent after a slave missed its
+/// reply deadline.
+pub const FAULTS_RETRIES: &str = "faults.retries";
+/// Counter: reports the master ignored as duplicates or stale (wrong
+/// sequence number, or from a slave already declared dead).
+pub const FAULTS_DUPLICATE_REPORTS: &str = "faults.duplicate_reports";
+/// Counter: slaves declared dead after exhausting their retry budget.
+pub const FAULTS_DEAD_SLAVES: &str = "faults.dead_slaves";
+/// Counter: outstanding pairs of dead slaves put back on the work queue.
+pub const FAULTS_REASSIGNED_PAIRS: &str = "faults.reassigned_pairs";
+/// Counter: queued pairs discarded because every slave died before they
+/// could be dispatched (counted into `pairs.skipped` as well, keeping
+/// flow conservation exact).
+pub const FAULTS_ABANDONED_PAIRS: &str = "faults.abandoned_pairs";
+/// Counter: pairs slaves shipped that never reached the master (dropped
+/// in flight or held by a slave that died); folded into
+/// `pairs.unconsumed` so flow conservation stays exact under faults.
+pub const FAULTS_LOST_PAIRS: &str = "faults.lost_pairs";
+/// Counter: messages the fault layer discarded (injected).
+pub const FAULTS_INJECTED_DROPS: &str = "faults.injected.drops";
+/// Counter: messages the fault layer delayed (injected).
+pub const FAULTS_INJECTED_DELAYS: &str = "faults.injected.delays";
+/// Counter: ranks the fault layer crashed (injected).
+pub const FAULTS_INJECTED_CRASHES: &str = "faults.injected.crashes";
+/// Counter: stall sleeps the fault layer performed (injected).
+pub const FAULTS_INJECTED_STALLS: &str = "faults.injected.stalls";
+
 /// Histogram: generated pairs by maximal-common-substring length.
 pub const PAIRS_MCS_LEN: &str = "pairs.mcs_len";
 

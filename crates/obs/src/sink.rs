@@ -45,6 +45,18 @@ pub enum Event {
         mcs_len: u32,
         score_ratio: f64,
     },
+    /// A recovery action taken (or an injected fault observed) during a
+    /// run: a resend, a slave declared dead, a duplicate report ignored,
+    /// pairs abandoned. `rank` is the rank that acted (the master for
+    /// recovery events).
+    Fault {
+        t: f64,
+        rank: usize,
+        /// Short machine-readable action name, e.g. `resend`/`dead_slave`.
+        kind: String,
+        /// Human-readable specifics.
+        detail: String,
+    },
     /// Free-form annotation.
     Message { t: f64, text: String },
 }
@@ -57,6 +69,7 @@ impl Event {
             Event::PhaseEnd { .. } => "phase_end",
             Event::Heartbeat { .. } => "heartbeat",
             Event::Merge { .. } => "merge",
+            Event::Fault { .. } => "fault",
             Event::Message { .. } => "message",
         }
     }
@@ -107,6 +120,17 @@ impl Event {
                 entries.push(("est_b".into(), Json::Num(*est_b as f64)));
                 entries.push(("mcs_len".into(), Json::Num(*mcs_len as f64)));
                 entries.push(("score_ratio".into(), Json::Num(*score_ratio)));
+            }
+            Event::Fault {
+                t,
+                rank,
+                kind,
+                detail,
+            } => {
+                entries.push(("t".into(), Json::Num(*t)));
+                entries.push(("rank".into(), Json::Num(*rank as f64)));
+                entries.push(("kind".into(), Json::Str(kind.clone())));
+                entries.push(("detail".into(), Json::Str(detail.clone())));
             }
             Event::Message { t, text } => {
                 entries.push(("t".into(), Json::Num(*t)));

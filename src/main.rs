@@ -58,6 +58,8 @@ USAGE:
   pace simulate --ests N [--genes N] [--seed N] --out FILE [--truth FILE]
   pace cluster  --in FASTA --out FILE [--procs N] [--psi N] [--window N]
                 [--batchsize N] [--min-overlap N] [--min-ratio F] [--truth FILE]
+                [--fault-profile drop|delay|reorder|crash|mixed] [--fault-seed N]
+                [--slave-timeout SECS] [--max-retries N]
                 [--metrics-out FILE] [--events-out FILE] [-v|--verbose] [--quiet]
   pace assess   --pred FILE --truth FILE
   pace splice   --in FASTA --clusters FILE [--min-event N]
@@ -228,6 +230,31 @@ fn cmd_cluster(args: &[String]) -> Result<(), String> {
     )?;
     config.cluster.overlap.min_score_ratio =
         get(&flags, "min-ratio", config.cluster.overlap.min_score_ratio)?;
+    config.cluster.slave_timeout = get(&flags, "slave-timeout", config.cluster.slave_timeout)?;
+    config.cluster.max_retries = get(&flags, "max-retries", config.cluster.max_retries)?;
+
+    // Fault injection (testing/demo): a seeded deterministic plan for
+    // the thread-backed message runtime. Only meaningful with --procs ≥ 2.
+    if let Some(profile) = flags.get("fault-profile") {
+        let profile: pace::FaultProfile = profile
+            .parse()
+            .map_err(|e: String| format!("--fault-profile: {e}"))?;
+        let seed: u64 = get(&flags, "fault-seed", 0)?;
+        if config.num_processors < 2 {
+            return Err(
+                "--fault-profile needs --procs ≥ 2 (faults live in the message runtime)".into(),
+            );
+        }
+        config.faults = pace::FaultPlan::seeded(profile, seed, config.num_processors);
+        if !quiet {
+            eprintln!(
+                "injecting {profile} faults (seed {seed}) across {} ranks",
+                config.num_processors
+            );
+        }
+    } else if flags.contains_key("fault-seed") {
+        return Err("--fault-seed requires --fault-profile".into());
+    }
 
     let records = read_fasta_file(input)?;
     let ests: Vec<Vec<u8>> = records.iter().map(|r| r.sequence.clone()).collect();

@@ -6,5 +6,5 @@ tests/cli_roundtrip.rs:
 Cargo.toml:
 
 # env-dep:CARGO_BIN_EXE_pace=placeholder:pace
-# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_ARGS=
 # env-dep:CLIPPY_CONF_DIR

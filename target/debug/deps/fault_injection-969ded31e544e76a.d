@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection-969ded31e544e76a.d: tests/fault_injection.rs
+
+/root/repo/target/debug/deps/fault_injection-969ded31e544e76a: tests/fault_injection.rs
+
+tests/fault_injection.rs:

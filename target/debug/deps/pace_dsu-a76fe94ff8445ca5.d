@@ -7,5 +7,5 @@ crates/dsu/src/concurrent.rs:
 crates/dsu/src/dsu.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_ARGS=
 # env-dep:CLIPPY_CONF_DIR

@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/pace_mpisim-0e24264c231ca128.d: crates/mpisim/src/lib.rs crates/mpisim/src/collectives.rs crates/mpisim/src/group.rs crates/mpisim/src/rank.rs crates/mpisim/src/stats.rs crates/mpisim/src/world.rs
+/root/repo/target/debug/deps/pace_mpisim-0e24264c231ca128.d: crates/mpisim/src/lib.rs crates/mpisim/src/collectives.rs crates/mpisim/src/fault.rs crates/mpisim/src/group.rs crates/mpisim/src/rank.rs crates/mpisim/src/stats.rs crates/mpisim/src/world.rs
 
-/root/repo/target/debug/deps/pace_mpisim-0e24264c231ca128: crates/mpisim/src/lib.rs crates/mpisim/src/collectives.rs crates/mpisim/src/group.rs crates/mpisim/src/rank.rs crates/mpisim/src/stats.rs crates/mpisim/src/world.rs
+/root/repo/target/debug/deps/pace_mpisim-0e24264c231ca128: crates/mpisim/src/lib.rs crates/mpisim/src/collectives.rs crates/mpisim/src/fault.rs crates/mpisim/src/group.rs crates/mpisim/src/rank.rs crates/mpisim/src/stats.rs crates/mpisim/src/world.rs
 
 crates/mpisim/src/lib.rs:
 crates/mpisim/src/collectives.rs:
+crates/mpisim/src/fault.rs:
 crates/mpisim/src/group.rs:
 crates/mpisim/src/rank.rs:
 crates/mpisim/src/stats.rs:

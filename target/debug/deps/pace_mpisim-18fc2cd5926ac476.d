@@ -1,14 +1,15 @@
-/root/repo/target/debug/deps/pace_mpisim-18fc2cd5926ac476.d: crates/mpisim/src/lib.rs crates/mpisim/src/collectives.rs crates/mpisim/src/group.rs crates/mpisim/src/rank.rs crates/mpisim/src/stats.rs crates/mpisim/src/world.rs Cargo.toml
+/root/repo/target/debug/deps/pace_mpisim-18fc2cd5926ac476.d: crates/mpisim/src/lib.rs crates/mpisim/src/collectives.rs crates/mpisim/src/fault.rs crates/mpisim/src/group.rs crates/mpisim/src/rank.rs crates/mpisim/src/stats.rs crates/mpisim/src/world.rs Cargo.toml
 
-/root/repo/target/debug/deps/libpace_mpisim-18fc2cd5926ac476.rmeta: crates/mpisim/src/lib.rs crates/mpisim/src/collectives.rs crates/mpisim/src/group.rs crates/mpisim/src/rank.rs crates/mpisim/src/stats.rs crates/mpisim/src/world.rs Cargo.toml
+/root/repo/target/debug/deps/libpace_mpisim-18fc2cd5926ac476.rmeta: crates/mpisim/src/lib.rs crates/mpisim/src/collectives.rs crates/mpisim/src/fault.rs crates/mpisim/src/group.rs crates/mpisim/src/rank.rs crates/mpisim/src/stats.rs crates/mpisim/src/world.rs Cargo.toml
 
 crates/mpisim/src/lib.rs:
 crates/mpisim/src/collectives.rs:
+crates/mpisim/src/fault.rs:
 crates/mpisim/src/group.rs:
 crates/mpisim/src/rank.rs:
 crates/mpisim/src/stats.rs:
 crates/mpisim/src/world.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_ARGS=
 # env-dep:CLIPPY_CONF_DIR

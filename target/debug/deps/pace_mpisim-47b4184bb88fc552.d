@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/pace_mpisim-47b4184bb88fc552.d: crates/mpisim/src/lib.rs crates/mpisim/src/collectives.rs crates/mpisim/src/group.rs crates/mpisim/src/rank.rs crates/mpisim/src/stats.rs crates/mpisim/src/world.rs
+/root/repo/target/debug/deps/pace_mpisim-47b4184bb88fc552.d: crates/mpisim/src/lib.rs crates/mpisim/src/collectives.rs crates/mpisim/src/fault.rs crates/mpisim/src/group.rs crates/mpisim/src/rank.rs crates/mpisim/src/stats.rs crates/mpisim/src/world.rs
 
-/root/repo/target/debug/deps/libpace_mpisim-47b4184bb88fc552.rlib: crates/mpisim/src/lib.rs crates/mpisim/src/collectives.rs crates/mpisim/src/group.rs crates/mpisim/src/rank.rs crates/mpisim/src/stats.rs crates/mpisim/src/world.rs
+/root/repo/target/debug/deps/libpace_mpisim-47b4184bb88fc552.rlib: crates/mpisim/src/lib.rs crates/mpisim/src/collectives.rs crates/mpisim/src/fault.rs crates/mpisim/src/group.rs crates/mpisim/src/rank.rs crates/mpisim/src/stats.rs crates/mpisim/src/world.rs
 
-/root/repo/target/debug/deps/libpace_mpisim-47b4184bb88fc552.rmeta: crates/mpisim/src/lib.rs crates/mpisim/src/collectives.rs crates/mpisim/src/group.rs crates/mpisim/src/rank.rs crates/mpisim/src/stats.rs crates/mpisim/src/world.rs
+/root/repo/target/debug/deps/libpace_mpisim-47b4184bb88fc552.rmeta: crates/mpisim/src/lib.rs crates/mpisim/src/collectives.rs crates/mpisim/src/fault.rs crates/mpisim/src/group.rs crates/mpisim/src/rank.rs crates/mpisim/src/stats.rs crates/mpisim/src/world.rs
 
 crates/mpisim/src/lib.rs:
 crates/mpisim/src/collectives.rs:
+crates/mpisim/src/fault.rs:
 crates/mpisim/src/group.rs:
 crates/mpisim/src/rank.rs:
 crates/mpisim/src/stats.rs:

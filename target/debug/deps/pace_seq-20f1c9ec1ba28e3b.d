@@ -13,5 +13,5 @@ crates/seq/src/stats.rs:
 crates/seq/src/store.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_ARGS=
 # env-dep:CLIPPY_CONF_DIR

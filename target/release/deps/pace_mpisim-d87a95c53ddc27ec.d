@@ -1,11 +1,12 @@
-/root/repo/target/release/deps/pace_mpisim-d87a95c53ddc27ec.d: crates/mpisim/src/lib.rs crates/mpisim/src/collectives.rs crates/mpisim/src/group.rs crates/mpisim/src/rank.rs crates/mpisim/src/stats.rs crates/mpisim/src/world.rs
+/root/repo/target/release/deps/pace_mpisim-d87a95c53ddc27ec.d: crates/mpisim/src/lib.rs crates/mpisim/src/collectives.rs crates/mpisim/src/fault.rs crates/mpisim/src/group.rs crates/mpisim/src/rank.rs crates/mpisim/src/stats.rs crates/mpisim/src/world.rs
 
-/root/repo/target/release/deps/libpace_mpisim-d87a95c53ddc27ec.rlib: crates/mpisim/src/lib.rs crates/mpisim/src/collectives.rs crates/mpisim/src/group.rs crates/mpisim/src/rank.rs crates/mpisim/src/stats.rs crates/mpisim/src/world.rs
+/root/repo/target/release/deps/libpace_mpisim-d87a95c53ddc27ec.rlib: crates/mpisim/src/lib.rs crates/mpisim/src/collectives.rs crates/mpisim/src/fault.rs crates/mpisim/src/group.rs crates/mpisim/src/rank.rs crates/mpisim/src/stats.rs crates/mpisim/src/world.rs
 
-/root/repo/target/release/deps/libpace_mpisim-d87a95c53ddc27ec.rmeta: crates/mpisim/src/lib.rs crates/mpisim/src/collectives.rs crates/mpisim/src/group.rs crates/mpisim/src/rank.rs crates/mpisim/src/stats.rs crates/mpisim/src/world.rs
+/root/repo/target/release/deps/libpace_mpisim-d87a95c53ddc27ec.rmeta: crates/mpisim/src/lib.rs crates/mpisim/src/collectives.rs crates/mpisim/src/fault.rs crates/mpisim/src/group.rs crates/mpisim/src/rank.rs crates/mpisim/src/stats.rs crates/mpisim/src/world.rs
 
 crates/mpisim/src/lib.rs:
 crates/mpisim/src/collectives.rs:
+crates/mpisim/src/fault.rs:
 crates/mpisim/src/group.rs:
 crates/mpisim/src/rank.rs:
 crates/mpisim/src/stats.rs:
