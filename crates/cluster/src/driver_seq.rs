@@ -138,7 +138,7 @@ pub fn cluster_sequential_obs(
 }
 
 /// Record a built forest's shape into the registry.
-pub(crate) fn record_gst_stats(
+pub fn record_gst_stats(
     obs: &Obs,
     partition: &pace_gst::BucketPartition,
     forest: &pace_gst::LocalForest,
@@ -159,7 +159,7 @@ pub(crate) fn record_gst_stats(
 
 /// Fold the final [`ClusterStats`] into the registry, so both drivers
 /// report through the same counter names.
-pub(crate) fn record_cluster_counters(obs: &Obs, stats: &ClusterStats) {
+pub fn record_cluster_counters(obs: &Obs, stats: &ClusterStats) {
     let reg = obs.registry();
     reg.add(metric::PAIRS_GENERATED, stats.pairs_generated);
     reg.add(metric::PAIRS_PROCESSED, stats.pairs_processed);

@@ -35,7 +35,10 @@ pub use config::ClusterConfig;
 pub use driver_par::{
     cluster_parallel, cluster_parallel_faults, cluster_parallel_obs, cluster_parallel_traced,
 };
-pub use driver_seq::{cluster_sequential, cluster_sequential_obs, cluster_sequential_traced};
+pub use driver_seq::{
+    cluster_sequential, cluster_sequential_obs, cluster_sequential_traced, record_cluster_counters,
+    record_gst_stats,
+};
 pub use master::FaultNote;
 pub use stats::{ClusterResult, ClusterStats, FaultStats, PhaseTimers};
 pub use trace::{MergeRecord, MergeTrace};

@@ -36,6 +36,12 @@ impl MergeTrace {
         Self::default()
     }
 
+    /// Reassemble a trace from records in merge order (the persistence
+    /// layer's decode path).
+    pub fn from_records(records: Vec<MergeRecord>) -> Self {
+        MergeTrace { records }
+    }
+
     /// Record an accepted outcome that actually merged two clusters.
     pub fn record(&mut self, outcome: &PairOutcome) {
         let (a, b) = outcome.pair.est_indices();

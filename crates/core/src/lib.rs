@@ -30,11 +30,13 @@
 //! ```
 
 pub mod incremental;
+pub mod persistent;
 pub mod pipeline;
 pub mod report;
 pub mod splice;
 
 pub use incremental::IncrementalClusterer;
+pub use persistent::{run_persistent, CrashPoint, PersistConfig, PersistInput, PersistentOutcome};
 pub use pipeline::{Pace, PaceConfig, PaceError, PaceOutcome};
 pub use report::RunReport;
 pub use splice::{detect_splice_events, SpliceEvent, SpliceScanConfig};

@@ -60,6 +60,13 @@ pub enum PaceError {
     BadInput(SeqError),
     /// Configuration failed validation.
     BadConfig(String),
+    /// A persistence operation (snapshot, spill, manifest) failed —
+    /// I/O trouble, corruption, or an invalid resume request.
+    Persist(String),
+    /// A deterministic test-only crash point fired (see
+    /// [`CrashPoint`](crate::persistent::CrashPoint)); on-disk state is
+    /// exactly what a real crash at that instant would leave.
+    InjectedCrash(String),
 }
 
 impl std::fmt::Display for PaceError {
@@ -67,6 +74,8 @@ impl std::fmt::Display for PaceError {
         match self {
             PaceError::BadInput(e) => write!(f, "invalid input: {e}"),
             PaceError::BadConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            PaceError::Persist(msg) => write!(f, "persistence failure: {msg}"),
+            PaceError::InjectedCrash(point) => write!(f, "injected crash at {point}"),
         }
     }
 }

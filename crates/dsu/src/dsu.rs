@@ -131,6 +131,70 @@ impl DisjointSets {
     pub fn memory_bytes(&self) -> usize {
         self.parent.capacity() * 4 + self.rank.capacity() + self.size.capacity() * 4
     }
+
+    /// Borrow the raw representation `(parent, rank, size, num_sets)`
+    /// for serialization.
+    pub fn as_raw_parts(&self) -> (&[u32], &[u8], &[u32], usize) {
+        (&self.parent, &self.rank, &self.size, self.num_sets)
+    }
+
+    /// Rebuild a union–find from a previously serialized representation.
+    ///
+    /// Validates the invariants a malformed file could violate in ways
+    /// that would otherwise send [`find`](Self::find) into an infinite
+    /// loop or out of bounds: equal array lengths, in-range parent
+    /// pointers, acyclic parent chains, and a root count matching
+    /// `num_sets`.
+    pub fn from_raw_parts(
+        parent: Vec<u32>,
+        rank: Vec<u8>,
+        size: Vec<u32>,
+        num_sets: usize,
+    ) -> Result<Self, String> {
+        let n = parent.len();
+        if rank.len() != n || size.len() != n {
+            return Err(format!(
+                "array length mismatch: parent {n}, rank {}, size {}",
+                rank.len(),
+                size.len()
+            ));
+        }
+        let mut roots = 0usize;
+        for (i, &p) in parent.iter().enumerate() {
+            if p as usize >= n {
+                return Err(format!("parent[{i}] = {p} out of range 0..{n}"));
+            }
+            if p as usize == i {
+                roots += 1;
+            }
+        }
+        if roots != num_sets {
+            return Err(format!("num_sets {num_sets} but {roots} roots present"));
+        }
+        // Acyclicity: walk each chain once, marking visited elements with
+        // the pass number so the whole check stays O(n).
+        let mut seen = vec![0u32; n];
+        for start in 0..n {
+            let pass = start as u32 + 1;
+            let mut cur = start;
+            while parent[cur] as usize != cur && seen[cur] != pass {
+                if seen[cur] != 0 {
+                    break; // joined a chain proven acyclic earlier
+                }
+                seen[cur] = pass;
+                cur = parent[cur] as usize;
+            }
+            if parent[cur] as usize != cur && seen[cur] == pass {
+                return Err(format!("parent chain from {start} contains a cycle"));
+            }
+        }
+        Ok(DisjointSets {
+            parent,
+            rank,
+            size,
+            num_sets,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -83,6 +83,31 @@ pub fn build_forest_for_rank(
     }
 }
 
+/// Build the subtrees of an explicit set of buckets, in the given order.
+///
+/// This is the building block of memory-budgeted (out-of-core)
+/// construction: the caller splits a rank's buckets into batches sized
+/// by the suffix-count load model and builds one batch at a time,
+/// spilling each to disk before the next. Each call rescans the store
+/// once — the classic time-for-space trade of out-of-core suffix-tree
+/// construction (one extra O(N) pass per batch, bounded subtree memory).
+pub fn build_bucket_batch(store: &SequenceStore, w: usize, buckets: &[u32]) -> Vec<Subtree> {
+    let mut wanted = vec![None; crate::bucket::num_buckets(w)];
+    for (slot, &b) in buckets.iter().enumerate() {
+        assert!(
+            wanted[b as usize].is_none(),
+            "bucket {b} listed twice in batch"
+        );
+        wanted[b as usize] = Some(slot as u32);
+    }
+    let per_bucket = enumerate_bucket_suffixes(store, w, &wanted, buckets.len());
+    buckets
+        .iter()
+        .zip(per_bucket)
+        .map(|(&bucket, sufs)| build_subtree(store, bucket, sufs, w))
+        .collect()
+}
+
 /// Build the full distributed GST: count, partition, and build all ranks'
 /// forests in parallel (rayon). The result is indexed by rank.
 pub fn build_distributed(
@@ -165,6 +190,23 @@ mod tests {
             partition.load_per_rank().iter().sum::<u64>(),
             forests.iter().map(|f| f.num_suffixes() as u64).sum::<u64>()
         );
+    }
+
+    #[test]
+    fn bucket_batches_union_to_full_forest() {
+        let s = store(&[b"ACGTACGAGGTTCCAA", b"CCATGGTACGTATTGG", b"GATTACAGATTACA"]);
+        let full = build_sequential(&s, 2);
+        let counts = count_buckets(&s, 2);
+        let part = assign_buckets(&counts, 1);
+        let buckets = part.buckets_of(0);
+        assert!(buckets.len() > 3, "test wants several batches");
+        for batch_size in [1, 3, buckets.len()] {
+            let mut got = Vec::new();
+            for chunk in buckets.chunks(batch_size) {
+                got.extend(build_bucket_batch(&s, 2, chunk));
+            }
+            assert_eq!(got, full.subtrees, "batch_size {batch_size}");
+        }
     }
 
     #[test]

@@ -45,6 +45,8 @@ pub mod tree;
 
 pub use bucket::{bucket_key, enumerate_bucket_suffixes, num_buckets, SuffixRef};
 pub use build::build_subtree;
-pub use forest::{build_distributed, build_forest_for_rank, build_sequential, LocalForest};
+pub use forest::{
+    build_bucket_batch, build_distributed, build_forest_for_rank, build_sequential, LocalForest,
+};
 pub use partition::{assign_buckets, count_buckets, count_buckets_stride, BucketPartition};
-pub use tree::{NodeIdx, Subtree};
+pub use tree::{Node, NodeIdx, Subtree};

@@ -24,8 +24,11 @@ use pace_seq::{SequenceStore, StrId};
 pub type NodeIdx = u32;
 
 /// One GST node: 16 bytes, DFS-ordered storage.
+///
+/// Public so the persistence layer can serialize subtrees field-by-field;
+/// everything else should go through [`Subtree`]'s navigation methods.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) struct Node {
+pub struct Node {
     /// Index of the rightmost leaf in this node's subtree (self for leaves).
     pub rightmost: u32,
     /// String-depth: length of the path label from the (conceptual) GST
@@ -49,6 +52,31 @@ pub struct Subtree {
 }
 
 impl Subtree {
+    /// Reassemble a subtree from its raw arrays (the persistence layer's
+    /// decode path). No structural validation happens here — callers that
+    /// read untrusted bytes should follow up with [`Self::validate`];
+    /// the snapshot layer's checksums make post-decode corruption
+    /// unreachable in practice.
+    pub fn from_parts(bucket: u32, nodes: Vec<Node>, suffixes: Vec<SuffixRef>) -> Self {
+        Subtree {
+            bucket,
+            nodes,
+            suffixes,
+        }
+    }
+
+    /// The DFS-ordered node array (for serialization).
+    #[inline]
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The suffix-occurrence arena (for serialization).
+    #[inline]
+    pub fn suffixes(&self) -> &[SuffixRef] {
+        &self.suffixes
+    }
+
     /// Number of nodes.
     #[inline]
     pub fn len(&self) -> usize {

@@ -61,13 +61,81 @@ pub fn parse_fasta_reader<R: BufRead>(reader: R) -> Result<Vec<FastaRecord>, Seq
     Ok(records)
 }
 
-fn finish_record(mut rec: FastaRecord, out: &mut Vec<FastaRecord>) -> Result<(), SeqError> {
+fn finalize_record(mut rec: FastaRecord) -> Result<FastaRecord, SeqError> {
     if rec.sequence.is_empty() {
         return Err(SeqError::EmptyFastaRecord { id: rec.id });
     }
     alphabet::normalize_case(&mut rec.sequence);
-    out.push(rec);
+    Ok(rec)
+}
+
+fn finish_record(rec: FastaRecord, out: &mut Vec<FastaRecord>) -> Result<(), SeqError> {
+    out.push(finalize_record(rec)?);
     Ok(())
+}
+
+/// Stream records out of a FASTA reader one at a time, calling `f` as
+/// each record completes, without ever holding more than one record in
+/// memory. The streaming twin of [`parse_fasta_reader`], for inputs too
+/// large to materialize as a `Vec<FastaRecord>`.
+pub fn for_each_fasta_record<R: BufRead>(
+    reader: R,
+    mut f: impl FnMut(FastaRecord) -> Result<(), SeqError>,
+) -> Result<(), SeqError> {
+    let mut current: Option<FastaRecord> = None;
+
+    for line in reader.lines() {
+        let line = line?;
+        let line = line.trim_end_matches('\r');
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('>') {
+            if let Some(rec) = current.take() {
+                f(finalize_record(rec)?)?;
+            }
+            let mut parts = header.splitn(2, char::is_whitespace);
+            let id = parts.next().unwrap_or("").to_string();
+            let description = parts.next().unwrap_or("").trim().to_string();
+            current = Some(FastaRecord {
+                id,
+                description,
+                sequence: Vec::new(),
+            });
+        } else {
+            let rec = current.as_mut().ok_or(SeqError::MissingFastaHeader)?;
+            rec.sequence
+                .extend(line.bytes().filter(|b| !b.is_ascii_whitespace()));
+        }
+    }
+    if let Some(rec) = current.take() {
+        f(finalize_record(rec)?)?;
+    }
+    Ok(())
+}
+
+/// Stream a FASTA file straight into a [`SequenceStore`], sanitizing
+/// ambiguity codes as records arrive (see [`sanitize_sequence`]).
+///
+/// Returns the store, the record ids in input order, and how many bytes
+/// were replaced by sanitization. Peak memory is one record plus the
+/// store itself — the out-of-core ingest path uses this instead of
+/// [`read_fasta_file`] + [`SequenceStore::from_ests`], which holds the
+/// input twice.
+pub fn read_fasta_into_store(
+    path: impl AsRef<std::path::Path>,
+) -> Result<(crate::store::SequenceStore, Vec<String>, usize), SeqError> {
+    let file = std::fs::File::open(path)?;
+    let mut builder = crate::store::SequenceStoreBuilder::new();
+    let mut ids = Vec::new();
+    let mut replaced = 0usize;
+    for_each_fasta_record(std::io::BufReader::new(file), |mut rec| {
+        replaced += sanitize_sequence(&mut rec.sequence);
+        builder.push_est(&rec.sequence)?;
+        ids.push(rec.id);
+        Ok(())
+    })?;
+    Ok((builder.finish(), ids, replaced))
 }
 
 /// Replace ambiguity codes (`N`, `R`, …) with a deterministic valid base.

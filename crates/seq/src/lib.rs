@@ -37,8 +37,11 @@ pub mod store;
 pub use alphabet::{Base, ALPHABET_SIZE, DNA_BASES};
 pub use codec::{PackedDna, PackedSlice, PackedText};
 pub use error::SeqError;
-pub use fasta::{parse_fasta, read_fasta_file, write_fasta, write_fasta_file, FastaRecord};
+pub use fasta::{
+    for_each_fasta_record, parse_fasta, read_fasta_file, read_fasta_into_store, write_fasta,
+    write_fasta_file, FastaRecord,
+};
 pub use ids::{EstId, StrId, Strand};
 pub use revcomp::{complement_base, reverse_complement, reverse_complement_in_place};
 pub use stats::{base_composition, gc_content, length_stats, LengthStats};
-pub use store::SequenceStore;
+pub use store::{SequenceStore, SequenceStoreBuilder};

@@ -21,6 +21,80 @@ pub struct SequenceStore {
     offsets: Vec<u32>,
 }
 
+/// Incremental [`SequenceStore`] construction, one EST at a time.
+///
+/// The batch constructor [`SequenceStore::from_ests`] needs the whole
+/// input materialized as a slice of slices; this builder lets streaming
+/// ingest (FASTA readers, generators) append ESTs as they arrive, so
+/// peak memory stays at one store instead of input-copy + store.
+#[derive(Debug, Clone, Default)]
+pub struct SequenceStoreBuilder {
+    text: Vec<u8>,
+    offsets: Vec<u32>,
+}
+
+impl SequenceStoreBuilder {
+    /// Empty builder.
+    pub fn new() -> Self {
+        SequenceStoreBuilder {
+            text: Vec::new(),
+            offsets: vec![0u32],
+        }
+    }
+
+    /// Builder pre-sized for `total_input_chars` bases across all ESTs.
+    pub fn with_capacity(total_input_chars: usize, num_ests: usize) -> Self {
+        let mut offsets = Vec::with_capacity(num_ests * 2 + 1);
+        offsets.push(0u32);
+        SequenceStoreBuilder {
+            text: Vec::with_capacity(total_input_chars * 2),
+            offsets,
+        }
+    }
+
+    /// Append one EST: validated (strict `{A,C,G,T}`, case-insensitive),
+    /// upper-cased, and stored with its reverse complement right after,
+    /// exactly as [`SequenceStore::from_ests`] would.
+    pub fn push_est(&mut self, est: &[u8]) -> Result<(), SeqError> {
+        if est.is_empty() {
+            return Err(SeqError::EmptySequence {
+                index: self.num_ests(),
+            });
+        }
+        validate_dna(est)?;
+
+        let start = self.text.len();
+        self.text.extend(est.iter().map(|b| b.to_ascii_uppercase()));
+        self.offsets.push(self.text.len() as u32);
+
+        // Materialize the reverse complement right after the forward
+        // strand so ē_i is an ordinary string, not a special case.
+        self.text.resize(start + est.len() * 2, 0);
+        let (fwd, rev) = self.text[start..].split_at_mut(est.len());
+        reverse_complement_into(fwd, rev);
+        self.offsets.push(self.text.len() as u32);
+        Ok(())
+    }
+
+    /// ESTs appended so far.
+    pub fn num_ests(&self) -> usize {
+        (self.offsets.len() - 1) / 2
+    }
+
+    /// Total input characters appended so far.
+    pub fn total_input_chars(&self) -> usize {
+        self.text.len() / 2
+    }
+
+    /// Finish building; the result owns the accumulated text.
+    pub fn finish(self) -> SequenceStore {
+        SequenceStore {
+            text: self.text,
+            offsets: self.offsets,
+        }
+    }
+}
+
 impl SequenceStore {
     /// Build a store from ESTs given as byte slices.
     ///
@@ -29,29 +103,60 @@ impl SequenceStore {
     /// EST `i` becomes strings `2i` (forward) and `2i+1` (reverse).
     pub fn from_ests<S: AsRef<[u8]>>(ests: &[S]) -> Result<Self, SeqError> {
         let total: usize = ests.iter().map(|e| e.as_ref().len()).sum();
-        let mut text = Vec::with_capacity(total * 2);
-        let mut offsets = Vec::with_capacity(ests.len() * 2 + 1);
-        offsets.push(0u32);
-
-        for (index, est) in ests.iter().enumerate() {
-            let est = est.as_ref();
-            if est.is_empty() {
-                return Err(SeqError::EmptySequence { index });
-            }
-            validate_dna(est)?;
-
-            let start = text.len();
-            text.extend(est.iter().map(|b| b.to_ascii_uppercase()));
-            offsets.push(text.len() as u32);
-
-            // Materialize the reverse complement right after the forward
-            // strand so ē_i is an ordinary string, not a special case.
-            text.resize(start + est.len() * 2, 0);
-            let (fwd, rev) = text[start..].split_at_mut(est.len());
-            reverse_complement_into(fwd, rev);
-            offsets.push(text.len() as u32);
+        let mut builder = SequenceStoreBuilder::with_capacity(total, ests.len());
+        for est in ests {
+            builder.push_est(est.as_ref())?;
         }
+        Ok(builder.finish())
+    }
 
+    /// Borrow the raw representation `(text, offsets)` for serialization.
+    pub fn as_raw_parts(&self) -> (&[u8], &[u32]) {
+        (&self.text, &self.offsets)
+    }
+
+    /// Rebuild a store from a previously serialized raw representation.
+    ///
+    /// Only the structural invariants are checked (odd offset count,
+    /// `offsets[0] == 0`, monotone non-decreasing, final offset equals
+    /// the text length, equal strand lengths, no empty strings); the
+    /// text content itself is trusted — on the deserialization path,
+    /// content integrity is the snapshot checksum's job.
+    pub fn from_raw_parts(text: Vec<u8>, offsets: Vec<u32>) -> Result<Self, String> {
+        if offsets.len() % 2 != 1 {
+            return Err(format!(
+                "offset table has {} entries, expected 2n+1",
+                offsets.len()
+            ));
+        }
+        if offsets[0] != 0 {
+            return Err(format!("offsets[0] = {}, expected 0", offsets[0]));
+        }
+        if *offsets.last().unwrap() as usize != text.len() {
+            return Err(format!(
+                "final offset {} != text length {}",
+                offsets.last().unwrap(),
+                text.len()
+            ));
+        }
+        for pair in offsets.windows(2) {
+            if pair[0] >= pair[1] {
+                return Err(format!(
+                    "offsets not strictly increasing: {} then {}",
+                    pair[0], pair[1]
+                ));
+            }
+        }
+        for i in (0..offsets.len() - 1).step_by(2) {
+            let fwd = offsets[i + 1] - offsets[i];
+            let rev = offsets[i + 2] - offsets[i + 1];
+            if fwd != rev {
+                return Err(format!(
+                    "EST {}: forward length {fwd} != reverse length {rev}",
+                    i / 2
+                ));
+            }
+        }
         Ok(SequenceStore { text, offsets })
     }
 
@@ -220,6 +325,48 @@ mod tests {
         for sid in s.str_ids() {
             assert_eq!(s.len_of(sid), 2);
         }
+    }
+
+    #[test]
+    fn builder_matches_batch_constructor() {
+        let ests: &[&[u8]] = &[b"ACGGT", b"ttacg", b"A"];
+        let batch = SequenceStore::from_ests(ests).unwrap();
+        let mut b = SequenceStoreBuilder::new();
+        for est in ests {
+            b.push_est(est).unwrap();
+        }
+        assert_eq!(b.num_ests(), 3);
+        assert_eq!(b.total_input_chars(), 11);
+        assert_eq!(b.finish(), batch);
+    }
+
+    #[test]
+    fn builder_rejects_bad_input_with_index() {
+        let mut b = SequenceStoreBuilder::new();
+        b.push_est(b"ACGT").unwrap();
+        assert_eq!(
+            b.push_est(b"").unwrap_err(),
+            SeqError::EmptySequence { index: 1 }
+        );
+        assert!(b.push_est(b"ACNT").is_err());
+        // Failed pushes leave the builder usable.
+        b.push_est(b"GG").unwrap();
+        assert_eq!(b.finish(), store(&[b"ACGT", b"GG"]));
+    }
+
+    #[test]
+    fn raw_parts_roundtrip_and_validation() {
+        let s = store(&[b"ACGGT", b"TTA"]);
+        let (text, offsets) = s.as_raw_parts();
+        let back = SequenceStore::from_raw_parts(text.to_vec(), offsets.to_vec()).unwrap();
+        assert_eq!(back, s);
+
+        // Structural corruption is rejected.
+        assert!(SequenceStore::from_raw_parts(b"AC".to_vec(), vec![0, 2]).is_err());
+        assert!(SequenceStore::from_raw_parts(b"AC".to_vec(), vec![1, 2, 2]).is_err());
+        assert!(SequenceStore::from_raw_parts(b"ACGT".to_vec(), vec![0, 2, 2]).is_err());
+        assert!(SequenceStore::from_raw_parts(b"ACGT".to_vec(), vec![0, 1, 4]).is_err());
+        assert!(SequenceStore::from_raw_parts(b"ACGT".to_vec(), vec![0, 2, 5]).is_err());
     }
 
     fn dna_vecs() -> impl Strategy<Value = Vec<Vec<u8>>> {

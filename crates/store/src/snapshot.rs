@@ -1,0 +1,426 @@
+//! The versioned, checksummed binary snapshot container.
+//!
+//! A snapshot is a flat file of named sections:
+//!
+//! ```text
+//! magic            8 bytes  b"PACESNAP"
+//! schema_version   u32 LE   (see SCHEMA_VERSION)
+//! section_count    u32 LE
+//! section*:
+//!   name_len       u16 LE
+//!   name           UTF-8 bytes
+//!   payload_len    u64 LE
+//!   payload        bytes
+//!   crc32          u32 LE   (IEEE, over the payload only)
+//! ```
+//!
+//! Integrity is per-section: a flipped byte anywhere in a payload is a
+//! [`SnapshotError::ChecksumMismatch`] naming the section, and any file
+//! that ends early is a [`SnapshotError::Truncated`] — corruption is
+//! always a typed error, never a panic.
+//!
+//! Durability: the writer streams to `<path>.tmp`, fsyncs, then
+//! atomically renames into place and fsyncs the directory, so a crash
+//! mid-write can never leave a half-written file under the final name.
+//!
+//! Schema evolution rules are documented in DESIGN.md: the version is
+//! bumped on any layout change, readers reject newer versions
+//! ([`SnapshotError::UnsupportedVersion`]), and new *optional* state
+//! must be added as new sections (readers ignore unknown sections) so
+//! old files stay readable within a version.
+
+use crate::crc::{crc32, Crc32};
+use crate::error::SnapshotError;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+
+/// File magic.
+pub const MAGIC: &[u8; 8] = b"PACESNAP";
+
+/// Current snapshot schema version.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Suffix of the temporary file the writer streams to before the
+/// atomic rename (matched by the `*.tmp` gitignore rule).
+pub const TMP_SUFFIX: &str = ".tmp";
+
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path.as_os_str().to_os_string();
+    name.push(TMP_SUFFIX);
+    PathBuf::from(name)
+}
+
+/// Fsync the directory containing `path`, making a completed rename
+/// durable. Best effort off Linux; errors on the directory handle are
+/// surfaced because a lost rename defeats the checkpoint guarantee.
+fn fsync_parent(path: &Path) -> Result<(), SnapshotError> {
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        File::open(dir)?.sync_all()?;
+    }
+    Ok(())
+}
+
+/// Write `bytes` to `path` via the write-to-temp + fsync + rename
+/// protocol. Used for small whole-file artifacts (the manifest); large
+/// section streams go through [`SnapshotWriter`], which follows the
+/// same protocol.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), SnapshotError> {
+    let tmp = tmp_path(path);
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    fsync_parent(path)
+}
+
+/// Streaming snapshot writer.
+///
+/// Sections are written in call order; the section count in the header
+/// is patched in at [`finish`](Self::finish), which also performs the
+/// fsync + rename that publishes the file.
+pub struct SnapshotWriter {
+    file: File,
+    final_path: PathBuf,
+    tmp: PathBuf,
+    sections: u32,
+    bytes_written: u64,
+}
+
+impl SnapshotWriter {
+    /// Start a snapshot destined for `path`.
+    pub fn create(path: impl AsRef<Path>) -> Result<Self, SnapshotError> {
+        let final_path = path.as_ref().to_path_buf();
+        let tmp = tmp_path(&final_path);
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)?;
+        file.write_all(MAGIC)?;
+        file.write_all(&SCHEMA_VERSION.to_le_bytes())?;
+        file.write_all(&0u32.to_le_bytes())?; // section count, patched later
+        Ok(SnapshotWriter {
+            file,
+            final_path,
+            tmp,
+            sections: 0,
+            bytes_written: 16,
+        })
+    }
+
+    /// Append one section from an in-memory payload.
+    pub fn add_section(&mut self, name: &str, payload: &[u8]) -> Result<(), SnapshotError> {
+        self.begin_section(name, payload.len() as u64)?;
+        self.file.write_all(payload)?;
+        self.file.write_all(&crc32(payload).to_le_bytes())?;
+        self.bytes_written += payload.len() as u64 + 4;
+        Ok(())
+    }
+
+    /// Append one section of known length, streaming the payload
+    /// through `fill` in chunks (no whole-payload buffer). `fill` must
+    /// produce exactly `len` bytes.
+    pub fn add_section_streamed(
+        &mut self,
+        name: &str,
+        len: u64,
+        mut fill: impl FnMut(
+            &mut dyn FnMut(&[u8]) -> Result<(), SnapshotError>,
+        ) -> Result<(), SnapshotError>,
+    ) -> Result<(), SnapshotError> {
+        self.begin_section(name, len)?;
+        let mut crc = Crc32::new();
+        let mut written = 0u64;
+        let file = &mut self.file;
+        fill(&mut |chunk: &[u8]| {
+            crc.update(chunk);
+            written += chunk.len() as u64;
+            file.write_all(chunk)?;
+            Ok(())
+        })?;
+        if written != len {
+            return Err(SnapshotError::Io(format!(
+                "section {name:?}: declared {len} bytes, streamed {written}"
+            )));
+        }
+        self.file.write_all(&crc.finish().to_le_bytes())?;
+        self.bytes_written += len + 4;
+        Ok(())
+    }
+
+    fn begin_section(&mut self, name: &str, len: u64) -> Result<(), SnapshotError> {
+        let name_bytes = name.as_bytes();
+        assert!(
+            name_bytes.len() <= u16::MAX as usize,
+            "section name too long"
+        );
+        self.file
+            .write_all(&(name_bytes.len() as u16).to_le_bytes())?;
+        self.file.write_all(name_bytes)?;
+        self.file.write_all(&len.to_le_bytes())?;
+        self.sections += 1;
+        self.bytes_written += 2 + name_bytes.len() as u64 + 8;
+        Ok(())
+    }
+
+    /// Total bytes this snapshot will occupy on disk (header included).
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Patch the header, fsync, and atomically publish the file.
+    /// Returns the final on-disk size in bytes.
+    pub fn finish(mut self) -> Result<u64, SnapshotError> {
+        self.file.seek(SeekFrom::Start(12))?;
+        self.file.write_all(&self.sections.to_le_bytes())?;
+        self.file.sync_all()?;
+        std::fs::rename(&self.tmp, &self.final_path)?;
+        fsync_parent(&self.final_path)?;
+        Ok(self.bytes_written)
+    }
+}
+
+/// A snapshot loaded into memory, with per-section CRCs verified.
+#[derive(Debug)]
+pub struct Snapshot {
+    data: Vec<u8>,
+    sections: Vec<(String, Range<usize>)>,
+}
+
+impl Snapshot {
+    /// Read and verify a snapshot file. Every section's checksum is
+    /// validated here, so any [`section`](Self::section) access
+    /// afterwards returns bytes known to be intact.
+    pub fn read_file(path: impl AsRef<Path>) -> Result<Self, SnapshotError> {
+        let mut data = Vec::new();
+        File::open(path.as_ref())?.read_to_end(&mut data)?;
+        Self::parse(data)
+    }
+
+    /// Parse an in-memory snapshot image (tests and corruption drills).
+    pub fn parse(data: Vec<u8>) -> Result<Self, SnapshotError> {
+        let header = data
+            .get(..16)
+            .ok_or(SnapshotError::Truncated { context: "header" })?;
+        if &header[..8] != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = u32::from_le_bytes(header[8..12].try_into().unwrap());
+        if version > SCHEMA_VERSION {
+            return Err(SnapshotError::UnsupportedVersion(version));
+        }
+        let count = u32::from_le_bytes(header[12..16].try_into().unwrap());
+        let mut sections = Vec::with_capacity(count as usize);
+        let mut pos = 16usize;
+        for _ in 0..count {
+            let name_len = u16::from_le_bytes(
+                read_exact(&data, &mut pos, 2, "section name length")?
+                    .try_into()
+                    .unwrap(),
+            ) as usize;
+            let name_bytes = read_exact(&data, &mut pos, name_len, "section name")?;
+            let name = std::str::from_utf8(name_bytes)
+                .map_err(|_| SnapshotError::Corrupt("section name is not UTF-8".into()))?
+                .to_string();
+            let payload_len = u64::from_le_bytes(
+                read_exact(&data, &mut pos, 8, "section length")?
+                    .try_into()
+                    .unwrap(),
+            );
+            let payload_len = usize::try_from(payload_len)
+                .map_err(|_| SnapshotError::Corrupt(format!("section {name:?} length overflow")))?;
+            let start = pos;
+            let payload = read_exact(&data, &mut pos, payload_len, "section payload")?;
+            let stored = u32::from_le_bytes(
+                read_exact(&data, &mut pos, 4, "section checksum")?
+                    .try_into()
+                    .unwrap(),
+            );
+            if crc32(payload) != stored {
+                return Err(SnapshotError::ChecksumMismatch { section: name });
+            }
+            sections.push((name, start..start + payload_len));
+        }
+        Ok(Snapshot { data, sections })
+    }
+
+    /// Names of all sections, in file order.
+    pub fn section_names(&self) -> impl Iterator<Item = &str> {
+        self.sections.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// The verified payload of section `name`.
+    pub fn section(&self, name: &str) -> Result<&[u8], SnapshotError> {
+        self.sections
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, r)| &self.data[r.clone()])
+            .ok_or_else(|| SnapshotError::MissingSection(name.to_string()))
+    }
+
+    /// Whether a section exists.
+    pub fn has_section(&self, name: &str) -> bool {
+        self.sections.iter().any(|(n, _)| n == name)
+    }
+}
+
+fn read_exact<'d>(
+    data: &'d [u8],
+    pos: &mut usize,
+    len: usize,
+    context: &'static str,
+) -> Result<&'d [u8], SnapshotError> {
+    let end = pos
+        .checked_add(len)
+        .filter(|&e| e <= data.len())
+        .ok_or(SnapshotError::Truncated { context })?;
+    let out = &data[*pos..end];
+    *pos = end;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_dir() -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("pace-snap-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let path = roundtrip_dir().join("basic.snap");
+        let mut w = SnapshotWriter::create(&path).unwrap();
+        w.add_section("alpha", b"hello").unwrap();
+        w.add_section("beta", &[]).unwrap();
+        let declared = w.bytes_written();
+        let on_disk = w.finish().unwrap();
+        assert_eq!(declared, on_disk);
+        assert_eq!(on_disk, std::fs::metadata(&path).unwrap().len());
+
+        let snap = Snapshot::read_file(&path).unwrap();
+        assert_eq!(snap.section("alpha").unwrap(), b"hello");
+        assert_eq!(snap.section("beta").unwrap(), b"");
+        assert_eq!(
+            snap.section("gamma").unwrap_err(),
+            SnapshotError::MissingSection("gamma".into())
+        );
+        assert_eq!(snap.section_names().collect::<Vec<_>>(), ["alpha", "beta"]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn streamed_section_matches_buffered() {
+        let dir = roundtrip_dir();
+        let payload: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+
+        let a = dir.join("buffered.snap");
+        let mut w = SnapshotWriter::create(&a).unwrap();
+        w.add_section("data", &payload).unwrap();
+        w.finish().unwrap();
+
+        let b = dir.join("streamed.snap");
+        let mut w = SnapshotWriter::create(&b).unwrap();
+        w.add_section_streamed("data", payload.len() as u64, |put| {
+            for chunk in payload.chunks(777) {
+                put(chunk)?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        w.finish().unwrap();
+
+        assert_eq!(std::fs::read(&a).unwrap(), std::fs::read(&b).unwrap());
+        std::fs::remove_file(&a).unwrap();
+        std::fs::remove_file(&b).unwrap();
+    }
+
+    #[test]
+    fn streamed_length_mismatch_is_an_error() {
+        let path = roundtrip_dir().join("short.snap");
+        let mut w = SnapshotWriter::create(&path).unwrap();
+        let err = w
+            .add_section_streamed("data", 10, |put| put(b"abc"))
+            .unwrap_err();
+        assert!(matches!(err, SnapshotError::Io(_)));
+    }
+
+    #[test]
+    fn no_final_file_until_finish() {
+        let path = roundtrip_dir().join("unpublished.snap");
+        let _ = std::fs::remove_file(&path);
+        let mut w = SnapshotWriter::create(&path).unwrap();
+        w.add_section("x", b"y").unwrap();
+        assert!(!path.exists(), "file published before finish()");
+        w.finish().unwrap();
+        assert!(path.exists());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bad_magic_and_version() {
+        assert_eq!(
+            Snapshot::parse(b"NOTASNAP\0\0\0\0\0\0\0\0".to_vec()).unwrap_err(),
+            SnapshotError::BadMagic
+        );
+        let mut img = Vec::new();
+        img.extend_from_slice(MAGIC);
+        img.extend_from_slice(&99u32.to_le_bytes());
+        img.extend_from_slice(&0u32.to_le_bytes());
+        assert_eq!(
+            Snapshot::parse(img).unwrap_err(),
+            SnapshotError::UnsupportedVersion(99)
+        );
+    }
+
+    #[test]
+    fn truncation_at_every_prefix_is_typed() {
+        let path = roundtrip_dir().join("trunc.snap");
+        let mut w = SnapshotWriter::create(&path).unwrap();
+        w.add_section("alpha", b"payload-bytes").unwrap();
+        w.add_section("beta", b"more").unwrap();
+        w.finish().unwrap();
+        let full = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        for cut in 0..full.len() {
+            let err = Snapshot::parse(full[..cut].to_vec())
+                .expect_err(&format!("prefix of {cut} bytes accepted"));
+            assert!(
+                matches!(
+                    err,
+                    SnapshotError::Truncated { .. } | SnapshotError::BadMagic
+                ),
+                "prefix {cut}: unexpected error {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn payload_bit_flip_is_checksum_mismatch() {
+        let path = roundtrip_dir().join("flip.snap");
+        let mut w = SnapshotWriter::create(&path).unwrap();
+        w.add_section("alpha", b"sensitive-payload").unwrap();
+        w.finish().unwrap();
+        let full = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        // The payload occupies a known range; flip each of its bytes.
+        let payload_start = 16 + 2 + 5 + 8;
+        for i in payload_start..payload_start + 17 {
+            let mut img = full.clone();
+            img[i] ^= 0x40;
+            assert_eq!(
+                Snapshot::parse(img).unwrap_err(),
+                SnapshotError::ChecksumMismatch {
+                    section: "alpha".into()
+                },
+                "flip at byte {i} undetected"
+            );
+        }
+    }
+}

@@ -13,23 +13,37 @@
 # spikes but still machine-relative: the committed baseline is only
 # meaningful on hardware comparable to the machine that produced it.
 #
-# Overriding the gate
-# -------------------
+# A *gated* phase missing from either file is a hard failure, never a
+# silent pass: a missing key in the smoke report means the bench stopped
+# emitting it, and a missing key in the baseline means the baseline
+# predates the phase and must be refreshed.
+#
+# Overriding the gate / refreshing the baseline
+# ---------------------------------------------
 # A legitimate slowdown (algorithm change with better accuracy, extra
 # bookkeeping a feature needs) is shipped by either
-#   * refreshing bench/baseline.json in the same PR (see the "note" field
-#     inside it and EXPERIMENTS.md for the recipe), or
+#   * refreshing bench/baseline.json in the same PR:
+#       cargo build --release -p pace-bench --bin smoke
+#       PACE_SMOKE_REPS=5 PACE_METRICS_DIR=bench_out ./target/release/smoke
+#     then copy bench_out/smoke.json's "phase_min" values into
+#     bench/baseline.json (keep its "note"/"meta" fields current; see
+#     EXPERIMENTS.md), or
 #   * setting BENCH_GATE_SKIP=1 on the CI job (e.g. export it in the
 #     workflow step after applying a `bench-gate-override` PR label),
 #     which turns a failure into a warning.
 #
-# Usage: scripts/bench_gate.sh [smoke.json] [baseline.json]
+# Usage: scripts/bench_gate.sh [smoke.json] [baseline.json] [ooc-report.json]
+#   The optional third argument (default bench_out/out_of_core.json) is an
+#   out-of-core run's metrics report; when present its io.* counters
+#   (io.spill_bytes etc.) are echoed into the gate log so the uploaded CI
+#   artifact records the spill traffic alongside the timings.
 #   BENCH_GATE_TOLERANCE  fractional slowdown allowed (default 0.25)
 #   BENCH_GATE_SKIP=1     report, but never fail
 set -euo pipefail
 
 SMOKE=${1:-bench_out/smoke.json}
 BASELINE=${2:-bench/baseline.json}
+OOC=${3:-bench_out/out_of_core.json}
 TOLERANCE=${BENCH_GATE_TOLERANCE:-0.25}
 
 if [[ ! -f "$SMOKE" ]]; then
@@ -41,11 +55,12 @@ if [[ ! -f "$BASELINE" ]]; then
     exit 2
 fi
 
-python3 - "$SMOKE" "$BASELINE" "$TOLERANCE" "${BENCH_GATE_SKIP:-0}" <<'PY'
+python3 - "$SMOKE" "$BASELINE" "$TOLERANCE" "${BENCH_GATE_SKIP:-0}" "$OOC" <<'PY'
 import json
+import os
 import sys
 
-smoke_path, baseline_path, tolerance, skip = sys.argv[1:5]
+smoke_path, baseline_path, tolerance, skip, ooc_path = sys.argv[1:6]
 tolerance = float(tolerance)
 skip = skip not in ("", "0", "false")
 
@@ -57,11 +72,27 @@ reference = baseline["phase_min"]
 GATED = ("alignment", "node_sorting")
 
 failures = []
+# A gated phase absent from the baseline must fail loudly — iterating
+# only over the baseline's own keys would silently skip the comparison.
+for phase in GATED:
+    if phase not in reference:
+        failures.append(
+            f"gated phase '{phase}' missing from baseline {baseline_path} — "
+            "the baseline is stale; refresh it in this PR (recipe in the "
+            "header of scripts/bench_gate.sh and in bench/baseline.json's "
+            "'note' field)"
+        )
+
 print(f"bench_gate: tolerance {tolerance:.0%}, baseline {baseline_path}")
 print(f"{'phase':<18} {'baseline':>10} {'current':>10} {'ratio':>7}  gated")
-for phase in sorted(reference):
-    ref = reference[phase]
+for phase in sorted(set(reference) | set(current)):
+    ref = reference.get(phase)
     cur = current.get(phase)
+    if ref is None:
+        # Ungated phases new to the bench are informational only; gated
+        # ones were already flagged above.
+        print(f"{phase:<18} {'-':>10} {cur:>9.4f}s {'-':>7}  {'yes' if phase in GATED else 'no'} (not in baseline)")
+        continue
     if cur is None:
         failures.append(f"phase '{phase}' missing from {smoke_path}")
         continue
@@ -76,6 +107,16 @@ for phase in sorted(reference):
             f"({ratio:.2f}x > {1.0 + tolerance:.2f}x allowed)"
         )
     print(f"{phase:<18} {ref:>9.4f}s {cur:>9.4f}s {ratio:>6.2f}x  {flag}{verdict}")
+
+# Echo the out-of-core run's I/O counters (reported, never gated) so the
+# CI artifact keeps spill traffic next to the timings.
+if os.path.exists(ooc_path):
+    counters = json.load(open(ooc_path)).get("counters", {})
+    io_keys = sorted(k for k in counters if k.startswith(("io.", "ckpt.")))
+    if io_keys:
+        print(f"bench_gate: out-of-core counters from {ooc_path}")
+        for key in io_keys:
+            print(f"  {key:<24} {counters[key]:>14.0f}")
 
 if failures:
     print()

@@ -60,13 +60,16 @@ USAGE:
                 [--batchsize N] [--min-overlap N] [--min-ratio F] [--truth FILE]
                 [--fault-profile drop|delay|reorder|crash|mixed] [--fault-seed N]
                 [--slave-timeout SECS] [--max-retries N]
+                [--checkpoint-dir DIR] [--resume] [--memory-budget BYTES[K|M|G]]
+                [--spill-dir DIR] [--checkpoint-every N]
+                [--crash-after ingest|partition|build|cluster-batch:K]
                 [--metrics-out FILE] [--events-out FILE] [-v|--verbose] [--quiet]
   pace assess   --pred FILE --truth FILE
   pace splice   --in FASTA --clusters FILE [--min-event N]
   pace stats    --in FASTA";
 
 /// Switches that take no value; stored with the value `"true"`.
-const BOOL_FLAGS: &[&str] = &["verbose", "quiet"];
+const BOOL_FLAGS: &[&str] = &["verbose", "quiet", "resume"];
 
 /// Parse `--key value` pairs and boolean switches.
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -208,6 +211,98 @@ fn run_report_json(obs: &pace::obs::Obs, outcome: &pace::PaceOutcome) -> pace::o
     pace::obs::report::to_json(&obs.registry().snapshot(), meta)
 }
 
+/// Parse a byte size with an optional K/M/G (binary) suffix.
+fn parse_byte_size(s: &str) -> Result<u64, String> {
+    let t = s.trim();
+    let (digits, mult) = match t.chars().last() {
+        Some('K') | Some('k') => (&t[..t.len() - 1], 1u64 << 10),
+        Some('M') | Some('m') => (&t[..t.len() - 1], 1u64 << 20),
+        Some('G') | Some('g') => (&t[..t.len() - 1], 1u64 << 30),
+        _ => (t, 1),
+    };
+    digits
+        .parse::<u64>()
+        .map(|v| v * mult)
+        .map_err(|_| format!("cannot parse byte size {s:?} (expected e.g. 512M)"))
+}
+
+/// Parse a `--crash-after` point (test/CI hook for kill-resume drills).
+fn parse_crash_point(s: &str) -> Result<pace::CrashPoint, String> {
+    match s {
+        "ingest" => Ok(pace::CrashPoint::AfterIngest),
+        "partition" => Ok(pace::CrashPoint::AfterPartition),
+        "build" => Ok(pace::CrashPoint::AfterBuild),
+        _ => s
+            .strip_prefix("cluster-batch:")
+            .and_then(|k| k.parse().ok())
+            .map(pace::CrashPoint::AfterClusterBatch)
+            .ok_or_else(|| {
+                format!("--crash-after: {s:?} is not ingest|partition|build|cluster-batch:K")
+            }),
+    }
+}
+
+/// Shared tail of the cluster subcommand: label TSV, run report,
+/// metrics document, optional truth assessment.
+fn finish_cluster_output(
+    flags: &HashMap<String, String>,
+    out: &str,
+    ids: &[String],
+    outcome: &pace::PaceOutcome,
+    obs: &pace::obs::Obs,
+) -> Result<(), String> {
+    let verbose = flags.contains_key("verbose");
+    let quiet = flags.contains_key("quiet");
+    let mut tsv = String::new();
+    for (id, &label) in ids.iter().zip(outcome.labels()) {
+        tsv.push_str(&format!("{id}\t{label}\n"));
+    }
+    std::fs::write(out, tsv).map_err(|e| format!("writing {out}: {e}"))?;
+
+    if !quiet {
+        let report = pace::RunReport::from_outcome(outcome, None);
+        eprint!("{report}");
+        eprintln!("wrote {} cluster labels to {out}", outcome.num_ests);
+    }
+
+    if flags.contains_key("metrics-out") || verbose {
+        let doc = run_report_json(obs, outcome);
+        if let Some(path) = flags.get("metrics-out") {
+            std::fs::write(path, pace::obs::report::to_pretty_string(&doc))
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            if !quiet {
+                eprintln!("wrote metrics report to {path}");
+            }
+        }
+        if verbose {
+            eprint!("{}", pace::obs::report::to_pretty_string(&doc));
+        }
+    }
+
+    if let Some(truth_path) = flags.get("truth") {
+        let (_, truth) = read_labels(truth_path)?;
+        if truth.len() != outcome.num_ests {
+            return Err(format!(
+                "truth has {} entries, input has {}",
+                truth.len(),
+                outcome.num_ests
+            ));
+        }
+        eprintln!("quality: {}", outcome.quality(&truth));
+    }
+    Ok(())
+}
+
+/// Flags that switch the cluster subcommand onto the persistent
+/// (out-of-core / checkpointed) driver.
+const PERSIST_FLAGS: &[&str] = &[
+    "memory-budget",
+    "spill-dir",
+    "resume",
+    "checkpoint-every",
+    "crash-after",
+];
+
 fn cmd_cluster(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args)?;
     let input = require(&flags, "in")?;
@@ -256,12 +351,6 @@ fn cmd_cluster(args: &[String]) -> Result<(), String> {
         return Err("--fault-seed requires --fault-profile".into());
     }
 
-    let records = read_fasta_file(input)?;
-    let ests: Vec<Vec<u8>> = records.iter().map(|r| r.sequence.clone()).collect();
-    if !quiet {
-        eprintln!("clustering {} ESTs ...", ests.len());
-    }
-
     let obs = match flags.get("events-out") {
         Some(path) => {
             let sink = pace::obs::JsonlSink::create(std::path::Path::new(path))
@@ -271,50 +360,62 @@ fn cmd_cluster(args: &[String]) -> Result<(), String> {
         None => pace::obs::Obs::noop(),
     };
 
+    // Persistent (out-of-core / checkpointed) path: streams the FASTA
+    // through the store builder instead of materialising the records,
+    // and takes the ids back from the ingest snapshot on resume.
+    let persistent = flags.contains_key("checkpoint-dir")
+        || PERSIST_FLAGS.iter().any(|f| flags.contains_key(*f));
+    if persistent {
+        let Some(ckpt_dir) = flags.get("checkpoint-dir") else {
+            return Err(format!(
+                "--{} requires --checkpoint-dir",
+                PERSIST_FLAGS
+                    .iter()
+                    .find(|f| flags.contains_key(**f))
+                    .unwrap_or(&"checkpoint-dir")
+            ));
+        };
+        let mut persist = pace::PersistConfig::new(ckpt_dir);
+        if let Some(budget) = flags.get("memory-budget") {
+            persist.memory_budget = parse_byte_size(budget)?;
+        }
+        persist.spill_dir = flags.get("spill-dir").map(std::path::PathBuf::from);
+        persist.checkpoint_every = get(&flags, "checkpoint-every", 1u64)?;
+        if persist.checkpoint_every == 0 {
+            return Err("--checkpoint-every must be ≥ 1".into());
+        }
+        persist.resume = flags.contains_key("resume");
+        persist.crash_after = flags
+            .get("crash-after")
+            .map(|s| parse_crash_point(s))
+            .transpose()?;
+        if !quiet {
+            eprintln!(
+                "clustering {input} with checkpoints in {ckpt_dir}{}",
+                if persist.resume { " (resuming)" } else { "" }
+            );
+        }
+        let result = Pace::new(config)
+            .cluster_fasta_persistent(std::path::Path::new(input), &persist, &obs)
+            .map_err(|e| e.to_string())?;
+        obs.flush();
+        return finish_cluster_output(&flags, out, &result.ids, &result.outcome, &obs);
+    }
+
+    let records = read_fasta_file(input)?;
+    let ests: Vec<Vec<u8>> = records.iter().map(|r| r.sequence.clone()).collect();
+    if !quiet {
+        eprintln!("clustering {} ESTs ...", ests.len());
+    }
+
     let store = pace::SequenceStore::from_ests(&ests).map_err(|e| format!("invalid input: {e}"))?;
     let outcome = Pace::new(config)
         .cluster_store_obs(&store, &obs)
         .map_err(|e| e.to_string())?;
     obs.flush();
 
-    let mut tsv = String::new();
-    for (rec, &label) in records.iter().zip(outcome.labels()) {
-        tsv.push_str(&format!("{}\t{}\n", rec.id, label));
-    }
-    std::fs::write(out, tsv).map_err(|e| format!("writing {out}: {e}"))?;
-
-    if !quiet {
-        let report = pace::RunReport::from_outcome(&outcome, None);
-        eprint!("{report}");
-        eprintln!("wrote {} cluster labels to {out}", outcome.num_ests);
-    }
-
-    if flags.contains_key("metrics-out") || verbose {
-        let doc = run_report_json(&obs, &outcome);
-        if let Some(path) = flags.get("metrics-out") {
-            std::fs::write(path, pace::obs::report::to_pretty_string(&doc))
-                .map_err(|e| format!("writing {path}: {e}"))?;
-            if !quiet {
-                eprintln!("wrote metrics report to {path}");
-            }
-        }
-        if verbose {
-            eprint!("{}", pace::obs::report::to_pretty_string(&doc));
-        }
-    }
-
-    if let Some(truth_path) = flags.get("truth") {
-        let (_, truth) = read_labels(truth_path)?;
-        if truth.len() != outcome.num_ests {
-            return Err(format!(
-                "truth has {} entries, input has {}",
-                truth.len(),
-                outcome.num_ests
-            ));
-        }
-        eprintln!("quality: {}", outcome.quality(&truth));
-    }
-    Ok(())
+    let ids: Vec<String> = records.into_iter().map(|r| r.id).collect();
+    finish_cluster_output(&flags, out, &ids, &outcome, &obs)
 }
 
 fn cmd_assess(args: &[String]) -> Result<(), String> {

@@ -1,0 +1,196 @@
+//! End-to-end checkpoint/resume integration drills.
+//!
+//! These tests exercise the persistence layer the way an operator would:
+//! kill the pipeline at every phase boundary (deterministic
+//! [`CrashPoint`] hooks), restart with `resume`, and require the final
+//! partition to be canonically identical to an uninterrupted in-memory
+//! run — with the crash-destroyed work booked in `faults.lost_pairs`,
+//! never silently re-counted, so pair-flow conservation survives the
+//! crash.
+//!
+//! They also pin the out-of-core contract (a tiny memory budget changes
+//! *where* bucket batches live, not *what* gets clustered) and the
+//! observability contract (io.* / ckpt.* metrics are present after a
+//! budgeted, checkpointed run).
+
+use std::path::PathBuf;
+
+use pace::obs::Obs;
+use pace::{CrashPoint, Pace, PaceConfig, PaceError, PersistConfig, SequenceStore};
+use pace_simulate::{generate, SimConfig};
+
+fn test_config() -> PaceConfig {
+    let mut c = PaceConfig::small_inputs();
+    c.cluster.psi = 16;
+    c.cluster.overlap.min_overlap_len = 40;
+    c
+}
+
+fn dataset(n: usize, seed: u64) -> pace::simulate::EstDataset {
+    generate(&SimConfig {
+        num_genes: (n / 12).max(2),
+        num_ests: n,
+        est_len_mean: 220.0,
+        est_len_sd: 25.0,
+        est_len_min: 120,
+        exon_len: (220, 400),
+        exons_per_gene: (1, 2),
+        seed,
+        ..SimConfig::default()
+    })
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pace-ckpt-it-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Canonical partition equality: zero false positives and negatives
+/// under the quality assessor (labels may be permuted between drivers).
+fn same_partition(a: &[usize], b: &[usize]) -> bool {
+    let m = pace::quality::assess(a, b);
+    m.counts.fp + m.counts.fn_ == 0
+}
+
+fn assert_conservation(s: &pace::cluster::stats::ClusterStats) {
+    assert_eq!(
+        s.pairs_generated,
+        s.pairs_processed + s.pairs_skipped + s.pairs_unconsumed,
+        "pair-flow conservation violated: {s:?}"
+    );
+}
+
+/// Kill the run after every phase boundary, resume, and require the
+/// resumed run to reproduce the uninterrupted partition exactly.
+#[test]
+fn crash_at_every_phase_boundary_then_resume() {
+    let ds = dataset(80, 1311);
+    let store = SequenceStore::from_ests(&ds.ests).unwrap();
+    let pace = Pace::new(test_config());
+    let reference = pace.cluster_store(&store).unwrap();
+
+    let crash_points = [
+        CrashPoint::AfterIngest,
+        CrashPoint::AfterPartition,
+        CrashPoint::AfterBuild,
+        CrashPoint::AfterClusterBatch(1),
+        CrashPoint::AfterClusterBatch(3),
+    ];
+    for (i, &point) in crash_points.iter().enumerate() {
+        let dir = tmpdir(&format!("boundary-{i}"));
+        // A tiny budget forces many cluster batches so the mid-cluster
+        // crash points actually fire; a heavy checkpoint every 2 batches
+        // exercises both the replay-from-checkpoint and the lost-pair
+        // reconciliation paths.
+        let mut persist = PersistConfig::new(&dir);
+        persist.memory_budget = 16 * 1024;
+        persist.checkpoint_every = 2;
+        persist.crash_after = Some(point);
+
+        let err = pace
+            .cluster_store_persistent(&store, &persist, &Obs::noop())
+            .expect_err("injected crash must abort the run");
+        assert!(
+            matches!(err, PaceError::InjectedCrash(_)),
+            "crash at {point} surfaced as {err:?}"
+        );
+
+        persist.crash_after = None;
+        persist.resume = true;
+        let resumed = pace
+            .cluster_store_persistent(&store, &persist, &Obs::noop())
+            .unwrap_or_else(|e| panic!("resume after {point} failed: {e}"));
+        assert!(
+            resumed.resumed,
+            "resume after {point} did not restore state"
+        );
+        assert!(
+            same_partition(resumed.outcome.labels(), reference.labels()),
+            "partition after crash at {point} + resume differs from reference"
+        );
+        let stats = &resumed.outcome.result.stats;
+        assert_conservation(stats);
+        if matches!(point, CrashPoint::AfterClusterBatch(_)) {
+            // Pairs destroyed by the mid-cluster crash are booked, not
+            // silently re-counted.
+            assert!(
+                stats.faults.lost_pairs > 0,
+                "mid-cluster crash at {point} lost no pairs?"
+            );
+            assert_eq!(stats.faults.lost_pairs, stats.pairs_unconsumed);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Memory budgets change where bucket batches live (RAM vs spill
+/// files), never the clustering itself.
+#[test]
+fn any_budget_yields_the_in_memory_partition() {
+    let ds = dataset(80, 4177);
+    let store = SequenceStore::from_ests(&ds.ests).unwrap();
+    let pace = Pace::new(test_config());
+    let reference = pace.cluster_store(&store).unwrap();
+
+    for (i, budget) in [0u64, 64 * 1024, 8 * 1024].into_iter().enumerate() {
+        let dir = tmpdir(&format!("budget-{i}"));
+        let mut persist = PersistConfig::new(&dir);
+        persist.memory_budget = budget;
+        let out = pace
+            .cluster_store_persistent(&store, &persist, &Obs::noop())
+            .unwrap();
+        assert!(
+            same_partition(out.outcome.labels(), reference.labels()),
+            "budget {budget} changed the partition"
+        );
+        assert_conservation(&out.outcome.result.stats);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// A budgeted, checkpointed run surfaces the io.* / ckpt.* metrics the
+/// bench gate and the CI artifact rely on.
+#[test]
+fn budgeted_run_reports_io_and_ckpt_metrics() {
+    let ds = dataset(60, 90210);
+    let store = SequenceStore::from_ests(&ds.ests).unwrap();
+    let pace = Pace::new(test_config());
+
+    let dir = tmpdir("metrics");
+    let mut persist = PersistConfig::new(&dir);
+    persist.memory_budget = 16 * 1024;
+    let obs = Obs::noop();
+    pace.cluster_store_persistent(&store, &persist, &obs)
+        .unwrap();
+
+    let snap = obs.registry().snapshot();
+    for key in [
+        "io.spill_bytes",
+        "io.spill_files",
+        "io.read_back_bytes",
+        "io.spill_batches",
+        "ckpt.writes",
+        "ckpt.bytes",
+    ] {
+        let v = snap.counters.get(key).copied();
+        assert!(
+            v.is_some_and(|v| v > 0),
+            "counter {key} missing or zero after budgeted run: {v:?}"
+        );
+    }
+    // Spilled batches are read back exactly once in an uninterrupted run.
+    assert_eq!(
+        snap.counters["io.spill_bytes"], snap.counters["io.read_back_bytes"],
+        "spill traffic is asymmetric"
+    );
+    assert!(
+        snap.gauges
+            .get("io.peak_batch_bytes")
+            .copied()
+            .unwrap_or(0.0)
+            > 0.0,
+        "peak batch gauge missing"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
