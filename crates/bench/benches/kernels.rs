@@ -1,6 +1,8 @@
 //! Criterion micro-benchmarks of the kernels behind each experiment.
 //!
 //! * `gst_build`    — Table 3's "construction of GST" column;
+//! * `gst_subdivision` — the subdivision kernel alone: comparison-sort
+//!   reference vs the counting-sort + multi-character-skip hot path;
 //! * `node_sort`    — Table 3's "sorting nodes" column (generator setup);
 //! * `pair_generation` — the engine behind Figure 7's generated curve;
 //! * `alignment`    — Table 3's "pairwise alignment" column: anchored
@@ -16,7 +18,10 @@ use pace_align::{align_anchored, align_anchored_with, AlignWorkspace, Anchor, Sc
 use pace_bench::{dataset, paper_cfg};
 use pace_cluster::{align_pair, cluster_sequential, AlignContext};
 use pace_dsu::DisjointSets;
-use pace_gst::{assign_buckets, build_forest_for_rank, count_buckets};
+use pace_gst::{
+    assign_buckets, build_forest_for_rank, build_subtree_comparison_sort, build_subtree_with,
+    count_buckets, enumerate_bucket_suffixes, num_buckets, BuildScratch,
+};
 use pace_pairgen::{PairGenConfig, PairGenerator};
 use pace_seq::{PackedText, SequenceStore};
 use std::hint::black_box;
@@ -29,6 +34,60 @@ fn bench_gst_build(c: &mut Criterion) {
     c.bench_function("gst_build/400ests", |b| {
         b.iter(|| black_box(build_forest_for_rank(&store, &partition, 0)))
     });
+}
+
+fn bench_gst_subdivision(c: &mut Criterion) {
+    // The node-subdivision kernel in isolation: the comparison-sort
+    // reference (per-node `sort_by_key`, per-character recursion) against
+    // the counting-sort + multi-character-skip path the builder ships
+    // with. Same suffix lists, same output trees (pinned by proptest);
+    // only the subdivision strategy differs.
+    let w = 8;
+    let ds = dataset(400, 9101);
+    let store = SequenceStore::from_ests(&ds.ests).unwrap();
+    let counts = count_buckets(&store, w);
+    let partition = assign_buckets(&counts, 1);
+    let buckets = partition.buckets_of(0);
+    let mut wanted = vec![None; num_buckets(w)];
+    for (slot, &b) in buckets.iter().enumerate() {
+        wanted[b as usize] = Some(slot as u32);
+    }
+    let per_bucket = enumerate_bucket_suffixes(&store, w, &wanted, buckets.len());
+    let work: Vec<_> = buckets.iter().copied().zip(per_bucket).collect();
+
+    let mut group = c.benchmark_group("gst_subdivision");
+    group.bench_function("comparison_sort", |b| {
+        b.iter_batched(
+            || work.clone(),
+            |work| {
+                let nodes: usize = work
+                    .into_iter()
+                    .map(|(bucket, sufs)| {
+                        build_subtree_comparison_sort(&store, bucket, sufs, w).len()
+                    })
+                    .sum();
+                black_box(nodes)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("counting_sort_skip", |b| {
+        let mut scratch = BuildScratch::new();
+        b.iter_batched(
+            || work.clone(),
+            |work| {
+                let nodes: usize = work
+                    .into_iter()
+                    .map(|(bucket, sufs)| {
+                        build_subtree_with(&store, bucket, sufs, w, &mut scratch).len()
+                    })
+                    .sum();
+                black_box(nodes)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
 }
 
 fn bench_node_sort_and_pairgen(c: &mut Criterion) {
@@ -181,6 +240,7 @@ fn bench_end_to_end(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_gst_build,
+    bench_gst_subdivision,
     bench_node_sort_and_pairgen,
     bench_alignment,
     bench_workspace_reuse,

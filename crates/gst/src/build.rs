@@ -6,10 +6,38 @@
 //! one character at a time, recursively subdividing until every group of
 //! identical suffixes has its own leaf — `O(bucket size · l)` work, which
 //! is fine because the average EST length `l` does not grow with `n`.
+//!
+//! Two engineering refinements keep the constant small on the 5-letter
+//! alphabet (in the spirit of the cache-conscious suffix-structure work
+//! surveyed in PAPERS.md):
+//!
+//! * **Counting-sort subdivision.** Each branching node partitions its
+//!   group with a stable 5-way counting sort (end-of-string + A/C/G/T)
+//!   through a reusable scratch buffer — one classification pass and one
+//!   scatter pass instead of an `O(g log g)` comparison sort that
+//!   re-derives the branch character on every comparison.
+//! * **Multi-character skip.** A group sharing a k-character common
+//!   prefix advances its depth by k in one longest-common-extension scan
+//!   instead of recursing (and re-classifying) once per character.
 
 use crate::bucket::SuffixRef;
 use crate::tree::{Node, Subtree};
 use pace_seq::{SequenceStore, StrId};
+
+/// Reusable subdivision scratch: one buffer, grown once per thread/rank
+/// to the largest bucket it ever builds, shared across every
+/// [`build_subtree_with`] call so the hot path allocates nothing.
+#[derive(Debug, Default)]
+pub struct BuildScratch {
+    buf: Vec<SuffixRef>,
+}
+
+impl BuildScratch {
+    /// Empty scratch; the first build grows it to its bucket's size.
+    pub fn new() -> Self {
+        BuildScratch::default()
+    }
+}
 
 /// Build the subtree for one bucket.
 ///
@@ -17,11 +45,26 @@ use pace_seq::{SequenceStore, StrId};
 /// same first `w` characters (the bucket invariant). `w` is the bucket
 /// window size — subdivision starts at depth `w` since the shared prefix
 /// is already known. An empty bucket yields an empty subtree.
+///
+/// One-off convenience over [`build_subtree_with`]; callers building many
+/// buckets should hold a [`BuildScratch`] and reuse it.
 pub fn build_subtree(
+    store: &SequenceStore,
+    bucket: u32,
+    suffixes: Vec<SuffixRef>,
+    w: usize,
+) -> Subtree {
+    build_subtree_with(store, bucket, suffixes, w, &mut BuildScratch::new())
+}
+
+/// [`build_subtree`] through a caller-owned scratch buffer, so a rank
+/// building its whole bucket set reuses one allocation throughout.
+pub fn build_subtree_with(
     store: &SequenceStore,
     bucket: u32,
     mut suffixes: Vec<SuffixRef>,
     w: usize,
+    scratch: &mut BuildScratch,
 ) -> Subtree {
     let mut tree = Subtree {
         bucket,
@@ -38,7 +81,7 @@ pub fn build_subtree(
         },
         "bucket invariant violated: differing {w}-prefixes"
     );
-    build_group(store, &mut tree, &mut suffixes, w);
+    build_group(store, &mut tree, &mut suffixes, w, scratch);
     tree
 }
 
@@ -53,7 +96,13 @@ fn char_at(store: &SequenceStore, suf: SuffixRef, d: usize) -> Option<u8> {
 
 /// Recursively build the subtree of a group of suffixes sharing a prefix
 /// of length `d`, appending nodes in DFS order.
-fn build_group(store: &SequenceStore, tree: &mut Subtree, group: &mut [SuffixRef], mut d: usize) {
+fn build_group(
+    store: &SequenceStore,
+    tree: &mut Subtree,
+    group: &mut [SuffixRef],
+    mut d: usize,
+    scratch: &mut BuildScratch,
+) {
     debug_assert!(!group.is_empty());
 
     // Singleton group: a leaf at the suffix's full length.
@@ -62,10 +111,158 @@ fn build_group(store: &SequenceStore, tree: &mut Subtree, group: &mut [SuffixRef
         return;
     }
 
+    // Multi-character skip: advance past the group's longest common
+    // extension in one scan. The old per-character loop re-classified the
+    // whole group once per shared character; here a group sharing a
+    // k-character prefix costs one length-k comparison per member.
+    let first = &group[0].bytes(store)[d..];
+    let mut k = first.len();
+    for suf in &group[1..] {
+        let bytes = &suf.bytes(store)[d..];
+        let lim = k.min(bytes.len());
+        let mut i = 0;
+        while i < lim && bytes[i] == first[i] {
+            i += 1;
+        }
+        k = i;
+        if k == 0 {
+            break;
+        }
+    }
+    d += k;
+
+    // Partition the group by the character at depth d. The store's
+    // alphabet is {A,C,G,T}; `None` (end-of-string, the implicit
+    // terminator) sorts first. The skip was maximal, so either every
+    // suffix ends here or at least two classes are non-empty.
+    let mut ends = 0usize;
+    let mut counts = [0usize; 4];
+    for &suf in group.iter() {
+        match char_at(store, suf, d) {
+            None => ends += 1,
+            Some(c) => counts[code_of(c)] += 1,
+        }
+    }
+    if ends == group.len() {
+        // Every suffix ends here: one leaf of identical suffixes.
+        push_leaf(tree, store, group, d);
+        return;
+    }
+    debug_assert!(
+        usize::from(ends > 0) + counts.iter().filter(|&&c| c > 0).count() >= 2,
+        "skip stopped short of the branch point"
+    );
+
+    // A real branch: emit the internal node now (DFS order: parent
+    // first), then its children, then patch the rightmost pointer.
+    let node_idx = tree.nodes.len();
+    tree.nodes.push(Node {
+        rightmost: 0, // patched below
+        depth: d as u32,
+        suf_start: 0,
+        suf_end: 0,
+    });
+
+    // Stable 5-way counting sort of the group: ends first, then A, C, G,
+    // T — this is the child order, matching the representation's
+    // "children sorted by branching character" invariant. The class
+    // counts are already in hand, so this is one scatter through the
+    // reusable scratch buffer and a copy back.
+    let buf = &mut scratch.buf;
+    buf.clear();
+    buf.extend_from_slice(group);
+    let mut pos = [0usize; 5];
+    pos[1] = ends;
+    for c in 0..3 {
+        pos[c + 2] = pos[c + 1] + counts[c];
+    }
+    for &suf in buf.iter() {
+        let class = match char_at(store, suf, d) {
+            None => 0,
+            Some(c) => code_of(c) + 1,
+        };
+        group[pos[class]] = suf;
+        pos[class] += 1;
+    }
+    debug_assert_eq!(pos[4], group.len());
+
+    let mut start = 0usize;
+    if ends > 0 {
+        let (end_group, _) = group.split_at_mut(ends);
+        push_leaf(tree, store, end_group, d);
+        start = ends;
+    }
+    for &len in counts.iter() {
+        if len == 0 {
+            continue;
+        }
+        let sub_range = start..start + len;
+        build_group(store, tree, &mut group[sub_range], d + 1, scratch);
+        start += len;
+    }
+    debug_assert_eq!(start, group.len());
+
+    let last = (tree.nodes.len() - 1) as u32;
+    tree.nodes[node_idx].rightmost = last;
+}
+
+/// 2-bit class of a stored base. Non-ACGT bytes cannot occur in a store
+/// that went through [`SequenceStore`] insertion validation; a corrupt or
+/// hand-assembled store trips the debug assertion in test builds and maps
+/// to class 0 in release builds instead of aborting the whole run (the
+/// typed rejection happens upstream, at store construction).
+#[inline]
+fn code_of(c: u8) -> usize {
+    match c {
+        b'A' => 0,
+        b'C' => 1,
+        b'G' => 2,
+        b'T' => 3,
+        other => {
+            debug_assert!(
+                false,
+                "non-DNA byte {other:#04x} reached the GST builder; \
+                 store insertion should have rejected it"
+            );
+            0
+        }
+    }
+}
+
+/// Reference subdivision using the pre-rewrite per-character recursion
+/// and comparison sort. Kept (not `cfg(test)`) so the equivalence
+/// property test and the `gst_subdivision` criterion group can hold the
+/// counting-sort builder to byte-identical output and measure the gap.
+#[doc(hidden)]
+pub fn build_subtree_comparison_sort(
+    store: &SequenceStore,
+    bucket: u32,
+    mut suffixes: Vec<SuffixRef>,
+    w: usize,
+) -> Subtree {
+    let mut tree = Subtree {
+        bucket,
+        nodes: Vec::with_capacity(suffixes.len() * 2),
+        suffixes: Vec::with_capacity(suffixes.len()),
+    };
+    if suffixes.is_empty() {
+        return tree;
+    }
+    build_group_comparison(store, &mut tree, &mut suffixes, w);
+    tree
+}
+
+fn build_group_comparison(
+    store: &SequenceStore,
+    tree: &mut Subtree,
+    group: &mut [SuffixRef],
+    mut d: usize,
+) {
+    if group.len() == 1 {
+        push_leaf(tree, store, group, d);
+        return;
+    }
     loop {
-        // Partition the group by the character at depth d. The store's
-        // alphabet is {A,C,G,T}; `None` (end-of-string, the implicit
-        // terminator) sorts first.
         let mut ends = 0usize;
         let mut counts = [0usize; 4];
         for &suf in group.iter() {
@@ -75,36 +272,25 @@ fn build_group(store: &SequenceStore, tree: &mut Subtree, group: &mut [SuffixRef
             }
         }
         let branching = usize::from(ends > 0) + counts.iter().filter(|&&c| c > 0).count();
-
         if branching == 1 {
             if ends > 0 {
-                // Every suffix ends here: one leaf of identical suffixes.
                 push_leaf(tree, store, group, d);
                 return;
             }
-            // Path compression: single continuing character, no node.
             d += 1;
             continue;
         }
-
-        // A real branch: emit the internal node now (DFS order: parent
-        // first), then its children, then patch the rightmost pointer.
         let node_idx = tree.nodes.len();
         tree.nodes.push(Node {
-            rightmost: 0, // patched below
+            rightmost: 0,
             depth: d as u32,
             suf_start: 0,
             suf_end: 0,
         });
-
-        // In-place bucket sort of the group: ends first, then A, C, G, T —
-        // this is the child order, matching the representation's "children
-        // sorted by branching character" invariant.
         group.sort_by_key(|&suf| match char_at(store, suf, d) {
             None => 0u8,
             Some(c) => code_of(c) as u8 + 1,
         });
-
         let mut start = 0usize;
         if ends > 0 {
             let (end_group, _) = group.split_at_mut(ends);
@@ -115,26 +301,12 @@ fn build_group(store: &SequenceStore, tree: &mut Subtree, group: &mut [SuffixRef
             if len == 0 {
                 continue;
             }
-            let sub = &mut group[start..start + len];
-            build_group(store, tree, sub, d + 1);
+            build_group_comparison(store, tree, &mut group[start..start + len], d + 1);
             start += len;
         }
-        debug_assert_eq!(start, group.len());
-
         let last = (tree.nodes.len() - 1) as u32;
         tree.nodes[node_idx].rightmost = last;
         return;
-    }
-}
-
-#[inline]
-fn code_of(c: u8) -> usize {
-    match c {
-        b'A' => 0,
-        b'C' => 1,
-        b'G' => 2,
-        b'T' => 3,
-        other => unreachable!("non-DNA byte {other} in store"),
     }
 }
 
@@ -356,6 +528,26 @@ mod tests {
                 t.validate(&s).unwrap();
             }
             prop_assert_eq!(leaf_census(&s, &trees), expected_census(&s, w));
+        }
+
+        /// The counting-sort + multi-character-skip builder is
+        /// byte-identical to the comparison-sort reference: same DFS node
+        /// arrays, same depths, same suffix arena layout.
+        #[test]
+        fn counting_sort_matches_comparison_sort(ests in dna_ests(), w in 1usize..4) {
+            let s = SequenceStore::from_ests(&ests).unwrap();
+            let nb = num_buckets(w);
+            let wanted: Vec<Option<u32>> = (0..nb).map(|b| Some(b as u32)).collect();
+            let per_bucket = enumerate_bucket_suffixes(&s, w, &wanted, nb);
+            let mut scratch = BuildScratch::new();
+            for (b, sufs) in per_bucket.into_iter().enumerate() {
+                if sufs.is_empty() {
+                    continue;
+                }
+                let reference = build_subtree_comparison_sort(&s, b as u32, sufs.clone(), w);
+                let fast = build_subtree_with(&s, b as u32, sufs, w, &mut scratch);
+                prop_assert_eq!(&fast, &reference, "bucket {} diverged", b);
+            }
         }
 
         /// Node count is linear: a compacted trie over m suffix

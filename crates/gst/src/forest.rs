@@ -6,7 +6,7 @@
 //! generation never visits).
 
 use crate::bucket::enumerate_bucket_suffixes;
-use crate::build::build_subtree;
+use crate::build::{build_subtree_with, BuildScratch};
 use crate::partition::{assign_buckets, count_buckets, BucketPartition};
 use crate::tree::Subtree;
 use pace_seq::SequenceStore;
@@ -71,10 +71,13 @@ pub fn build_forest_for_rank(
     let per_bucket = enumerate_bucket_suffixes(store, partition.w, &wanted, slots);
     let buckets = partition.buckets_of(rank);
     debug_assert_eq!(buckets.len(), per_bucket.len());
+    // One scratch for the whole rank: the counting-sort subdivision
+    // allocates nothing after the largest bucket has sized it.
+    let mut scratch = BuildScratch::new();
     let subtrees = buckets
         .into_iter()
         .zip(per_bucket)
-        .map(|(bucket, sufs)| build_subtree(store, bucket, sufs, partition.w))
+        .map(|(bucket, sufs)| build_subtree_with(store, bucket, sufs, partition.w, &mut scratch))
         .collect();
     LocalForest {
         rank,
@@ -101,10 +104,11 @@ pub fn build_bucket_batch(store: &SequenceStore, w: usize, buckets: &[u32]) -> V
         wanted[b as usize] = Some(slot as u32);
     }
     let per_bucket = enumerate_bucket_suffixes(store, w, &wanted, buckets.len());
+    let mut scratch = BuildScratch::new();
     buckets
         .iter()
         .zip(per_bucket)
-        .map(|(&bucket, sufs)| build_subtree(store, bucket, sufs, w))
+        .map(|(&bucket, sufs)| build_subtree_with(store, bucket, sufs, w, &mut scratch))
         .collect()
 }
 

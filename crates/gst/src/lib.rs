@@ -44,7 +44,7 @@ pub mod partition;
 pub mod tree;
 
 pub use bucket::{bucket_key, enumerate_bucket_suffixes, num_buckets, SuffixRef};
-pub use build::build_subtree;
+pub use build::{build_subtree, build_subtree_comparison_sort, build_subtree_with, BuildScratch};
 pub use forest::{
     build_bucket_batch, build_distributed, build_forest_for_rank, build_sequential, LocalForest,
 };

@@ -98,30 +98,7 @@ impl<'s> PairGenerator<'s> {
             config.psi,
             forest.w
         );
-        let mut schedule = Vec::new();
-        for (t, tree) in forest.subtrees.iter().enumerate() {
-            for (v, depth) in tree.node_depths() {
-                if depth >= config.psi {
-                    schedule.push((t as u32, v));
-                }
-            }
-        }
-        match config.order {
-            PairOrder::DecreasingMcs => {
-                // Children before parents: a child is strictly deeper than
-                // its parent except terminator leaves (equal depth), which
-                // the descending node-index tie-break puts first.
-                schedule.sort_by_key(|&(t, v)| {
-                    let depth = forest.subtrees[t as usize].depth(v);
-                    (std::cmp::Reverse(depth), t, std::cmp::Reverse(v))
-                });
-            }
-            PairOrder::Arbitrary => {
-                // Reverse DFS order per subtree still guarantees children
-                // before parents, but imposes no cross-depth order.
-                schedule.sort_by_key(|&(t, v)| (t, std::cmp::Reverse(v)));
-            }
-        }
+        let schedule = make_schedule(forest, config.psi, config.order);
         let pending = forest.subtrees.iter().map(|_| HashMap::new()).collect();
         let total_suffixes = forest.num_suffixes();
         PairGenerator {
@@ -313,6 +290,77 @@ impl<'s> PairGenerator<'s> {
         }
         self.pending[t].insert(v, merged);
     }
+}
+
+/// Build the node-processing schedule without a comparison sort.
+///
+/// String-depths are bounded by the longest stored string, so the
+/// decreasing-MCS order is a bucket sort over `max_depth − ψ + 1` depth
+/// buckets — O(nodes + depth range) instead of O(nodes · log nodes).
+/// The fill order reproduces the old comparator's
+/// `(Reverse(depth), t, Reverse(v))` key byte-for-byte: buckets are
+/// scanned deepest first, and within a bucket entries arrive in
+/// ascending subtree order with descending node index (the tie-break
+/// that puts equal-depth terminator leaves before their parents, keeping
+/// children ahead of parents everywhere).
+fn make_schedule(forest: &LocalForest, psi: u32, order: PairOrder) -> Vec<(u32, NodeIdx)> {
+    // Pass 1: per-depth histogram of in-scope nodes.
+    let mut max_depth = 0u32;
+    let mut total = 0usize;
+    for tree in &forest.subtrees {
+        for (_, depth) in tree.node_depths() {
+            if depth >= psi {
+                total += 1;
+                max_depth = max_depth.max(depth);
+            }
+        }
+    }
+    if total == 0 {
+        return Vec::new();
+    }
+    let mut schedule = vec![(0u32, 0 as NodeIdx); total];
+    match order {
+        PairOrder::DecreasingMcs => {
+            // Bucket b holds depth `max_depth − b`, so bucket order is
+            // decreasing depth.
+            let mut offsets = vec![0usize; (max_depth - psi + 2) as usize];
+            for tree in &forest.subtrees {
+                for (_, depth) in tree.node_depths() {
+                    if depth >= psi {
+                        offsets[(max_depth - depth + 1) as usize] += 1;
+                    }
+                }
+            }
+            for b in 1..offsets.len() {
+                offsets[b] += offsets[b - 1];
+            }
+            for (t, tree) in forest.subtrees.iter().enumerate() {
+                for v in (0..tree.len() as NodeIdx).rev() {
+                    let depth = tree.depth(v);
+                    if depth >= psi {
+                        let b = (max_depth - depth) as usize;
+                        schedule[offsets[b]] = (t as u32, v);
+                        offsets[b] += 1;
+                    }
+                }
+            }
+        }
+        PairOrder::Arbitrary => {
+            // Reverse DFS order per subtree still guarantees children
+            // before parents, but imposes no cross-depth order.
+            let mut next = 0usize;
+            for (t, tree) in forest.subtrees.iter().enumerate() {
+                for v in (0..tree.len() as NodeIdx).rev() {
+                    if tree.depth(v) >= psi {
+                        schedule[next] = (t as u32, v);
+                        next += 1;
+                    }
+                }
+            }
+            debug_assert_eq!(next, total);
+        }
+    }
+    schedule
 }
 
 /// Filter and normalize one raw pair, pushing it to the buffer if it
@@ -605,8 +653,82 @@ mod tests {
         )
     }
 
+    /// The pre-rewrite schedule: comparator sort over the collected nodes.
+    fn comparator_schedule(
+        forest: &pace_gst::LocalForest,
+        psi: u32,
+        order: PairOrder,
+    ) -> Vec<(u32, pace_gst::NodeIdx)> {
+        let mut schedule = Vec::new();
+        for (t, tree) in forest.subtrees.iter().enumerate() {
+            for (v, depth) in tree.node_depths() {
+                if depth >= psi {
+                    schedule.push((t as u32, v));
+                }
+            }
+        }
+        match order {
+            PairOrder::DecreasingMcs => schedule.sort_by_key(|&(t, v)| {
+                let depth = forest.subtrees[t as usize].depth(v);
+                (std::cmp::Reverse(depth), t, std::cmp::Reverse(v))
+            }),
+            PairOrder::Arbitrary => schedule.sort_by_key(|&(t, v)| (t, std::cmp::Reverse(v))),
+        }
+        schedule
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// The depth-bucket schedule is byte-identical — same `(t, v)`
+        /// sequence — to the old comparator for random forests, in both
+        /// orders and across ψ values.
+        #[test]
+        fn depth_bucket_schedule_matches_comparator(
+            ests in dna_ests(),
+            w in 1usize..4,
+            psi_extra in 0u32..6,
+        ) {
+            let s = SequenceStore::from_ests(&ests).unwrap();
+            let forest = build_sequential(&s, w);
+            let psi = w as u32 + psi_extra;
+            for order in [PairOrder::DecreasingMcs, PairOrder::Arbitrary] {
+                let fast = super::make_schedule(&forest, psi, order);
+                let reference = comparator_schedule(&forest, psi, order);
+                prop_assert_eq!(&fast, &reference, "order {:?} psi {}", order, psi);
+            }
+        }
+
+        /// `DecreasingMcs` still processes every child before its parent
+        /// (the invariant `process_internal` relies on when it pops the
+        /// children's pending lsets).
+        #[test]
+        fn decreasing_mcs_yields_children_before_parents(ests in dna_ests(), w in 1usize..3) {
+            let s = SequenceStore::from_ests(&ests).unwrap();
+            let forest = build_sequential(&s, w);
+            let schedule = super::make_schedule(&forest, w as u32, PairOrder::DecreasingMcs);
+            let mut position = std::collections::HashMap::new();
+            for (i, &(t, v)) in schedule.iter().enumerate() {
+                position.insert((t, v), i);
+            }
+            for (t, tree) in forest.subtrees.iter().enumerate() {
+                for v in 0..tree.len() as u32 {
+                    let Some(&pv) = position.get(&(t as u32, v)) else {
+                        continue;
+                    };
+                    for c in tree.children(v) {
+                        // In-scope parents have in-scope children (child
+                        // depth ≥ parent depth ≥ ψ).
+                        let pc = position[&(t as u32, c)];
+                        prop_assert!(
+                            pc < pv,
+                            "child {} (pos {}) scheduled after parent {} (pos {})",
+                            c, pc, v, pv
+                        );
+                    }
+                }
+            }
+        }
 
         /// The three paper lemmas, verified against brute force on the
         /// normalized pair space {(e_i fwd, e_j fwd/rev) : i < j}.

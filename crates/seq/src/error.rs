@@ -35,6 +35,13 @@ pub enum SeqError {
         /// Length of the sequence being sliced.
         len: usize,
     },
+    /// A serialized store whose structure is inconsistent — offset-table
+    /// shape, monotonicity, or mismatched strand lengths (from
+    /// [`crate::SequenceStore::from_raw_parts`]).
+    CorruptStore {
+        /// Human-readable description of the violated invariant.
+        detail: String,
+    },
     /// Underlying I/O failure (message only, to keep the error `Clone + Eq`).
     Io(String),
 }
@@ -63,6 +70,9 @@ impl std::fmt::Display for SeqError {
                 f,
                 "slice range {start}..{end} out of bounds for sequence of length {len}"
             ),
+            SeqError::CorruptStore { detail } => {
+                write!(f, "corrupt sequence store: {detail}")
+            }
             SeqError::Io(msg) => write!(f, "I/O error: {msg}"),
         }
     }

@@ -117,45 +117,59 @@ impl SequenceStore {
 
     /// Rebuild a store from a previously serialized raw representation.
     ///
-    /// Only the structural invariants are checked (odd offset count,
+    /// Both the structural invariants (odd offset count,
     /// `offsets[0] == 0`, monotone non-decreasing, final offset equals
-    /// the text length, equal strand lengths, no empty strings); the
-    /// text content itself is trusted — on the deserialization path,
-    /// content integrity is the snapshot checksum's job.
-    pub fn from_raw_parts(text: Vec<u8>, offsets: Vec<u32>) -> Result<Self, String> {
+    /// the text length, equal strand lengths, no empty strings) and the
+    /// content invariant (every byte is uppercase `{A,C,G,T}`) are
+    /// checked. Content validation matters because everything above the
+    /// store — in particular the suffix-tree builder's base classifier —
+    /// relies on the store only ever holding DNA; a snapshot that smuggles
+    /// in an `N` must surface here as a typed error, not as a panic deep
+    /// inside GST construction.
+    pub fn from_raw_parts(text: Vec<u8>, offsets: Vec<u32>) -> Result<Self, SeqError> {
+        let corrupt = |detail: String| SeqError::CorruptStore { detail };
         if offsets.len() % 2 != 1 {
-            return Err(format!(
+            return Err(corrupt(format!(
                 "offset table has {} entries, expected 2n+1",
                 offsets.len()
-            ));
+            )));
         }
         if offsets[0] != 0 {
-            return Err(format!("offsets[0] = {}, expected 0", offsets[0]));
+            return Err(corrupt(format!("offsets[0] = {}, expected 0", offsets[0])));
         }
         if *offsets.last().unwrap() as usize != text.len() {
-            return Err(format!(
+            return Err(corrupt(format!(
                 "final offset {} != text length {}",
                 offsets.last().unwrap(),
                 text.len()
-            ));
+            )));
         }
         for pair in offsets.windows(2) {
             if pair[0] >= pair[1] {
-                return Err(format!(
+                return Err(corrupt(format!(
                     "offsets not strictly increasing: {} then {}",
                     pair[0], pair[1]
-                ));
+                )));
             }
         }
         for i in (0..offsets.len() - 1).step_by(2) {
             let fwd = offsets[i + 1] - offsets[i];
             let rev = offsets[i + 2] - offsets[i + 1];
             if fwd != rev {
-                return Err(format!(
+                return Err(corrupt(format!(
                     "EST {}: forward length {fwd} != reverse length {rev}",
                     i / 2
-                ));
+                )));
             }
+        }
+        if let Some(offset) = text
+            .iter()
+            .position(|b| !matches!(b, b'A' | b'C' | b'G' | b'T'))
+        {
+            return Err(SeqError::InvalidBaseAt {
+                byte: text[offset],
+                offset,
+            });
         }
         Ok(SequenceStore { text, offsets })
     }
@@ -367,6 +381,22 @@ mod tests {
         assert!(SequenceStore::from_raw_parts(b"ACGT".to_vec(), vec![0, 2, 2]).is_err());
         assert!(SequenceStore::from_raw_parts(b"ACGT".to_vec(), vec![0, 1, 4]).is_err());
         assert!(SequenceStore::from_raw_parts(b"ACGT".to_vec(), vec![0, 2, 5]).is_err());
+
+        // Content corruption is rejected with a typed, located error —
+        // the GST builder must never see a non-DNA byte.
+        assert_eq!(
+            SequenceStore::from_raw_parts(b"ACNT".to_vec(), vec![0, 2, 4]).unwrap_err(),
+            SeqError::InvalidBaseAt {
+                byte: b'N',
+                offset: 2
+            }
+        );
+        // Lowercase bytes are invalid too: the store is normalized to
+        // uppercase at insertion, so a serialized 'a' means corruption.
+        assert!(matches!(
+            SequenceStore::from_raw_parts(b"acgt".to_vec(), vec![0, 2, 4]).unwrap_err(),
+            SeqError::InvalidBaseAt { byte: b'a', .. }
+        ));
     }
 
     fn dna_vecs() -> impl Strategy<Value = Vec<Vec<u8>>> {

@@ -178,13 +178,15 @@ pub fn encode_sequence_store(store: &SequenceStore) -> Vec<u8> {
     out
 }
 
-/// Decode a [`SequenceStore`], re-validating its structural invariants.
+/// Decode a [`SequenceStore`], re-validating its structural invariants
+/// and that the text is pure uppercase DNA.
 pub fn decode_sequence_store(bytes: &[u8]) -> Result<SequenceStore, SnapshotError> {
     let mut d = Dec::new(bytes, "sequence store");
     let text = d.byte_vec()?;
     let offsets = d.u32_vec()?;
     d.finish()?;
-    SequenceStore::from_raw_parts(text, offsets).map_err(|e| corrupt("sequence store", e))
+    SequenceStore::from_raw_parts(text, offsets)
+        .map_err(|e| corrupt("sequence store", e.to_string()))
 }
 
 // ---------------------------------------------------------------------

@@ -18,11 +18,28 @@ use crate::snapshot::{Snapshot, SnapshotWriter};
 use pace_gst::{BucketPartition, Subtree};
 use std::path::{Path, PathBuf};
 
-/// Estimated in-memory bytes per suffix occurrence of a built subtree:
-/// ~2 DFS nodes of 16 bytes per suffix (leaves plus internals), an
-/// 8-byte `SuffixRef` arena slot, and ~8 bytes of lset scratch during
-/// pair generation.
-pub const DEFAULT_BYTES_PER_SUFFIX: u64 = 56;
+/// Node-array bytes per suffix occurrence. The builder preallocates
+/// `Subtree::nodes` at **2× the suffix count** (a bucket subtree has at
+/// most one leaf plus one internal node per suffix), and
+/// `Subtree::memory_bytes` reports *capacity*, so a batch pays for the
+/// full preallocation whether or not the DFS array fills it: 2 nodes ×
+/// 16 bytes each.
+pub const NODE_PREALLOC_BYTES_PER_SUFFIX: u64 = 32;
+
+/// Suffix-arena bytes per occurrence: one 8-byte `SuffixRef` slot.
+pub const ARENA_BYTES_PER_SUFFIX: u64 = 8;
+
+/// Pair-generation lset scratch per occurrence: one arena entry of three
+/// parallel `u32` columns (string id, offset, next-link) plus slack for
+/// the per-node class heads.
+pub const LSET_BYTES_PER_SUFFIX: u64 = 16;
+
+/// Estimated in-memory bytes per suffix occurrence of a built subtree —
+/// the sum of the component costs above. Kept as an explicit sum so the
+/// load model visibly tracks the representation it budgets for; the
+/// `plan_never_underestimates_built_batches` test pins the bound.
+pub const DEFAULT_BYTES_PER_SUFFIX: u64 =
+    NODE_PREALLOC_BYTES_PER_SUFFIX + ARENA_BYTES_PER_SUFFIX + LSET_BYTES_PER_SUFFIX;
 
 /// The batching decision for one rank's buckets under a memory budget.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -271,6 +288,30 @@ mod tests {
         let plan = plan_batches(&part, 0, 0, DEFAULT_BYTES_PER_SUFFIX);
         assert_eq!(plan.len(), 1);
         assert_eq!(plan.peak_est_bytes(), plan.est_bytes[0]);
+    }
+
+    /// The load model must never *under*-estimate: for every planned
+    /// batch, the estimate has to cover the actual built footprint —
+    /// subtree node/arena capacity (which includes the 2× node
+    /// preallocation) plus the lset arena pair generation will allocate
+    /// (12 bytes per suffix occurrence). Otherwise a "within budget"
+    /// batch could blow the budget once built.
+    #[test]
+    fn plan_never_underestimates_built_batches() {
+        let s = store();
+        let part = partition(&s);
+        for budget in [1, 4 * DEFAULT_BYTES_PER_SUFFIX, 1024, 0] {
+            let plan = plan_batches(&part, 0, budget, DEFAULT_BYTES_PER_SUFFIX);
+            for (batch, &est) in plan.batches.iter().zip(&plan.est_bytes) {
+                let trees = pace_gst::build_bucket_batch(&s, part.w, batch);
+                let built: u64 = trees.iter().map(|t| t.memory_bytes() as u64).sum();
+                let lset: u64 = trees.iter().map(|t| t.num_suffixes() as u64 * 12).sum();
+                assert!(
+                    est >= built + lset,
+                    "budget {budget}: estimated {est} B < built {built} B + lset {lset} B"
+                );
+            }
+        }
     }
 
     #[test]

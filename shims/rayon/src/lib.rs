@@ -3,14 +3,18 @@
 //! `range.into_par_iter().map(f).collect()`.
 //!
 //! Unlike a pure sequential fallback, `collect` genuinely fans the map
-//! out across `std::thread::scope` workers (one contiguous chunk per
-//! thread, results concatenated in order), so the baseline clusterer's
+//! out across `std::thread::scope` workers, so the baseline clusterer's
 //! parallel alignment phase and the distributed-GST builder keep real
-//! multi-core speedups. There is no work-stealing: with one long chunk
-//! and many short ones the longest chunk bounds the wall clock, which is
-//! acceptable for the uniform workloads these call sites have.
+//! multi-core speedups. Scheduling is dynamic: workers claim fixed-size
+//! grains of the index space from a shared atomic cursor, so a few heavy
+//! items (a skewed bucket, one expensive alignment) cannot pin the wall
+//! clock to whichever worker statically owned them — the defect the old
+//! one-contiguous-chunk-per-thread split had on non-uniform workloads.
+//! Results are reassembled in input order, so `collect` remains
+//! order-identical to the sequential map.
 
 use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// An indexable, thread-shareable source of items for a parallel map.
 pub trait Source: Sync {
@@ -83,17 +87,28 @@ where
         if threads <= 1 || n <= 1 {
             return (0..n).map(|i| (self.f)(self.src.get(i))).collect();
         }
-        let chunk = n.div_ceil(threads);
+        // Small grains keep claim traffic negligible while bounding the
+        // imbalance any one worker can be handed after the pool drains.
+        let grain = (n / (threads * 8)).max(1);
+        let cursor = AtomicUsize::new(0);
         let src = &self.src;
         let f = &self.f;
-        let mut parts: Vec<Vec<R>> = Vec::with_capacity(threads);
+        let mut parts: Vec<Vec<(usize, R)>> = Vec::with_capacity(threads);
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
-                .map(|t| {
+                .map(|_| {
+                    let cursor = &cursor;
                     scope.spawn(move || {
-                        let lo = t * chunk;
-                        let hi = ((t + 1) * chunk).min(n);
-                        (lo..hi).map(|i| f(src.get(i))).collect::<Vec<R>>()
+                        let mut out: Vec<(usize, R)> = Vec::new();
+                        loop {
+                            let lo = cursor.fetch_add(grain, Ordering::Relaxed);
+                            if lo >= n {
+                                break;
+                            }
+                            let hi = (lo + grain).min(n);
+                            out.extend((lo..hi).map(|i| (i, f(src.get(i)))));
+                        }
+                        out
                     })
                 })
                 .collect();
@@ -101,7 +116,16 @@ where
                 parts.push(h.join().expect("rayon shim worker panicked"));
             }
         });
-        parts.into_iter().flatten().collect()
+        // Reassemble in input order.
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for (i, r) in parts.into_iter().flatten() {
+            debug_assert!(slots[i].is_none(), "index {i} produced twice");
+            slots[i] = Some(r);
+        }
+        slots
+            .into_iter()
+            .map(|r| r.expect("every index claimed exactly once"))
+            .collect()
     }
 }
 
@@ -167,6 +191,42 @@ mod tests {
         assert!(empty.is_empty());
         let one: Vec<usize> = (5..6).into_par_iter().map(|i| i).collect();
         assert_eq!(one, vec![5]);
+    }
+
+    /// One pathologically slow item must not stop the other workers from
+    /// draining the rest of the pool: with dynamic grain claiming, the
+    /// thread stuck on the slow item ends up processing only a small
+    /// share of the input. The old static contiguous split handed that
+    /// thread a full `n / threads` chunk regardless.
+    #[test]
+    fn skewed_item_does_not_serialize_the_pool() {
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(16);
+        if threads < 2 {
+            return; // nothing to balance on a single-core runner
+        }
+        let n = 4096usize;
+        let processed: Vec<std::thread::ThreadId> = (0..n)
+            .into_par_iter()
+            .map(|i| {
+                if i == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(200));
+                }
+                std::thread::current().id()
+            })
+            .collect();
+        let slow_thread = processed[0];
+        let by_slow = processed.iter().filter(|&&t| t == slow_thread).count();
+        // The slow worker claims at most a handful of grains before the
+        // others finish everything else; give a generous margin.
+        assert!(
+            by_slow < n / 4,
+            "thread with the slow item processed {by_slow}/{n} items — \
+             static chunking would give it {}",
+            n / threads
+        );
     }
 
     #[test]
