@@ -91,6 +91,7 @@ fn main() {
 
     let snap = obs.registry().snapshot();
     check_workspace_reuse(&snap, &r);
+    check_trace_off(&obs, &snap);
 
     // Gate document: the standard report plus the cross-rep phase minima.
     let meta = vec![
@@ -145,6 +146,28 @@ fn check_workspace_reuse(snap: &pace_obs::RegistrySnapshot, r: &pace_cluster::Cl
             std::process::exit(1);
         }
     }
+}
+
+/// The tracing subsystem's off-by-default discipline, asserted
+/// structurally on every CI run: the smoke bench attaches no tracer, so
+/// `trace_with` closures must never run (no per-event allocations on
+/// the hot path — the trace analogue of the workspace-reuse check) and
+/// no `trace.*` key may leak into the registry.
+fn check_trace_off(obs: &Obs, snap: &pace_obs::RegistrySnapshot) {
+    if obs.trace_enabled() || obs.tracer().is_some() {
+        eprintln!("FAIL: smoke bench expected tracing off, found a tracer attached");
+        std::process::exit(1);
+    }
+    if let Some(key) = snap
+        .gauges
+        .keys()
+        .chain(snap.counters.keys())
+        .find(|k| k.starts_with("trace."))
+    {
+        eprintln!("FAIL: trace metric {key} recorded with tracing off");
+        std::process::exit(1);
+    }
+    println!("tracing off: no tracer attached, no trace.* metrics — zero trace-path work");
 }
 
 /// Append one entry to the trajectory file (a JSON array). A missing or

@@ -24,8 +24,9 @@ use crate::slave::{run_slave_obs, SlaveReportSummary};
 use crate::stats::{ClusterResult, ClusterStats, PhaseTimers};
 use crate::trace::MergeTrace;
 use pace_gst::{assign_buckets, build_forest_for_rank, count_buckets_stride, num_buckets};
-use pace_mpisim::{run_world_with_faults, FaultPlan, FaultSnapshot, WorldStats};
-use pace_obs::{metric, Event, Obs, Timer};
+use pace_mpisim::{run_world_obs, FaultPlan, FaultSnapshot, WorldStats};
+use pace_obs::trace::{flow_id, T_DISPATCH, T_HANDLE_REPORT};
+use pace_obs::{metric, Event, Obs, Timer, TraceKind};
 use pace_seq::{PackedText, SequenceStore};
 use std::time::Duration;
 
@@ -110,7 +111,7 @@ pub fn cluster_parallel_faults(
     let packed_ref = packed.as_ref();
 
     let under_faults = !plan.is_empty();
-    let outputs = run_world_with_faults(p, plan, |rank| {
+    let outputs = run_world_obs(p, plan, obs, |rank| {
         if rank.rank() == 0 {
             master_rank(&rank, store, cfg, num_slaves, under_faults, obs)
         } else {
@@ -240,6 +241,17 @@ fn master_rank(
     let poll = Duration::from_secs_f64((cfg.slave_timeout / 4.0).clamp(0.001, 0.05));
     let send_replies = |replies: Vec<(usize, Msg)>| {
         for (slave, reply) in replies {
+            // A dispatched batch opens a causal flow keyed on (slave,
+            // seq); the slave's report closes it. Resends re-open the
+            // same id, so the arrow tracks the delivery that worked.
+            if let Msg::Work { seq, pairs, .. } = &reply {
+                obs.trace_with(|tracer| {
+                    let t = obs.now_us();
+                    let id = flow_id(slave, *seq);
+                    tracer.flow(TraceKind::FlowStart, 0, t, id);
+                    tracer.instant(0, T_DISPATCH, t, id, pairs.len() as u64);
+                });
+            }
             // Shutdown has no ack; under a fault plan, bounded
             // redundancy carries it past the bounded drop rules.
             let copies = match (&reply, under_faults) {
@@ -272,6 +284,7 @@ fn master_rank(
                     } => {
                         debug_assert!(from >= 1);
                         got_report = true;
+                        let t0_us = obs.trace_enabled().then(|| obs.now_us());
                         send_replies(master.handle_report(
                             from - 1,
                             seq,
@@ -280,6 +293,24 @@ fn master_rank(
                             exhausted,
                             obs.now(),
                         ));
+                        if let Some(t0) = t0_us {
+                            obs.trace_with(|tracer| {
+                                let end = obs.now_us();
+                                // The span covers both folding the report
+                                // in and dispatching its successor, so the
+                                // flow end and the next flow start land
+                                // inside it.
+                                tracer.span(
+                                    0,
+                                    T_HANDLE_REPORT,
+                                    t0,
+                                    end.saturating_sub(t0),
+                                    flow_id(from - 1, seq),
+                                    seq,
+                                );
+                                tracer.flow(TraceKind::FlowEnd, 0, t0, flow_id(from - 1, seq));
+                            });
+                        }
                     }
                     other => unreachable!("master received {}", other.kind()),
                 }
@@ -300,30 +331,44 @@ fn master_rank(
             busy.stop();
         }
 
-        if obs.events_enabled() {
+        if obs.events_enabled() || obs.trace_enabled() {
             for note in master.drain_fault_notes() {
-                let (kind, detail) = match note {
-                    FaultNote::Resend { slave, seq, retry } => {
-                        ("resend", format!("slave {slave} seq {seq} retry {retry}"))
-                    }
+                // Structural attribution: the slave the note is about and,
+                // where the note concerns a specific batch, its protocol
+                // sequence number.
+                let (kind, seq, detail) = match note {
+                    FaultNote::Resend { slave, seq, retry } => (
+                        "resend",
+                        Some(seq),
+                        format!("slave {slave} seq {seq} retry {retry}"),
+                    ),
                     FaultNote::DeadSlave { slave, reassigned } => (
                         "dead_slave",
+                        None,
                         format!("slave {slave}, {reassigned} pairs reassigned"),
                     ),
-                    FaultNote::DuplicateReport { slave, seq } => {
-                        ("duplicate_report", format!("slave {slave} seq {seq}"))
-                    }
+                    FaultNote::DuplicateReport { slave, seq } => (
+                        "duplicate_report",
+                        Some(seq),
+                        format!("slave {slave} seq {seq}"),
+                    ),
                     FaultNote::Abandoned { pairs } => {
-                        ("abandoned", format!("{pairs} pairs, no live slaves"))
+                        ("abandoned", None, format!("{pairs} pairs, no live slaves"))
                     }
                 };
-                obs.emit(Event::Fault {
+                obs.trace_with(|tracer| {
+                    tracer.instant(0, tracer.intern(kind), obs.now_us(), seq.unwrap_or(0), 0);
+                });
+                obs.emit_with(|| Event::Fault {
                     t: obs.now(),
                     rank: 0,
                     kind: kind.to_string(),
-                    detail,
+                    seq,
+                    detail: detail.clone(),
                 });
             }
+        }
+        if obs.events_enabled() {
             for r in &master.trace.records()[merges_emitted..] {
                 obs.emit(Event::Merge {
                     t: obs.now(),
@@ -569,6 +614,51 @@ mod tests {
             snap.histograms[metric::PAIRS_MCS_LEN].count(),
             r.stats.pairs_generated
         );
+    }
+
+    #[test]
+    fn trace_records_flows_and_satisfies_invariants() {
+        let ds = dataset(100, 30);
+        let store = SequenceStore::from_ests(&ds.ests).unwrap();
+        let obs = Obs::with_tracer();
+        let (r, _) = cluster_parallel_obs(&store, &small_cfg(), 3, &obs);
+        assert!(r.stats.pairs_processed > 0);
+        let tracer = obs.tracer().unwrap();
+        assert!(tracer.recorded() > 0);
+
+        let doc = pace_obs::TraceDoc::from_tracer(tracer);
+        let analysis = pace_obs::trace::analyze(&doc);
+        let problems = analysis.check_invariants();
+        assert!(
+            problems.is_empty(),
+            "trace invariants violated: {problems:?}"
+        );
+
+        // Fault-free: every dispatched batch's flow closes at the master
+        // (the non-tautological trace form of pair-flow conservation).
+        assert!(analysis.flows_total > 0, "no flows recorded");
+        assert_eq!(
+            analysis.flows_unresolved, 0,
+            "unclosed flows without faults"
+        );
+        assert_eq!(analysis.flows_orphan_ends, 0);
+        assert_eq!(analysis.ranks.len(), 3, "one breakdown per rank");
+        assert!(analysis.critical_path_secs <= analysis.wall_secs + 1e-9);
+        assert!(
+            analysis
+                .quantiles
+                .contains_key(pace_obs::trace::T_HANDLE_REPORT),
+            "master handle_report spans missing from quantiles"
+        );
+        assert!(analysis
+            .quantiles
+            .contains_key(pace_obs::trace::T_REPORT_SEND));
+
+        // The Chrome export round-trips through our own parser.
+        let json = tracer.to_chrome_json();
+        let reparsed = pace_obs::TraceDoc::from_chrome_json(&json).expect("reparse");
+        assert_eq!(reparsed.spans.len(), doc.spans.len());
+        assert_eq!(reparsed.flows.len(), doc.flows.len());
     }
 
     #[test]

@@ -20,7 +20,8 @@ use crate::config::ClusterConfig;
 use crate::messages::Msg;
 use pace_gst::LocalForest;
 use pace_mpisim::Rank;
-use pace_obs::{metric, Obs, Timer};
+use pace_obs::trace::{flow_id, T_REPORT_SEND};
+use pace_obs::{metric, Obs, Timer, TraceKind};
 use pace_pairgen::{CandidatePair, GenStats, PairGenConfig, PairGenerator};
 use pace_seq::{PackedText, SequenceStore};
 use std::collections::VecDeque;
@@ -141,7 +142,7 @@ pub fn run_slave_obs(
         pairs: portion3,
         exhausted: generator.is_exhausted() && pairbuf.is_empty(),
     };
-    rank.send(master, startup.clone());
+    send_report(rank, master, obs, &startup);
     let mut last_report = startup;
     let mut last_seq: u64 = 0;
     let mut nextwork = portion2;
@@ -179,7 +180,7 @@ pub fn run_slave_obs(
             };
             match incoming {
                 Some(Msg::Work { seq, .. }) if seq <= last_seq => {
-                    rank.send(master, last_report.clone());
+                    send_report(rank, master, obs, &last_report);
                 }
                 Some(msg) => break 'wait msg,
                 None => {}
@@ -209,13 +210,46 @@ pub fn run_slave_obs(
                     pairs: outgoing,
                     exhausted: generator.is_exhausted() && pairbuf.is_empty(),
                 };
-                rank.send(master, report.clone());
+                send_report(rank, master, obs, &report);
                 last_report = report;
                 last_seq = seq;
                 nextwork = pairs;
             }
             Msg::Report { .. } => unreachable!("slaves never receive reports"),
         }
+    }
+}
+
+/// Send one report to the master, recording its trace footprint when a
+/// tracer is attached: a `report_send` span on this rank plus the flow
+/// point that ties the report to its batch's dispatch arrow. The
+/// unsolicited startup report (sequence 0) *opens* its flow — there is
+/// no master dispatch for it — while every later report (including
+/// duplicate resends of the cached copy) is a step on the flow the
+/// master opened.
+fn send_report(rank: &Rank<Msg>, master: usize, obs: &Obs, report: &Msg) {
+    let t0_us = obs.trace_enabled().then(|| obs.now_us());
+    rank.send(master, report.clone());
+    if let (Some(t0), Msg::Report { seq, pairs, .. }) = (t0_us, report) {
+        obs.trace_with(|tracer| {
+            let end = obs.now_us();
+            let r = rank.rank();
+            let id = flow_id(rank.rank().saturating_sub(1), *seq);
+            tracer.span(
+                r,
+                T_REPORT_SEND,
+                t0,
+                end.saturating_sub(t0),
+                id,
+                pairs.len() as u64,
+            );
+            let kind = if *seq == 0 {
+                TraceKind::FlowStart
+            } else {
+                TraceKind::FlowStep
+            };
+            tracer.flow(kind, r, t0, id);
+        });
     }
 }
 

@@ -39,6 +39,12 @@ pub struct RunReport {
     /// Quality versus ground truth, when available: `(OQ, OV, UN, CC)`
     /// as percentages.
     pub quality: Option<(f64, f64, f64, f64)>,
+    /// Seconds on the trace's critical path (longest causal chain of
+    /// work spans). `0.0` when the run was not traced.
+    pub critical_path_secs: f64,
+    /// Per-rank busy fraction from the trace, indexed by rank. Empty
+    /// when the run was not traced.
+    pub rank_utilization: Vec<f64>,
 }
 
 impl RunReport {
@@ -61,7 +67,17 @@ impl RunReport {
             total_secs: s.timers.total,
             master_busy_frac: s.master_busy_frac,
             quality: quality.map(|q| q.as_percentages()),
+            critical_path_secs: 0.0,
+            rank_utilization: Vec::new(),
         }
+    }
+
+    /// Attach trace-derived figures (critical path, per-rank busy
+    /// fractions) from a [`pace_obs::trace::Analysis`] of the run.
+    pub fn with_trace_analysis(mut self, analysis: &pace_obs::trace::Analysis) -> Self {
+        self.critical_path_secs = analysis.critical_path_secs;
+        self.rank_utilization = analysis.ranks.iter().map(|r| r.utilization).collect();
+        self
     }
 
     /// Render a Table 3–style component-time row:
@@ -112,6 +128,16 @@ impl RunReport {
             ("total_secs", Json::Num(self.total_secs)),
             ("master_busy_frac", Json::Num(self.master_busy_frac)),
             ("quality", quality),
+            ("critical_path_secs", Json::Num(self.critical_path_secs)),
+            (
+                "rank_utilization",
+                Json::Arr(
+                    self.rank_utilization
+                        .iter()
+                        .map(|&u| Json::Num(u))
+                        .collect(),
+                ),
+            ),
         ])
     }
 
@@ -144,6 +170,14 @@ impl RunReport {
             total_secs: f("total_secs")?,
             master_busy_frac: f("master_busy_frac")?,
             quality,
+            // Tolerant defaults: reports written before tracing existed
+            // simply have no trace figures.
+            critical_path_secs: f("critical_path_secs").unwrap_or(0.0),
+            rank_utilization: doc
+                .get("rank_utilization")
+                .and_then(|v| v.as_arr())
+                .map(|a| a.iter().filter_map(|x| x.as_f64()).collect())
+                .unwrap_or_default(),
         })
     }
 }
@@ -166,6 +200,14 @@ impl std::fmt::Display for RunReport {
             "  time (s)      : partition {:.3}, gst {:.3}, sort {:.3}, align {:.3}, total {:.3}",
             self.partitioning_secs, self.gst_secs, self.sort_secs, self.align_secs, self.total_secs
         )?;
+        if self.critical_path_secs > 0.0 {
+            writeln!(
+                f,
+                "  critical path : {:.3}s across {} traced rank(s)",
+                self.critical_path_secs,
+                self.rank_utilization.len()
+            )?;
+        }
         if let Some(row) = self.table2_row() {
             writeln!(f, "  quality       : {row}")?;
         }
@@ -216,6 +258,27 @@ mod tests {
         let report = RunReport::from_outcome(&out, Some(q));
         let text = report.to_json().to_string();
         let back = RunReport::from_json(&pace_obs::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn trace_fields_default_when_absent_and_roundtrip_when_set() {
+        let (out, _) = outcome();
+        let mut report = RunReport::from_outcome(&out, None);
+        // Pre-trace reports (no such keys) parse with neutral defaults.
+        let mut old = report.to_json();
+        if let Json::Obj(entries) = &mut old {
+            entries.retain(|(k, _)| k != "critical_path_secs" && k != "rank_utilization");
+        }
+        let back = RunReport::from_json(&pace_obs::json::parse(&old.to_string()).unwrap()).unwrap();
+        assert_eq!(back.critical_path_secs, 0.0);
+        assert!(back.rank_utilization.is_empty());
+        // Populated figures survive the round trip.
+        report.critical_path_secs = 1.25;
+        report.rank_utilization = vec![0.5, 0.9, 0.75];
+        let back =
+            RunReport::from_json(&pace_obs::json::parse(&report.to_json().to_string()).unwrap())
+                .unwrap();
         assert_eq!(back, report);
     }
 

@@ -71,6 +71,10 @@ pub enum FaultProfile {
     Crash,
     /// Drops + delays + one crash.
     Mixed,
+    /// No message loss at all: one non-zero rank repeatedly sleeps at
+    /// receive/collective entry — a pure straggler. Every flow edge
+    /// resolves, which is what the trace smoke check asserts on.
+    Stall,
 }
 
 impl FromStr for FaultProfile {
@@ -82,8 +86,9 @@ impl FromStr for FaultProfile {
             "delay" | "reorder" => Ok(FaultProfile::Delay),
             "crash" => Ok(FaultProfile::Crash),
             "mixed" => Ok(FaultProfile::Mixed),
+            "stall" => Ok(FaultProfile::Stall),
             other => Err(format!(
-                "unknown fault profile {other:?} (expected drop|delay|crash|mixed)"
+                "unknown fault profile {other:?} (expected drop|delay|crash|mixed|stall)"
             )),
         }
     }
@@ -96,6 +101,7 @@ impl fmt::Display for FaultProfile {
             FaultProfile::Delay => "delay",
             FaultProfile::Crash => "crash",
             FaultProfile::Mixed => "mixed",
+            FaultProfile::Stall => "stall",
         })
     }
 }
@@ -194,6 +200,13 @@ impl FaultPlan {
                 let mut rng = SplitMix64::new(seed ^ 0xC4A5_11ED);
                 let rank = 1 + (rng.next() % (p as u64 - 1)) as usize;
                 plan = plan.crash(rank, 3 + rng.next() % 4);
+            }
+            FaultProfile::Stall => {
+                let mut rng = SplitMix64::new(seed ^ 0x57A1_1ED0);
+                let rank = 1 + (rng.next() % (p as u64 - 1)) as usize;
+                // Long enough to dominate a small run's timeline, so the
+                // straggler analyzer's ranking is unambiguous.
+                plan = plan.stall(rank, 12 + rng.next() % 12, 3 + (rng.next() % 3) as u32);
             }
         }
         plan
@@ -338,12 +351,39 @@ pub(crate) struct RankFaults<M> {
     counters: Arc<FaultCounters>,
 }
 
+/// What kind of injected fault hit a send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum InjectedKind {
+    /// A rule discarded the message.
+    Drop,
+    /// A rule held the message back for later delivery.
+    Delay,
+    /// This send was the rank's crash point.
+    Crash,
+    /// The message was discarded because the rank is already dead.
+    CrashDrop,
+}
+
+/// Attribution for one injected send-side fault: which channel and which
+/// per-channel transport sequence number it hit. This is what lets
+/// sinks and traces distinguish drops/delays per channel instead of
+/// aggregating anonymously.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Injected {
+    pub(crate) kind: InjectedKind,
+    /// Destination rank of the affected message.
+    pub(crate) to: usize,
+    /// Transport sequence number on the `(sender, to)` channel.
+    pub(crate) seq: u64,
+}
+
 /// The sender-side verdict for one message.
 pub(crate) enum SendFate<M> {
     /// Deliver the message now, then deliver any matured held messages.
     Deliver(M, Vec<M>),
     /// The message was dropped or held; deliver only the matured ones.
-    Swallowed(Vec<M>),
+    /// Attribution says which injected fault swallowed it.
+    Swallowed(Vec<M>, Injected),
 }
 
 impl<M> RankFaults<M> {
@@ -355,7 +395,15 @@ impl<M> RankFaults<M> {
     pub(crate) fn on_send(&mut self, to: usize, msg: M) -> SendFate<M> {
         if self.crashed {
             self.counters.dropped.fetch_add(1, Ordering::Relaxed);
-            return SendFate::Swallowed(Vec::new());
+            let seq = self.send_seq[to];
+            return SendFate::Swallowed(
+                Vec::new(),
+                Injected {
+                    kind: InjectedKind::CrashDrop,
+                    to,
+                    seq,
+                },
+            );
         }
         if let Some(limit) = self.crash_after {
             if self.sends_done >= limit {
@@ -366,7 +414,15 @@ impl<M> RankFaults<M> {
                 for q in &mut self.delayed {
                     q.clear();
                 }
-                return SendFate::Swallowed(Vec::new());
+                let seq = self.send_seq[to];
+                return SendFate::Swallowed(
+                    Vec::new(),
+                    Injected {
+                        kind: InjectedKind::Crash,
+                        to,
+                        seq,
+                    },
+                );
             }
         }
         self.sends_done += 1;
@@ -375,19 +431,19 @@ impl<M> RankFaults<M> {
         let fate = match self.rules.get(&(to, seq)) {
             Some(FaultAction::Drop) => {
                 self.counters.dropped.fetch_add(1, Ordering::Relaxed);
-                None
+                Err(InjectedKind::Drop)
             }
             Some(&FaultAction::Delay(by)) => {
                 self.counters.delayed.fetch_add(1, Ordering::Relaxed);
                 self.delayed[to].push((seq + u64::from(by), msg));
-                None
+                Err(InjectedKind::Delay)
             }
-            None => Some(msg),
+            None => Ok(msg),
         };
         let matured = self.take_matured(to);
         match fate {
-            Some(m) => SendFate::Deliver(m, matured),
-            None => SendFate::Swallowed(matured),
+            Ok(m) => SendFate::Deliver(m, matured),
+            Err(kind) => SendFate::Swallowed(matured, Injected { kind, to, seq }),
         }
     }
 
@@ -426,12 +482,16 @@ impl<M> RankFaults<M> {
         out
     }
 
-    /// Perform one stall if the schedule has any left.
-    pub(crate) fn maybe_stall(&mut self) {
+    /// Perform one stall if the schedule has any left; returns the
+    /// milliseconds slept so the caller can trace the stall as a span.
+    pub(crate) fn maybe_stall(&mut self) -> Option<u64> {
         if self.stall_left > 0 {
             self.stall_left -= 1;
             self.counters.stalls.fetch_add(1, Ordering::Relaxed);
             std::thread::sleep(std::time::Duration::from_millis(self.stall_millis));
+            Some(self.stall_millis)
+        } else {
+            None
         }
     }
 }
@@ -456,6 +516,7 @@ mod tests {
             FaultProfile::Delay,
             FaultProfile::Crash,
             FaultProfile::Mixed,
+            FaultProfile::Stall,
         ] {
             let a = FaultPlan::seeded(profile, 7, 4);
             let b = FaultPlan::seeded(profile, 7, 4);
@@ -469,12 +530,25 @@ mod tests {
 
     #[test]
     fn profile_round_trips_through_strings() {
-        for s in ["drop", "delay", "crash", "mixed"] {
+        for s in ["drop", "delay", "crash", "mixed", "stall"] {
             let p: FaultProfile = s.parse().unwrap();
             assert_eq!(p.to_string(), s);
         }
         assert_eq!("reorder".parse::<FaultProfile>(), Ok(FaultProfile::Delay));
         assert!("chaos".parse::<FaultProfile>().is_err());
+    }
+
+    #[test]
+    fn stall_profile_is_lossless_and_targets_one_worker() {
+        for seed in 0..20 {
+            let plan = FaultPlan::seeded(FaultProfile::Stall, seed, 4);
+            assert!(plan.rules.is_empty(), "stall profile must not drop/delay");
+            assert!(plan.crashes.is_empty(), "stall profile must not crash");
+            assert_eq!(plan.stalls.len(), 1);
+            let (&rank, spec) = plan.stalls.iter().next().unwrap();
+            assert_ne!(rank, 0, "seed {seed} stalls the master");
+            assert!(spec.millis >= 12 && spec.times >= 3);
+        }
     }
 
     #[test]

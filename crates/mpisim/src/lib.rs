@@ -42,4 +42,4 @@ mod world;
 pub use fault::{FaultAction, FaultPlan, FaultProfile, FaultSnapshot, StallSpec};
 pub use rank::{Rank, RecvError};
 pub use stats::{CommStats, WorldStats};
-pub use world::{run_world, run_world_with_faults};
+pub use world::{run_world, run_world_obs, run_world_with_faults};

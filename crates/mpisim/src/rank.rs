@@ -1,9 +1,11 @@
 //! The per-rank communicator handle.
 
 use crate::collectives::CollectiveState;
-use crate::fault::{FaultCounters, RankFaults, SendFate};
+use crate::fault::{FaultCounters, Injected, InjectedKind, RankFaults, SendFate};
 use crate::stats::CommStats;
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+use pace_obs::trace::{T_FAULT_CRASH, T_FAULT_DELAY, T_FAULT_DROP, T_RECV_WAIT, T_SEND, T_STALL};
+use pace_obs::{Event, Obs};
 use std::cell::RefCell;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -36,6 +38,11 @@ pub struct Rank<M: Send> {
     /// rank handle lives on exactly one thread, so a `RefCell` suffices.
     faults: Option<RefCell<RankFaults<M>>>,
     fault_counters: Arc<FaultCounters>,
+    /// Shared observability handle. [`crate::run_world`] and
+    /// [`crate::run_world_with_faults`] pass a noop; only
+    /// [`crate::run_world_obs`] threads a live one through, so the
+    /// default paths keep their original cost.
+    obs: Obs,
 }
 
 impl<M: Send> Rank<M> {
@@ -51,6 +58,7 @@ impl<M: Send> Rank<M> {
         stats: Arc<CommStats>,
         faults: Option<RankFaults<M>>,
         fault_counters: Arc<FaultCounters>,
+        obs: Obs,
     ) -> Self {
         Rank {
             rank,
@@ -61,6 +69,7 @@ impl<M: Send> Rank<M> {
             stats,
             faults: faults.map(RefCell::new),
             fault_counters,
+            obs,
         }
     }
 
@@ -70,11 +79,60 @@ impl<M: Send> Rank<M> {
         self.faults.as_ref().is_some_and(|f| f.borrow().crashed())
     }
 
-    /// Run one scheduled stall, if this rank has any left.
+    /// Run one scheduled stall, if this rank has any left; records it as
+    /// a trace span and a fault event when observability is live.
     fn maybe_stall(&self) {
         if let Some(f) = &self.faults {
-            f.borrow_mut().maybe_stall();
+            let t0_us = self.obs.trace_enabled().then(|| self.obs.now_us());
+            if let Some(millis) = f.borrow_mut().maybe_stall() {
+                self.obs.trace_with(|tracer| {
+                    let t0 = t0_us.unwrap_or(0);
+                    tracer.span(
+                        self.rank,
+                        T_STALL,
+                        t0,
+                        self.obs.now_us().saturating_sub(t0),
+                        0,
+                        millis,
+                    );
+                });
+                self.obs.emit_with(|| Event::Fault {
+                    t: self.obs.now(),
+                    rank: self.rank,
+                    kind: "injected.stall".into(),
+                    seq: None,
+                    detail: format!("millis={millis}"),
+                });
+            }
         }
+    }
+
+    /// Record one injected send-side fault as a trace instant and a
+    /// structured fault event, attributed to this rank's channel and
+    /// transport sequence number.
+    fn note_injected(&self, injected: Injected) {
+        let (trace_name, event_kind) = match injected.kind {
+            InjectedKind::Drop => (T_FAULT_DROP, "injected.drop"),
+            InjectedKind::Delay => (T_FAULT_DELAY, "injected.delay"),
+            InjectedKind::Crash => (T_FAULT_CRASH, "injected.crash"),
+            InjectedKind::CrashDrop => (T_FAULT_DROP, "injected.crash_drop"),
+        };
+        self.obs.trace_with(|tracer| {
+            tracer.instant(
+                self.rank,
+                trace_name,
+                self.obs.now_us(),
+                injected.seq,
+                injected.to as u64,
+            );
+        });
+        self.obs.emit_with(|| Event::Fault {
+            t: self.obs.now(),
+            rank: self.rank,
+            kind: event_kind.into(),
+            seq: Some(injected.seq),
+            detail: format!("to={}", injected.to),
+        });
     }
 
     fn deliver(&self, to: usize, msg: M) {
@@ -106,21 +164,28 @@ impl<M: Send> Rank<M> {
             "rank {to} out of range (size {})",
             self.size
         );
+        self.obs.trace_with(|tracer| {
+            tracer.instant(self.rank, T_SEND, self.obs.now_us(), 0, to as u64);
+        });
         match &self.faults {
             None => self.deliver(to, msg),
-            Some(f) => match f.borrow_mut().on_send(to, msg) {
-                SendFate::Deliver(m, matured) => {
-                    self.deliver(to, m);
-                    for m in matured {
+            Some(f) => {
+                let fate = f.borrow_mut().on_send(to, msg);
+                match fate {
+                    SendFate::Deliver(m, matured) => {
                         self.deliver(to, m);
+                        for m in matured {
+                            self.deliver(to, m);
+                        }
+                    }
+                    SendFate::Swallowed(matured, injected) => {
+                        self.note_injected(injected);
+                        for m in matured {
+                            self.deliver(to, m);
+                        }
                     }
                 }
-                SendFate::Swallowed(matured) => {
-                    for m in matured {
-                        self.deliver(to, m);
-                    }
-                }
-            },
+            }
         }
     }
 
@@ -136,23 +201,43 @@ impl<M: Send> Rank<M> {
             return Err(RecvError);
         }
         self.maybe_stall();
-        loop {
+        let t0_us = self.obs.trace_enabled().then(|| self.obs.now_us());
+        let out = loop {
             match self.inbox.recv_timeout(Duration::from_millis(1)) {
-                Ok(envelope) => return Ok(envelope),
-                Err(RecvTimeoutError::Disconnected) => return Err(RecvError),
+                Ok(envelope) => break Ok(envelope),
+                Err(RecvTimeoutError::Disconnected) => break Err(RecvError),
                 Err(RecvTimeoutError::Timeout) => {
                     if self.collectives.alive() <= 1 {
                         // Only this rank is left. A peer's final send
                         // happens-before its `rank_done`, so one last
                         // drain cannot miss anything.
-                        return match self.inbox.try_recv() {
+                        break match self.inbox.try_recv() {
                             Ok(envelope) => Ok(envelope),
                             Err(_) => Err(RecvError),
                         };
                     }
                 }
             }
+        };
+        if let Some(t0) = t0_us {
+            self.trace_recv_wait(t0);
         }
+        out
+    }
+
+    /// Record a completed blocking wait as a `recv_wait` span (an *idle*
+    /// span: the analyzer excludes it from busy time).
+    fn trace_recv_wait(&self, t0_us: u64) {
+        self.obs.trace_with(|tracer| {
+            tracer.span(
+                self.rank,
+                T_RECV_WAIT,
+                t0_us,
+                self.obs.now_us().saturating_sub(t0_us),
+                0,
+                0,
+            );
+        });
     }
 
     /// Non-blocking receive: `Ok(Some(..))` when a message was waiting,
@@ -183,24 +268,29 @@ impl<M: Send> Rank<M> {
             return Err(RecvError);
         }
         self.maybe_stall();
+        let t0_us = self.obs.trace_enabled().then(|| self.obs.now_us());
         let deadline = Instant::now() + timeout;
-        loop {
+        let out = loop {
             match self.inbox.recv_timeout(Duration::from_millis(1)) {
-                Ok(envelope) => return Ok(Some(envelope)),
-                Err(RecvTimeoutError::Disconnected) => return Err(RecvError),
+                Ok(envelope) => break Ok(Some(envelope)),
+                Err(RecvTimeoutError::Disconnected) => break Err(RecvError),
                 Err(RecvTimeoutError::Timeout) => {
                     if self.collectives.alive() <= 1 {
-                        return match self.inbox.try_recv() {
+                        break match self.inbox.try_recv() {
                             Ok(envelope) => Ok(Some(envelope)),
                             Err(_) => Err(RecvError),
                         };
                     }
                     if Instant::now() >= deadline {
-                        return Ok(None);
+                        break Ok(None);
                     }
                 }
             }
+        };
+        if let Some(t0) = t0_us {
+            self.trace_recv_wait(t0);
         }
+        out
     }
 
     /// Synchronize all ranks (`MPI_Barrier`).

@@ -32,6 +32,19 @@ where
     R: Send,
     F: Fn(Rank<M>) -> R + Sync,
 {
+    run_world_obs(p, plan, &pace_obs::Obs::noop(), f)
+}
+
+/// [`run_world_with_faults`] with a shared observability handle: every
+/// rank's send/recv/stall activity is recorded through `obs` (trace
+/// spans and fault events when a tracer/sink is attached; nothing extra
+/// when `obs` is a noop).
+pub fn run_world_obs<M, R, F>(p: usize, plan: &FaultPlan, obs: &pace_obs::Obs, f: F) -> Vec<R>
+where
+    M: Send,
+    R: Send,
+    F: Fn(Rank<M>) -> R + Sync,
+{
     assert!(p > 0, "world size must be at least 1");
     let stats = Arc::new(CommStats::new());
     let collectives = Arc::new(CollectiveState::new(p));
@@ -58,6 +71,7 @@ where
                 Arc::clone(&stats),
                 plan.compile_for(id, p, &fault_counters),
                 Arc::clone(&fault_counters),
+                obs.clone(),
             )
         })
         .collect();

@@ -41,16 +41,20 @@
 
 pub mod json;
 pub mod metric;
+pub mod quantile;
 pub mod registry;
 pub mod report;
 pub mod sink;
 pub mod span;
+pub mod trace;
 
 pub use json::Json;
+pub use quantile::LogQuantile;
 pub use registry::{Counter, Histogram, PhaseAgg, Registry, RegistrySnapshot};
 pub use report::SCHEMA_VERSION;
 pub use sink::{Event, EventSink, JsonlSink, NullSink, VecSink};
 pub use span::{Span, Timer};
+pub use trace::{TraceDoc, TraceEvent, TraceKind, Tracer, TRACE_SCHEMA_VERSION};
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -61,6 +65,10 @@ struct Inner {
     /// `true` unless the sink is a `NullSink`; lets hot paths skip
     /// building `Event` values entirely.
     events_enabled: bool,
+    /// Present only when `--trace-out` (or a test) asked for a trace;
+    /// hot paths gate on [`Obs::trace_enabled`] / [`Obs::trace_with`]
+    /// so tracing off costs one branch and zero allocations.
+    tracer: Option<Arc<Tracer>>,
     epoch: Instant,
 }
 
@@ -82,12 +90,28 @@ impl Obs {
 
     /// An `Obs` emitting events into the given sink.
     pub fn with_sink(sink: Box<dyn EventSink>) -> Self {
+        Obs::build(sink, None)
+    }
+
+    /// An `Obs` with a trace recorder attached (and a `NullSink` for
+    /// events). Spans then also record [`trace::TraceEvent`]s.
+    pub fn with_tracer() -> Self {
+        Obs::build(Box::new(NullSink), Some(Arc::new(Tracer::new())))
+    }
+
+    /// An `Obs` with both an event sink and a trace recorder.
+    pub fn with_sink_and_tracer(sink: Box<dyn EventSink>) -> Self {
+        Obs::build(sink, Some(Arc::new(Tracer::new())))
+    }
+
+    fn build(sink: Box<dyn EventSink>, tracer: Option<Arc<Tracer>>) -> Self {
         let events_enabled = !sink.is_null();
         Obs {
             inner: Arc::new(Inner {
                 registry: Registry::new(),
                 sink,
                 events_enabled,
+                tracer,
                 epoch: Instant::now(),
             }),
         }
@@ -101,6 +125,32 @@ impl Obs {
     /// Seconds since this `Obs` was created (the run's time origin).
     pub fn now(&self) -> f64 {
         self.inner.epoch.elapsed().as_secs_f64()
+    }
+
+    /// Microseconds since this `Obs` was created — the trace clock. All
+    /// ranks share one process, so one monotonic epoch gives globally
+    /// comparable per-rank timelines.
+    pub fn now_us(&self) -> u64 {
+        self.inner.epoch.elapsed().as_micros() as u64
+    }
+
+    /// The trace recorder, if one is attached.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.inner.tracer.as_deref()
+    }
+
+    /// Whether a trace recorder is attached. Hot paths gate on this (or
+    /// use [`Obs::trace_with`]) so tracing off costs one branch.
+    pub fn trace_enabled(&self) -> bool {
+        self.inner.tracer.is_some()
+    }
+
+    /// Record trace events lazily: the closure runs only when a tracer
+    /// is attached — the tracing analogue of [`Obs::emit_with`].
+    pub fn trace_with(&self, record: impl FnOnce(&Tracer)) {
+        if let Some(tracer) = &self.inner.tracer {
+            record(tracer);
+        }
     }
 
     /// Whether events are observable (i.e. the sink is not `NullSink`).
@@ -193,6 +243,31 @@ mod tests {
             }
         });
         assert!(!built, "NullSink must not build events");
+    }
+
+    #[test]
+    fn no_tracer_never_invokes_trace_closures() {
+        let obs = Obs::noop();
+        assert!(!obs.trace_enabled());
+        let mut invoked = false;
+        obs.trace_with(|_| invoked = true);
+        assert!(!invoked, "trace_with must be free when tracing is off");
+        // Spans record phases but produce no trace events.
+        obs.span_on("alignment", 1).finish();
+        assert!(obs.tracer().is_none());
+    }
+
+    #[test]
+    fn tracer_records_span_close() {
+        let obs = Obs::with_tracer();
+        assert!(obs.trace_enabled());
+        obs.span_on("alignment", 2).finish();
+        let tracer = obs.tracer().unwrap();
+        assert_eq!(tracer.recorded(), 1);
+        let snap = tracer.snapshot();
+        assert_eq!(snap[0].rank, 2);
+        assert_eq!(snap[0].name, "alignment");
+        assert!(matches!(snap[0].kind, TraceKind::Span));
     }
 
     #[test]

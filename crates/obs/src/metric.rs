@@ -47,6 +47,14 @@ pub const GST_MAX_DEPTH: &str = "gst.max_depth";
 /// Gauge: fraction of wall time the master spent busy.
 pub const MASTER_BUSY_FRAC: &str = "master.busy_frac";
 
+/// Gauge: critical-path seconds from the trace analyzer (the longest
+/// chain of causally ordered spans). Present only on traced runs.
+pub const TRACE_CRITICAL_PATH_SECS: &str = "trace.critical_path_secs";
+/// Gauge: lowest per-rank utilization from the trace analyzer.
+pub const TRACE_UTILIZATION_MIN: &str = "trace.rank_utilization.min";
+/// Gauge: mean per-rank utilization from the trace analyzer.
+pub const TRACE_UTILIZATION_MEAN: &str = "trace.rank_utilization.mean";
+
 /// Counter: `Work` batches the master re-sent after a slave missed its
 /// reply deadline.
 pub const FAULTS_RETRIES: &str = "faults.retries";

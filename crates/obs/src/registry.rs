@@ -104,6 +104,16 @@ pub struct PhaseAgg {
     /// synchronized run, and what Table 3 reports.
     pub max: f64,
     pub sum: f64,
+    /// Median duration — log-bucket estimate, within
+    /// [`crate::quantile::relative_error_bound`] of exact.
+    pub p50: f64,
+    /// 90th-percentile duration (log-bucket estimate).
+    pub p90: f64,
+    /// 99th-percentile duration (log-bucket estimate). For fine-grained
+    /// series like `align_batch` this is the tail the serving roadmap
+    /// item gates on; for per-rank phase totals with few samples it
+    /// degenerates toward `max`, which is the right answer there too.
+    pub p99: f64,
 }
 
 /// A stable, lock-free copy of the registry for reporting and tests.
@@ -229,13 +239,19 @@ fn aggregate(series: &[(usize, f64)]) -> PhaseAgg {
         mean: 0.0,
         max: f64::NEG_INFINITY,
         sum: 0.0,
+        p50: 0.0,
+        p90: 0.0,
+        p99: 0.0,
     };
+    let mut lq = crate::quantile::LogQuantile::new();
     for &(_, secs) in series {
         agg.min = agg.min.min(secs);
         agg.max = agg.max.max(secs);
         agg.sum += secs;
+        lq.observe(secs);
     }
     agg.mean = agg.sum / series.len() as f64;
+    (agg.p50, agg.p90, agg.p99) = lq.p50_p90_p99();
     agg
 }
 
@@ -287,6 +303,19 @@ mod tests {
         assert_eq!(agg.max, 3.0);
         assert!((agg.mean - 2.0).abs() < 1e-12);
         assert!((agg.sum - 6.0).abs() < 1e-12);
+        // Quantile estimates track the exact order statistics within
+        // the log-bucket error bound.
+        let bound = crate::quantile::relative_error_bound() * (1.0 + 1e-9);
+        assert!(
+            agg.p50 <= 2.0 * bound && agg.p50 >= 2.0 / bound,
+            "{}",
+            agg.p50
+        );
+        assert!(
+            agg.p99 <= 3.0 * bound && agg.p99 >= 3.0 / bound,
+            "{}",
+            agg.p99
+        );
     }
 
     #[test]

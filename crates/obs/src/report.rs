@@ -12,7 +12,7 @@
 //! {
 //!   "schema_version": 1,
 //!   "meta":     { "num_ests": 500, "num_processors": 4, ... },
-//!   "timers":   { "alignment": {"min":…,"mean":…,"max":…,"sum":…,"count":…}, … },
+//!   "timers":   { "alignment": {"min":…,"mean":…,"max":…,"sum":…,"count":…,"p50":…,"p90":…,"p99":…}, … },
 //!   "counters": { "pairs.generated": 1234, … },
 //!   "gauges":   { "master.busy_frac": 0.013, … },
 //!   "histograms": { "pairs.mcs_len": {"count":…,"sum":…,"buckets":[[lo,count],…]}, … }
@@ -36,6 +36,9 @@ fn agg_to_json(agg: &PhaseAgg) -> Json {
         ("max", Json::Num(agg.max)),
         ("sum", Json::Num(agg.sum)),
         ("count", Json::Num(agg.count as f64)),
+        ("p50", Json::Num(agg.p50)),
+        ("p90", Json::Num(agg.p90)),
+        ("p99", Json::Num(agg.p99)),
     ])
 }
 

@@ -47,13 +47,19 @@ pub enum Event {
     },
     /// A recovery action taken (or an injected fault observed) during a
     /// run: a resend, a slave declared dead, a duplicate report ignored,
-    /// pairs abandoned. `rank` is the rank that acted (the master for
-    /// recovery events).
+    /// pairs abandoned, an injected drop/delay/crash/stall. `rank` is
+    /// the rank that acted (the master for recovery events; the sending
+    /// rank for injected channel faults).
     Fault {
         t: f64,
         rank: usize,
-        /// Short machine-readable action name, e.g. `resend`/`dead_slave`.
+        /// Short machine-readable action name, e.g. `resend`/`dead_slave`
+        /// or `injected.drop`/`injected.delay`.
         kind: String,
+        /// The protocol/transport sequence number of the affected
+        /// message, when the fault concerns one — this is what makes
+        /// injected drops/delays distinguishable per channel.
+        seq: Option<u64>,
         /// Human-readable specifics.
         detail: String,
     },
@@ -71,6 +77,19 @@ impl Event {
             Event::Merge { .. } => "merge",
             Event::Fault { .. } => "fault",
             Event::Message { .. } => "message",
+        }
+    }
+
+    /// The rank this event is attributed to, if any (merges and
+    /// free-form messages are rank-less). Used by [`JsonlSink`] to pick
+    /// a per-rank buffer lane.
+    pub fn rank(&self) -> Option<usize> {
+        match self {
+            Event::PhaseStart { rank, .. }
+            | Event::PhaseEnd { rank, .. }
+            | Event::Heartbeat { rank, .. }
+            | Event::Fault { rank, .. } => Some(*rank),
+            Event::Merge { .. } | Event::Message { .. } => None,
         }
     }
 
@@ -125,11 +144,15 @@ impl Event {
                 t,
                 rank,
                 kind,
+                seq,
                 detail,
             } => {
                 entries.push(("t".into(), Json::Num(*t)));
                 entries.push(("rank".into(), Json::Num(*rank as f64)));
                 entries.push(("kind".into(), Json::Str(kind.clone())));
+                if let Some(seq) = seq {
+                    entries.push(("seq".into(), Json::Num(*seq as f64)));
+                }
                 entries.push(("detail".into(), Json::Str(detail.clone())));
             }
             Event::Message { t, text } => {
@@ -202,15 +225,37 @@ impl EventSink for VecSink {
     }
 }
 
+/// How many bytes a rank lane may hold before it is drained to the
+/// writer. Small enough that events land on disk promptly, large enough
+/// to amortize the writer lock across bursts.
+const LANE_FLUSH_BYTES: usize = 8 * 1024;
+
+/// Number of per-rank buffer lanes (ranks map in by `rank % LANES`).
+const JSONL_LANES: usize = 16;
+
 /// Writes one JSON object per event, newline-delimited, to any writer
 /// (usually a file opened by the CLI for `--events-out`).
+///
+/// Concurrency contract: every rank of the parallel driver emits
+/// through one shared sink, so lines from different ranks may be
+/// ordered arbitrarily — but each written line is always one *complete*
+/// serialized event. Events are serialized into a per-rank lane under
+/// that lane's lock, and lanes are drained to the writer only at
+/// newline boundaries, so concurrent writers can never interleave
+/// fragments of two events into one torn line. Lanes are drained on
+/// [`EventSink::flush`] and on drop, so no buffered event is lost when
+/// the run (or a test) finishes without an explicit flush.
 pub struct JsonlSink {
+    lanes: Vec<Mutex<String>>,
     writer: Mutex<Box<dyn Write + Send>>,
 }
 
 impl JsonlSink {
     pub fn new(writer: Box<dyn Write + Send>) -> Self {
         JsonlSink {
+            lanes: (0..JSONL_LANES)
+                .map(|_| Mutex::new(String::new()))
+                .collect(),
             writer: Mutex::new(writer),
         }
     }
@@ -220,18 +265,42 @@ impl JsonlSink {
         let file = std::fs::File::create(path)?;
         Ok(JsonlSink::new(Box::new(std::io::BufWriter::new(file))))
     }
+
+    /// Write one lane's complete lines to the writer and clear it.
+    fn drain_lane(&self, lane: &mut String) {
+        if lane.is_empty() {
+            return;
+        }
+        let mut w = self.writer.lock();
+        // Serialization can't fail; I/O errors are deliberately ignored
+        // rather than crashing a compute run over a full disk.
+        let _ = w.write_all(lane.as_bytes());
+        lane.clear();
+    }
 }
 
 impl EventSink for JsonlSink {
     fn emit(&self, event: &Event) {
-        let mut w = self.writer.lock();
-        // Serialization can't fail; I/O errors are deliberately ignored
-        // rather than crashing a compute run over a full disk.
-        let _ = writeln!(w, "{}", event.to_json());
+        use std::fmt::Write as _;
+        let lane_idx = event.rank().unwrap_or(0) % JSONL_LANES;
+        let mut lane = self.lanes[lane_idx].lock();
+        let _ = writeln!(lane, "{}", event.to_json());
+        if lane.len() >= LANE_FLUSH_BYTES {
+            self.drain_lane(&mut lane);
+        }
     }
 
     fn flush(&self) {
+        for lane in &self.lanes {
+            self.drain_lane(&mut lane.lock());
+        }
         let _ = self.writer.lock().flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        self.flush();
     }
 }
 
@@ -297,5 +366,121 @@ mod tests {
     fn null_sink_reports_null() {
         assert!(NullSink.is_null());
         assert!(!VecSink::shared().is_null());
+    }
+
+    #[test]
+    fn fault_event_carries_optional_seq() {
+        let with_seq = Event::Fault {
+            t: 0.25,
+            rank: 3,
+            kind: "injected.drop".into(),
+            seq: Some(7),
+            detail: "to=0".into(),
+        };
+        let j = with_seq.to_json();
+        assert_eq!(j.get("seq").unwrap().as_u64(), Some(7));
+        assert_eq!(with_seq.rank(), Some(3));
+
+        let without = Event::Fault {
+            t: 0.5,
+            rank: 0,
+            kind: "dead_slave".into(),
+            seq: None,
+            detail: "slave=2".into(),
+        };
+        assert!(without.to_json().get("seq").is_none());
+        assert_eq!(
+            Event::Message {
+                t: 0.0,
+                text: "x".into()
+            }
+            .rank(),
+            None
+        );
+    }
+
+    #[derive(Clone)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+    impl Write for SharedBuf {
+        fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+            // Deliver one byte at a time: any code path issuing more
+            // than one `write` call per line would tear under
+            // concurrency; `write_all` loops here, so completeness of
+            // each line depends only on whole-line locking.
+            let n = data.len().min(1);
+            self.0.lock().extend_from_slice(&data[..n]);
+            Ok(n)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_never_tears_lines_under_concurrency() {
+        let buf = Arc::new(Mutex::new(Vec::<u8>::new()));
+        let sink = Arc::new(JsonlSink::new(Box::new(SharedBuf(Arc::clone(&buf)))));
+        let ranks = 8;
+        let per_rank = 200;
+        std::thread::scope(|s| {
+            for rank in 0..ranks {
+                let sink = Arc::clone(&sink);
+                s.spawn(move || {
+                    for i in 0..per_rank {
+                        sink.emit(&Event::Heartbeat {
+                            rank,
+                            t: i as f64,
+                            busy_frac: 0.5,
+                            pairs_per_sec: 100.0,
+                            processed: i as u64,
+                        });
+                    }
+                    sink.flush();
+                });
+            }
+        });
+        sink.flush();
+        let text = String::from_utf8(buf.lock().clone()).unwrap();
+        let mut seen = vec![0usize; ranks];
+        let mut lines = 0;
+        for line in text.lines() {
+            lines += 1;
+            let v =
+                json::parse(line).unwrap_or_else(|e| panic!("torn/interleaved line {line:?}: {e}"));
+            assert_eq!(v.get("ev").unwrap().as_str(), Some("heartbeat"));
+            let rank = v.get("rank").unwrap().as_u64().unwrap() as usize;
+            // Per-rank order must be preserved even though cross-rank
+            // order is unspecified.
+            let t = v.get("t").unwrap().as_f64().unwrap() as usize;
+            assert_eq!(t, seen[rank], "rank {rank} events out of order");
+            seen[rank] += 1;
+        }
+        assert_eq!(lines, ranks * per_rank, "missing events after flush");
+    }
+
+    #[test]
+    fn jsonl_sink_flushes_buffered_lines_on_drop() {
+        let buf = Arc::new(Mutex::new(Vec::<u8>::new()));
+        struct PlainBuf(Arc<Mutex<Vec<u8>>>);
+        impl Write for PlainBuf {
+            fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        {
+            let sink = JsonlSink::new(Box::new(PlainBuf(Arc::clone(&buf))));
+            sink.emit(&Event::Message {
+                t: 0.0,
+                text: "buffered".into(),
+            });
+            // No explicit flush: the event is below the lane threshold.
+            assert!(buf.lock().is_empty(), "event should still be buffered");
+        }
+        let text = String::from_utf8(buf.lock().clone()).unwrap();
+        assert_eq!(text.lines().count(), 1, "drop must drain buffered lines");
     }
 }

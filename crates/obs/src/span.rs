@@ -62,6 +62,18 @@ impl<'a> Span<'a> {
             t: self.obs.now(),
             secs,
         });
+        self.obs.trace_with(|tracer| {
+            let dur_us = (secs * 1e6) as u64;
+            let end_us = self.obs.now_us();
+            tracer.span(
+                self.rank,
+                tracer.intern(self.phase),
+                end_us.saturating_sub(dur_us),
+                dur_us,
+                0,
+                0,
+            );
+        });
         secs
     }
 }

@@ -109,6 +109,17 @@ for phase in sorted(set(reference) | set(current)):
         )
     print(f"{phase:<18} {ref:>9.4f}s {cur:>9.4f}s {ratio:>6.2f}x  {flag}{verdict}")
 
+# Echo the per-batch alignment latency quantiles (reported, never
+# gated): the registry's log-bucket estimates, so tail latency shows up
+# in the gate log next to the critical-path minima.
+ab = smoke.get("timers", {}).get("align_batch")
+if ab and "p99" in ab:
+    print(
+        f"bench_gate: align_batch p50 {ab['p50'] * 1e3:.3f} ms, "
+        f"p90 {ab['p90'] * 1e3:.3f} ms, p99 {ab['p99'] * 1e3:.3f} ms "
+        f"over {ab['count']:.0f} batches (report-only)"
+    )
+
 # Echo the out-of-core run's I/O counters (reported, never gated) so the
 # CI artifact keeps spill traffic next to the timings.
 if os.path.exists(ooc_path):

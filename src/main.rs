@@ -16,8 +16,10 @@
 //! Observability (cluster subcommand):
 //! `--metrics-out FILE` writes the schema-versioned JSON run report,
 //! `--events-out FILE` streams JSONL events (phase spans, master
-//! heartbeats, accepted merges), `-v` prints the report to stderr,
-//! `--quiet` silences everything but errors.
+//! heartbeats, accepted merges), `--trace-out FILE` records causal
+//! per-message spans and writes a Perfetto/Chrome-tracing timeline
+//! (analyze it with the `pace-trace` binary), `-v` prints the report
+//! to stderr, `--quiet` silences everything but errors.
 
 use pace::core::{detect_splice_events, SpliceScanConfig};
 use pace::{Pace, PaceConfig, SimConfig};
@@ -58,12 +60,13 @@ USAGE:
   pace simulate --ests N [--genes N] [--seed N] --out FILE [--truth FILE]
   pace cluster  --in FASTA --out FILE [--procs N] [--psi N] [--window N]
                 [--batchsize N] [--min-overlap N] [--min-ratio F] [--truth FILE]
-                [--fault-profile drop|delay|reorder|crash|mixed] [--fault-seed N]
+                [--fault-profile drop|delay|reorder|crash|mixed|stall] [--fault-seed N]
                 [--slave-timeout SECS] [--max-retries N]
                 [--checkpoint-dir DIR] [--resume] [--memory-budget BYTES[K|M|G]]
                 [--spill-dir DIR] [--checkpoint-every N]
                 [--crash-after ingest|partition|build|cluster-batch:K]
-                [--metrics-out FILE] [--events-out FILE] [-v|--verbose] [--quiet]
+                [--metrics-out FILE] [--events-out FILE] [--trace-out FILE]
+                [-v|--verbose] [--quiet]
   pace assess   --pred FILE --truth FILE
   pace splice   --in FASTA --clusters FILE [--min-event N]
   pace stats    --in FASTA";
@@ -259,8 +262,47 @@ fn finish_cluster_output(
     }
     std::fs::write(out, tsv).map_err(|e| format!("writing {out}: {e}"))?;
 
+    // Trace export + analysis first, so the derived gauges are in the
+    // registry before the metrics document is assembled.
+    let analysis = match (flags.get("trace-out"), obs.tracer()) {
+        (Some(path), Some(tracer)) => {
+            tracer
+                .write_chrome_file(std::path::Path::new(path))
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            let doc = pace::obs::TraceDoc::from_tracer(tracer);
+            let analysis = pace::obs::trace::analyze(&doc);
+            let reg = obs.registry();
+            reg.set_gauge(
+                pace::obs::metric::TRACE_CRITICAL_PATH_SECS,
+                analysis.critical_path_secs,
+            );
+            if !analysis.ranks.is_empty() {
+                let utils: Vec<f64> = analysis.ranks.iter().map(|r| r.utilization).collect();
+                let min = utils.iter().copied().fold(f64::INFINITY, f64::min);
+                let mean = utils.iter().sum::<f64>() / utils.len() as f64;
+                reg.set_gauge(pace::obs::metric::TRACE_UTILIZATION_MIN, min);
+                reg.set_gauge(pace::obs::metric::TRACE_UTILIZATION_MEAN, mean);
+            }
+            if !quiet {
+                eprintln!(
+                    "wrote trace timeline to {path} ({} events); \
+                     critical path {:.3}s of {:.3}s wall — inspect with \
+                     `pace-trace {path}` or load into ui.perfetto.dev",
+                    tracer.recorded(),
+                    analysis.critical_path_secs,
+                    analysis.wall_secs
+                );
+            }
+            Some(analysis)
+        }
+        _ => None,
+    };
+
     if !quiet {
-        let report = pace::RunReport::from_outcome(outcome, None);
+        let mut report = pace::RunReport::from_outcome(outcome, None);
+        if let Some(a) = &analysis {
+            report = report.with_trace_analysis(a);
+        }
         eprint!("{report}");
         eprintln!("wrote {} cluster labels to {out}", outcome.num_ests);
     }
@@ -351,12 +393,18 @@ fn cmd_cluster(args: &[String]) -> Result<(), String> {
         return Err("--fault-seed requires --fault-profile".into());
     }
 
+    let tracing = flags.contains_key("trace-out");
     let obs = match flags.get("events-out") {
         Some(path) => {
             let sink = pace::obs::JsonlSink::create(std::path::Path::new(path))
                 .map_err(|e| format!("opening {path}: {e}"))?;
-            pace::obs::Obs::with_sink(Box::new(sink))
+            if tracing {
+                pace::obs::Obs::with_sink_and_tracer(Box::new(sink))
+            } else {
+                pace::obs::Obs::with_sink(Box::new(sink))
+            }
         }
+        None if tracing => pace::obs::Obs::with_tracer(),
         None => pace::obs::Obs::noop(),
     };
 
