@@ -45,6 +45,18 @@ fn env_usize(name: &str, default: usize, min: usize) -> usize {
 }
 
 fn main() {
+    // Hidden: when the uds rep below spawns worker processes, it
+    // re-invokes this very binary as `smoke __pace-worker ...`.
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("__pace-worker") {
+        match pace_core::worker_main(&args[1..]) {
+            Ok(code) => std::process::exit(code),
+            Err(msg) => {
+                eprintln!("smoke worker: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
     banner(
         "Smoke bench: fixed-seed clustering workload",
         "CI regression sentinel; compare against bench/baseline.json",
@@ -115,6 +127,69 @@ fn main() {
         }
     }
     append_trajectory(&min_obj, &snap, n, reps);
+
+    // Optional socket-transport rep: same workload, one master process
+    // plus real worker processes over the Unix-socket backend. Records
+    // the communication volume (`comm.messages` / `comm.bytes`) that
+    // `scripts/bench_gate.sh` echoes into the gate log — report-only,
+    // never gated, so wire-level cost is visible in CI without a
+    // machine-relative threshold.
+    if std::env::var("PACE_TRANSPORT").as_deref() == Ok("uds") {
+        run_uds_rep(&store, n);
+    }
+}
+
+/// One clustering rep over the Unix-socket multi-process backend,
+/// writing `$PACE_METRICS_DIR/smoke_uds.json`. Timing is deliberately
+/// not folded into `phase_min`: process spawn + serialization costs
+/// belong in their own report, not in the channel baseline's gate.
+fn run_uds_rep(store: &SequenceStore, n: usize) {
+    let exe = std::env::current_exe().expect("locating smoke binary");
+    let mut config = pace_core::PaceConfig::paper();
+    config.cluster = paper_cfg();
+    config.num_processors = SMOKE_RANKS;
+    let obs = Obs::noop();
+    let outcome = match pace_core::cluster_store_uds(
+        store,
+        &config,
+        &pace_core::UdsLaunchOpts::new(exe),
+        &obs,
+    ) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("FAIL: uds smoke rep: {e}");
+            std::process::exit(1);
+        }
+    };
+    let snap = obs.registry().snapshot();
+    let counter = |k: &str| snap.counters.get(k).copied().unwrap_or(0);
+    println!(
+        "uds rep: {} clusters, {} messages, {} wire bytes ({} workers)",
+        outcome.num_clusters(),
+        counter(metric::COMM_MESSAGES),
+        counter(metric::COMM_BYTES),
+        SMOKE_RANKS - 1
+    );
+    if counter(metric::COMM_BYTES) == 0 {
+        eprintln!("FAIL: uds rep moved no wire bytes — socket backend not exercised");
+        std::process::exit(1);
+    }
+    let meta = vec![
+        ("transport".to_string(), Json::Str("uds".into())),
+        ("p".to_string(), Json::Num(SMOKE_RANKS as f64)),
+        ("num_ests".to_string(), Json::Num(n as f64)),
+        ("seed".to_string(), Json::Num(SMOKE_SEED as f64)),
+    ];
+    let doc = pace_obs::report::to_json(&snap, meta);
+    if let Ok(dir) = std::env::var("PACE_METRICS_DIR") {
+        let path = std::path::Path::new(&dir).join("smoke_uds.json");
+        let write = std::fs::create_dir_all(&dir)
+            .and_then(|()| std::fs::write(&path, pace_obs::report::to_pretty_string(&doc)));
+        match write {
+            Ok(()) => eprintln!("[metrics] wrote {}", path.display()),
+            Err(e) => eprintln!("[metrics] could not write {}: {e}", path.display()),
+        }
+    }
 }
 
 /// The tentpole's allocation discipline, asserted on every CI run: each

@@ -94,6 +94,109 @@ impl ClusterConfig {
         }
     }
 
+    /// Serialize to a single `k=v,k=v,…` token (no spaces) for worker
+    /// process argv. Floats travel as their IEEE-754 bit pattern in hex,
+    /// so [`ClusterConfig::from_kv_string`] reconstructs the exact value
+    /// — bit-identical configs are what make a multi-process run
+    /// reproduce the in-process partition.
+    pub fn to_kv_string(&self) -> String {
+        let f = |v: f64| format!("{:016x}", v.to_bits());
+        let order = match self.order {
+            PairOrder::DecreasingMcs => "decreasing_mcs",
+            PairOrder::Arbitrary => "arbitrary",
+        };
+        [
+            format!("window_w={}", self.window_w),
+            format!("psi={}", self.psi),
+            format!("batchsize={}", self.batchsize),
+            format!("workbuf_cap={}", self.workbuf_cap),
+            format!("pairbuf_cap={}", self.pairbuf_cap),
+            format!("match_score={}", self.scoring.match_score),
+            format!("mismatch={}", self.scoring.mismatch),
+            format!("gap_open={}", self.scoring.gap_open),
+            format!("gap_extend={}", self.scoring.gap_extend),
+            format!("min_score_ratio={}", f(self.overlap.min_score_ratio)),
+            format!("min_overlap_len={}", self.overlap.min_overlap_len),
+            format!("band_radius={}", self.band_radius),
+            format!("order={order}"),
+            format!(
+                "skip_clustered_pairs={}",
+                u8::from(self.skip_clustered_pairs)
+            ),
+            format!("prefilter_overlap={}", u8::from(self.prefilter_overlap)),
+            format!(
+                "prefilter_min_diag_identity={}",
+                f(self.prefilter_min_diag_identity)
+            ),
+            format!("packed_alignment={}", u8::from(self.packed_alignment)),
+            format!("slave_timeout={}", f(self.slave_timeout)),
+            format!("max_retries={}", self.max_retries),
+        ]
+        .join(",")
+    }
+
+    /// Parse a [`ClusterConfig::to_kv_string`] token. Unknown keys and
+    /// malformed values are errors; omitted keys keep their defaults
+    /// (the encoder always emits every key, so a full round trip is
+    /// exact — `from_kv_string(to_kv_string()) == self`, floats
+    /// included).
+    pub fn from_kv_string(s: &str) -> Result<Self, String> {
+        fn float(v: &str) -> Result<f64, String> {
+            let bits =
+                u64::from_str_radix(v, 16).map_err(|e| format!("bad float bits {v:?}: {e}"))?;
+            Ok(f64::from_bits(bits))
+        }
+        fn flag(v: &str) -> Result<bool, String> {
+            match v {
+                "0" => Ok(false),
+                "1" => Ok(true),
+                _ => Err(format!("bad flag {v:?} (want 0 or 1)")),
+            }
+        }
+        fn int<T: std::str::FromStr>(v: &str) -> Result<T, String>
+        where
+            T::Err: std::fmt::Display,
+        {
+            v.parse().map_err(|e| format!("bad integer {v:?}: {e}"))
+        }
+
+        let mut cfg = ClusterConfig::default();
+        for entry in s.split(',').filter(|e| !e.is_empty()) {
+            let (k, v) = entry
+                .split_once('=')
+                .ok_or_else(|| format!("malformed config entry {entry:?}"))?;
+            match k {
+                "window_w" => cfg.window_w = int(v)?,
+                "psi" => cfg.psi = int(v)?,
+                "batchsize" => cfg.batchsize = int(v)?,
+                "workbuf_cap" => cfg.workbuf_cap = int(v)?,
+                "pairbuf_cap" => cfg.pairbuf_cap = int(v)?,
+                "match_score" => cfg.scoring.match_score = int(v)?,
+                "mismatch" => cfg.scoring.mismatch = int(v)?,
+                "gap_open" => cfg.scoring.gap_open = int(v)?,
+                "gap_extend" => cfg.scoring.gap_extend = int(v)?,
+                "min_score_ratio" => cfg.overlap.min_score_ratio = float(v)?,
+                "min_overlap_len" => cfg.overlap.min_overlap_len = int(v)?,
+                "band_radius" => cfg.band_radius = int(v)?,
+                "order" => {
+                    cfg.order = match v {
+                        "decreasing_mcs" => PairOrder::DecreasingMcs,
+                        "arbitrary" => PairOrder::Arbitrary,
+                        _ => return Err(format!("unknown pair order {v:?}")),
+                    }
+                }
+                "skip_clustered_pairs" => cfg.skip_clustered_pairs = flag(v)?,
+                "prefilter_overlap" => cfg.prefilter_overlap = flag(v)?,
+                "prefilter_min_diag_identity" => cfg.prefilter_min_diag_identity = float(v)?,
+                "packed_alignment" => cfg.packed_alignment = flag(v)?,
+                "slave_timeout" => cfg.slave_timeout = float(v)?,
+                "max_retries" => cfg.max_retries = int(v)?,
+                _ => return Err(format!("unknown config key {k:?}")),
+            }
+        }
+        Ok(cfg)
+    }
+
     /// Check internal consistency.
     pub fn validate(&self) -> Result<(), String> {
         if self.window_w == 0 || self.window_w > 12 {
@@ -199,6 +302,40 @@ mod tests {
             };
             assert!(c.validate().is_err(), "slave_timeout {bad} accepted");
         }
+    }
+
+    #[test]
+    fn kv_round_trip_is_exact() {
+        let mut odd = ClusterConfig::small();
+        odd.psi = 17;
+        odd.batchsize = 41;
+        odd.order = PairOrder::Arbitrary;
+        odd.packed_alignment = true;
+        odd.skip_clustered_pairs = false;
+        odd.slave_timeout = 0.3;
+        odd.overlap.min_score_ratio = 0.1 + 0.2; // not representable cleanly
+        odd.prefilter_min_diag_identity = 0.625;
+        for cfg in [ClusterConfig::default(), ClusterConfig::small(), odd] {
+            let s = cfg.to_kv_string();
+            assert!(!s.contains(' '), "argv token must not contain spaces: {s}");
+            let back = ClusterConfig::from_kv_string(&s).expect("parse");
+            assert_eq!(back, cfg, "round trip changed the config: {s}");
+        }
+    }
+
+    #[test]
+    fn kv_parse_rejects_junk() {
+        assert!(ClusterConfig::from_kv_string("nonsense=1").is_err());
+        assert!(ClusterConfig::from_kv_string("window_w").is_err());
+        assert!(ClusterConfig::from_kv_string("psi=abc").is_err());
+        assert!(ClusterConfig::from_kv_string("order=sideways").is_err());
+        assert!(ClusterConfig::from_kv_string("packed_alignment=yes").is_err());
+        assert!(ClusterConfig::from_kv_string("slave_timeout=zz").is_err());
+        // Empty string is the default config.
+        assert_eq!(
+            ClusterConfig::from_kv_string("").unwrap(),
+            ClusterConfig::default()
+        );
     }
 
     #[test]

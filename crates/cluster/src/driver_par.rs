@@ -19,16 +19,16 @@ use crate::config::ClusterConfig;
 use crate::driver_seq::{cluster_sequential_obs, record_cluster_counters, record_gst_stats};
 use crate::master::FaultNote;
 use crate::master::Master;
-use crate::messages::Msg;
+use crate::messages::{Msg, WorkerSummary};
 use crate::slave::{run_slave_obs, SlaveReportSummary};
 use crate::stats::{ClusterResult, ClusterStats, PhaseTimers};
 use crate::trace::MergeTrace;
 use pace_gst::{assign_buckets, build_forest_for_rank, count_buckets_stride, num_buckets};
-use pace_mpisim::{run_world_obs, FaultPlan, FaultSnapshot, WorldStats};
+use pace_mpisim::{run_world_obs, FaultPlan, FaultSnapshot, Rank, WorldStats};
 use pace_obs::trace::{flow_id, T_DISPATCH, T_HANDLE_REPORT};
 use pace_obs::{metric, Event, Obs, Timer, TraceKind};
 use pace_seq::{PackedText, SequenceStore};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Emit a master heartbeat every this many handled reports.
 const HEARTBEAT_EVERY: u64 = 32;
@@ -40,7 +40,11 @@ const HEARTBEAT_EVERY: u64 = 32;
 /// (`pace_mpisim::MAX_SEEDED_DROPS_PER_CHANNEL`).
 const SHUTDOWN_REDUNDANCY: usize = 3;
 
-/// Per-rank results collected when the world joins.
+/// Per-rank results collected when the world joins (thread backend) or
+/// received as [`Msg::Summary`] messages (socket backend).
+// One value per rank, moved exactly once at world teardown — the
+// Master/Slave size gap never sits in a hot collection.
+#[allow(clippy::large_enum_variant)]
 enum RankOutput {
     Master {
         labels: Vec<usize>,
@@ -51,12 +55,44 @@ enum RankOutput {
         comm: WorldStats,
         injected: FaultSnapshot,
         partitioning: f64,
+        /// Which slaves the master declared dead — the fold and the
+        /// summary-collection window must not wait on these.
+        dead: Vec<bool>,
+        /// Worker summaries that arrived while shutdowns were still
+        /// being dispatched (socket backend only; empty on threads).
+        early_summaries: Vec<(usize, WorkerSummary)>,
     },
     Slave {
-        summary: SlaveReportSummary,
-        partitioning: f64,
-        gst_construction: f64,
+        summary: WorkerSummary,
     },
+}
+
+/// Lift a slave's join-time report into the wire-shape summary so the
+/// fold has one input shape for both backends. Injected-fault counters
+/// stay zero here: in the thread world they are world-shared and the
+/// master's snapshot already covers every rank.
+fn worker_summary(
+    s: &SlaveReportSummary,
+    partitioning: f64,
+    gst_construction: f64,
+) -> WorkerSummary {
+    WorkerSummary {
+        gen_nodes_processed: s.gen.nodes_processed,
+        gen_raw_pairs: s.gen.raw_pairs,
+        gen_discarded_self: s.gen.discarded_self,
+        gen_discarded_mirror: s.gen.discarded_mirror,
+        gen_emitted: s.gen.emitted,
+        node_sorting: s.timers.node_sorting,
+        alignment: s.timers.alignment,
+        partitioning,
+        gst_construction,
+        unconsumed: s.unconsumed,
+        prefiltered: s.prefiltered,
+        ws_reuses: s.ws_reuses,
+        injected_drops: 0,
+        injected_delays: 0,
+        injected_stalls: 0,
+    }
 }
 
 /// Cluster with `p` ranks (1 master + `p − 1` slaves). `p ≤ 1` falls back
@@ -119,7 +155,13 @@ pub fn cluster_parallel_faults(
         }
     });
 
-    // Fold the per-rank outputs into one result.
+    fold_outputs(outputs, obs, total_span.finish())
+}
+
+/// Fold per-rank outputs into one result. Shared by the thread backend
+/// (outputs from the world join) and the socket backend (the master's
+/// own output plus received [`Msg::Summary`] messages).
+fn fold_outputs(outputs: Vec<RankOutput>, obs: &Obs, total: f64) -> (ClusterResult, MergeTrace) {
     let mut labels = Vec::new();
     let mut num_clusters = 0;
     let mut stats = ClusterStats::default();
@@ -129,6 +171,7 @@ pub fn cluster_parallel_faults(
     let mut unconsumed_total = 0u64;
     let mut prefiltered_total = 0u64;
     let mut ws_reuses_total = 0u64;
+    let mut worker_injected = FaultSnapshot::default();
     for out in outputs {
         match out {
             RankOutput::Master {
@@ -140,6 +183,8 @@ pub fn cluster_parallel_faults(
                 comm,
                 injected,
                 partitioning,
+                dead: _,
+                early_summaries,
             } => {
                 labels = l;
                 num_clusters = k;
@@ -156,6 +201,7 @@ pub fn cluster_parallel_faults(
                 stats.messages = comm.messages;
                 let reg = obs.registry();
                 reg.add(metric::COMM_MESSAGES, comm.messages);
+                reg.add(metric::COMM_BYTES, comm.bytes);
                 reg.add(metric::COMM_BARRIERS, comm.barriers);
                 reg.add(metric::COMM_REDUCTIONS, comm.reductions);
                 reg.add(metric::FAULTS_INJECTED_DROPS, injected.dropped);
@@ -166,21 +212,24 @@ pub fn cluster_parallel_faults(
                     partitioning,
                     ..PhaseTimers::default()
                 });
+                debug_assert!(
+                    early_summaries.is_empty(),
+                    "early summaries must be folded into RankOutput::Slave by the caller"
+                );
             }
-            RankOutput::Slave {
-                summary,
-                partitioning,
-                gst_construction,
-            } => {
-                generated_total += summary.gen.emitted;
+            RankOutput::Slave { summary } => {
+                generated_total += summary.gen_emitted;
                 unconsumed_total += summary.unconsumed;
                 prefiltered_total += summary.prefiltered;
                 ws_reuses_total += summary.ws_reuses;
+                worker_injected.dropped += summary.injected_drops;
+                worker_injected.delayed += summary.injected_delays;
+                worker_injected.stalls += summary.injected_stalls;
                 timers.max_with(&PhaseTimers {
-                    partitioning,
-                    gst_construction,
-                    node_sorting: summary.timers.node_sorting,
-                    alignment: summary.timers.alignment,
+                    partitioning: summary.partitioning,
+                    gst_construction: summary.gst_construction,
+                    node_sorting: summary.node_sorting,
+                    alignment: summary.alignment,
                     ..PhaseTimers::default()
                 });
             }
@@ -194,17 +243,30 @@ pub fn cluster_parallel_faults(
     // Fault-free runs — and drop/delay-only plans, whose every report
     // is eventually delivered via resend — have `lost == 0`, which the
     // tests assert as the non-tautological form of conservation.
+    //
+    // On the socket backend a crashed worker's summary never arrives,
+    // so `generated_total` can undercount what the master actually
+    // received; the max() restores conservation by crediting the
+    // missing generator with exactly the pairs the master saw from it.
+    let generated_total =
+        generated_total.max(stats.pairs_processed + stats.pairs_skipped + unconsumed_total);
     let lost = generated_total
         .saturating_sub(stats.pairs_processed + stats.pairs_skipped + unconsumed_total);
     stats.faults.lost_pairs = lost;
     stats.pairs_generated = generated_total;
     stats.pairs_unconsumed = unconsumed_total + lost;
     stats.pairs_prefiltered = prefiltered_total;
-    timers.total = total_span.finish();
+    timers.total = total;
     stats.timers = timers;
+    // Per-process injector counters shipped in worker summaries (zero on
+    // the thread backend, whose counters are world-shared).
+    let reg = obs.registry();
+    reg.add(metric::FAULTS_INJECTED_DROPS, worker_injected.dropped);
+    reg.add(metric::FAULTS_INJECTED_DELAYS, worker_injected.delayed);
+    reg.add(metric::FAULTS_INJECTED_STALLS, worker_injected.stalls);
     // Every result the master folded in came off a slave's long-lived
     // workspace, so this equals `pairs.processed` by construction.
-    obs.registry().add(metric::ALIGN_WS_REUSES, ws_reuses_total);
+    reg.add(metric::ALIGN_WS_REUSES, ws_reuses_total);
     record_cluster_counters(obs, &stats);
     obs.flush();
 
@@ -216,6 +278,123 @@ pub fn cluster_parallel_faults(
         },
         trace,
     )
+}
+
+/// Copies of a worker's final [`Msg::Summary`] sent when a fault plan is
+/// active — like `Shutdown`, the summary has no acknowledgement, so
+/// bounded redundancy carries it past bounded per-channel drop rules.
+const SUMMARY_REDUNDANCY: usize = 3;
+
+/// Run rank 0 of the protocol over a caller-supplied transport-backed
+/// [`Rank`] — the multi-process entry point. The caller (the launcher)
+/// builds the world: a [`pace_mpisim::UdsHub`] wrapped by `rank`, with
+/// one [`cluster_worker_transport`] process per remaining rank.
+///
+/// After the protocol completes, worker summaries are collected as
+/// [`Msg::Summary`] messages within a bounded window (crashed workers
+/// never send one); the fold tolerates missing summaries by crediting
+/// the absent generator with exactly the pairs the master received from
+/// it, keeping flow conservation exact.
+pub fn cluster_master_transport(
+    store: &SequenceStore,
+    cfg: &ClusterConfig,
+    rank: &Rank<Msg>,
+    under_faults: bool,
+    obs: &Obs,
+) -> (ClusterResult, MergeTrace) {
+    cfg.validate().expect("invalid cluster config");
+    assert_eq!(rank.rank(), 0, "the master must run on rank 0");
+    let num_slaves = rank.size() - 1;
+    let total_span = obs.span(metric::PHASE_TOTAL);
+
+    let mut out = master_rank(rank, store, cfg, num_slaves, under_faults, obs);
+    let RankOutput::Master {
+        dead,
+        early_summaries,
+        ..
+    } = &mut out
+    else {
+        unreachable!()
+    };
+    let dead = std::mem::take(dead);
+    let mut summaries: Vec<Option<WorkerSummary>> = vec![None; num_slaves];
+    let mut received = 0usize;
+    for (slave, s) in early_summaries.drain(..) {
+        if slave < num_slaves && summaries[slave].is_none() {
+            summaries[slave] = Some(s);
+            received += 1;
+        }
+    }
+
+    // Collect the remaining summaries. Only slaves the master did not
+    // declare dead are expected; the deadline bounds the wait if one of
+    // them dies between its Shutdown and its summary.
+    let expected = dead.iter().filter(|d| !**d).count();
+    let window = (cfg.slave_timeout * (f64::from(cfg.max_retries) + 1.0)).clamp(1.0, 10.0);
+    let deadline = Instant::now() + Duration::from_secs_f64(window);
+    while received < expected {
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        let poll = (deadline - now).min(Duration::from_millis(50));
+        match rank.recv_timeout(poll) {
+            Ok(Some((from, Msg::Summary(s)))) if from >= 1 => {
+                let slave = from - 1;
+                if slave < num_slaves && summaries[slave].is_none() {
+                    summaries[slave] = Some(s);
+                    received += 1;
+                }
+            }
+            // Stray duplicate reports from resend redundancy: ignore.
+            Ok(Some(_)) | Ok(None) => {}
+            Err(_) => break,
+        }
+    }
+
+    let mut outputs = vec![out];
+    outputs.extend(
+        summaries
+            .into_iter()
+            .flatten()
+            .map(|summary| RankOutput::Slave { summary }),
+    );
+    fold_outputs(outputs, obs, total_span.finish())
+}
+
+/// Run one worker rank of the protocol over a caller-supplied
+/// transport-backed [`Rank`]: partitioning collectives, forest build,
+/// the slave loop, then the final [`Msg::Summary`] (skipped when an
+/// injected crash severed the connection — the master's fold tolerates
+/// the gap). Returns whether this rank crashed, which the worker
+/// process turns into its [`pace_mpisim::INJECTED_CRASH_EXIT`] status.
+pub fn cluster_worker_transport(
+    store: &SequenceStore,
+    cfg: &ClusterConfig,
+    rank: &Rank<Msg>,
+    under_faults: bool,
+    obs: &Obs,
+) -> bool {
+    cfg.validate().expect("invalid cluster config");
+    assert!(rank.rank() >= 1, "workers run on ranks 1..size");
+    let num_slaves = rank.size() - 1;
+    let packed = cfg.packed_alignment.then(|| PackedText::from_store(store));
+    let out = slave_rank(rank, store, packed.as_ref(), cfg, num_slaves, obs);
+    let RankOutput::Slave { mut summary } = out else {
+        unreachable!()
+    };
+    let injected = rank.fault_stats();
+    summary.injected_drops = injected.dropped;
+    summary.injected_delays = injected.delayed;
+    summary.injected_stalls = injected.stalls;
+    if !rank.crashed() {
+        let copies = if under_faults { SUMMARY_REDUNDANCY } else { 1 };
+        for _ in 0..copies {
+            rank.send(0, Msg::Summary(summary));
+        }
+    }
+    obs.flush();
+    rank.crashed()
 }
 
 fn master_rank(
@@ -270,6 +449,9 @@ fn master_rank(
     let mut merges_emitted = 0usize;
     let mut hb_last_t = loop_t0;
     let mut hb_last_processed = 0u64;
+    // Socket backend: a worker that got its Shutdown can send its final
+    // summary while we are still shutting the others down.
+    let mut early_summaries: Vec<(usize, WorkerSummary)> = Vec::new();
     while !master.is_done() {
         let mut got_report = false;
         match rank.recv_timeout(poll) {
@@ -311,6 +493,10 @@ fn master_rank(
                                 tracer.flow(TraceKind::FlowEnd, 0, t0, flow_id(from - 1, seq));
                             });
                         }
+                    }
+                    Msg::Summary(s) => {
+                        debug_assert!(from >= 1);
+                        early_summaries.push((from - 1, s));
                     }
                     other => unreachable!("master received {}", other.kind()),
                 }
@@ -402,6 +588,7 @@ fn master_rank(
 
     let stats = master.stats;
     let trace = master.trace.clone();
+    let dead = (0..num_slaves).map(|s| master.is_dead(s)).collect();
     let mut clusters = master.into_clusters();
     let labels = clusters.labels();
     RankOutput::Master {
@@ -413,6 +600,8 @@ fn master_rank(
         comm: rank.stats(),
         injected: rank.fault_stats(),
         partitioning,
+        dead,
+        early_summaries,
     }
 }
 
@@ -443,9 +632,7 @@ fn slave_rank(
     // Phases 3–4: the slave protocol (node sorting happens inside).
     let summary = run_slave_obs(rank, 0, store, packed, &forest, cfg, obs);
     RankOutput::Slave {
-        summary,
-        partitioning,
-        gst_construction,
+        summary: worker_summary(&summary, partitioning, gst_construction),
     }
 }
 

@@ -18,7 +18,11 @@
 //! Two drivers expose the engine: [`driver_seq`] runs master logic inline
 //! with one in-process generator (the reference implementation), and
 //! [`driver_par`] runs the full message protocol over `p` ranks of the
-//! thread-backed MPI substitute.
+//! thread-backed MPI substitute. The same protocol also runs over any
+//! [`pace_mpisim::Transport`]: [`driver_par::cluster_master_transport`] /
+//! [`driver_par::cluster_worker_transport`] drive one rank each over a
+//! caller-supplied `Rank<Msg>` (the multi-process socket path), with
+//! [`wire_msg`] providing the `Msg` wire codec.
 
 pub mod align_task;
 pub mod config;
@@ -29,16 +33,19 @@ pub mod messages;
 pub mod slave;
 pub mod stats;
 pub mod trace;
+pub mod wire_msg;
 
 pub use align_task::{align_pair, AlignContext, PairOutcome};
 pub use config::ClusterConfig;
 pub use driver_par::{
-    cluster_parallel, cluster_parallel_faults, cluster_parallel_obs, cluster_parallel_traced,
+    cluster_master_transport, cluster_parallel, cluster_parallel_faults, cluster_parallel_obs,
+    cluster_parallel_traced, cluster_worker_transport,
 };
 pub use driver_seq::{
     cluster_sequential, cluster_sequential_obs, cluster_sequential_traced, record_cluster_counters,
     record_gst_stats,
 };
 pub use master::FaultNote;
+pub use messages::{Msg, WorkerSummary};
 pub use stats::{ClusterResult, ClusterStats, FaultStats, PhaseTimers};
 pub use trace::{MergeRecord, MergeTrace};

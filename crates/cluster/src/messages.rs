@@ -3,6 +3,46 @@
 use crate::align_task::PairOutcome;
 use pace_pairgen::CandidatePair;
 
+/// A worker's end-of-run accounting, shipped to the master as a
+/// [`Msg::Summary`] in multi-process runs. The channel backend returns
+/// the same numbers through the thread join instead, so this message
+/// only appears on the socket transport.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WorkerSummary {
+    /// Generator: forest nodes of depth ≥ ψ processed.
+    pub gen_nodes_processed: u64,
+    /// Generator: raw pairs before filtering.
+    pub gen_raw_pairs: u64,
+    /// Generator: same-EST pairs discarded.
+    pub gen_discarded_self: u64,
+    /// Generator: mirror-image pairs discarded.
+    pub gen_discarded_mirror: u64,
+    /// Generator: promising pairs emitted.
+    pub gen_emitted: u64,
+    /// Seconds in generator setup (node collection + sort).
+    pub node_sorting: f64,
+    /// Seconds inside the alignment kernel.
+    pub alignment: f64,
+    /// Seconds in the partitioning phase.
+    pub partitioning: f64,
+    /// Seconds building this worker's subtrees.
+    pub gst_construction: f64,
+    /// Pairs still buffered in `PAIRBUF` at shutdown.
+    pub unconsumed: u64,
+    /// Pairs rejected by the cheap pre-alignment filters.
+    pub prefiltered: u64,
+    /// Pairs served through the reused alignment workspace.
+    pub ws_reuses: u64,
+    /// Fault-injector counters observed by this worker's process
+    /// (meaningful on the socket transport, where counters are
+    /// per-process rather than world-shared).
+    pub injected_drops: u64,
+    /// See `injected_drops`.
+    pub injected_delays: u64,
+    /// See `injected_drops`.
+    pub injected_stalls: u64,
+}
+
 /// Messages flowing in either direction (the mpisim channel is typed with
 /// this single enum).
 ///
@@ -39,6 +79,9 @@ pub enum Msg {
     },
     /// Master → slave: everything is done, terminate.
     Shutdown,
+    /// Slave → master, after `Shutdown`: final accounting for the fold
+    /// (multi-process runs only; thread worlds join instead).
+    Summary(WorkerSummary),
 }
 
 impl Msg {
@@ -48,6 +91,7 @@ impl Msg {
             Msg::Report { .. } => "Report",
             Msg::Work { .. } => "Work",
             Msg::Shutdown => "Shutdown",
+            Msg::Summary(_) => "Summary",
         }
     }
 }

@@ -215,7 +215,9 @@ pub fn run_slave_obs(
                 last_seq = seq;
                 nextwork = pairs;
             }
-            Msg::Report { .. } => unreachable!("slaves never receive reports"),
+            Msg::Report { .. } | Msg::Summary(_) => {
+                unreachable!("slaves never receive reports or summaries")
+            }
         }
     }
 }

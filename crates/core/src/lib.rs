@@ -30,12 +30,14 @@
 //! ```
 
 pub mod incremental;
+pub mod launch;
 pub mod persistent;
 pub mod pipeline;
 pub mod report;
 pub mod splice;
 
 pub use incremental::IncrementalClusterer;
+pub use launch::{cluster_store_uds, worker_main, worker_trace_path, UdsLaunchOpts};
 pub use persistent::{run_persistent, CrashPoint, PersistConfig, PersistInput, PersistentOutcome};
 pub use pipeline::{Pace, PaceConfig, PaceError, PaceOutcome};
 pub use report::RunReport;

@@ -67,6 +67,10 @@ pub enum PaceError {
     /// [`CrashPoint`](crate::persistent::CrashPoint)); on-disk state is
     /// exactly what a real crash at that instant would leave.
     InjectedCrash(String),
+    /// The multi-process launcher failed: a worker could not be
+    /// spawned, missed the socket rendezvous, or exited abnormally
+    /// (the message carries its captured stderr).
+    Launch(String),
 }
 
 impl std::fmt::Display for PaceError {
@@ -76,6 +80,7 @@ impl std::fmt::Display for PaceError {
             PaceError::BadConfig(msg) => write!(f, "invalid configuration: {msg}"),
             PaceError::Persist(msg) => write!(f, "persistence failure: {msg}"),
             PaceError::InjectedCrash(point) => write!(f, "injected crash at {point}"),
+            PaceError::Launch(msg) => write!(f, "launch failure: {msg}"),
         }
     }
 }

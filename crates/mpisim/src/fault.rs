@@ -186,9 +186,14 @@ impl FaultPlan {
             FaultProfile::Crash => {
                 let mut rng = SplitMix64::new(seed ^ 0xC4A5_11ED);
                 let rank = 1 + (rng.next() % (p as u64 - 1)) as usize;
-                // After 2–5 completed sends: the startup report is out,
-                // so the master has real protocol state to recover.
-                plan = plan.crash(rank, 2 + rng.next() % 4);
+                // After exactly one completed send: the startup report
+                // is out, so the master has real protocol state to
+                // recover, and the second send attempt (the reply to the
+                // first work round) happens on every schedule. Later
+                // sends are scheduling-dependent — a rank that gets few
+                // batches may never attempt them, leaving the crash
+                // armed but never fired.
+                plan = plan.crash(rank, 1);
                 let straggler = 1 + (rng.next() % (p as u64 - 1)) as usize;
                 if straggler != rank {
                     plan = plan.stall(straggler, 1 + rng.next() % 3, 2);
@@ -199,7 +204,9 @@ impl FaultPlan {
                 plan.add_seeded_rules(seed ^ 0x5EED, p, FaultKind::Delay);
                 let mut rng = SplitMix64::new(seed ^ 0xC4A5_11ED);
                 let rank = 1 + (rng.next() % (p as u64 - 1)) as usize;
-                plan = plan.crash(rank, 3 + rng.next() % 4);
+                // Same rationale as the crash profile: one completed
+                // send is the only crash point every schedule reaches.
+                plan = plan.crash(rank, 1);
             }
             FaultProfile::Stall => {
                 let mut rng = SplitMix64::new(seed ^ 0x57A1_1ED0);
@@ -238,6 +245,69 @@ impl FaultPlan {
                 }
             }
         }
+    }
+
+    /// Whether this plan schedules any rank deaths. The multi-process
+    /// launcher uses this to whitelist the injected-crash exit code.
+    pub fn has_crashes(&self) -> bool {
+        !self.crashes.is_empty()
+    }
+
+    /// Serialize to a compact single-line form, so a launcher can hand
+    /// the exact plan to worker processes on their command line. The
+    /// empty plan encodes as the empty string.
+    ///
+    /// Grammar: `;`-separated entries, each one of
+    /// `D:from:to:seq` (drop), `Y:from:to:seq:by` (delay),
+    /// `C:rank:after_sends` (crash), `S:rank:millis:times` (stall).
+    /// BTreeMap iteration makes the encoding canonical: equal plans
+    /// encode identically.
+    pub fn encode(&self) -> String {
+        let mut parts = Vec::new();
+        for (&(from, to, seq), action) in &self.rules {
+            match action {
+                FaultAction::Drop => parts.push(format!("D:{from}:{to}:{seq}")),
+                FaultAction::Delay(by) => parts.push(format!("Y:{from}:{to}:{seq}:{by}")),
+            }
+        }
+        for (&rank, &after) in &self.crashes {
+            parts.push(format!("C:{rank}:{after}"));
+        }
+        for (&rank, spec) in &self.stalls {
+            parts.push(format!("S:{rank}:{}:{}", spec.millis, spec.times));
+        }
+        parts.join(";")
+    }
+
+    /// Inverse of [`FaultPlan::encode`].
+    pub fn decode(s: &str) -> Result<Self, String> {
+        let mut plan = FaultPlan::default();
+        for entry in s.split(';').filter(|e| !e.is_empty()) {
+            let fields: Vec<&str> = entry.split(':').collect();
+            let num = |i: usize| -> Result<u64, String> {
+                fields
+                    .get(i)
+                    .and_then(|f| f.parse().ok())
+                    .ok_or_else(|| format!("bad fault plan entry {entry:?}"))
+            };
+            match fields.first().copied() {
+                Some("D") if fields.len() == 4 => {
+                    plan = plan.drop_msg(num(1)? as usize, num(2)? as usize, num(3)?);
+                }
+                Some("Y") if fields.len() == 5 => {
+                    plan =
+                        plan.delay_msg(num(1)? as usize, num(2)? as usize, num(3)?, num(4)? as u32);
+                }
+                Some("C") if fields.len() == 3 => {
+                    plan = plan.crash(num(1)? as usize, num(2)?);
+                }
+                Some("S") if fields.len() == 4 => {
+                    plan = plan.stall(num(1)? as usize, num(2)?, num(3)? as u32);
+                }
+                _ => return Err(format!("bad fault plan entry {entry:?}")),
+            }
+        }
+        Ok(plan)
     }
 
     /// Compile this plan into the runtime state rank `rank` carries, or
@@ -526,6 +596,37 @@ mod tests {
             assert_ne!(a, c, "{profile} plan ignores the seed");
         }
         assert!(FaultPlan::seeded(FaultProfile::Drop, 1, 1).is_empty());
+    }
+
+    #[test]
+    fn plans_round_trip_through_strings() {
+        let plans = [
+            FaultPlan::none(),
+            FaultPlan::none()
+                .drop_msg(0, 1, 5)
+                .delay_msg(1, 2, 3, 2)
+                .crash(2, 4)
+                .stall(3, 10, 2),
+            FaultPlan::seeded(FaultProfile::Mixed, 91, 4),
+            FaultPlan::seeded(FaultProfile::Crash, 7, 8),
+        ];
+        for plan in plans {
+            let s = plan.encode();
+            let back = FaultPlan::decode(&s).expect("decode");
+            assert_eq!(back, plan, "round trip failed for {s:?}");
+        }
+        assert_eq!(FaultPlan::none().encode(), "");
+        assert!(FaultPlan::decode("D:1:2").is_err());
+        assert!(FaultPlan::decode("Q:1:2:3").is_err());
+        assert!(FaultPlan::decode("C:a:b").is_err());
+    }
+
+    #[test]
+    fn has_crashes_reflects_the_plan() {
+        assert!(!FaultPlan::none().has_crashes());
+        assert!(FaultPlan::none().crash(1, 2).has_crashes());
+        assert!(FaultPlan::seeded(FaultProfile::Crash, 3, 4).has_crashes());
+        assert!(!FaultPlan::seeded(FaultProfile::Drop, 3, 4).has_crashes());
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use crate::rank::{Rank, RecvError};
 
-impl<M: Send> Rank<M> {
+impl<M: Send + 'static> Rank<M> {
     /// Scatter: the root supplies one message per rank; every rank
     /// (including the root) returns its own piece. Non-root ranks must
     /// pass `None`.

@@ -32,14 +32,25 @@
 //! assert_eq!(results[0], 1 + 2 + 3);
 //! ```
 
+//! Since PR 7 the runtime is *pluggable*: [`Rank`] delegates delivery
+//! to a [`Transport`] backend. The thread/channel world above remains
+//! the default; [`UdsHub`]/[`UdsEndpoint`] run the same protocol with
+//! one OS process per rank over Unix-domain sockets and the hand-rolled
+//! wire codec in [`wire`].
+
 mod collectives;
 mod fault;
 mod group;
 mod rank;
 mod stats;
+mod transport;
+mod uds;
+pub mod wire;
 mod world;
 
 pub use fault::{FaultAction, FaultPlan, FaultProfile, FaultSnapshot, StallSpec};
 pub use rank::{Rank, RecvError};
 pub use stats::{CommStats, WorldStats};
+pub use transport::{ChannelTransport, Transport};
+pub use uds::{UdsEndpoint, UdsHub, INJECTED_CRASH_EXIT};
 pub use world::{run_world, run_world_obs, run_world_with_faults};

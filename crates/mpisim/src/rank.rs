@@ -1,9 +1,7 @@
 //! The per-rank communicator handle.
 
-use crate::collectives::CollectiveState;
-use crate::fault::{FaultCounters, Injected, InjectedKind, RankFaults, SendFate};
-use crate::stats::CommStats;
-use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+use crate::fault::{FaultCounters, FaultPlan, Injected, InjectedKind, RankFaults, SendFate};
+use crate::transport::Transport;
 use pace_obs::trace::{T_FAULT_CRASH, T_FAULT_DELAY, T_FAULT_DROP, T_RECV_WAIT, T_SEND, T_STALL};
 use pace_obs::{Event, Obs};
 use std::cell::RefCell;
@@ -25,17 +23,18 @@ impl std::error::Error for RecvError {}
 
 /// A rank's endpoint into the world: identity, point-to-point messaging,
 /// and collectives. Mirrors the slice of MPI the paper's software uses.
-pub struct Rank<M: Send> {
-    rank: usize,
-    size: usize,
-    /// `senders[r]` feeds rank `r`'s inbox.
-    senders: Vec<Sender<(usize, M)>>,
-    inbox: Receiver<(usize, M)>,
-    collectives: Arc<CollectiveState>,
-    stats: Arc<CommStats>,
+///
+/// `Rank` owns everything the protocol can observe — fault injection,
+/// trace spans, crash semantics — and delegates raw delivery to a
+/// [`Transport`] backend. Fault plans therefore behave identically over
+/// in-process channels and Unix sockets: the per-channel transport
+/// sequence numbers that key a [`FaultPlan`] are counted here, above
+/// the backend.
+pub struct Rank<M: Send + 'static> {
+    transport: Box<dyn Transport<M> + Send>,
     /// Injection state when the world runs under a non-empty
-    /// [`FaultPlan`](crate::FaultPlan); `None` on the default path. A
-    /// rank handle lives on exactly one thread, so a `RefCell` suffices.
+    /// [`FaultPlan`]; `None` on the default path. A rank handle lives
+    /// on exactly one thread, so a `RefCell` suffices.
     faults: Option<RefCell<RankFaults<M>>>,
     fault_counters: Arc<FaultCounters>,
     /// Shared observability handle. [`crate::run_world`] and
@@ -45,37 +44,37 @@ pub struct Rank<M: Send> {
     obs: Obs,
 }
 
-impl<M: Send> Rank<M> {
-    // Internal constructor: `run_world_with_faults` is the only caller,
-    // and each argument is one world-shared channel/state handle.
-    #[allow(clippy::too_many_arguments)]
-    pub(crate) fn new(
-        rank: usize,
-        size: usize,
-        senders: Vec<Sender<(usize, M)>>,
-        inbox: Receiver<(usize, M)>,
-        collectives: Arc<CollectiveState>,
-        stats: Arc<CommStats>,
+impl<M: Send + 'static> Rank<M> {
+    /// Internal constructor used by the in-process world, which shares
+    /// one fault-counter block across all ranks.
+    pub(crate) fn from_parts(
+        transport: Box<dyn Transport<M> + Send>,
         faults: Option<RankFaults<M>>,
         fault_counters: Arc<FaultCounters>,
         obs: Obs,
     ) -> Self {
         Rank {
-            rank,
-            size,
-            senders,
-            inbox,
-            collectives,
-            stats,
+            transport,
             faults: faults.map(RefCell::new),
             fault_counters,
             obs,
         }
     }
 
+    /// Wrap a transport backend in a full rank handle, compiling `plan`
+    /// for the backend's rank. This is how a worker *process* builds its
+    /// rank: each process compiles the same plan independently (the plan
+    /// is pure data), so injection decisions line up across processes
+    /// exactly as they do across threads.
+    pub fn over(transport: Box<dyn Transport<M> + Send>, plan: &FaultPlan, obs: Obs) -> Self {
+        let counters = Arc::new(FaultCounters::default());
+        let faults = plan.compile_for(transport.rank(), transport.size(), &counters);
+        Rank::from_parts(transport, faults, counters, obs)
+    }
+
     /// Whether an injected crash has killed this rank. A crashed rank's
     /// sends are discarded and its receives error out.
-    fn is_crashed(&self) -> bool {
+    pub fn crashed(&self) -> bool {
         self.faults.as_ref().is_some_and(|f| f.borrow().crashed())
     }
 
@@ -88,7 +87,7 @@ impl<M: Send> Rank<M> {
                 self.obs.trace_with(|tracer| {
                     let t0 = t0_us.unwrap_or(0);
                     tracer.span(
-                        self.rank,
+                        self.rank(),
                         T_STALL,
                         t0,
                         self.obs.now_us().saturating_sub(t0),
@@ -98,7 +97,7 @@ impl<M: Send> Rank<M> {
                 });
                 self.obs.emit_with(|| Event::Fault {
                     t: self.obs.now(),
-                    rank: self.rank,
+                    rank: self.rank(),
                     kind: "injected.stall".into(),
                     seq: None,
                     detail: format!("millis={millis}"),
@@ -119,7 +118,7 @@ impl<M: Send> Rank<M> {
         };
         self.obs.trace_with(|tracer| {
             tracer.instant(
-                self.rank,
+                self.rank(),
                 trace_name,
                 self.obs.now_us(),
                 injected.seq,
@@ -128,30 +127,23 @@ impl<M: Send> Rank<M> {
         });
         self.obs.emit_with(|| Event::Fault {
             t: self.obs.now(),
-            rank: self.rank,
+            rank: self.rank(),
             kind: event_kind.into(),
             seq: Some(injected.seq),
             detail: format!("to={}", injected.to),
         });
     }
 
-    fn deliver(&self, to: usize, msg: M) {
-        self.stats.record_message();
-        // An Err means the receiver's inbox was dropped (rank finished);
-        // MPI semantics at shutdown are undefined, we choose "discard".
-        let _ = self.senders[to].send((self.rank, msg));
-    }
-
     /// This rank's id in `0..size`.
     #[inline]
     pub fn rank(&self) -> usize {
-        self.rank
+        self.transport.rank()
     }
 
     /// Number of ranks in the world (the paper's `p`).
     #[inline]
     pub fn size(&self) -> usize {
-        self.size
+        self.transport.size()
     }
 
     /// Send `msg` to rank `to`. Asynchronous and unbounded, like a buffered
@@ -160,28 +152,35 @@ impl<M: Send> Rank<M> {
     /// finished silently discards the message.
     pub fn send(&self, to: usize, msg: M) {
         assert!(
-            to < self.size,
+            to < self.size(),
             "rank {to} out of range (size {})",
-            self.size
+            self.size()
         );
         self.obs.trace_with(|tracer| {
-            tracer.instant(self.rank, T_SEND, self.obs.now_us(), 0, to as u64);
+            tracer.instant(self.rank(), T_SEND, self.obs.now_us(), 0, to as u64);
         });
         match &self.faults {
-            None => self.deliver(to, msg),
+            None => self.transport.send(to, msg),
             Some(f) => {
                 let fate = f.borrow_mut().on_send(to, msg);
                 match fate {
                     SendFate::Deliver(m, matured) => {
-                        self.deliver(to, m);
+                        self.transport.send(to, m);
                         for m in matured {
-                            self.deliver(to, m);
+                            self.transport.send(to, m);
                         }
                     }
                     SendFate::Swallowed(matured, injected) => {
+                        let crashed_now = injected.kind == InjectedKind::Crash;
                         self.note_injected(injected);
                         for m in matured {
-                            self.deliver(to, m);
+                            self.transport.send(to, m);
+                        }
+                        if crashed_now {
+                            // Let the backend make the death real (the
+                            // socket transport severs its connection so
+                            // peers observe EOF, like a killed process).
+                            self.transport.on_crash();
                         }
                     }
                 }
@@ -193,32 +192,13 @@ impl<M: Send> Rank<M> {
     ///
     /// Errors once no message can ever arrive — every other rank has
     /// terminated — the deadlock-free analogue of a hung `MPI_Recv`.
-    /// Liveness is tracked explicitly (see `CollectiveState::alive`):
-    /// channel disconnection alone cannot signal termination because each
-    /// rank keeps a sender to its own inbox for self-sends.
     pub fn recv(&self) -> Result<(usize, M), RecvError> {
-        if self.is_crashed() {
+        if self.crashed() {
             return Err(RecvError);
         }
         self.maybe_stall();
         let t0_us = self.obs.trace_enabled().then(|| self.obs.now_us());
-        let out = loop {
-            match self.inbox.recv_timeout(Duration::from_millis(1)) {
-                Ok(envelope) => break Ok(envelope),
-                Err(RecvTimeoutError::Disconnected) => break Err(RecvError),
-                Err(RecvTimeoutError::Timeout) => {
-                    if self.collectives.alive() <= 1 {
-                        // Only this rank is left. A peer's final send
-                        // happens-before its `rank_done`, so one last
-                        // drain cannot miss anything.
-                        break match self.inbox.try_recv() {
-                            Ok(envelope) => Ok(envelope),
-                            Err(_) => Err(RecvError),
-                        };
-                    }
-                }
-            }
-        };
+        let out = self.transport.recv();
         if let Some(t0) = t0_us {
             self.trace_recv_wait(t0);
         }
@@ -230,7 +210,7 @@ impl<M: Send> Rank<M> {
     fn trace_recv_wait(&self, t0_us: u64) {
         self.obs.trace_with(|tracer| {
             tracer.span(
-                self.rank,
+                self.rank(),
                 T_RECV_WAIT,
                 t0_us,
                 self.obs.now_us().saturating_sub(t0_us),
@@ -246,14 +226,10 @@ impl<M: Send> Rank<M> {
     /// This is the primitive the slave loop uses to *generate pairs while
     /// waiting* for the master's next batch.
     pub fn try_recv(&self) -> Result<Option<(usize, M)>, RecvError> {
-        if self.is_crashed() {
+        if self.crashed() {
             return Err(RecvError);
         }
-        match self.inbox.try_recv() {
-            Ok(envelope) => Ok(Some(envelope)),
-            Err(TryRecvError::Empty) => Ok(None),
-            Err(TryRecvError::Disconnected) => Err(RecvError),
-        }
+        self.transport.try_recv()
     }
 
     /// Bounded-wait receive: `Ok(Some(..))` when a message arrived within
@@ -263,30 +239,21 @@ impl<M: Send> Rank<M> {
     /// This is the primitive a recovering master uses: it must wake up on
     /// its own to notice a silent slave, which a plain blocking `recv`
     /// can never do.
+    ///
+    /// The deadline is captured on entry, *before* any injected stall
+    /// runs, so one call never waits longer than `timeout` plus the
+    /// stall itself — an episode of `max_retries` polls is bounded by
+    /// `max_retries * timeout` regardless of injected timing faults.
+    /// (The deadline used to be computed after the stall, silently
+    /// extending every retry episode under stall plans.)
     pub fn recv_timeout(&self, timeout: Duration) -> Result<Option<(usize, M)>, RecvError> {
-        if self.is_crashed() {
+        if self.crashed() {
             return Err(RecvError);
         }
+        let deadline = Instant::now() + timeout;
         self.maybe_stall();
         let t0_us = self.obs.trace_enabled().then(|| self.obs.now_us());
-        let deadline = Instant::now() + timeout;
-        let out = loop {
-            match self.inbox.recv_timeout(Duration::from_millis(1)) {
-                Ok(envelope) => break Ok(Some(envelope)),
-                Err(RecvTimeoutError::Disconnected) => break Err(RecvError),
-                Err(RecvTimeoutError::Timeout) => {
-                    if self.collectives.alive() <= 1 {
-                        break match self.inbox.try_recv() {
-                            Ok(envelope) => Ok(Some(envelope)),
-                            Err(_) => Err(RecvError),
-                        };
-                    }
-                    if Instant::now() >= deadline {
-                        break Ok(None);
-                    }
-                }
-            }
-        };
+        let out = self.transport.recv_deadline(deadline);
         if let Some(t0) = t0_us {
             self.trace_recv_wait(t0);
         }
@@ -296,10 +263,7 @@ impl<M: Send> Rank<M> {
     /// Synchronize all ranks (`MPI_Barrier`).
     pub fn barrier(&self) {
         self.maybe_stall();
-        self.collectives.barrier(self.rank);
-        if self.rank == 0 {
-            self.stats.record_barrier();
-        }
+        self.transport.barrier();
     }
 
     /// Element-wise sum of `local` across every rank; all ranks receive the
@@ -308,34 +272,32 @@ impl<M: Send> Rank<M> {
     /// algorithm" the paper uses to count bucket sizes globally.
     pub fn allreduce_sum(&self, local: &[u64]) -> Vec<u64> {
         self.maybe_stall();
-        if self.rank == 0 {
-            self.stats.record_reduction();
-        }
-        self.collectives.allreduce_sum(self.rank, local)
+        self.transport.allreduce_sum(local)
     }
 
     /// Maximum across ranks of a single value (`MPI_Allreduce` / `MPI_MAX`).
     pub fn allreduce_max(&self, local: u64) -> u64 {
         self.maybe_stall();
-        if self.rank == 0 {
-            self.stats.record_reduction();
-        }
-        self.collectives.allreduce_max(self.rank, local)
+        self.transport.allreduce_max(local)
     }
 
-    /// Snapshot of the world-wide communication statistics.
+    /// Snapshot of the communication statistics this rank's transport
+    /// can see (world-wide for the in-process backend; for the socket
+    /// backend the hub sees all routed traffic).
     pub fn stats(&self) -> crate::stats::WorldStats {
-        self.stats.snapshot()
+        self.transport.stats()
     }
 
-    /// Snapshot of the world-wide injected-fault counters (all zero when
-    /// the world runs without a [`FaultPlan`](crate::FaultPlan)).
+    /// Snapshot of the injected-fault counters (all zero when the world
+    /// runs without a [`FaultPlan`]). In-process worlds share one
+    /// counter block across ranks; each worker process counts only its
+    /// own injections and ships them home in its end-of-run summary.
     pub fn fault_stats(&self) -> crate::fault::FaultSnapshot {
         self.fault_counters.snapshot()
     }
 }
 
-impl<M: Send> Drop for Rank<M> {
+impl<M: Send + 'static> Drop for Rank<M> {
     /// Flush delayed messages a finishing sender still holds — delay
     /// must reorder, never lose. Runs before the world's done-guard
     /// decrements the alive count (the closure drops its `Rank` first),
@@ -343,7 +305,7 @@ impl<M: Send> Drop for Rank<M> {
     fn drop(&mut self) {
         if let Some(f) = &self.faults {
             for (to, msg) in f.borrow_mut().drain_all() {
-                self.deliver(to, msg);
+                self.transport.send(to, msg);
             }
         }
     }
@@ -351,7 +313,8 @@ impl<M: Send> Drop for Rank<M> {
 
 #[cfg(test)]
 mod tests {
-    use crate::run_world;
+    use crate::{run_world, run_world_with_faults, FaultPlan, Rank};
+    use std::time::{Duration, Instant};
 
     #[test]
     fn send_recv_roundtrip() {
@@ -447,5 +410,37 @@ mod tests {
         });
         assert_eq!(out[0].messages, 2);
         assert_eq!(out[0].barriers, 1);
+    }
+
+    /// Pins the per-episode deadline rule: an injected stall consumes
+    /// the caller's timeout budget instead of extending it. With a
+    /// 300 ms stall and a 400 ms timeout, the call must return around
+    /// the 400 ms mark — the old per-retry accounting (deadline taken
+    /// *after* the stall) would wait ~700 ms.
+    #[test]
+    fn recv_timeout_deadline_includes_injected_stalls() {
+        let plan = FaultPlan::none().stall(1, 300, 1);
+        let out = run_world_with_faults(2, &plan, |rank: Rank<u8>| {
+            if rank.rank() == 1 {
+                let t0 = Instant::now();
+                let got = rank.recv_timeout(Duration::from_millis(400)).unwrap();
+                assert!(got.is_none(), "nothing was sent");
+                Some(t0.elapsed())
+            } else {
+                // Keep the world alive past rank 1's deadline so the
+                // timeout path (not peer-termination) is what returns.
+                std::thread::sleep(Duration::from_millis(500));
+                None
+            }
+        });
+        let elapsed = out[1].unwrap();
+        assert!(
+            elapsed < Duration::from_millis(600),
+            "stall extended the episode: recv_timeout(400ms) took {elapsed:?}"
+        );
+        assert!(
+            elapsed >= Duration::from_millis(300),
+            "stall must still have run: {elapsed:?}"
+        );
     }
 }

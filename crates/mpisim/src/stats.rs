@@ -11,6 +11,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 #[derive(Debug, Default)]
 pub struct CommStats {
     messages: AtomicU64,
+    bytes: AtomicU64,
     barriers: AtomicU64,
     reductions: AtomicU64,
 }
@@ -25,6 +26,13 @@ impl CommStats {
         self.messages.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Serialized frame bytes moved over a real transport. The
+    /// in-process backend never calls this (nothing is serialized, so
+    /// the honest number is zero).
+    pub(crate) fn record_bytes(&self, n: u64) {
+        self.bytes.fetch_add(n, Ordering::Relaxed);
+    }
+
     pub(crate) fn record_barrier(&self) {
         self.barriers.fetch_add(1, Ordering::Relaxed);
     }
@@ -37,6 +45,7 @@ impl CommStats {
     pub fn snapshot(&self) -> WorldStats {
         WorldStats {
             messages: self.messages.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
             barriers: self.barriers.load(Ordering::Relaxed),
             reductions: self.reductions.load(Ordering::Relaxed),
         }
@@ -48,6 +57,10 @@ impl CommStats {
 pub struct WorldStats {
     /// Point-to-point messages delivered.
     pub messages: u64,
+    /// Serialized frame bytes (wire payloads + headers) moved over a
+    /// real transport; 0 for the in-process backend, which serializes
+    /// nothing.
+    pub bytes: u64,
     /// Barrier episodes completed (counted once per barrier, not per rank).
     pub barriers: u64,
     /// Reduction collectives completed (once per collective).
@@ -69,6 +82,7 @@ mod tests {
             snap,
             WorldStats {
                 messages: 2,
+                bytes: 0,
                 barriers: 1,
                 reductions: 0
             }

@@ -4,6 +4,7 @@ use crate::collectives::CollectiveState;
 use crate::fault::{FaultCounters, FaultPlan};
 use crate::rank::Rank;
 use crate::stats::CommStats;
+use crate::transport::ChannelTransport;
 use crossbeam::channel::unbounded;
 use std::sync::Arc;
 
@@ -16,7 +17,7 @@ use std::sync::Arc;
 /// deadlocking.
 pub fn run_world<M, R, F>(p: usize, f: F) -> Vec<R>
 where
-    M: Send,
+    M: Send + 'static,
     R: Send,
     F: Fn(Rank<M>) -> R + Sync,
 {
@@ -28,7 +29,7 @@ where
 /// the plain world.
 pub fn run_world_with_faults<M, R, F>(p: usize, plan: &FaultPlan, f: F) -> Vec<R>
 where
-    M: Send,
+    M: Send + 'static,
     R: Send,
     F: Fn(Rank<M>) -> R + Sync,
 {
@@ -41,7 +42,7 @@ where
 /// when `obs` is a noop).
 pub fn run_world_obs<M, R, F>(p: usize, plan: &FaultPlan, obs: &pace_obs::Obs, f: F) -> Vec<R>
 where
-    M: Send,
+    M: Send + 'static,
     R: Send,
     F: Fn(Rank<M>) -> R + Sync,
 {
@@ -62,13 +63,16 @@ where
         .into_iter()
         .enumerate()
         .map(|(id, inbox)| {
-            Rank::new(
+            let transport = ChannelTransport::new(
                 id,
                 p,
                 senders.clone(),
                 inbox,
                 Arc::clone(&collectives),
                 Arc::clone(&stats),
+            );
+            Rank::from_parts(
+                Box::new(transport),
                 plan.compile_for(id, p, &fault_counters),
                 Arc::clone(&fault_counters),
                 obs.clone(),

@@ -30,6 +30,10 @@ pub const ALIGN_WS_REUSES: &str = "align.ws_reuses";
 
 /// Counter: point-to-point messages delivered.
 pub const COMM_MESSAGES: &str = "comm.messages";
+/// Counter: serialized frame bytes moved by the transport (headers
+/// included). Zero on the in-process channel backend, which moves owned
+/// values instead of bytes.
+pub const COMM_BYTES: &str = "comm.bytes";
 /// Counter: barrier episodes completed.
 pub const COMM_BARRIERS: &str = "comm.barriers";
 /// Counter: reduction collectives completed.

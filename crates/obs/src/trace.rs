@@ -261,6 +261,27 @@ impl Tracer {
     pub fn write_chrome_file(&self, path: &std::path::Path) -> std::io::Result<()> {
         std::fs::write(path, self.to_chrome_json().to_string())
     }
+
+    /// [`Tracer::to_chrome_json`] with every timestamp shifted by
+    /// `offset_us` — clock stitching for multi-process runs: each worker
+    /// records on its own monotonic clock and shifts into the hub's
+    /// epoch at export, so the merged timeline is causally ordered.
+    pub fn to_chrome_json_offset(&self, offset_us: i64) -> Json {
+        let mut events = self.snapshot();
+        for e in &mut events {
+            e.t_us = e.t_us.saturating_add_signed(offset_us);
+        }
+        events_to_chrome_json(&events)
+    }
+
+    /// Write the offset-shifted Chrome JSON export to a file.
+    pub fn write_chrome_file_offset(
+        &self,
+        path: &std::path::Path,
+        offset_us: i64,
+    ) -> std::io::Result<()> {
+        std::fs::write(path, self.to_chrome_json_offset(offset_us).to_string())
+    }
 }
 
 impl std::fmt::Debug for Tracer {
@@ -507,6 +528,30 @@ impl TraceDoc {
             }
         }
         Ok(out)
+    }
+
+    /// Absorb another document (a per-process trace from a multi-process
+    /// run, already shifted into the shared epoch at export time): spans
+    /// and instants are appended, flow observations with the same id are
+    /// combined — which is exactly what lets a master-side `FlowStart`
+    /// find its worker-side `FlowStep`s across files. Schema versions
+    /// must match; mixing export generations is a hard error.
+    pub fn merge(&mut self, other: TraceDoc) -> Result<(), String> {
+        if self.schema_version != other.schema_version {
+            return Err(format!(
+                "cannot merge trace schema_version {} with {}",
+                other.schema_version, self.schema_version
+            ));
+        }
+        self.spans.extend(other.spans);
+        self.instants.extend(other.instants);
+        for (id, rec) in other.flows {
+            let mine = self.flows.entry(id).or_default();
+            mine.starts.extend(rec.starts);
+            mine.steps.extend(rec.steps);
+            mine.ends.extend(rec.ends);
+        }
+        Ok(())
     }
 }
 

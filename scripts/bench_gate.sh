@@ -33,11 +33,16 @@
 #     workflow step after applying a `bench-gate-override` PR label),
 #     which turns a failure into a warning.
 #
-# Usage: scripts/bench_gate.sh [smoke.json] [baseline.json] [ooc-report.json]
+# Usage: scripts/bench_gate.sh [smoke.json] [baseline.json] [ooc-report.json] [uds-report.json]
 #   The optional third argument (default bench_out/out_of_core.json) is an
 #   out-of-core run's metrics report; when present its io.* counters
 #   (io.spill_bytes etc.) are echoed into the gate log so the uploaded CI
 #   artifact records the spill traffic alongside the timings.
+#   The optional fourth argument (default bench_out/smoke_uds.json) is the
+#   socket-transport smoke rep written under PACE_TRANSPORT=uds; when
+#   present its comm.messages / comm.bytes counters are echoed into the
+#   gate log (report-only, no gate — wire volume has no machine-relative
+#   baseline yet).
 #   BENCH_GATE_TOLERANCE  fractional slowdown allowed (default 0.25)
 #   BENCH_GATE_SKIP=1     report, but never fail
 set -euo pipefail
@@ -45,6 +50,7 @@ set -euo pipefail
 SMOKE=${1:-bench_out/smoke.json}
 BASELINE=${2:-bench/baseline.json}
 OOC=${3:-bench_out/out_of_core.json}
+UDS=${4:-bench_out/smoke_uds.json}
 TOLERANCE=${BENCH_GATE_TOLERANCE:-0.25}
 
 if [[ ! -f "$SMOKE" ]]; then
@@ -56,12 +62,12 @@ if [[ ! -f "$BASELINE" ]]; then
     exit 2
 fi
 
-python3 - "$SMOKE" "$BASELINE" "$TOLERANCE" "${BENCH_GATE_SKIP:-0}" "$OOC" <<'PY'
+python3 - "$SMOKE" "$BASELINE" "$TOLERANCE" "${BENCH_GATE_SKIP:-0}" "$OOC" "$UDS" <<'PY'
 import json
 import os
 import sys
 
-smoke_path, baseline_path, tolerance, skip, ooc_path = sys.argv[1:6]
+smoke_path, baseline_path, tolerance, skip, ooc_path, uds_path = sys.argv[1:7]
 tolerance = float(tolerance)
 skip = skip not in ("", "0", "false")
 
@@ -119,6 +125,17 @@ if ab and "p99" in ab:
         f"p90 {ab['p90'] * 1e3:.3f} ms, p99 {ab['p99'] * 1e3:.3f} ms "
         f"over {ab['count']:.0f} batches (report-only)"
     )
+
+# Echo the socket-transport rep's communication volume (reported, never
+# gated): real serialized bytes and message counts from the uds backend,
+# so wire-level cost trends are visible in the gate log.
+if os.path.exists(uds_path):
+    counters = json.load(open(uds_path)).get("counters", {})
+    comm_keys = sorted(k for k in counters if k.startswith("comm."))
+    if comm_keys:
+        print(f"bench_gate: uds transport counters from {uds_path} (report-only)")
+        for key in comm_keys:
+            print(f"  {key:<24} {counters[key]:>14.0f}")
 
 # Echo the out-of-core run's I/O counters (reported, never gated) so the
 # CI artifact keeps spill traffic next to the timings.

@@ -14,6 +14,14 @@
 //! ranking, and per-span-name duration quantiles. The input is the
 //! Chrome-tracing/Perfetto JSON the engine exports — the same file
 //! loads in `ui.perfetto.dev`.
+//!
+//! Multiple files merge into one timeline before analysis. This is how
+//! a `--transport uds` run is stitched back together: the master
+//! exports `trace.json` and each worker process exports
+//! `trace.json.rankN.json` (already shifted onto the master's clock by
+//! the rendezvous handshake), so
+//! `pace-trace trace.json trace.json.rank*.json` analyzes the
+//! cross-process run as if it had been one process.
 
 use pace::obs::trace::{analysis_to_json, analyze, Analysis, TraceDoc};
 use std::process::ExitCode;
@@ -22,7 +30,10 @@ const USAGE: &str = "\
 pace-trace — analyze a PaCE trace timeline
 
 USAGE:
-  pace-trace TRACE.json [--json] [--check] [--top N]
+  pace-trace TRACE.json [MORE.json ...] [--json] [--check] [--top N]
+
+  Multiple trace files (e.g. a uds run's per-process exports) are
+  merged into one timeline before analysis.
 
   --json    print the analysis as JSON instead of the report
   --check   exit non-zero if any structural invariant is violated
@@ -39,7 +50,7 @@ fn main() -> ExitCode {
 }
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
-    let mut path: Option<&str> = None;
+    let mut paths: Vec<&str> = Vec::new();
     let mut json_mode = false;
     let mut check_mode = false;
     let mut top = 8usize;
@@ -56,17 +67,29 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 println!("{USAGE}");
                 return Ok(ExitCode::SUCCESS);
             }
-            other if path.is_none() && !other.starts_with('-') => path = Some(other),
+            other if !other.starts_with('-') => paths.push(other),
             other => return Err(format!("unexpected argument {other:?}\n{USAGE}")),
         }
     }
-    let Some(path) = path else {
+    if paths.is_empty() {
         return Err(format!("missing trace file\n{USAGE}"));
-    };
+    }
 
-    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    let doc = pace::obs::json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
-    let trace = TraceDoc::from_chrome_json(&doc).map_err(|e| format!("{path}: {e}"))?;
+    let mut merged: Option<TraceDoc> = None;
+    for path in &paths {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let doc =
+            pace::obs::json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+        let trace = TraceDoc::from_chrome_json(&doc).map_err(|e| format!("{path}: {e}"))?;
+        match &mut merged {
+            None => merged = Some(trace),
+            Some(m) => m.merge(trace).map_err(|e| format!("merging {path}: {e}"))?,
+        }
+    }
+    let trace = merged.expect("at least one trace file");
+    if paths.len() > 1 && !json_mode {
+        println!("merged {} trace files into one timeline", paths.len());
+    }
     let analysis = analyze(&trace);
 
     if json_mode {

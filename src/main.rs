@@ -32,6 +32,18 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
+    // Hidden: the multi-process launcher re-invokes this binary as
+    // `pace __pace-worker --rank R --procs P --socket S ...` for each
+    // worker rank of a `--transport uds` run. Not part of the CLI.
+    if command == "__pace-worker" {
+        return match pace::worker_main(rest) {
+            Ok(code) => ExitCode::from(code as u8),
+            Err(msg) => {
+                eprintln!("pace worker: {msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let result = match command.as_str() {
         "simulate" => cmd_simulate(rest),
         "cluster" => cmd_cluster(rest),
@@ -58,7 +70,8 @@ pace — space and time efficient parallel EST clustering (ICPP 2002)
 
 USAGE:
   pace simulate --ests N [--genes N] [--seed N] --out FILE [--truth FILE]
-  pace cluster  --in FASTA --out FILE [--procs N] [--psi N] [--window N]
+  pace cluster  --in FASTA --out FILE [--procs N] [--transport channel|uds]
+                [--psi N] [--window N]
                 [--batchsize N] [--min-overlap N] [--min-ratio F] [--truth FILE]
                 [--fault-profile drop|delay|reorder|crash|mixed|stall] [--fault-seed N]
                 [--slave-timeout SECS] [--max-retries N]
@@ -408,11 +421,32 @@ fn cmd_cluster(args: &[String]) -> Result<(), String> {
         None => pace::obs::Obs::noop(),
     };
 
+    // Transport selection: "channel" (default) runs every rank as a
+    // thread of this process; "uds" forks one worker process per slave
+    // rank and speaks the wire codec over a Unix-domain socket.
+    let transport = flags
+        .get("transport")
+        .map(String::as_str)
+        .unwrap_or("channel");
+    let uds = match transport {
+        "channel" => false,
+        "uds" => true,
+        other => return Err(format!("--transport: {other:?} is not channel|uds")),
+    };
+
     // Persistent (out-of-core / checkpointed) path: streams the FASTA
     // through the store builder instead of materialising the records,
     // and takes the ids back from the ingest snapshot on resume.
     let persistent = flags.contains_key("checkpoint-dir")
         || PERSIST_FLAGS.iter().any(|f| flags.contains_key(*f));
+    if uds && persistent {
+        return Err("--transport uds does not compose with the persistent \
+                    (checkpoint/spill/resume) driver yet"
+            .into());
+    }
+    if uds && config.num_processors < 2 {
+        return Err("--transport uds needs --procs ≥ 2 (one master + worker processes)".into());
+    }
     if persistent {
         let Some(ckpt_dir) = flags.get("checkpoint-dir") else {
             return Err(format!(
@@ -457,9 +491,24 @@ fn cmd_cluster(args: &[String]) -> Result<(), String> {
     }
 
     let store = pace::SequenceStore::from_ests(&ests).map_err(|e| format!("invalid input: {e}"))?;
-    let outcome = Pace::new(config)
-        .cluster_store_obs(&store, &obs)
-        .map_err(|e| e.to_string())?;
+    let outcome = if uds {
+        let exe = std::env::current_exe().map_err(|e| format!("locating own binary: {e}"))?;
+        let mut opts = pace::UdsLaunchOpts::new(exe);
+        opts.trace_out = flags.get("trace-out").map(std::path::PathBuf::from);
+        let outcome =
+            pace::cluster_store_uds(&store, &config, &opts, &obs).map_err(|e| e.to_string())?;
+        if let (Some(path), false) = (flags.get("trace-out"), quiet) {
+            eprintln!(
+                "worker traces at {path}.rankN.json — merge the timeline with \
+                 `pace-trace {path} {path}.rank*.json`"
+            );
+        }
+        outcome
+    } else {
+        Pace::new(config)
+            .cluster_store_obs(&store, &obs)
+            .map_err(|e| e.to_string())?
+    };
     obs.flush();
 
     let ids: Vec<String> = records.into_iter().map(|r| r.id).collect();
