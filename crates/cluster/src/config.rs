@@ -55,6 +55,16 @@ pub struct ClusterConfig {
     /// Resends of one outstanding batch before the master declares the
     /// slave dead and reassigns its pairs to the survivors.
     pub max_retries: u32,
+    /// Number of clustering-master shards. `0` (the default) runs the
+    /// classic single master; `K ≥ 1` runs K sub-masters (ranks
+    /// `1..=K`, each owning an EST id-range) under a reconciler at rank
+    /// 0, leaving ranks `K+1..p` as slaves — so a sharded world needs
+    /// `p ≥ K + 2`.
+    pub shards: usize,
+    /// Reports a sub-master handles between cross-edge flushes to the
+    /// reconciler (the epoch barrier length). Only meaningful when
+    /// `shards > 0`.
+    pub shard_epoch: usize,
 }
 
 impl Default for ClusterConfig {
@@ -75,6 +85,8 @@ impl Default for ClusterConfig {
             packed_alignment: false,
             slave_timeout: 5.0,
             max_retries: 5,
+            shards: 0,
+            shard_epoch: 32,
         }
     }
 }
@@ -131,6 +143,8 @@ impl ClusterConfig {
             format!("packed_alignment={}", u8::from(self.packed_alignment)),
             format!("slave_timeout={}", f(self.slave_timeout)),
             format!("max_retries={}", self.max_retries),
+            format!("shards={}", self.shards),
+            format!("shard_epoch={}", self.shard_epoch),
         ]
         .join(",")
     }
@@ -191,6 +205,8 @@ impl ClusterConfig {
                 "packed_alignment" => cfg.packed_alignment = flag(v)?,
                 "slave_timeout" => cfg.slave_timeout = float(v)?,
                 "max_retries" => cfg.max_retries = int(v)?,
+                "shards" => cfg.shards = int(v)?,
+                "shard_epoch" => cfg.shard_epoch = int(v)?,
                 _ => return Err(format!("unknown config key {k:?}")),
             }
         }
@@ -239,7 +255,78 @@ impl ClusterConfig {
                 self.slave_timeout
             ));
         }
+        if self.shard_epoch == 0 {
+            return Err("shard_epoch must be positive".into());
+        }
         Ok(())
+    }
+}
+
+/// The role a simulated rank plays in a sharded world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardRole {
+    /// Rank 0: folds cross-shard merges and replays shard traces.
+    Reconciler,
+    /// Ranks `1..=K`: sub-master owning shard `.0`.
+    SubMaster(usize),
+    /// Ranks `K+1..p`: slave with local index `.0` (0-based).
+    Slave(usize),
+}
+
+/// Rank layout of a sharded world: rank 0 is the reconciler, ranks
+/// `1..=K` are sub-masters (shard `s` lives at rank `1 + s`), and the
+/// remaining ranks are slaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardTopology {
+    /// World size.
+    pub world: usize,
+    /// Sub-master count K.
+    pub shards: usize,
+}
+
+impl ShardTopology {
+    /// Validate `world` against `shards`: a sharded world needs the
+    /// reconciler, every sub-master, and at least one slave.
+    pub fn new(world: usize, shards: usize) -> Result<Self, String> {
+        if shards == 0 {
+            return Err("sharded topology needs at least one shard".into());
+        }
+        if world < shards + 2 {
+            return Err(format!(
+                "world size {world} too small for {shards} shards (need >= {})",
+                shards + 2
+            ));
+        }
+        Ok(ShardTopology { world, shards })
+    }
+
+    /// Number of slave ranks.
+    pub fn num_slaves(&self) -> usize {
+        self.world - self.shards - 1
+    }
+
+    /// The role of `rank`.
+    pub fn role_of(&self, rank: usize) -> ShardRole {
+        debug_assert!(rank < self.world);
+        if rank == 0 {
+            ShardRole::Reconciler
+        } else if rank <= self.shards {
+            ShardRole::SubMaster(rank - 1)
+        } else {
+            ShardRole::Slave(rank - self.shards - 1)
+        }
+    }
+
+    /// The rank hosting sub-master `shard`.
+    pub fn submaster_rank(&self, shard: usize) -> usize {
+        debug_assert!(shard < self.shards);
+        1 + shard
+    }
+
+    /// The rank hosting slave `idx`.
+    pub fn slave_rank(&self, idx: usize) -> usize {
+        debug_assert!(idx < self.num_slaves());
+        self.shards + 1 + idx
     }
 }
 
@@ -336,6 +423,47 @@ mod tests {
             ClusterConfig::from_kv_string("").unwrap(),
             ClusterConfig::default()
         );
+    }
+
+    #[test]
+    fn kv_carries_shard_settings() {
+        let cfg = ClusterConfig {
+            shards: 4,
+            shard_epoch: 7,
+            ..ClusterConfig::small()
+        };
+        let back = ClusterConfig::from_kv_string(&cfg.to_kv_string()).unwrap();
+        assert_eq!(back.shards, 4);
+        assert_eq!(back.shard_epoch, 7);
+    }
+
+    #[test]
+    fn validation_rejects_zero_shard_epoch() {
+        let c = ClusterConfig {
+            shard_epoch: 0,
+            ..ClusterConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn shard_topology_assigns_roles() {
+        let t = ShardTopology::new(7, 2).unwrap();
+        assert_eq!(t.num_slaves(), 4);
+        assert_eq!(t.role_of(0), ShardRole::Reconciler);
+        assert_eq!(t.role_of(1), ShardRole::SubMaster(0));
+        assert_eq!(t.role_of(2), ShardRole::SubMaster(1));
+        assert_eq!(t.role_of(3), ShardRole::Slave(0));
+        assert_eq!(t.role_of(6), ShardRole::Slave(3));
+        assert_eq!(t.submaster_rank(1), 2);
+        assert_eq!(t.slave_rank(3), 6);
+    }
+
+    #[test]
+    fn shard_topology_rejects_small_worlds() {
+        assert!(ShardTopology::new(3, 2).is_err());
+        assert!(ShardTopology::new(2, 0).is_err());
+        assert!(ShardTopology::new(3, 1).is_ok());
     }
 
     #[test]

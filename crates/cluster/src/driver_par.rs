@@ -71,7 +71,7 @@ enum RankOutput {
 /// fold has one input shape for both backends. Injected-fault counters
 /// stay zero here: in the thread world they are world-shared and the
 /// master's snapshot already covers every rank.
-fn worker_summary(
+pub(crate) fn worker_summary(
     s: &SlaveReportSummary,
     partitioning: f64,
     gst_construction: f64,
@@ -92,6 +92,8 @@ fn worker_summary(
         injected_drops: 0,
         injected_delays: 0,
         injected_stalls: 0,
+        gen_by_owner: s.gen_by_owner.clone(),
+        unconsumed_by_owner: s.unconsumed_by_owner.clone(),
     }
 }
 
@@ -390,7 +392,7 @@ pub fn cluster_worker_transport(
     if !rank.crashed() {
         let copies = if under_faults { SUMMARY_REDUNDANCY } else { 1 };
         for _ in 0..copies {
-            rank.send(0, Msg::Summary(summary));
+            rank.send(0, Msg::Summary(summary.clone()));
         }
     }
     obs.flush();

@@ -28,15 +28,17 @@ pub mod align_task;
 pub mod config;
 pub mod driver_par;
 pub mod driver_seq;
+pub mod driver_sharded;
 pub mod master;
 pub mod messages;
 pub mod slave;
+pub mod slave_sharded;
 pub mod stats;
 pub mod trace;
 pub mod wire_msg;
 
 pub use align_task::{align_pair, AlignContext, PairOutcome};
-pub use config::ClusterConfig;
+pub use config::{ClusterConfig, ShardRole, ShardTopology};
 pub use driver_par::{
     cluster_master_transport, cluster_parallel, cluster_parallel_faults, cluster_parallel_obs,
     cluster_parallel_traced, cluster_worker_transport,
@@ -45,7 +47,11 @@ pub use driver_seq::{
     cluster_sequential, cluster_sequential_obs, cluster_sequential_traced, record_cluster_counters,
     record_gst_stats,
 };
-pub use master::FaultNote;
-pub use messages::{Msg, WorkerSummary};
+pub use driver_sharded::{
+    cluster_sharded_faults, cluster_sharded_master_transport, cluster_sharded_obs,
+    cluster_sharded_worker_transport,
+};
+pub use master::{ClusterSets, FaultNote};
+pub use messages::{Msg, ShardReport, WorkerSummary};
 pub use stats::{ClusterResult, ClusterStats, FaultStats, PhaseTimers};
 pub use trace::{MergeRecord, MergeTrace};

@@ -39,6 +39,42 @@ use std::collections::VecDeque;
 /// contributes no useful pairs (P′ = 0).
 const ALPHA_CAP: f64 = 4.0;
 
+/// The cluster-structure operations the master needs. The flat
+/// [`DisjointSets`] is the single-master implementation; the sharded
+/// driver plugs in a shard-local view whose `same` is a conservative
+/// under-approximation of global connectivity (never claiming two ESTs
+/// connected when they might not be), which keeps pair skipping sound.
+pub trait ClusterSets {
+    /// Merge the clusters of `a` and `b`. Returns `true` when a merge is
+    /// recorded (i.e. the caller should log it in the merge trace).
+    fn union(&mut self, a: usize, b: usize) -> bool;
+    /// Whether `a` and `b` are provably in the same cluster. `false` is
+    /// always a safe answer; `true` must be certain.
+    fn same(&mut self, a: usize, b: usize) -> bool;
+}
+
+impl ClusterSets for DisjointSets {
+    fn union(&mut self, a: usize, b: usize) -> bool {
+        DisjointSets::union(self, a, b)
+    }
+    fn same(&mut self, a: usize, b: usize) -> bool {
+        DisjointSets::same(self, a, b)
+    }
+}
+
+/// The sharded master's view: in-range unions are local, straddling
+/// ones are logged as cross edges (`union` still returns `true` the
+/// first time so the merge lands in the shard's trace), and `same` is
+/// `false` for anything out of range — the safe under-approximation.
+impl ClusterSets for pace_dsu::ShardDsu {
+    fn union(&mut self, a: usize, b: usize) -> bool {
+        pace_dsu::ShardDsu::union(self, a, b)
+    }
+    fn same(&mut self, a: usize, b: usize) -> bool {
+        pace_dsu::ShardDsu::same(self, a, b)
+    }
+}
+
 /// A recovery action the master took, for the driver to surface as a
 /// fault event. Purely observational — counters live in
 /// [`ClusterStats::faults`](crate::stats::FaultStats).
@@ -81,8 +117,12 @@ struct SlaveLink {
 }
 
 /// Master state: `CLUSTERS` + `WORKBUF` + flow control + recovery.
-pub struct Master {
-    clusters: DisjointSets,
+///
+/// Generic over the cluster structure so the same protocol machine runs
+/// both as the flat single master (`Master<DisjointSets>`, the default)
+/// and as a sharded sub-master over an id-range view.
+pub struct Master<S: ClusterSets = DisjointSets> {
+    clusters: S,
     workbuf: VecDeque<CandidatePair>,
     cfg: ClusterConfig,
     num_slaves: usize,
@@ -108,9 +148,18 @@ impl Master {
     /// sequence number 0. Deadlines stay unarmed (infinite) until
     /// [`Master::begin`].
     pub fn new(num_ests: usize, num_slaves: usize, cfg: ClusterConfig) -> Self {
+        Master::with_sets(DisjointSets::new(num_ests), num_slaves, cfg)
+    }
+}
+
+impl<S: ClusterSets> Master<S> {
+    /// A master over an arbitrary cluster structure (used by the sharded
+    /// driver with a [`ShardDsu`](pace_dsu::ShardDsu) id-range view).
+    /// Same protocol state as [`Master::new`].
+    pub fn with_sets(sets: S, num_slaves: usize, cfg: ClusterConfig) -> Self {
         assert!(num_slaves > 0, "need at least one slave");
         Master {
-            clusters: DisjointSets::new(num_ests),
+            clusters: sets,
             workbuf: VecDeque::new(),
             cfg,
             num_slaves,
@@ -176,8 +225,14 @@ impl Master {
     }
 
     /// Consume the master, yielding the final cluster structure.
-    pub fn into_clusters(self) -> DisjointSets {
+    pub fn into_clusters(self) -> S {
         self.clusters
+    }
+
+    /// Mutable access to the cluster structure (the sharded sub-master
+    /// drains its pending cross edges through this at epoch barriers).
+    pub fn sets_mut(&mut self) -> &mut S {
+        &mut self.clusters
     }
 
     /// Handle one slave report (slave ids are `0..num_slaves`). Returns

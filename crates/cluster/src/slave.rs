@@ -28,7 +28,7 @@ use std::collections::VecDeque;
 
 /// How many pairs to generate per idle poll while waiting for the master
 /// (small, so the slave stays responsive).
-const IDLE_GEN_CHUNK: usize = 16;
+pub(crate) const IDLE_GEN_CHUNK: usize = 16;
 
 /// Timers a slave reports back to the driver (seconds).
 #[derive(Debug, Clone, Copy, Default)]
@@ -40,7 +40,7 @@ pub struct SlaveTimers {
 }
 
 /// What a slave hands back when the world shuts down.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct SlaveReportSummary {
     /// Generator counters.
     pub gen: GenStats,
@@ -57,6 +57,10 @@ pub struct SlaveReportSummary {
     /// Pairs this slave served through its reused alignment workspace —
     /// every pair it aligned, since the context lives for the whole rank.
     pub ws_reuses: u64,
+    /// Sharded runs only: emitted pairs by owning shard (empty here).
+    pub gen_by_owner: Vec<u64>,
+    /// Sharded runs only: buffered pairs by owning shard (empty here).
+    pub unconsumed_by_owner: Vec<u64>,
 }
 
 /// Run the slave protocol to completion with no instrumentation.
@@ -123,6 +127,8 @@ pub fn run_slave_obs(
             unconsumed: pairbuf.len() as u64,
             prefiltered: ctx.pairs_prefiltered(),
             ws_reuses: ctx.pairs_handled(),
+            gen_by_owner: Vec::new(),
+            unconsumed_by_owner: Vec::new(),
         }
     };
 
@@ -215,8 +221,11 @@ pub fn run_slave_obs(
                 last_seq = seq;
                 nextwork = pairs;
             }
-            Msg::Report { .. } | Msg::Summary(_) => {
-                unreachable!("slaves never receive reports or summaries")
+            Msg::Report { .. }
+            | Msg::Summary(_)
+            | Msg::CrossMerge { .. }
+            | Msg::ShardDone { .. } => {
+                unreachable!("slaves never receive {}", msg.kind())
             }
         }
     }
@@ -259,7 +268,7 @@ fn send_report(rank: &Rank<Msg>, master: usize, obs: &Obs, report: &Msg) {
 /// non-empty batch is its own [`metric::PHASE_ALIGN_BATCH`] span (the
 /// per-batch series behind batch-size tuning); the elapsed time also
 /// accumulates into the rank's legacy alignment total.
-fn align_batch(
+pub(crate) fn align_batch(
     ctx: &mut AlignContext,
     batch: &[CandidatePair],
     cfg: &ClusterConfig,

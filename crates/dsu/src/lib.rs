@@ -20,6 +20,8 @@
 
 mod concurrent;
 mod dsu;
+mod shard;
 
 pub use concurrent::SharedDisjointSets;
 pub use dsu::DisjointSets;
+pub use shard::{CrossEdges, ShardDsu, ShardSpec};

@@ -156,6 +156,38 @@ mod tests {
     }
 
     #[test]
+    fn two_level_scatter_gather() {
+        // The sharded clustering topology in miniature: rank 0 is the
+        // root, ranks 1..=k are mid-tier coordinators, the rest are
+        // leaves that report to *every* coordinator (like slaves
+        // multiplexing K sessions). Each coordinator folds its leaves'
+        // values and forwards one total to the root; the root's grand
+        // total must see every leaf contribution exactly once per
+        // coordinator, proving point-to-point delivery holds across
+        // both tiers at once.
+        let (k, leaves) = (3usize, 4usize);
+        let p = 1 + k + leaves;
+        let out = run_world(p, |rank| {
+            let r = rank.rank();
+            if r == 0 {
+                (0..k).map(|_| rank.recv().unwrap().1).sum::<u64>()
+            } else if r <= k {
+                let total: u64 = (0..leaves).map(|_| rank.recv().unwrap().1).sum();
+                rank.send(0, total);
+                0
+            } else {
+                let leaf = (r - k - 1) as u64;
+                for mid in 1..=k {
+                    rank.send(mid, 1 << leaf);
+                }
+                0
+            }
+        });
+        let per_coordinator: u64 = (0..leaves as u64).map(|l| 1 << l).sum();
+        assert_eq!(out[0], per_coordinator * k as u64);
+    }
+
+    #[test]
     fn master_slave_scatter_gather() {
         // The communication skeleton of the clustering engine in miniature:
         // master scatters work, slaves square it and send it back.

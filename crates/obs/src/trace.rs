@@ -619,6 +619,11 @@ pub struct Analysis {
     pub flows_orphan_ends: usize,
     /// Per-span-name duration quantiles (log-bucket estimates).
     pub quantiles: BTreeMap<String, SpanQuantiles>,
+    /// Ranks that coordinated work (owned at least one `handle_report`
+    /// span): the single master's rank 0, or — under sharded masters —
+    /// every sub-master rank. Computed from the trace, not assumed from
+    /// the protocol's conventional layout.
+    pub coordinators: BTreeSet<u32>,
 }
 
 impl Analysis {
@@ -627,19 +632,10 @@ impl Analysis {
     /// exist: the master idles by design (the paper's "< 2% busy"
     /// claim), which is the opposite of straggling.
     pub fn straggler_ranking(&self) -> Vec<&RankBreakdown> {
-        // A rank is a coordinator if it never aligned a batch but did
-        // handle reports; with the current engine that is exactly rank
-        // 0. Recompute from breakdowns is not possible here, so use
-        // rank 0 by protocol convention.
-        let coordinators: BTreeSet<u32> = if self.quantiles.contains_key(T_HANDLE_REPORT) {
-            [0u32].into_iter().collect()
-        } else {
-            BTreeSet::new()
-        };
         let mut workers: Vec<&RankBreakdown> = self
             .ranks
             .iter()
-            .filter(|r| !coordinators.contains(&r.rank))
+            .filter(|r| !self.coordinators.contains(&r.rank))
             .collect();
         if workers.is_empty() {
             workers = self.ranks.iter().collect();
@@ -758,6 +754,17 @@ pub fn analyze(doc: &TraceDoc) -> Analysis {
     }
     let wall_us = t_max - t_min;
     analysis.wall_secs = wall_us as f64 / 1e6;
+
+    // Coordinator ranks own `handle_report` spans: rank 0 for the single
+    // master, ranks 1..=K for sharded sub-masters. The straggler ranking
+    // excludes them — a coordinator idles by design (the paper's "< 2%
+    // busy" claim), the opposite of straggling.
+    analysis.coordinators = doc
+        .spans
+        .iter()
+        .filter(|s| s.name == T_HANDLE_REPORT)
+        .map(|s| s.rank)
+        .collect();
 
     // Per-rank breakdowns.
     let ranks: BTreeSet<u32> = doc
@@ -961,6 +968,7 @@ pub fn analysis_to_json(a: &Analysis) -> Json {
                     ("utilization", Json::Num(r.utilization)),
                     ("max_gap_secs", Json::Num(r.max_gap_secs)),
                     ("spans", Json::Num(r.spans as f64)),
+                    ("coordinator", Json::Bool(a.coordinators.contains(&r.rank))),
                 ])
             })
             .collect(),
@@ -1128,6 +1136,26 @@ mod tests {
         assert_eq!(ranking[0].rank, 1, "stalled rank must rank first");
         // Coordinator (rank 0) is excluded from the ranking.
         assert!(ranking.iter().all(|r| r.rank != 0));
+    }
+
+    #[test]
+    fn straggler_ranking_excludes_sharded_submasters() {
+        // Sharded layout: reconciler at 0 (no handle_report), sub-masters
+        // at 1 and 2, slaves at 3 and 4. Coordinator status must come
+        // from the spans, not the rank-0 convention.
+        let tr = Tracer::new();
+        tr.span(1, T_HANDLE_REPORT, 100, 50, 1, 1);
+        tr.span(2, T_HANDLE_REPORT, 120, 40, 2, 1);
+        tr.span(3, "align_batch", 100, 400, 0, 8);
+        tr.span(4, "align_batch", 100, 900, 0, 8);
+        let a = analyze(&TraceDoc::from_tracer(&tr));
+        assert_eq!(
+            a.coordinators,
+            [1u32, 2].into_iter().collect::<BTreeSet<u32>>()
+        );
+        let ranking = a.straggler_ranking();
+        assert!(ranking.iter().all(|r| r.rank != 1 && r.rank != 2));
+        assert_eq!(ranking[0].rank, 4, "slowest slave must rank first");
     }
 
     #[test]

@@ -132,10 +132,19 @@ fn print_report(a: &Analysis, top: usize) {
     );
 
     println!("\nper-rank breakdown:");
-    println!("  rank   busy(s)   idle(s)  stall(s)   util  max-gap(s)  spans");
+    println!("  rank   busy(s)   idle(s)  stall(s)   util  max-gap(s)  spans  role");
     for r in &a.ranks {
+        let role = if a.coordinators.contains(&r.rank) {
+            if a.coordinators.len() > 1 {
+                "sub-master"
+            } else {
+                "master"
+            }
+        } else {
+            ""
+        };
         println!(
-            "  {:>4} {:>9.3} {:>9.3} {:>9.3} {:>5.1}% {:>11.3} {:>6}",
+            "  {:>4} {:>9.3} {:>9.3} {:>9.3} {:>5.1}% {:>11.3} {:>6}  {role}",
             r.rank,
             r.busy_secs,
             r.idle_secs,

@@ -71,7 +71,7 @@ pace — space and time efficient parallel EST clustering (ICPP 2002)
 USAGE:
   pace simulate --ests N [--genes N] [--seed N] --out FILE [--truth FILE]
   pace cluster  --in FASTA --out FILE [--procs N] [--transport channel|uds]
-                [--psi N] [--window N]
+                [--shards K] [--shard-epoch N] [--psi N] [--window N]
                 [--batchsize N] [--min-overlap N] [--min-ratio F] [--truth FILE]
                 [--fault-profile drop|delay|reorder|crash|mixed|stall] [--fault-seed N]
                 [--slave-timeout SECS] [--max-retries N]
@@ -382,6 +382,17 @@ fn cmd_cluster(args: &[String]) -> Result<(), String> {
         get(&flags, "min-ratio", config.cluster.overlap.min_score_ratio)?;
     config.cluster.slave_timeout = get(&flags, "slave-timeout", config.cluster.slave_timeout)?;
     config.cluster.max_retries = get(&flags, "max-retries", config.cluster.max_retries)?;
+    // Sharded masters: K sub-masters under a reconciler. Needs
+    // p ≥ K + 2 so at least one rank remains a slave.
+    config.cluster.shards = get(&flags, "shards", config.cluster.shards)?;
+    config.cluster.shard_epoch = get(&flags, "shard-epoch", config.cluster.shard_epoch)?;
+    if config.cluster.shards > 0 && config.num_processors < config.cluster.shards + 2 {
+        return Err(format!(
+            "--shards {} needs --procs ≥ {} (reconciler + sub-masters + ≥1 slave)",
+            config.cluster.shards,
+            config.cluster.shards + 2
+        ));
+    }
 
     // Fault injection (testing/demo): a seeded deterministic plan for
     // the thread-backed message runtime. Only meaningful with --procs ≥ 2.
