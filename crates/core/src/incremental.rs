@@ -1,4 +1,4 @@
-//! Incremental clustering of EST batches.
+//! Incremental clustering of EST batches — the daemon's fold primitive.
 //!
 //! The paper closes with an open problem: "Is there a way to
 //! incrementally adjust the EST clusters when a new batch of ESTs is
@@ -6,30 +6,67 @@
 //! from scratch?" This module implements the natural PaCE-shaped answer:
 //!
 //! * the suffix-tree forest is rebuilt over the full data (its cost is
-//!   linear and it is *not* the bottleneck — alignment is);
+//!   linear and it is *not* the bottleneck — alignment is), in
+//!   memory-budgeted bucket batches ([`pace_store::plan_batches`]) so a
+//!   fold's peak subtree footprint is bounded no matter how large the
+//!   accumulated collection grows;
 //! * the cluster structure is **seeded with the existing partition**, so
 //!   every pair already co-clustered is skipped by the standard rule;
 //! * pairs between two *old* ESTs are skipped outright — their promising
 //!   pairs were already enumerated and judged in earlier rounds, and
 //!   re-aligning them cannot change the partition (alignment acceptance
 //!   is deterministic);
-//! * only old–new and new–new pairs reach the aligner.
+//! * only old–new and new–new pairs reach the aligner;
+//! * every accepted merge is recorded into a rolling [`MergeTrace`], so
+//!   the accumulated state can be checkpointed and cross-checked by
+//!   replay exactly like a batch run's.
 //!
 //! The result is identical to what from-scratch clustering would produce
 //! on the union (for deterministic acceptance), at a fraction of the
-//! alignment work — the property the integration tests pin down.
+//! alignment work — the property `tests/serve_identity.rs` pins down
+//! against the serving daemon, interleavings and restarts included.
+//!
+//! Pair-flow conservation holds per fold and cumulatively:
+//! `generated == processed + skipped + unconsumed` with `unconsumed = 0`
+//! (the fold consumes its own generator); structurally skipped old–old
+//! pairs are booked into `pairs.skipped` alongside the already-clustered
+//! rule's skips.
 
-use pace_cluster::{align_pair, ClusterConfig, ClusterStats};
+use pace_cluster::{AlignContext, ClusterConfig, ClusterStats, MergeTrace};
 use pace_dsu::DisjointSets;
-use pace_pairgen::{PairGenConfig, PairGenerator};
-use pace_seq::{SeqError, SequenceStore};
+use pace_gst::{assign_buckets, build_bucket_batch, count_buckets, LocalForest};
+use pace_pairgen::{CandidatePair, PairGenConfig, PairGenerator};
+use pace_seq::{PackedText, SeqError, SequenceStore};
+use pace_store::{plan_batches, DEFAULT_BYTES_PER_SUFFIX};
+
+/// What one [`IncrementalClusterer::fold_batch`] call did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FoldSummary {
+    /// ESTs added by this fold.
+    pub new_ests: usize,
+    /// Total ESTs incorporated after this fold.
+    pub total_ests: usize,
+    /// Alignments performed this fold (old–old pairs never count).
+    pub aligned: u64,
+    /// Cluster merges this fold contributed.
+    pub merges: u64,
+    /// Clusters after this fold.
+    pub num_clusters: usize,
+    /// Memory-budgeted GST build batches this fold walked through.
+    pub build_batches: u64,
+}
 
 /// Clusters an EST collection that grows in batches.
 #[derive(Debug, Clone)]
 pub struct IncrementalClusterer {
     cfg: ClusterConfig,
+    /// Estimated peak subtree bytes allowed in memory per fold;
+    /// 0 = unlimited (one build batch).
+    memory_budget: u64,
     ests: Vec<Vec<u8>>,
+    ids: Vec<String>,
     clusters: DisjointSets,
+    trace: MergeTrace,
     /// ESTs below this index have been through at least one round.
     old_count: usize,
     /// Cumulative statistics over all rounds.
@@ -42,11 +79,71 @@ impl IncrementalClusterer {
         cfg.validate().expect("invalid cluster config");
         IncrementalClusterer {
             cfg,
+            memory_budget: 0,
             ests: Vec::new(),
+            ids: Vec::new(),
             clusters: DisjointSets::new(0),
+            trace: MergeTrace::new(),
             old_count: 0,
             stats: ClusterStats::default(),
         }
+    }
+
+    /// Empty clusterer whose per-fold GST builds are batched under an
+    /// estimated `memory_budget` bytes (0 = unlimited).
+    pub fn with_budget(cfg: ClusterConfig, memory_budget: u64) -> Self {
+        let mut c = Self::new(cfg);
+        c.memory_budget = memory_budget;
+        c
+    }
+
+    /// Reassemble a clusterer from checkpointed state. `old_count` is
+    /// the full collection: everything persisted has been folded.
+    pub fn from_parts(
+        cfg: ClusterConfig,
+        memory_budget: u64,
+        ests: Vec<Vec<u8>>,
+        ids: Vec<String>,
+        clusters: DisjointSets,
+        trace: MergeTrace,
+        stats: ClusterStats,
+    ) -> Result<Self, String> {
+        cfg.validate()?;
+        if ests.len() != ids.len() {
+            return Err(format!(
+                "{} sequences but {} ids in checkpointed state",
+                ests.len(),
+                ids.len()
+            ));
+        }
+        if clusters.len() != ests.len() {
+            return Err(format!(
+                "union–find covers {} ESTs, state holds {}",
+                clusters.len(),
+                ests.len()
+            ));
+        }
+        let old_count = ests.len();
+        Ok(IncrementalClusterer {
+            cfg,
+            memory_budget,
+            ests,
+            ids,
+            clusters,
+            trace,
+            old_count,
+            stats,
+        })
+    }
+
+    /// The clustering configuration this state was built under.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// The per-fold memory budget (0 = unlimited).
+    pub fn memory_budget(&self) -> u64 {
+        self.memory_budget
     }
 
     /// Number of ESTs incorporated so far.
@@ -69,12 +166,64 @@ impl IncrementalClusterer {
         self.clusters.num_sets()
     }
 
+    /// The rolling merge trace: every accepted merge since the first
+    /// fold (or since the checkpoint this state was restored from).
+    pub fn trace(&self) -> &MergeTrace {
+        &self.trace
+    }
+
+    /// Per-EST identifiers, aligned with [`Self::labels`].
+    pub fn ids(&self) -> &[String] {
+        &self.ids
+    }
+
+    /// The sequences incorporated so far.
+    pub fn ests(&self) -> &[Vec<u8>] {
+        &self.ests
+    }
+
+    /// The current union–find (for checkpoint encoding).
+    pub fn clusters_dsu(&self) -> &DisjointSets {
+        &self.clusters
+    }
+
     /// Incorporate a new batch of ESTs, updating the clustering.
     ///
-    /// Returns the number of alignments performed this round.
+    /// Returns the number of alignments performed this round. Ids are
+    /// synthesized as `est_{i}`; use [`Self::fold_batch`] to supply
+    /// real ones.
     pub fn add_batch<S: AsRef<[u8]>>(&mut self, batch: &[S]) -> Result<u64, SeqError> {
+        let base = self.ests.len();
+        let ids: Vec<String> = (base..base + batch.len())
+            .map(|i| format!("est_{i}"))
+            .collect();
+        Ok(self.fold_batch(&ids, batch)?.aligned)
+    }
+
+    /// Fold one ingest batch into the live clustering: validate, grow
+    /// the store and union–find, rebuild the forest in memory-budgeted
+    /// bucket batches, and run the skip/align/union loop over old–new
+    /// and new–new pairs, recording accepted merges into the trace.
+    ///
+    /// A bad batch (length mismatch, empty or non-DNA sequence) leaves
+    /// the clusterer untouched.
+    pub fn fold_batch<S: AsRef<[u8]>>(
+        &mut self,
+        ids: &[String],
+        batch: &[S],
+    ) -> Result<FoldSummary, SeqError> {
+        if ids.len() != batch.len() {
+            return Err(SeqError::BatchShape {
+                ids: ids.len(),
+                seqs: batch.len(),
+            });
+        }
         if batch.is_empty() {
-            return Ok(0);
+            return Ok(FoldSummary {
+                total_ests: self.ests.len(),
+                num_clusters: self.num_clusters(),
+                ..FoldSummary::default()
+            });
         }
         // Validate before mutating state, so a bad batch leaves the
         // clusterer untouched.
@@ -86,8 +235,9 @@ impl IncrementalClusterer {
             pace_seq::alphabet::validate_dna(est)?;
         }
         let first_new = self.ests.len();
-        for est in batch {
+        for (id, est) in ids.iter().zip(batch) {
             self.ests.push(est.as_ref().to_vec());
+            self.ids.push(id.clone());
         }
         let store = SequenceStore::from_ests(&self.ests)?;
 
@@ -100,48 +250,79 @@ impl IncrementalClusterer {
         }
         self.clusters = grown;
 
-        // Rebuild the forest over everything (linear work), then run the
-        // demand loop with the old–old skip rule.
-        let forest = pace_gst::build_sequential(&store, self.cfg.window_w);
-        let mut generator = PairGenerator::new(
-            &store,
-            &forest,
-            PairGenConfig {
-                psi: self.cfg.psi,
-                order: self.cfg.order,
-            },
-        );
+        // Rebuild the forest over everything (linear work) in batches
+        // sized to the memory budget, then run the demand loop with the
+        // old–old skip rule per batch.
+        let counts = count_buckets(&store, self.cfg.window_w);
+        let partition = assign_buckets(&counts, 1);
+        let plan = plan_batches(&partition, 0, self.memory_budget, DEFAULT_BYTES_PER_SUFFIX);
 
+        let packed = self
+            .cfg
+            .packed_alignment
+            .then(|| PackedText::from_store(&store));
+        let mut ctx = AlignContext::new(&store, packed.as_ref());
+        let prefiltered_base = self.stats.pairs_prefiltered;
         let mut aligned_this_round = 0u64;
-        loop {
-            let pairs = generator.next_batch(self.cfg.batchsize);
-            if pairs.is_empty() {
-                break;
-            }
-            for pair in pairs {
-                let (i, j) = pair.est_indices();
-                if i < first_new && j < first_new {
-                    // Both old: judged in a previous round.
-                    continue;
+        let mut merges_this_round = 0u64;
+        let mut pairbuf: Vec<CandidatePair> = Vec::new();
+
+        for bucket_batch in &plan.batches {
+            let forest = LocalForest {
+                rank: 0,
+                w: self.cfg.window_w,
+                subtrees: build_bucket_batch(&store, self.cfg.window_w, bucket_batch),
+            };
+            let mut generator = PairGenerator::new(
+                &store,
+                &forest,
+                PairGenConfig {
+                    psi: self.cfg.psi,
+                    order: self.cfg.order,
+                },
+            );
+            loop {
+                generator.next_batch_into(self.cfg.batchsize, &mut pairbuf);
+                if pairbuf.is_empty() {
+                    break;
                 }
-                if self.cfg.skip_clustered_pairs && self.clusters.same(i, j) {
-                    self.stats.pairs_skipped += 1;
-                    continue;
-                }
-                let outcome = align_pair(&store, &pair, &self.cfg);
-                aligned_this_round += 1;
-                self.stats.pairs_processed += 1;
-                if outcome.accepted {
-                    self.stats.pairs_accepted += 1;
-                    if self.clusters.union(i, j) {
-                        self.stats.merges += 1;
+                for &pair in &pairbuf {
+                    let (i, j) = pair.est_indices();
+                    if i < first_new && j < first_new {
+                        // Both old: judged in a previous round. Booked
+                        // as skipped so flow conservation stays exact.
+                        self.stats.pairs_skipped += 1;
+                        continue;
+                    }
+                    if self.cfg.skip_clustered_pairs && self.clusters.same(i, j) {
+                        self.stats.pairs_skipped += 1;
+                        continue;
+                    }
+                    let outcome = ctx.align(&pair, &self.cfg);
+                    aligned_this_round += 1;
+                    self.stats.pairs_processed += 1;
+                    if outcome.accepted {
+                        self.stats.pairs_accepted += 1;
+                        if self.clusters.union(i, j) {
+                            self.stats.merges += 1;
+                            merges_this_round += 1;
+                            self.trace.record(&outcome);
+                        }
                     }
                 }
             }
+            self.stats.pairs_generated += generator.stats().emitted;
         }
-        self.stats.pairs_generated += generator.stats().emitted;
+        self.stats.pairs_prefiltered = prefiltered_base + ctx.pairs_prefiltered();
         self.old_count = self.ests.len();
-        Ok(aligned_this_round)
+        Ok(FoldSummary {
+            new_ests: batch.len(),
+            total_ests: self.ests.len(),
+            aligned: aligned_this_round,
+            merges: merges_this_round,
+            num_clusters: self.num_clusters(),
+            build_batches: plan.len() as u64,
+        })
     }
 }
 
@@ -175,8 +356,23 @@ mod tests {
         )
     }
 
+    fn canonical(labels: &[usize]) -> Vec<usize> {
+        let mut map = std::collections::HashMap::new();
+        let mut next = 0usize;
+        labels
+            .iter()
+            .map(|&l| {
+                *map.entry(l).or_insert_with(|| {
+                    let v = next;
+                    next += 1;
+                    v
+                })
+            })
+            .collect()
+    }
+
     #[test]
-    fn incremental_matches_from_scratch() {
+    fn incremental_matches_from_scratch_exactly() {
         let ds = dataset(90, 61);
         // From scratch on everything.
         let store = SequenceStore::from_ests(&ds.ests).unwrap();
@@ -188,12 +384,68 @@ mod tests {
         inc.add_batch(&ds.ests[30..60]).unwrap();
         inc.add_batch(&ds.ests[60..]).unwrap();
 
-        let agreement = pace_quality::assess(&inc.labels(), &scratch.labels);
-        assert!(
-            agreement.oq > 0.99,
-            "incremental clustering diverged: {agreement}"
+        assert_eq!(
+            canonical(&inc.labels()),
+            canonical(&scratch.labels),
+            "incremental clustering diverged from the one-shot batch run"
         );
         assert_eq!(inc.len(), 90);
+    }
+
+    #[test]
+    fn memory_budget_changes_batching_not_the_partition() {
+        let ds = dataset(80, 65);
+        let mut unbudgeted = IncrementalClusterer::new(cfg());
+        unbudgeted.add_batch(&ds.ests[..40]).unwrap();
+        unbudgeted.add_batch(&ds.ests[40..]).unwrap();
+
+        let mut budgeted = IncrementalClusterer::with_budget(cfg(), 16 * 1024);
+        let s1 = budgeted
+            .fold_batch(
+                &(0..40).map(|i| format!("est_{i}")).collect::<Vec<_>>(),
+                &ds.ests[..40],
+            )
+            .unwrap();
+        let s2 = budgeted
+            .fold_batch(
+                &(40..80).map(|i| format!("est_{i}")).collect::<Vec<_>>(),
+                &ds.ests[40..],
+            )
+            .unwrap();
+        assert!(
+            s1.build_batches > 1 || s2.build_batches > 1,
+            "a 16K budget must force multiple build batches"
+        );
+        assert_eq!(
+            canonical(&budgeted.labels()),
+            canonical(&unbudgeted.labels())
+        );
+    }
+
+    #[test]
+    fn trace_replay_reproduces_partition_across_folds() {
+        let ds = dataset(80, 66);
+        let mut inc = IncrementalClusterer::new(cfg());
+        inc.add_batch(&ds.ests[..25]).unwrap();
+        inc.add_batch(&ds.ests[25..55]).unwrap();
+        inc.add_batch(&ds.ests[55..]).unwrap();
+        let replayed = inc.trace().replay(inc.len());
+        assert_eq!(canonical(&replayed), canonical(&inc.labels()));
+    }
+
+    #[test]
+    fn flow_conservation_holds_cumulatively() {
+        let ds = dataset(70, 67);
+        let mut inc = IncrementalClusterer::new(cfg());
+        inc.add_batch(&ds.ests[..35]).unwrap();
+        inc.add_batch(&ds.ests[35..]).unwrap();
+        let s = &inc.stats;
+        assert_eq!(
+            s.pairs_generated,
+            s.pairs_processed + s.pairs_skipped + s.pairs_unconsumed,
+            "generated == processed + skipped + unconsumed must hold"
+        );
+        assert_eq!(s.pairs_unconsumed, 0);
     }
 
     #[test]
@@ -212,6 +464,33 @@ mod tests {
             second_round < full_work,
             "incremental round did {second_round} alignments, full does {full_work}"
         );
+    }
+
+    #[test]
+    fn from_parts_roundtrip_continues_identically() {
+        let ds = dataset(90, 68);
+        let mut reference = IncrementalClusterer::new(cfg());
+        reference.add_batch(&ds.ests[..45]).unwrap();
+        reference.add_batch(&ds.ests[45..]).unwrap();
+
+        let mut first = IncrementalClusterer::new(cfg());
+        first.add_batch(&ds.ests[..45]).unwrap();
+        let mut restored = IncrementalClusterer::from_parts(
+            cfg(),
+            0,
+            first.ests().to_vec(),
+            first.ids().to_vec(),
+            first.clusters_dsu().clone(),
+            first.trace().clone(),
+            first.stats,
+        )
+        .unwrap();
+        restored.add_batch(&ds.ests[45..]).unwrap();
+        assert_eq!(
+            canonical(&restored.labels()),
+            canonical(&reference.labels())
+        );
+        assert_eq!(restored.trace(), reference.trace());
     }
 
     #[test]
@@ -241,5 +520,14 @@ mod tests {
     fn invalid_sequences_are_rejected() {
         let mut inc = IncrementalClusterer::new(cfg());
         assert!(inc.add_batch(&[&b"ACGTN"[..]]).is_err());
+        assert!(inc.is_empty(), "a rejected batch must leave no state");
+    }
+
+    #[test]
+    fn mismatched_ids_are_rejected() {
+        let mut inc = IncrementalClusterer::new(cfg());
+        let err = inc.fold_batch(&["a".to_string()], &[&b"ACGT"[..], &b"ACGT"[..]]);
+        assert!(err.is_err());
+        assert!(inc.is_empty());
     }
 }

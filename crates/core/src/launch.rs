@@ -118,6 +118,10 @@ fn launch_world(
     let under_faults = !config.faults.is_empty();
     let plan_enc = under_faults.then(|| config.faults.encode());
 
+    // A SIGTERM/SIGINT to this process must not leak worker processes:
+    // the watchdog SIGKILLs every registered child and exits 128+signo.
+    crate::signals::spawn_watchdog();
+
     let mut children: Vec<(usize, Child)> = Vec::with_capacity(p - 1);
     for rank in 1..p {
         let mut cmd = Command::new(&opts.worker_exe);
@@ -139,7 +143,10 @@ fn launch_world(
             cmd.arg("--trace-out").arg(worker_trace_path(base, rank));
         }
         match cmd.spawn() {
-            Ok(child) => children.push((rank, child)),
+            Ok(child) => {
+                crate::signals::register_child(child.id());
+                children.push((rank, child));
+            }
             Err(e) => {
                 kill_all(&mut children);
                 return Err(launch_err(
@@ -219,6 +226,7 @@ fn reap_children(
             }
         };
         let stderr = drain_stderr(&mut child);
+        crate::signals::unregister_child(child.id());
         match status {
             Some(s) if s.success() => {}
             Some(s) if s.code() == Some(INJECTED_CRASH_EXIT) && plan.has_crashes() => {
@@ -352,6 +360,7 @@ fn launch_err(what: &str, e: &dyn std::fmt::Display) -> PaceError {
 fn kill_all(children: &mut [(usize, Child)]) {
     for (_, child) in children.iter_mut() {
         let _ = child.kill();
+        crate::signals::unregister_child(child.id());
     }
 }
 

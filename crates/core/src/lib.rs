@@ -34,9 +34,10 @@ pub mod launch;
 pub mod persistent;
 pub mod pipeline;
 pub mod report;
+pub mod signals;
 pub mod splice;
 
-pub use incremental::IncrementalClusterer;
+pub use incremental::{FoldSummary, IncrementalClusterer};
 pub use launch::{cluster_store_uds, worker_main, worker_trace_path, UdsLaunchOpts};
 pub use persistent::{run_persistent, CrashPoint, PersistConfig, PersistInput, PersistentOutcome};
 pub use pipeline::{Pace, PaceConfig, PaceError, PaceOutcome};

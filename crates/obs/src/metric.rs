@@ -161,3 +161,29 @@ pub const PHASE_SPILL_READ: &str = "spill_read";
 pub const PHASE_CHECKPOINT: &str = "checkpoint";
 /// Phase: end-to-end wall clock.
 pub const PHASE_TOTAL: &str = "total";
+
+/// Counter: client connections the serving daemon accepted.
+pub const SERVE_CONNECTIONS: &str = "serve.connections";
+/// Counter: queries (member/cluster/rep/stats/ping) answered.
+pub const SERVE_QUERIES: &str = "serve.queries";
+/// Counter: ingest batches folded into the live index.
+pub const SERVE_INGEST_BATCHES: &str = "serve.ingest.batches";
+/// Counter: ESTs accepted across all ingest batches.
+pub const SERVE_INGEST_ESTS: &str = "serve.ingest.ests";
+/// Counter: requests answered with a protocol-level error.
+pub const SERVE_ERRORS: &str = "serve.errors";
+/// Counter: checkpoints the daemon published while serving.
+pub const SERVE_CHECKPOINTS: &str = "serve.checkpoints";
+/// Gauge family: query latency quantiles in microseconds, estimated by
+/// the log-bucket sketch (`serve.query.p50_us`, `.p90_us`, `.p99_us`).
+pub const SERVE_QUERY_P50_US: &str = "serve.query.p50_us";
+/// See [`SERVE_QUERY_P50_US`].
+pub const SERVE_QUERY_P90_US: &str = "serve.query.p90_us";
+/// See [`SERVE_QUERY_P50_US`].
+pub const SERVE_QUERY_P99_US: &str = "serve.query.p99_us";
+/// Gauge family: ingest fold latency quantiles in microseconds.
+pub const SERVE_INGEST_P50_US: &str = "serve.ingest.p50_us";
+/// See [`SERVE_INGEST_P50_US`].
+pub const SERVE_INGEST_P90_US: &str = "serve.ingest.p90_us";
+/// See [`SERVE_INGEST_P50_US`].
+pub const SERVE_INGEST_P99_US: &str = "serve.ingest.p99_us";

@@ -42,6 +42,13 @@ pub enum SeqError {
         /// Human-readable description of the violated invariant.
         detail: String,
     },
+    /// An ingest batch whose id list and sequence list disagree in length.
+    BatchShape {
+        /// Number of identifiers supplied.
+        ids: usize,
+        /// Number of sequences supplied.
+        seqs: usize,
+    },
     /// Underlying I/O failure (message only, to keep the error `Clone + Eq`).
     Io(String),
 }
@@ -72,6 +79,9 @@ impl std::fmt::Display for SeqError {
             ),
             SeqError::CorruptStore { detail } => {
                 write!(f, "corrupt sequence store: {detail}")
+            }
+            SeqError::BatchShape { ids, seqs } => {
+                write!(f, "batch has {ids} ids but {seqs} sequences")
             }
             SeqError::Io(msg) => write!(f, "I/O error: {msg}"),
         }

@@ -1,0 +1,373 @@
+//! Daemon checkpoint/restart.
+//!
+//! The daemon persists its entire fold state — sequences, ids,
+//! union–find, rolling merge trace, counters — into one snapshot file
+//! (`serve.snap`, the versioned per-section-CRC container from
+//! `pace-store`) plus a small JSON manifest (`serve.manifest.json`).
+//! The write order is snapshot first, manifest last (both atomic
+//! tmp+fsync+rename), so the manifest never names state that is not
+//! durably on disk: a `kill -9` between the two leaves the *previous*
+//! manifest pointing at the previous snapshot, which is still present
+//! because snapshots are written to a fresh generation file before the
+//! old one is removed.
+//!
+//! On restart the daemon verifies the manifest's config fingerprint
+//! against its own flags (refusing to resume under a different
+//! clustering configuration), decodes the snapshot, and cross-checks it
+//! by **replaying the merge trace** onto fresh singletons — the replayed
+//! partition must exactly match the decoded union–find's. Only then does
+//! serving resume.
+
+use pace_cluster::ClusterConfig;
+use pace_core::IncrementalClusterer;
+use pace_obs::json::{self, Json};
+use pace_store::{atomic_write, codec, fingerprint, Snapshot, SnapshotError, SnapshotWriter};
+use std::collections::HashMap;
+use std::path::Path;
+
+/// Manifest file name inside the checkpoint directory.
+pub const SERVE_MANIFEST_FILE: &str = "serve.manifest.json";
+/// Snapshot file name pattern: `serve.<generation>.snap`.
+pub const SERVE_SNAP_FILE: &str = "serve.snap";
+
+const SEC_STORE_ESTS: &str = "ests";
+const SEC_IDS: &str = "est_ids";
+const SEC_DSU: &str = "dsu";
+const SEC_TRACE: &str = "merge_trace";
+const SEC_STATS: &str = "cluster_stats";
+
+const MANIFEST_VERSION: u64 = 1;
+
+/// What `serve.manifest.json` records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeManifest {
+    /// Manifest format version.
+    pub version: u64,
+    /// CRC fingerprint of the clustering config's canonical kv string.
+    pub config_fingerprint: String,
+    /// Snapshot generation this manifest points at (`serve.<gen>.snap`).
+    pub generation: u64,
+    /// ESTs in the snapshot.
+    pub num_ests: u64,
+    /// Cumulative ingest batches folded.
+    pub ingest_batches: u64,
+    /// Merge-trace length in the snapshot (restore cross-check).
+    pub trace_len: u64,
+}
+
+impl ServeManifest {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("version", Json::Num(self.version as f64)),
+            (
+                "config_fingerprint",
+                Json::Str(self.config_fingerprint.clone()),
+            ),
+            ("generation", Json::Num(self.generation as f64)),
+            ("num_ests", Json::Num(self.num_ests as f64)),
+            ("ingest_batches", Json::Num(self.ingest_batches as f64)),
+            ("trace_len", Json::Num(self.trace_len as f64)),
+        ])
+    }
+
+    fn from_json(j: &Json) -> Result<Self, SnapshotError> {
+        let field = |name: &str| -> Result<u64, SnapshotError> {
+            j.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| SnapshotError::Corrupt(format!("manifest field {name} missing")))
+        };
+        Ok(ServeManifest {
+            version: field("version")?,
+            config_fingerprint: j
+                .get("config_fingerprint")
+                .and_then(Json::as_str)
+                .ok_or_else(|| {
+                    SnapshotError::Corrupt("manifest field config_fingerprint missing".into())
+                })?
+                .to_string(),
+            generation: field("generation")?,
+            num_ests: field("num_ests")?,
+            ingest_batches: field("ingest_batches")?,
+            trace_len: field("trace_len")?,
+        })
+    }
+}
+
+fn snap_path(dir: &Path, generation: u64) -> std::path::PathBuf {
+    dir.join(format!("serve.{generation}.snap"))
+}
+
+fn config_fp(cfg: &ClusterConfig) -> String {
+    fingerprint(&cfg.to_kv_string())
+}
+
+/// Encode the EST sequences as one section: `u64 count`, then per EST a
+/// `u64 len` + raw bytes.
+fn encode_ests(ests: &[Vec<u8>]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(ests.len() as u64).to_le_bytes());
+    for est in ests {
+        out.extend_from_slice(&(est.len() as u64).to_le_bytes());
+        out.extend_from_slice(est);
+    }
+    out
+}
+
+fn decode_ests(bytes: &[u8]) -> Result<Vec<Vec<u8>>, SnapshotError> {
+    let corrupt = |msg: &str| SnapshotError::Corrupt(format!("ests section: {msg}"));
+    let mut pos = 0usize;
+    let take_u64 = |pos: &mut usize| -> Result<u64, SnapshotError> {
+        let end = pos.checked_add(8).ok_or_else(|| corrupt("overflow"))?;
+        if end > bytes.len() {
+            return Err(corrupt("truncated length"));
+        }
+        let v = u64::from_le_bytes(bytes[*pos..end].try_into().unwrap());
+        *pos = end;
+        Ok(v)
+    };
+    let count = take_u64(&mut pos)? as usize;
+    let mut ests = Vec::with_capacity(count.min(bytes.len() / 8 + 1));
+    for _ in 0..count {
+        let len = take_u64(&mut pos)? as usize;
+        let end = pos.checked_add(len).ok_or_else(|| corrupt("overflow"))?;
+        if end > bytes.len() {
+            return Err(corrupt("truncated sequence"));
+        }
+        ests.push(bytes[pos..end].to_vec());
+        pos = end;
+    }
+    if pos != bytes.len() {
+        return Err(corrupt("trailing bytes"));
+    }
+    Ok(ests)
+}
+
+/// Persist the daemon's fold state. Returns the generation written.
+///
+/// Write order is snapshot → manifest → delete previous generation, so
+/// a crash at any instant leaves a manifest that names a complete,
+/// CRC-verifiable snapshot.
+pub fn save_state(
+    dir: &Path,
+    clusterer: &IncrementalClusterer,
+    ingest_batches: u64,
+) -> Result<u64, SnapshotError> {
+    std::fs::create_dir_all(dir).map_err(SnapshotError::from)?;
+    let previous = read_manifest(dir).ok();
+    let generation = previous.as_ref().map_or(0, |m| m.generation + 1);
+
+    let mut w = SnapshotWriter::create(snap_path(dir, generation))?;
+    w.add_section(SEC_STORE_ESTS, &encode_ests(clusterer.ests()))?;
+    w.add_section(SEC_IDS, &codec::encode_string_list(clusterer.ids()))?;
+    w.add_section(SEC_DSU, &codec::encode_dsu(clusterer.clusters_dsu()))?;
+    w.add_section(SEC_TRACE, &codec::encode_merge_trace(clusterer.trace()))?;
+    w.add_section(SEC_STATS, &codec::encode_cluster_stats(&clusterer.stats))?;
+    w.finish()?;
+
+    let manifest = ServeManifest {
+        version: MANIFEST_VERSION,
+        config_fingerprint: config_fp(clusterer.config()),
+        generation,
+        num_ests: clusterer.len() as u64,
+        ingest_batches,
+        trace_len: clusterer.trace().len() as u64,
+    };
+    atomic_write(
+        &dir.join(SERVE_MANIFEST_FILE),
+        manifest.to_json().to_line().as_bytes(),
+    )?;
+
+    // The manifest now points at the new generation; the old snapshot is
+    // garbage and may be removed (best-effort).
+    if let Some(prev) = previous {
+        let _ = std::fs::remove_file(snap_path(dir, prev.generation));
+    }
+    Ok(generation)
+}
+
+fn read_manifest(dir: &Path) -> Result<ServeManifest, SnapshotError> {
+    let raw = std::fs::read_to_string(dir.join(SERVE_MANIFEST_FILE))?;
+    let j =
+        json::parse(&raw).map_err(|e| SnapshotError::Corrupt(format!("serve manifest: {e}")))?;
+    ServeManifest::from_json(&j)
+}
+
+/// Restore the daemon's fold state from `dir`, or `Ok(None)` if no
+/// checkpoint exists there yet.
+///
+/// Fails (rather than silently re-clustering) if the checkpoint was
+/// written under a different clustering configuration, if any section
+/// CRC is bad, or if replaying the merge trace does not reproduce the
+/// decoded union–find's partition.
+pub fn load_state(
+    dir: &Path,
+    cfg: &ClusterConfig,
+    memory_budget: u64,
+) -> Result<Option<(IncrementalClusterer, u64)>, SnapshotError> {
+    if !dir.join(SERVE_MANIFEST_FILE).exists() {
+        return Ok(None);
+    }
+    let manifest = read_manifest(dir)?;
+    if manifest.version != MANIFEST_VERSION {
+        return Err(SnapshotError::Corrupt(format!(
+            "serve manifest version {} (this binary writes {MANIFEST_VERSION})",
+            manifest.version
+        )));
+    }
+    let expect_fp = config_fp(cfg);
+    if manifest.config_fingerprint != expect_fp {
+        return Err(SnapshotError::Corrupt(format!(
+            "checkpoint was written under config fingerprint {} but the daemon \
+             was started with {expect_fp}; refusing to mix partitions",
+            manifest.config_fingerprint
+        )));
+    }
+
+    let snap = Snapshot::read_file(snap_path(dir, manifest.generation))?;
+    let ests = decode_ests(snap.section(SEC_STORE_ESTS)?)?;
+    let ids = codec::decode_string_list(snap.section(SEC_IDS)?)?;
+    let dsu = codec::decode_dsu(snap.section(SEC_DSU)?)?;
+    let trace = codec::decode_merge_trace(snap.section(SEC_TRACE)?)?;
+    let stats = codec::decode_cluster_stats(snap.section(SEC_STATS)?)?;
+
+    if trace.len() as u64 != manifest.trace_len {
+        return Err(SnapshotError::Corrupt(format!(
+            "manifest says {} merge records, snapshot holds {}",
+            manifest.trace_len,
+            trace.len()
+        )));
+    }
+    // Replay cross-check: the trace must reproduce the partition.
+    let replayed = trace.replay(ests.len());
+    let mut dsu_check = dsu.clone();
+    if canonical(&replayed) != canonical(&dsu_check.labels()) {
+        return Err(SnapshotError::Corrupt(
+            "merge-trace replay does not reproduce the checkpointed partition".into(),
+        ));
+    }
+
+    let clusterer =
+        IncrementalClusterer::from_parts(cfg.clone(), memory_budget, ests, ids, dsu, trace, stats)
+            .map_err(SnapshotError::Corrupt)?;
+    Ok(Some((clusterer, manifest.ingest_batches)))
+}
+
+/// First-occurrence canonical form of a labelling, for partition equality.
+fn canonical(labels: &[usize]) -> Vec<usize> {
+    let mut map = HashMap::new();
+    let mut next = 0usize;
+    labels
+        .iter()
+        .map(|&l| {
+            *map.entry(l).or_insert_with(|| {
+                let v = next;
+                next += 1;
+                v
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ClusterConfig {
+        let mut c = ClusterConfig::small();
+        c.psi = 16;
+        c.overlap.min_overlap_len = 40;
+        c
+    }
+
+    fn folded(n_batches: usize) -> IncrementalClusterer {
+        let ds = pace_simulate::generate(
+            &pace_simulate::SimConfig {
+                num_genes: 5,
+                num_ests: 60,
+                est_len_mean: 220.0,
+                est_len_sd: 25.0,
+                est_len_min: 120,
+                exon_len: (220, 400),
+                exons_per_gene: (1, 2),
+                seed: 71,
+                ..pace_simulate::SimConfig::default()
+            }
+            .error_free(),
+        );
+        let mut inc = IncrementalClusterer::new(cfg());
+        let per = ds.ests.len() / n_batches;
+        for b in 0..n_batches {
+            let lo = b * per;
+            let hi = if b + 1 == n_batches {
+                ds.ests.len()
+            } else {
+                lo + per
+            };
+            let ids: Vec<String> = (lo..hi).map(|i| format!("est_{i}")).collect();
+            inc.fold_batch(&ids, &ds.ests[lo..hi]).unwrap();
+        }
+        inc
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_everything() {
+        let dir = std::env::temp_dir().join(format!("pace-serve-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut inc = folded(3);
+        save_state(&dir, &inc, 3).unwrap();
+        let (mut back, batches) = load_state(&dir, &cfg(), 0).unwrap().unwrap();
+        assert_eq!(batches, 3);
+        assert_eq!(back.len(), inc.len());
+        assert_eq!(back.ids(), inc.ids());
+        assert_eq!(back.labels(), inc.labels());
+        assert_eq!(back.trace(), inc.trace());
+        assert_eq!(back.stats, inc.stats);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_checkpoint_is_none() {
+        let dir = std::env::temp_dir().join(format!("pace-serve-none-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(load_state(&dir, &cfg(), 0).unwrap().is_none());
+    }
+
+    #[test]
+    fn config_mismatch_refused() {
+        let dir = std::env::temp_dir().join(format!("pace-serve-fp-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let inc = folded(2);
+        save_state(&dir, &inc, 2).unwrap();
+        let mut other = cfg();
+        other.psi = 99;
+        assert!(load_state(&dir, &other, 0).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn generations_advance_and_old_snapshots_are_pruned() {
+        let dir = std::env::temp_dir().join(format!("pace-serve-gen-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let inc = folded(2);
+        assert_eq!(save_state(&dir, &inc, 2).unwrap(), 0);
+        assert_eq!(save_state(&dir, &inc, 2).unwrap(), 1);
+        assert!(!snap_path(&dir, 0).exists());
+        assert!(snap_path(&dir, 1).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_snapshot_detected() {
+        let dir = std::env::temp_dir().join(format!("pace-serve-corrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let inc = folded(2);
+        let generation = save_state(&dir, &inc, 2).unwrap();
+        let path = snap_path(&dir, generation);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, bytes).unwrap();
+        assert!(load_state(&dir, &cfg(), 0).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

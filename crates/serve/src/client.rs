@@ -1,0 +1,140 @@
+//! Blocking client for the daemon.
+//!
+//! One [`Client`] wraps one connection; requests are answered strictly
+//! in order, so a client is `send → receive` with no pipelining. Cheap
+//! to create — open many for concurrency (the load generator opens
+//! thousands).
+
+use crate::proto::{Request, Response, ServeStats, PROTO_VERSION};
+use pace_wire::{read_frame, write_frame, Wire};
+use std::io;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// A connected client.
+pub struct Client {
+    stream: UnixStream,
+}
+
+impl Client {
+    /// Connect to a daemon's socket.
+    pub fn connect(socket_path: impl AsRef<Path>) -> io::Result<Client> {
+        Ok(Client {
+            stream: UnixStream::connect(socket_path)?,
+        })
+    }
+
+    /// Connect, retrying until the daemon's socket accepts or the
+    /// timeout elapses — for races where the daemon is still starting.
+    pub fn connect_with_retry(
+        socket_path: impl AsRef<Path>,
+        timeout: std::time::Duration,
+    ) -> io::Result<Client> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            match UnixStream::connect(socket_path.as_ref()) {
+                Ok(stream) => return Ok(Client { stream }),
+                Err(e) => {
+                    if std::time::Instant::now() >= deadline {
+                        return Err(e);
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                }
+            }
+        }
+    }
+
+    /// One request/response exchange.
+    pub fn call(&mut self, req: &Request) -> io::Result<Response> {
+        write_frame(&mut self.stream, &req.to_bytes())?;
+        let payload = read_frame(&mut self.stream)?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "daemon closed"))?;
+        Response::from_bytes(&payload)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Liveness + protocol-version check. Returns the daemon's EST count.
+    pub fn ping(&mut self) -> io::Result<u64> {
+        match self.call(&Request::Ping)? {
+            Response::Pong { version, num_ests } if version == PROTO_VERSION => Ok(num_ests),
+            Response::Pong { version, .. } => Err(protocol_err(format!(
+                "daemon speaks protocol v{version}, this client v{PROTO_VERSION}"
+            ))),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fold a batch of (id, sequence) records into the daemon's index.
+    /// Returns `(total_ests, num_clusters)` after the fold.
+    pub fn ingest(&mut self, ids: Vec<String>, seqs: Vec<Vec<u8>>) -> io::Result<(u64, u64)> {
+        match self.call(&Request::Ingest { ids, seqs })? {
+            Response::Ingested {
+                total_ests,
+                num_clusters,
+                ..
+            } => Ok((total_ests, num_clusters)),
+            Response::Err { msg } => Err(protocol_err(msg)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// The cluster an EST belongs to: `(est_index, label, cluster_size)`.
+    pub fn member(&mut self, id: &str) -> io::Result<(u64, u64, u64)> {
+        match self.call(&Request::Member { id: id.to_string() })? {
+            Response::Membership {
+                est_index,
+                cluster_label,
+                cluster_size,
+            } => Ok((est_index, cluster_label, cluster_size)),
+            Response::Err { msg } => Err(protocol_err(msg)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Member ids of a cluster.
+    pub fn cluster(&mut self, label: u64) -> io::Result<Vec<String>> {
+        match self.call(&Request::Cluster { label })? {
+            Response::ClusterMembers { ids, .. } => Ok(ids),
+            Response::Err { msg } => Err(protocol_err(msg)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Representative `(id, sequence)` of a cluster.
+    pub fn rep(&mut self, label: u64) -> io::Result<(String, Vec<u8>)> {
+        match self.call(&Request::Rep { label })? {
+            Response::Representative { id, seq, .. } => Ok((id, seq)),
+            Response::Err { msg } => Err(protocol_err(msg)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Service-wide counters.
+    pub fn stats(&mut self) -> io::Result<ServeStats> {
+        match self.call(&Request::Stats)? {
+            Response::StatsReply(s) => Ok(s),
+            Response::Err { msg } => Err(protocol_err(msg)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Ask the daemon to checkpoint and stop.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        match self.call(&Request::Shutdown)? {
+            Response::Ok => Ok(()),
+            Response::Err { msg } => Err(protocol_err(msg)),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+fn protocol_err(msg: String) -> io::Error {
+    io::Error::other(msg)
+}
+
+fn unexpected(resp: &Response) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("unexpected response {resp:?}"),
+    )
+}

@@ -33,7 +33,7 @@
 #     workflow step after applying a `bench-gate-override` PR label),
 #     which turns a failure into a warning.
 #
-# Usage: scripts/bench_gate.sh [smoke.json] [baseline.json] [ooc-report.json] [uds-report.json] [sharded.json]
+# Usage: scripts/bench_gate.sh [smoke.json] [baseline.json] [ooc-report.json] [uds-report.json] [sharded.json] [serve.json]
 #   The optional third argument (default bench_out/out_of_core.json) is an
 #   out-of-core run's metrics report; when present its io.* counters
 #   (io.spill_bytes etc.) are echoed into the gate log so the uploaded CI
@@ -48,6 +48,11 @@
 #   K-sharded pairs/sec rates and the throughput ratio are echoed into
 #   the gate log (report-only — oversubscribed wall-clock on a shared
 #   runner has no machine-relative baseline).
+#   The optional sixth argument (default BENCH_serve.json) is the serve
+#   load-test trajectory written by the loadgen binary; when present the
+#   latest entry's serve.query.p99 and ingest throughput are echoed into
+#   the gate log (report-only — daemon latency on a shared runner has no
+#   machine-relative baseline).
 #   BENCH_GATE_TOLERANCE  fractional slowdown allowed (default 0.25)
 #   BENCH_GATE_SKIP=1     report, but never fail
 set -euo pipefail
@@ -57,6 +62,7 @@ BASELINE=${2:-bench/baseline.json}
 OOC=${3:-bench_out/out_of_core.json}
 UDS=${4:-bench_out/smoke_uds.json}
 SHARDED=${5:-bench_out/sharded.json}
+SERVE=${6:-BENCH_serve.json}
 TOLERANCE=${BENCH_GATE_TOLERANCE:-0.25}
 
 if [[ ! -f "$SMOKE" ]]; then
@@ -68,12 +74,12 @@ if [[ ! -f "$BASELINE" ]]; then
     exit 2
 fi
 
-python3 - "$SMOKE" "$BASELINE" "$TOLERANCE" "${BENCH_GATE_SKIP:-0}" "$OOC" "$UDS" "$SHARDED" <<'PY'
+python3 - "$SMOKE" "$BASELINE" "$TOLERANCE" "${BENCH_GATE_SKIP:-0}" "$OOC" "$UDS" "$SHARDED" "$SERVE" <<'PY'
 import json
 import os
 import sys
 
-smoke_path, baseline_path, tolerance, skip, ooc_path, uds_path, sharded_path = sys.argv[1:8]
+smoke_path, baseline_path, tolerance, skip, ooc_path, uds_path, sharded_path, serve_path = sys.argv[1:9]
 tolerance = float(tolerance)
 skip = skip not in ("", "0", "false")
 
@@ -156,6 +162,22 @@ if os.path.exists(sharded_path):
             f"p {doc.get('p', 0):.0f}, K {doc.get('shards', 0):.0f} — "
             f"single {single:.0f} pairs/s, sharded {shd:.0f} pairs/s, "
             f"speedup {doc.get('sharded_speedup', 0):.2f}x"
+        )
+
+# Echo the serve load test's latest trajectory entry (reported, never
+# gated): client-observed query p99 under ~1k concurrent connections and
+# the concurrent-ingest throughput, so daemon latency trends are visible
+# in the gate log.
+if os.path.exists(serve_path):
+    entries = json.load(open(serve_path))
+    if isinstance(entries, list) and entries:
+        e = entries[-1]
+        print(
+            f"bench_gate: serve load test from {serve_path} (report-only): "
+            f"{e.get('clients', 0):.0f} clients, {e.get('qps', 0):.0f} q/s — "
+            f"query p99 {e.get('query_p99_us', 0):.0f}µs client-observed "
+            f"({e.get('serve_query_p99_us', 0):.0f}µs server-side), "
+            f"ingest {e.get('ingest_ests_per_sec', 0):.0f} ESTs/s while serving"
         )
 
 # Echo the out-of-core run's I/O counters (reported, never gated) so the

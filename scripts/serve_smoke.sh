@@ -1,0 +1,142 @@
+#!/usr/bin/env bash
+# Serve smoke check: the CI gate behind the `paced` daemon.
+#
+# Boots a real daemon process on a scratch Unix socket with a checkpoint
+# directory, then walks the full operational story:
+#
+#   1. Ingest two FASTA batches through `pace ingest` while a burst of
+#      concurrent `pace query` clients hammers the socket.
+#   2. Record the partition (`--member` for every EST) and the stats
+#      counters; assert pair-flow conservation
+#      (pairs_generated == pairs_processed + pairs_skipped).
+#   3. `kill -9` the daemon — no shutdown handshake, no final fold.
+#   4. Restart from the same checkpoint directory and re-query: the
+#      restored partition must be byte-identical, and the daemon's
+#      partition must canonically equal a one-shot `pace cluster` run
+#      over the concatenated input (the serve-identity anchor).
+#
+# Usage: scripts/serve_smoke.sh [pace-binary] [outdir]
+set -euo pipefail
+
+PACE=${1:-target/release/pace}
+OUT=${2:-bench_out/serve_smoke}
+
+if [[ ! -x "$PACE" ]]; then
+    echo "serve_smoke: build the binary first (cargo build --release)" >&2
+    exit 2
+fi
+rm -rf "$OUT"
+mkdir -p "$OUT"
+SOCK="$OUT/paced.sock"
+CKPT="$OUT/ckpt"
+
+cleanup() {
+    [[ -n "${DAEMON_PID:-}" ]] && kill -9 "$DAEMON_PID" 2> /dev/null || true
+}
+trap cleanup EXIT
+
+wait_for_socket() {
+    for _ in $(seq 1 200); do
+        [[ -S "$SOCK" ]] && "$PACE" query --socket "$SOCK" --ping > /dev/null 2>&1 && return 0
+        sleep 0.05
+    done
+    echo "serve_smoke: daemon never came up on $SOCK" >&2
+    exit 1
+}
+
+echo "serve_smoke: generating two deterministic FASTA batches"
+"$PACE" simulate --ests 160 --genes 14 --seed 31 --out "$OUT/all.fasta" 2> /dev/null
+# Split on record boundaries: first 80 records, rest.
+python3 - "$OUT/all.fasta" "$OUT/batch1.fasta" "$OUT/batch2.fasta" <<'PY'
+import sys
+records = open(sys.argv[1]).read().split(">")[1:]
+half = len(records) // 2
+open(sys.argv[2], "w").write("".join(">" + r for r in records[:half]))
+open(sys.argv[3], "w").write("".join(">" + r for r in records[half:]))
+PY
+
+echo "serve_smoke: booting daemon (checkpoint-every=1)"
+"$PACE" serve --listen "$SOCK" --checkpoint-dir "$CKPT" --checkpoint-every 1 \
+    --psi 16 --min-overlap 40 --quiet &
+DAEMON_PID=$!
+wait_for_socket
+
+echo "serve_smoke: ingesting batch 1 + 2 under concurrent queries"
+QPIDS=()
+for i in $(seq 1 8); do
+    (for _ in $(seq 1 20); do
+        "$PACE" query --socket "$SOCK" --member "est_$((i * 7))" > /dev/null 2>&1 || true
+        "$PACE" query --socket "$SOCK" --stats > /dev/null
+    done) &
+    QPIDS+=($!)
+done
+"$PACE" ingest --socket "$SOCK" --in "$OUT/batch1.fasta"
+"$PACE" ingest --socket "$SOCK" --in "$OUT/batch2.fasta"
+wait "${QPIDS[@]}"
+
+echo "serve_smoke: recording partition + stats before the kill"
+"$PACE" query --socket "$SOCK" --stats > "$OUT/stats_before.tsv"
+: > "$OUT/partition_before.tsv"
+for i in $(seq 0 159); do
+    "$PACE" query --socket "$SOCK" --member "est_$i" >> "$OUT/partition_before.tsv"
+done
+
+# Conservation: every generated pair is processed or skipped.
+python3 - "$OUT/stats_before.tsv" <<'PY'
+import sys
+stats = dict(line.split("\t") for line in open(sys.argv[1]).read().splitlines())
+gen = int(stats["pairs_generated"])
+proc = int(stats["pairs_processed"])
+skip = int(stats["pairs_skipped"])
+assert gen == proc + skip, f"conservation violated: {gen} != {proc} + {skip}"
+assert int(stats["num_ests"]) == 160, stats["num_ests"]
+print(f"serve_smoke: conservation OK ({gen} = {proc} + {skip}), "
+      f"{stats['num_ests']} ESTs in {stats['num_clusters']} clusters")
+PY
+
+echo "serve_smoke: kill -9 and restart from checkpoint"
+kill -9 "$DAEMON_PID"
+wait "$DAEMON_PID" 2> /dev/null || true
+DAEMON_PID=
+
+"$PACE" serve --listen "$SOCK" --checkpoint-dir "$CKPT" --checkpoint-every 1 \
+    --psi 16 --min-overlap 40 --quiet &
+DAEMON_PID=$!
+wait_for_socket
+
+echo "serve_smoke: re-querying the restored daemon"
+: > "$OUT/partition_after.tsv"
+for i in $(seq 0 159); do
+    "$PACE" query --socket "$SOCK" --member "est_$i" >> "$OUT/partition_after.tsv"
+done
+if ! cmp -s "$OUT/partition_before.tsv" "$OUT/partition_after.tsv"; then
+    echo "serve_smoke: FAIL — partition changed across kill -9 + restart" >&2
+    diff "$OUT/partition_before.tsv" "$OUT/partition_after.tsv" | head >&2
+    exit 1
+fi
+echo "serve_smoke: partition identical across kill -9 + restart"
+
+echo "serve_smoke: identity anchor vs one-shot batch run"
+"$PACE" cluster --in "$OUT/all.fasta" --out "$OUT/batch_clusters.tsv" \
+    --psi 16 --min-overlap 40 --quiet
+python3 - "$OUT/partition_after.tsv" "$OUT/batch_clusters.tsv" <<'PY'
+import sys
+
+def canon(labels):
+    seen = {}
+    return [seen.setdefault(l, len(seen)) for l in labels]
+
+# daemon lines: "est_N\tcluster=L\tsize=S\tindex=I" (query order = index order)
+daemon = [line.split("\t")[1].removeprefix("cluster=")
+          for line in open(sys.argv[1]).read().splitlines()]
+# batch lines: "est_N\tL" in EST order
+batch = [line.split("\t")[1] for line in open(sys.argv[2]).read().splitlines()]
+assert len(daemon) == len(batch) == 160, (len(daemon), len(batch))
+assert canon(daemon) == canon(batch), "daemon partition != one-shot batch partition"
+print(f"serve_smoke: identity OK ({len(set(batch))} clusters)")
+PY
+
+"$PACE" query --socket "$SOCK" --shutdown
+wait "$DAEMON_PID" 2> /dev/null || true
+DAEMON_PID=
+echo "serve_smoke: OK"

@@ -50,6 +50,9 @@ fn main() -> ExitCode {
         "assess" => cmd_assess(rest),
         "splice" => cmd_splice(rest),
         "stats" => cmd_stats(rest),
+        "serve" => cmd_serve(rest),
+        "ingest" => cmd_ingest(rest),
+        "query" => cmd_query(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -82,10 +85,17 @@ USAGE:
                 [-v|--verbose] [--quiet]
   pace assess   --pred FILE --truth FILE
   pace splice   --in FASTA --clusters FILE [--min-event N]
-  pace stats    --in FASTA";
+  pace stats    --in FASTA
+  pace serve    --listen SOCKET [--checkpoint-dir DIR] [--checkpoint-every N]
+                [--memory-budget BYTES[K|M|G]] [--psi N] [--window N]
+                [--batchsize N] [--min-overlap N] [--min-ratio F]
+                [--metrics-out FILE] [--quiet]
+  pace ingest   --socket SOCKET --in FASTA [--batch N]
+  pace query    --socket SOCKET (--member ID | --cluster LABEL | --rep LABEL |
+                --stats | --ping | --shutdown)";
 
 /// Switches that take no value; stored with the value `"true"`.
-const BOOL_FLAGS: &[&str] = &["verbose", "quiet", "resume"];
+const BOOL_FLAGS: &[&str] = &["verbose", "quiet", "resume", "stats", "ping", "shutdown"];
 
 /// Parse `--key value` pairs and boolean switches.
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -524,6 +534,158 @@ fn cmd_cluster(args: &[String]) -> Result<(), String> {
 
     let ids: Vec<String> = records.into_iter().map(|r| r.id).collect();
     finish_cluster_output(&flags, out, &ids, &outcome, &obs)
+}
+
+/// `pace serve`: run the clustering daemon (`paced`) until a client
+/// sends `shutdown` or the process receives SIGTERM/SIGINT. With
+/// `--checkpoint-dir` the daemon restores existing state on start and
+/// rolls a checkpoint as it ingests, so a kill + restart resumes
+/// transparently.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let listen = require(&flags, "listen")?;
+    let quiet = flags.contains_key("quiet");
+
+    let mut cluster = PaceConfig::paper().cluster;
+    cluster.psi = get(&flags, "psi", cluster.psi)?;
+    cluster.window_w = get(&flags, "window", cluster.window_w)?;
+    cluster.batchsize = get(&flags, "batchsize", cluster.batchsize)?;
+    cluster.overlap.min_overlap_len = get(&flags, "min-overlap", cluster.overlap.min_overlap_len)?;
+    cluster.overlap.min_score_ratio = get(&flags, "min-ratio", cluster.overlap.min_score_ratio)?;
+
+    let mut cfg = pace::serve::ServerConfig::new(listen, cluster);
+    cfg.checkpoint_dir = flags.get("checkpoint-dir").map(std::path::PathBuf::from);
+    cfg.checkpoint_every = get(&flags, "checkpoint-every", 1u64)?;
+    if cfg.checkpoint_every == 0 {
+        return Err("--checkpoint-every must be ≥ 1".into());
+    }
+    if let Some(budget) = flags.get("memory-budget") {
+        cfg.memory_budget = parse_byte_size(budget)?;
+    }
+
+    pace::core::signals::install();
+    let obs = pace::obs::Obs::noop();
+    let handle = pace::serve::Server::start(cfg, obs.clone())
+        .map_err(|e| format!("starting daemon: {e}"))?;
+    if !quiet {
+        let resumed = handle.socket_path().display();
+        eprintln!("paced listening on {resumed}");
+    }
+    let outcome = handle.wait();
+
+    if let Some(path) = flags.get("metrics-out") {
+        let doc = pace::obs::report::to_json(&obs.registry().snapshot(), Vec::new());
+        std::fs::write(path, pace::obs::report::to_pretty_string(&doc))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+    }
+
+    match outcome {
+        Ok(stats) => {
+            if !quiet {
+                eprintln!(
+                    "paced: served {} queries over {} connections, folded {} batches \
+                     ({} ESTs in {} clusters); query p99 {:.0}µs",
+                    stats.queries,
+                    stats.connections,
+                    stats.ingests,
+                    stats.num_ests,
+                    stats.num_clusters,
+                    stats.query_p99_us
+                );
+            }
+            Ok(())
+        }
+        Err(e) => {
+            // A fatal signal: state is already checkpointed; exit with
+            // the conventional 128+signo status.
+            if let Some(signum) = pace::core::signals::pending() {
+                eprintln!("paced: {e}");
+                std::process::exit(pace::core::signals::exit_status_for(signum));
+            }
+            Err(format!("daemon failed: {e}"))
+        }
+    }
+}
+
+/// `pace ingest`: stream a FASTA file into a running daemon in batches.
+fn cmd_ingest(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let socket = require(&flags, "socket")?;
+    let input = require(&flags, "in")?;
+    let batch: usize = get(&flags, "batch", usize::MAX)?;
+    if batch == 0 {
+        return Err("--batch must be ≥ 1".into());
+    }
+
+    let records = read_fasta_file(input)?;
+    let mut client =
+        pace::serve::Client::connect(socket).map_err(|e| format!("connecting to {socket}: {e}"))?;
+    let mut sent = 0usize;
+    let mut last = (0u64, 0u64);
+    for chunk in records.chunks(batch) {
+        let ids: Vec<String> = chunk.iter().map(|r| r.id.clone()).collect();
+        let seqs: Vec<Vec<u8>> = chunk.iter().map(|r| r.sequence.clone()).collect();
+        last = client
+            .ingest(ids, seqs)
+            .map_err(|e| format!("ingest failed after {sent} ESTs: {e}"))?;
+        sent += chunk.len();
+    }
+    eprintln!(
+        "ingested {sent} ESTs; daemon now holds {} ESTs in {} clusters",
+        last.0, last.1
+    );
+    Ok(())
+}
+
+/// `pace query`: one request against a running daemon.
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let socket = require(&flags, "socket")?;
+    let mut client =
+        pace::serve::Client::connect(socket).map_err(|e| format!("connecting to {socket}: {e}"))?;
+
+    if let Some(id) = flags.get("member") {
+        let (index, label, size) = client.member(id).map_err(|e| e.to_string())?;
+        println!("{id}\tcluster={label}\tsize={size}\tindex={index}");
+    } else if let Some(label) = flags.get("cluster") {
+        let label: u64 = label
+            .parse()
+            .map_err(|_| format!("--cluster: bad label {label:?}"))?;
+        for id in client.cluster(label).map_err(|e| e.to_string())? {
+            println!("{id}");
+        }
+    } else if let Some(label) = flags.get("rep") {
+        let label: u64 = label
+            .parse()
+            .map_err(|_| format!("--rep: bad label {label:?}"))?;
+        let (id, seq) = client.rep(label).map_err(|e| e.to_string())?;
+        println!(">{id}");
+        println!("{}", String::from_utf8_lossy(&seq));
+    } else if flags.contains_key("stats") {
+        let s = client.stats().map_err(|e| e.to_string())?;
+        println!("num_ests\t{}", s.num_ests);
+        println!("num_clusters\t{}", s.num_clusters);
+        println!("ingest_batches\t{}", s.ingest_batches);
+        println!("trace_len\t{}", s.trace_len);
+        println!("pairs_generated\t{}", s.pairs_generated);
+        println!("pairs_processed\t{}", s.pairs_processed);
+        println!("pairs_skipped\t{}", s.pairs_skipped);
+        println!("queries_served\t{}", s.queries_served);
+        println!("uptime_us\t{}", s.uptime_us);
+    } else if flags.contains_key("ping") {
+        let ests = client.ping().map_err(|e| e.to_string())?;
+        println!("pong\tnum_ests={ests}");
+    } else if flags.contains_key("shutdown") {
+        client.shutdown().map_err(|e| e.to_string())?;
+        eprintln!("daemon shutting down");
+    } else {
+        return Err(
+            "pick one of --member ID | --cluster LABEL | --rep LABEL | --stats | --ping | \
+             --shutdown"
+                .into(),
+        );
+    }
+    Ok(())
 }
 
 fn cmd_assess(args: &[String]) -> Result<(), String> {

@@ -1,0 +1,163 @@
+//! Launcher signal handling: SIGTERM to a `pace cluster --transport uds`
+//! parent must (a) make the parent exit non-zero and (b) leave no stray
+//! `__pace-worker` processes behind — the watchdog reaps every child it
+//! registered before the process dies.
+
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn pace_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pace"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("pace-sigtest-{}-{name}", std::process::id()))
+}
+
+/// Pids of live `__pace-worker` processes whose parent is `parent`.
+/// Scans /proc directly so it sees exactly what the kernel sees.
+fn worker_pids_of(parent: u32) -> Vec<u32> {
+    let mut pids = Vec::new();
+    let Ok(entries) = std::fs::read_dir("/proc") else {
+        return pids;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(pid) = name.to_str().and_then(|s| s.parse::<u32>().ok()) else {
+            continue;
+        };
+        let Ok(cmdline) = std::fs::read(format!("/proc/{pid}/cmdline")) else {
+            continue;
+        };
+        if !cmdline
+            .split(|&b| b == 0)
+            .any(|arg| arg == b"__pace-worker")
+        {
+            continue;
+        }
+        // PPid: from /proc/<pid>/status — only count our test's children
+        // so parallel test runs don't interfere.
+        let Ok(status) = std::fs::read_to_string(format!("/proc/{pid}/status")) else {
+            continue;
+        };
+        let ppid = status
+            .lines()
+            .find_map(|l| l.strip_prefix("PPid:"))
+            .and_then(|v| v.trim().parse::<u32>().ok());
+        if ppid == Some(parent) {
+            pids.push(pid);
+        }
+    }
+    pids
+}
+
+fn wait_for<F: FnMut() -> bool>(mut cond: F, timeout: Duration, what: &str) {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if cond() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    panic!("timed out waiting for {what}");
+}
+
+fn spawn_uds_cluster(ests: usize) -> (Child, PathBuf) {
+    let reads = tmp(&format!("reads-{ests}.fa"));
+    let out = pace_bin()
+        .args(["simulate", "--ests", &ests.to_string(), "--seed", "17"])
+        .arg("--out")
+        .arg(&reads)
+        .output()
+        .expect("spawn pace simulate");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let clusters = tmp(&format!("clusters-{ests}.tsv"));
+    let child = pace_bin()
+        .args(["cluster", "--procs", "3", "--transport", "uds"])
+        .arg("--in")
+        .arg(&reads)
+        .arg("--out")
+        .arg(&clusters)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn pace cluster --transport uds");
+    (child, reads)
+}
+
+#[test]
+fn sigterm_kills_parent_and_reaps_workers() {
+    // Big enough that the run is still in flight when we pull the
+    // trigger; if it happens to finish first the test retries larger.
+    for ests in [1500usize, 4000, 9000] {
+        let (mut child, reads) = spawn_uds_cluster(ests);
+        let pid = child.id();
+
+        // Wait until the launcher has actually forked workers.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let mut saw_workers = false;
+        while Instant::now() < deadline {
+            if !worker_pids_of(pid).is_empty() {
+                saw_workers = true;
+                break;
+            }
+            if let Some(status) = child.try_wait().expect("try_wait") {
+                // Finished before workers were observed — dataset too
+                // small for this machine; try the next size.
+                assert!(status.success(), "clean run failed: {status:?}");
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let _ = std::fs::remove_file(&reads);
+        if !saw_workers {
+            continue;
+        }
+
+        let workers = worker_pids_of(pid);
+        assert!(!workers.is_empty());
+
+        // SIGTERM the parent only (std can only SIGKILL, so shell out).
+        let ok = Command::new("kill")
+            .args(["-TERM", &pid.to_string()])
+            .status()
+            .expect("kill")
+            .success();
+        assert!(ok, "kill -TERM failed");
+
+        let status = child.wait().expect("wait for parent");
+        assert!(
+            !status.success(),
+            "parent must exit non-zero on SIGTERM, got {status:?}"
+        );
+
+        // Every worker the launcher forked must be gone — poll briefly
+        // to let the watchdog's SIGKILL + waitpid land.
+        wait_for(
+            || worker_pids_of(pid).is_empty() && worker_pids_of(1).is_empty(),
+            Duration::from_secs(10),
+            "workers to be reaped",
+        );
+        return;
+    }
+    panic!("never caught the launcher with live workers, even at 9000 ESTs");
+}
+
+#[test]
+fn clean_uds_run_leaves_no_workers() {
+    let (mut child, reads) = spawn_uds_cluster(300);
+    let pid = child.id();
+    let status = child.wait().expect("wait");
+    assert!(status.success(), "clean uds run failed: {status:?}");
+    assert!(
+        worker_pids_of(pid).is_empty() && worker_pids_of(1).is_empty(),
+        "workers leaked after a clean run"
+    );
+    let _ = std::fs::remove_file(&reads);
+}

@@ -1,0 +1,280 @@
+//! Serve-identity anchor: the daemon's partition after ANY interleaving
+//! of ingest batches, concurrent queries, and kill/restart cycles must
+//! be canonically identical to a one-shot batch run over the same data.
+//!
+//! Each scenario below:
+//!  1. simulates a fixed-seed EST dataset,
+//!  2. drives an in-process daemon through a seeded interleaving of
+//!     ingest batches and queries (sometimes dropping the daemon
+//!     mid-stream and restarting from its checkpoint directory),
+//!  3. asserts the final partition, cluster count, and replayed merge
+//!     trace all match `cluster_sequential` over the concatenated data,
+//!  4. checks pair-flow conservation from the daemon's own stats.
+
+use pace::obs::Obs;
+use pace::serve::{Client, Request, Response, Server, ServerConfig, ServerHandle};
+use pace::{ClusterConfig, SequenceStore, SimConfig};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+fn cfg() -> ClusterConfig {
+    let mut c = ClusterConfig::small();
+    c.psi = 16;
+    c.overlap.min_overlap_len = 40;
+    c
+}
+
+fn dataset(n: usize, seed: u64) -> Vec<Vec<u8>> {
+    pace::simulate::generate(
+        &SimConfig {
+            num_genes: (n / 10).max(2),
+            num_ests: n,
+            est_len_mean: 200.0,
+            est_len_sd: 30.0,
+            est_len_min: 100,
+            exon_len: (200, 380),
+            exons_per_gene: (1, 2),
+            seed,
+            ..SimConfig::default()
+        }
+        .error_free(),
+    )
+    .ests
+}
+
+/// Map labels to first-occurrence order so partitions compare by shape,
+/// not by representative choice.
+fn canon(labels: &[u64]) -> Vec<u64> {
+    let mut map = std::collections::HashMap::new();
+    let mut next = 0u64;
+    labels
+        .iter()
+        .map(|&l| {
+            *map.entry(l).or_insert_with(|| {
+                let v = next;
+                next += 1;
+                v
+            })
+        })
+        .collect()
+}
+
+/// Tiny deterministic PRNG (splitmix64) so interleavings are seeded but
+/// varied without pulling in `rand` here.
+struct Rng(u64);
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+struct Daemon {
+    handle: ServerHandle,
+    sock: PathBuf,
+}
+
+fn start(sock: &Path, ckpt: &Path) -> Daemon {
+    let mut sc = ServerConfig::new(sock, cfg());
+    sc.checkpoint_dir = Some(ckpt.to_path_buf());
+    sc.checkpoint_every = 1;
+    Daemon {
+        handle: Server::start(sc, Obs::noop()).expect("start daemon"),
+        sock: sock.to_path_buf(),
+    }
+}
+
+fn connect(d: &Daemon) -> Client {
+    Client::connect_with_retry(&d.sock, Duration::from_secs(5)).expect("connect")
+}
+
+fn scratch(tag: &str) -> (PathBuf, PathBuf) {
+    let dir = std::env::temp_dir().join(format!("pace-serve-id-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    (dir.join("paced.sock"), dir.join("ckpt"))
+}
+
+/// Drive one seeded interleaving and check every anchor.
+fn check_interleaving(seed: u64, n: usize, restarts: usize) {
+    let ests = dataset(n, 7000 + seed);
+    let (sock, ckpt) = scratch(&format!("s{seed}"));
+    let mut rng = Rng(seed * 0x517c_c1b7 + 1);
+
+    // Split the dataset into a seeded number of uneven batches.
+    let num_batches = 3 + rng.below(4) as usize;
+    let mut cuts: Vec<usize> = (0..num_batches - 1)
+        .map(|_| 1 + rng.below(n as u64 - 1) as usize)
+        .collect();
+    cuts.sort_unstable();
+    cuts.dedup();
+    let mut batches: Vec<(usize, usize)> = Vec::new();
+    let mut prev = 0;
+    for &c in cuts.iter().chain(std::iter::once(&n)) {
+        if c > prev {
+            batches.push((prev, c));
+            prev = c;
+        }
+    }
+
+    // Schedule restarts after seeded batch indices (never after the
+    // last batch — that case is covered by the final reconnect).
+    let mut restart_after: Vec<usize> = (0..restarts)
+        .map(|_| rng.below(batches.len().max(2) as u64 - 1) as usize)
+        .collect();
+    restart_after.sort_unstable();
+    restart_after.dedup();
+
+    let mut daemon = start(&sock, &ckpt);
+    let mut client = connect(&daemon);
+    let mut ingested = 0usize;
+
+    for (b, &(lo, hi)) in batches.iter().enumerate() {
+        let ids: Vec<String> = (lo..hi).map(|i| format!("est_{i}")).collect();
+        let (total, _clusters) = client
+            .ingest(ids, ests[lo..hi].to_vec())
+            .expect("ingest batch");
+        ingested = hi;
+        assert_eq!(total as usize, ingested, "total after batch {b}");
+
+        // Interleave a few queries between ingests — including ids that
+        // don't exist yet, which must answer Err without disturbing
+        // anything.
+        for _ in 0..3 {
+            let probe = rng.below(n as u64) as usize;
+            let reply = client
+                .call(&Request::Member {
+                    id: format!("est_{probe}"),
+                })
+                .expect("member call");
+            match reply {
+                Response::Membership { est_index, .. } => {
+                    assert!(probe < ingested, "future id answered: est_{probe}");
+                    assert_eq!(est_index as usize, probe);
+                }
+                Response::Err { .. } => {
+                    assert!(probe >= ingested, "ingested id missing: est_{probe}");
+                }
+                other => panic!("unexpected reply: {other:?}"),
+            }
+        }
+
+        if restart_after.contains(&b) {
+            // Abrupt stop (handle drop joins the accept loop but this
+            // models an operator kill: clients are cut off) and a cold
+            // restart from the checkpoint directory.
+            drop(client);
+            daemon.handle.stop().expect("stop for restart");
+            daemon = start(&sock, &ckpt);
+            client = connect(&daemon);
+            // Restart must restore exactly what was ingested.
+            let stats = client.stats().expect("stats after restart");
+            assert_eq!(stats.num_ests as usize, ingested, "restored EST count");
+        }
+    }
+    assert_eq!(ingested, n);
+
+    // --- Anchors against the one-shot batch run. ----------------------
+    let daemon_labels: Vec<u64> = (0..n)
+        .map(|i| client.member(&format!("est_{i}")).expect("member").1)
+        .collect();
+    let stats = client.stats().expect("final stats");
+
+    let store = SequenceStore::from_ests(&ests).expect("store");
+    let batch = pace::cluster::cluster_sequential(&store, &cfg());
+    let batch_labels: Vec<u64> = batch.labels.iter().map(|&l| l as u64).collect();
+
+    assert_eq!(
+        canon(&daemon_labels),
+        canon(&batch_labels),
+        "seed {seed}: daemon partition != one-shot batch partition"
+    );
+    assert_eq!(
+        stats.num_clusters as usize, batch.num_clusters,
+        "seed {seed}: cluster count"
+    );
+
+    // Conservation: every generated pair is accounted for.
+    assert_eq!(
+        stats.pairs_generated,
+        stats.pairs_processed + stats.pairs_skipped,
+        "seed {seed}: pair flow must be conserved"
+    );
+
+    // The daemon's merge trace, replayed from scratch, reproduces the
+    // same partition (the trace survives checkpoint/restart).
+    let ckpt_state = pace::serve::load_state(&ckpt, &cfg(), 0)
+        .expect("load checkpoint")
+        .expect("checkpoint present");
+    let trace = ckpt_state.0.trace();
+    assert_eq!(trace.len() as u64, stats.trace_len, "trace length");
+    let replay_labels: Vec<u64> = trace.replay(n).iter().map(|&l| l as u64).collect();
+    assert_eq!(
+        canon(&replay_labels),
+        canon(&batch_labels),
+        "seed {seed}: replayed trace != batch partition"
+    );
+
+    client.shutdown().expect("shutdown");
+    daemon.handle.wait().expect("daemon exit");
+    let _ = std::fs::remove_dir_all(sock.parent().unwrap());
+}
+
+#[test]
+fn interleaving_seed_1_no_restart() {
+    check_interleaving(1, 90, 0);
+}
+
+#[test]
+fn interleaving_seed_7_one_restart() {
+    check_interleaving(7, 90, 1);
+}
+
+#[test]
+fn interleaving_seed_42_two_restarts() {
+    check_interleaving(42, 110, 2);
+}
+
+#[test]
+fn interleaving_seed_61_one_restart() {
+    check_interleaving(61, 70, 1);
+}
+
+#[test]
+fn interleaving_seed_99_three_restarts() {
+    check_interleaving(99, 120, 3);
+}
+
+/// A restart with no checkpoint directory starts empty (no accidental
+/// state bleed through the socket path).
+#[test]
+fn no_checkpoint_dir_starts_empty() {
+    let dir = std::env::temp_dir().join(format!("pace-serve-id-{}-fresh", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let sock = dir.join("paced.sock");
+
+    let ests = dataset(30, 4242);
+    let sc = ServerConfig::new(&sock, cfg());
+    let handle = Server::start(sc, Obs::noop()).expect("start");
+    let mut client = Client::connect_with_retry(&sock, Duration::from_secs(5)).expect("connect");
+    let ids: Vec<String> = (0..ests.len()).map(|i| format!("est_{i}")).collect();
+    client.ingest(ids, ests).expect("ingest");
+    assert!(client.stats().expect("stats").num_ests == 30);
+    client.shutdown().expect("shutdown");
+    handle.wait().expect("exit");
+
+    // Same socket path, still no checkpoint dir: must come up empty.
+    let handle = Server::start(ServerConfig::new(&sock, cfg()), Obs::noop()).expect("restart");
+    let mut client = Client::connect_with_retry(&sock, Duration::from_secs(5)).expect("reconnect");
+    assert_eq!(client.stats().expect("stats").num_ests, 0);
+    client.shutdown().expect("shutdown");
+    handle.wait().expect("exit");
+    let _ = std::fs::remove_dir_all(&dir);
+}
