@@ -147,11 +147,29 @@ fn band_idx(i: usize, off: usize, w: usize) -> usize {
 }
 
 /// Valid `j` range (inclusive) for row `i` under the band constraint.
+/// The `saturating_sub` here is on band *geometry* (usize column
+/// indices clamped at 0), not on scores — it cannot interact with the
+/// `NEG_INF` sentinel.
 #[inline]
 fn band_bounds(i: usize, lb: usize, radius: usize) -> (usize, usize) {
     let lo = i.saturating_sub(radius);
     let hi = (i + radius).min(lb);
     (lo, hi)
+}
+
+/// Sentinel-aware score propagation: an unreachable predecessor
+/// (`NEG_INF`) must stay exactly `NEG_INF`, never `NEG_INF + delta`.
+/// Adding a positive match bonus to the sentinel would manufacture a
+/// "phantom" cell that passes the `v > NEG_INF` reachability checks;
+/// adding penalties would drift the sentinel downward toward genuine
+/// i32 overflow over long gap runs.
+#[inline]
+fn sentinel_add(v: i32, delta: i32) -> i32 {
+    if v <= NEG_INF {
+        NEG_INF
+    } else {
+        v + delta
+    }
 }
 
 /// Fill the workspace's three Gotoh matrices over the band. Matrices are
@@ -189,22 +207,20 @@ fn banded_fill<V: SeqView>(a: V, b: V, scoring: &Scoring, radius: usize, ws: &mu
             // Diagonal predecessor (i-1, j-1) keeps the same offset.
             let pidx = band_idx(i - 1, off, w);
             let diag = m[pidx].max(x[pidx]).max(y[pidx]);
-            m[idx] = diag.saturating_add(scoring.pair(a.at(i - 1), b.at(j - 1)));
+            m[idx] = sentinel_add(diag, scoring.pair(a.at(i - 1), b.at(j - 1)));
             // Vertical predecessor (i-1, j) sits one offset to the right.
             if off + 1 < w {
                 let vidx = band_idx(i - 1, off + 1, w);
-                x[idx] = (m[vidx] + scoring.gap_open)
-                    .max(x[vidx] + scoring.gap_extend)
-                    .max(y[vidx] + scoring.gap_open)
-                    .max(NEG_INF);
+                x[idx] = sentinel_add(m[vidx], scoring.gap_open)
+                    .max(sentinel_add(x[vidx], scoring.gap_extend))
+                    .max(sentinel_add(y[vidx], scoring.gap_open));
             }
             // Horizontal predecessor (i, j-1) sits one offset to the left.
             if off >= 1 {
                 let hidx = band_idx(i, off - 1, w);
-                y[idx] = (m[hidx] + scoring.gap_open)
-                    .max(y[hidx] + scoring.gap_extend)
-                    .max(x[hidx] + scoring.gap_open)
-                    .max(NEG_INF);
+                y[idx] = sentinel_add(m[hidx], scoring.gap_open)
+                    .max(sentinel_add(y[hidx], scoring.gap_extend))
+                    .max(sentinel_add(x[hidx], scoring.gap_open));
             }
         }
     }
@@ -253,6 +269,21 @@ mod tests {
                 assert!(banded <= full, "radius {r}: banded {banded} > full {full}");
             }
         }
+    }
+
+    #[test]
+    fn sentinel_add_never_leaves_the_sentinel() {
+        // The regression for the old `saturating_add` on sentinel cells:
+        // a positive match bonus must not lift NEG_INF into the
+        // reachable range, and penalties must not drift it downward.
+        assert_eq!(sentinel_add(NEG_INF, 2), NEG_INF);
+        assert_eq!(sentinel_add(NEG_INF, -4), NEG_INF);
+        assert_eq!(sentinel_add(NEG_INF, 0), NEG_INF);
+        // Real values still propagate arithmetically.
+        assert_eq!(sentinel_add(10, -3), 7);
+        assert_eq!(sentinel_add(NEG_INF + 1, 2), NEG_INF + 3);
+        // The old expression really did manufacture phantom cells.
+        assert!(NEG_INF.saturating_add(2) > NEG_INF);
     }
 
     #[test]
@@ -328,6 +359,51 @@ mod tests {
                 banded_global_score(&a, &b, &s, r).unwrap(),
                 global_score(&a, &b, &s)
             );
+        }
+
+        /// Any radius that covers the whole matrix is exact, for every
+        /// scoring scheme — including length-skewed pairs whose band
+        /// edges are dominated by sentinel cells.
+        #[test]
+        fn covering_band_is_exact_for_all_scorings(
+            a in dna(40),
+            b in dna(12),
+            extra in 0usize..5,
+        ) {
+            for s in [Scoring::default_est(), Scoring::unit(), Scoring::edit_linear()] {
+                let r = a.len().max(b.len()) + extra;
+                prop_assert_eq!(
+                    banded_global_score(&a, &b, &s, r).unwrap(),
+                    global_score(&a, &b, &s)
+                );
+            }
+        }
+
+        /// Every filled band cell is either exactly the NEG_INF sentinel
+        /// or a genuine path score: nothing in the phantom zone between
+        /// them (what `saturating_add` over a sentinel used to produce).
+        #[test]
+        fn band_cells_are_sentinel_or_genuine(
+            a in dna(30),
+            b in dna(30),
+            radius in 0usize..6,
+        ) {
+            let s = Scoring::default_est();
+            let mut ws = crate::workspace::AlignWorkspace::new();
+            let _ = banded_extension_with(&a[..], &b[..], &s, radius, &mut ws);
+            // Any legitimate path score is bounded below by the worst
+            // per-step penalty times the longest possible path.
+            let worst = s.mismatch.min(s.gap_open).min(s.gap_extend);
+            let floor = worst * (a.len() + b.len()) as i32;
+            for band in [&ws.band_m, &ws.band_x, &ws.band_y] {
+                for &v in band.iter() {
+                    prop_assert!(
+                        v == NEG_INF || v >= floor,
+                        "phantom cell value {} (floor {}, NEG_INF {})",
+                        v, floor, NEG_INF
+                    );
+                }
+            }
         }
 
         /// Widening the band never lowers the score.

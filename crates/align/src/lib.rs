@@ -33,6 +33,7 @@
 
 pub mod anchored;
 pub mod banded;
+pub mod myers;
 pub mod nw;
 pub mod overlap;
 pub mod scoring;
@@ -47,6 +48,10 @@ pub use anchored::{
 };
 pub use banded::{banded_extension, banded_extension_with, banded_global_score};
 pub use banded::{banded_global_score_with, ExtensionResult};
+pub use myers::{
+    align_anchored_myers_with, myers_banded_distance, myers_banded_distance_with,
+    myers_banded_extension, myers_banded_extension_with, MYERS_MAX_RADIUS,
+};
 pub use nw::{global_align, global_score, global_score_with, AlignOp, Alignment};
 pub use overlap::{classify_overlap, AcceptDecision, OverlapKind, OverlapParams};
 pub use scoring::Scoring;

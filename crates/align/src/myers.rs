@@ -1,0 +1,523 @@
+//! Myers bit-parallel banded alignment kernel.
+//!
+//! The scalar banded kernel ([`crate::banded`]) touches `O(L·radius)`
+//! cells and spends a handful of instructions on each. Myers' bit-vector
+//! technique (Myers 1999, with Hyyrö's block recurrence) collapses an
+//! entire anti-diagonal band row into two machine words: instead of
+//! storing cell *values*, it stores the ±1 *differences* between adjacent
+//! cells as bitmasks (`pv` for +1, `mv` for −1) and advances a whole row
+//! with ~15 bit operations, independent of the band width.
+//!
+//! This implementation runs the band diagonally: row `i`'s window covers
+//! columns `j ∈ [i − radius, i + radius]` (band offset `o = j − i +
+//! radius`, width `w = 2·radius + 1 ≤ 63` bits). Advancing from row `i`
+//! to `i + 1` shifts the window one column right, which in delta-space is
+//! a 1-bit right shift of `pv`/`mv` before the standard Hyyrö update:
+//!
+//! * the cell entering on the right (column `i + radius + 1` of row `i`)
+//!   is outside the band; giving it a `+1` delta makes it the value of
+//!   its left neighbour plus one, which can never win the minimization;
+//! * the carry-in is always `+1`: the cell left of the window in row
+//!   `i + 1` is also out-of-band and is one worse than the cell above it;
+//! * the scalar `c0` tracks the window's leftmost value and follows the
+//!   output's bit-0 delta.
+//!
+//! Cell values are recovered in O(1) by prefix popcounts over `pv`/`mv`.
+//!
+//! Bit-parallelism computes unit-cost edit *distance*, not an arbitrary
+//! Gotoh *score* — the kernel therefore only engages for scoring schemes
+//! where the two are exact affine transforms of one another
+//! ([`Scoring::edit_unit_cost`]); for those it is **score-identical** to
+//! the scalar banded kernel on every input, a property the
+//! `myers_equivalence` test suite pins down. The per-symbol match masks
+//! (`PEq`) are built from [`SeqView`] symbols, so the kernel runs over
+//! plain ASCII and the 2-bit packed representation alike, straight from
+//! `PackedSlice` codes.
+
+use crate::anchored::{Anchor, AnchoredAlignment};
+use crate::banded::ExtensionResult;
+use crate::nw::NEG_INF;
+use crate::overlap::classify_overlap;
+use crate::scoring::Scoring;
+use crate::view::SeqView;
+use crate::workspace::AlignWorkspace;
+
+/// Largest band half-width the single-word kernel supports: the band
+/// width `2·radius + 1` must fit in 63 bits (one spare bit keeps every
+/// shift in range). Larger radii fall back to the scalar kernel.
+pub const MYERS_MAX_RADIUS: usize = 31;
+
+/// One band row of the bit-parallel DP: delta bitmasks plus the scalar
+/// value of the window's leftmost cell.
+struct Band {
+    /// Band width in bits, `2·radius + 1`.
+    w: u32,
+    /// Low `w` bits set.
+    mask: u64,
+    /// Bit `o` set ⇒ `cell(o) − cell(o−1) == +1`.
+    pv: u64,
+    /// Bit `o` set ⇒ `cell(o) − cell(o−1) == −1`.
+    mv: u64,
+    /// Value of the cell at band offset 0 (column `i − radius`,
+    /// virtual when that column is negative).
+    c0: i32,
+}
+
+impl Band {
+    /// Row 0: the cell at offset `o` is column `o − radius`, whose
+    /// edit-distance value is `|o − radius|` (virtual columns left of 0
+    /// mirror the real boundary).
+    fn init(radius: usize) -> Band {
+        let w = (2 * radius + 1) as u32;
+        let mask = (1u64 << w) - 1;
+        let low = (1u64 << (radius + 1)) - 1; // bits 0..=radius
+        Band {
+            w,
+            mask,
+            pv: mask & !low,
+            mv: low,
+            c0: radius as i32,
+        }
+    }
+
+    /// Value of the cell at band offset `o` (`o < w`): prefix popcount
+    /// of the deltas over bits `1..=o` on top of `c0`.
+    #[inline]
+    fn value_at(&self, o: u32) -> i32 {
+        debug_assert!(o < self.w);
+        let m = ((1u64 << o) - 1) << 1;
+        self.c0 + (self.pv & m).count_ones() as i32 - (self.mv & m).count_ones() as i32
+    }
+
+    /// Advance one row: shift the window right, then run the Hyyrö block
+    /// update with carry-in +1. `eq` bit `p` must hold the match of the
+    /// consumed `a` symbol against `b[i + p − radius]` (0 out of range).
+    #[inline]
+    fn advance(&mut self, eq: u64) {
+        // Window shift: delta between old offsets o+1 and o becomes the
+        // input delta at bit o; the virtual cell entering at the top bit
+        // is one worse than its neighbour (+1).
+        let pv = (self.pv >> 1) | (1u64 << (self.w - 1));
+        let mv = self.mv >> 1;
+        // Hyyrö's AdvanceBlock with hin = +1. Carries in the addition
+        // only propagate low→high, so garbage above bit w−1 never
+        // corrupts the band bits.
+        let xv = eq | mv;
+        let xh = (((eq & pv).wrapping_add(pv)) ^ pv) | eq;
+        let ph = mv | !(xh | pv);
+        let mh = pv & xh;
+        let ph = (ph << 1) | 1; // hin = +1 enters at bit 0
+        let mh = mh << 1;
+        self.pv = (mh | !(xv | ph)) & self.mask;
+        self.mv = (ph & xv) & self.mask;
+        // The left band edge moves diagonally down-right: one worse than
+        // the previous row's edge, corrected by the output bit-0 delta.
+        self.c0 += 1;
+        if self.mv & 1 != 0 {
+            self.c0 -= 1;
+        } else if self.pv & 1 != 0 {
+            self.c0 += 1;
+        }
+    }
+}
+
+/// Build the per-symbol match masks for `b` in the workspace scratch and
+/// return the per-symbol word stride. Bit `j` of symbol `s`'s mask is set
+/// iff `b.at(j) == s`; one zero padding word lets the window extraction
+/// read one word past the end unconditionally.
+fn build_peq<V: SeqView>(b: V, ws: &mut AlignWorkspace) -> usize {
+    let lb = b.len();
+    let words = lb / 64 + 2;
+    ws.reset_myers();
+    for j in 0..lb {
+        let sym = b.at(j) as usize;
+        let mut slot = ws.myers_slots[sym] as usize;
+        if slot == u16::MAX as usize {
+            slot = ws.myers_peq.len() / words;
+            ws.myers_slots[sym] = slot as u16;
+            ws.myers_peq.resize(ws.myers_peq.len() + words, 0);
+        }
+        ws.myers_peq[slot * words + j / 64] |= 1u64 << (j % 64);
+    }
+    words
+}
+
+/// Extract the `eq` window for the row consuming symbol `sym`: bit `p`
+/// holds the `peq` bit for `b` position `s + p` (0 when out of range).
+#[inline]
+fn eq_window(ws: &AlignWorkspace, words: usize, lb: usize, sym: u8, s: isize) -> u64 {
+    let slot = ws.myers_slots[sym as usize] as usize;
+    if slot == u16::MAX as usize {
+        return 0;
+    }
+    let peq = &ws.myers_peq[slot * words..(slot + 1) * words];
+    if s >= 0 {
+        let s = s as usize;
+        if s >= lb {
+            return 0;
+        }
+        let (word, bit) = (s / 64, (s % 64) as u32);
+        let mut x = peq[word] >> bit;
+        if bit != 0 {
+            x |= peq[word + 1] << (64 - bit);
+        }
+        x
+    } else {
+        // Window starts left of b: only bits p ≥ −s are real. −s ≤
+        // radius < 64 and the band width is < 64 bits, so one word holds
+        // every real bit.
+        peq[0] << (-s) as u32
+    }
+}
+
+/// Banded unit-cost edit distance via the bit-parallel kernel: the
+/// minimum number of edits over alignment paths confined to
+/// `|i − j| ≤ radius`. Returns `None` when the band cannot connect the
+/// corners (`|a.len() − b.len()| > radius`) or exceeds
+/// [`MYERS_MAX_RADIUS`]. With `radius ≥ max(len)` (and ≤ the cap) this
+/// is the classic Levenshtein distance.
+pub fn myers_banded_distance(a: &[u8], b: &[u8], radius: usize) -> Option<usize> {
+    myers_banded_distance_with(a, b, radius, &mut AlignWorkspace::new())
+}
+
+/// [`myers_banded_distance`] over any [`SeqView`], reusing `ws` scratch.
+pub fn myers_banded_distance_with<V: SeqView>(
+    a: V,
+    b: V,
+    radius: usize,
+    ws: &mut AlignWorkspace,
+) -> Option<usize> {
+    if radius > MYERS_MAX_RADIUS {
+        return None;
+    }
+    let (la, lb) = (a.len(), b.len());
+    if la.abs_diff(lb) > radius {
+        return None;
+    }
+    if la == 0 || lb == 0 {
+        return Some(la.max(lb));
+    }
+    let words = build_peq(b, ws);
+    let mut band = Band::init(radius);
+    for i in 0..la {
+        let eq = eq_window(ws, words, lb, a.at(i), i as isize - radius as isize);
+        band.advance(eq);
+    }
+    // |la − lb| ≤ radius puts cell (la, lb) inside the final window.
+    Some(band.value_at((lb + radius - la) as u32) as usize)
+}
+
+/// Tie-break identical to the scalar kernel's: highest score, then most
+/// total bases consumed, then most bases of `a`.
+#[inline]
+fn consider(best: &mut ExtensionResult, score: i32, i: usize, j: usize) {
+    let better = score > best.score
+        || (score == best.score
+            && (i + j > best.a_consumed + best.b_consumed
+                || (i + j == best.a_consumed + best.b_consumed && i > best.a_consumed)));
+    if better {
+        *best = ExtensionResult {
+            score,
+            a_consumed: i,
+            b_consumed: j,
+        };
+    }
+}
+
+/// Bit-parallel twin of [`crate::banded::banded_extension`]: same
+/// semantics, same tie-breaking, same scores — provided the scoring
+/// scheme is edit-convertible. Returns `None` (caller falls back to the
+/// scalar kernel) when [`Scoring::edit_unit_cost`] is `None` or the
+/// radius exceeds [`MYERS_MAX_RADIUS`].
+pub fn myers_banded_extension(
+    a: &[u8],
+    b: &[u8],
+    scoring: &Scoring,
+    radius: usize,
+) -> Option<ExtensionResult> {
+    myers_banded_extension_with(a, b, scoring, radius, &mut AlignWorkspace::new())
+}
+
+/// [`myers_banded_extension`] over any [`SeqView`], reusing `ws` scratch.
+pub fn myers_banded_extension_with<V: SeqView>(
+    a: V,
+    b: V,
+    scoring: &Scoring,
+    radius: usize,
+    ws: &mut AlignWorkspace,
+) -> Option<ExtensionResult> {
+    let c = scoring.edit_unit_cost()?;
+    if radius > MYERS_MAX_RADIUS {
+        return None;
+    }
+    let (la, lb) = (a.len(), b.len());
+    if la == 0 || lb == 0 {
+        // Same short-circuit as the scalar kernel: nothing to extend.
+        return Some(ExtensionResult {
+            score: 0,
+            a_consumed: 0,
+            b_consumed: 0,
+        });
+    }
+    let words = build_peq(b, ws);
+    let mut band = Band::init(radius);
+    let m = scoring.match_score;
+    // score(i, j) = (m·(i + j) − 2·c·dist) / 2, exact for every cell a
+    // band path reaches (the numerator is even there by construction).
+    let convert = |i: usize, j: usize, dist: i32| -> i32 {
+        let num = m as i64 * (i + j) as i64 - 2 * c as i64 * dist as i64;
+        debug_assert_eq!(num & 1, 0, "non-integral converted score");
+        (num >> 1) as i32
+    };
+
+    let mut best = ExtensionResult {
+        score: NEG_INF,
+        a_consumed: 0,
+        b_consumed: 0,
+    };
+    // Far edge of b (j == lb): visit each row's window as it streams by.
+    for i in 0..=la {
+        if i > 0 {
+            let i0 = i - 1;
+            let eq = eq_window(ws, words, lb, a.at(i0), i0 as isize - radius as isize);
+            band.advance(eq);
+        }
+        if lb <= i + radius && i <= lb + radius {
+            let dist = band.value_at((lb + radius - i) as u32);
+            consider(&mut best, convert(i, lb, dist), i, lb);
+        }
+    }
+    // Far edge of a (i == la): the final window covers the whole row.
+    let lo = la.saturating_sub(radius);
+    let hi = (la + radius).min(lb);
+    for j in lo..=hi {
+        let dist = band.value_at((j + radius - la) as u32);
+        consider(&mut best, convert(la, j, dist), la, j);
+    }
+    if best.score <= NEG_INF {
+        best = ExtensionResult {
+            score: 0,
+            a_consumed: 0,
+            b_consumed: 0,
+        };
+    }
+    Some(best)
+}
+
+/// Bit-parallel twin of [`crate::anchored::align_anchored_with`]: extends
+/// the anchor both ways with [`myers_banded_extension_with`] and
+/// classifies the overlap exactly like the scalar path. Returns `None`
+/// when the kernel is ineligible (non-convertible scoring or radius
+/// above [`MYERS_MAX_RADIUS`]) so callers can fall back.
+pub fn align_anchored_myers_with<V: SeqView>(
+    a: V,
+    b: V,
+    anchor: Anchor,
+    scoring: &Scoring,
+    radius: usize,
+    ws: &mut AlignWorkspace,
+) -> Option<AnchoredAlignment> {
+    debug_assert!(anchor.verify_on(a, b), "anchor does not match sequences");
+    if scoring.edit_unit_cost().is_none() || radius > MYERS_MAX_RADIUS {
+        return None;
+    }
+
+    // Left: extend the reversed prefixes (see align_anchored_with).
+    let (mut rev_a, mut rev_b) = ws.take_rev();
+    rev_a.extend((0..anchor.a_pos).rev().map(|i| a.at(i)));
+    rev_b.extend((0..anchor.b_pos).rev().map(|i| b.at(i)));
+    let left = myers_banded_extension_with(&rev_a[..], &rev_b[..], scoring, radius, ws);
+    ws.put_rev(rev_a, rev_b);
+    let left = left?;
+
+    // Right: extend the suffixes after the match.
+    let a_right = a.slice(anchor.a_pos + anchor.len, a.len());
+    let b_right = b.slice(anchor.b_pos + anchor.len, b.len());
+    let right = myers_banded_extension_with(a_right, b_right, scoring, radius, ws)?;
+
+    let a_start = anchor.a_pos - left.a_consumed;
+    let b_start = anchor.b_pos - left.b_consumed;
+    let a_end = anchor.a_pos + anchor.len + right.a_consumed;
+    let b_end = anchor.b_pos + anchor.len + right.b_consumed;
+    let score = left.score + scoring.ideal(anchor.len) + right.score;
+    let kind = classify_overlap(a.len(), b.len(), a_start..a_end, b_start..b_end);
+
+    Some(AnchoredAlignment {
+        score,
+        a_start,
+        a_end,
+        b_start,
+        b_end,
+        kind,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::banded::{banded_extension, banded_global_score};
+
+    /// Brute-force banded edit distance for reference.
+    fn scalar_banded_distance(a: &[u8], b: &[u8], radius: usize) -> Option<usize> {
+        let (la, lb) = (a.len(), b.len());
+        if la.abs_diff(lb) > radius {
+            return None;
+        }
+        const BIG: usize = usize::MAX / 4;
+        let mut prev = vec![BIG; lb + 1];
+        let mut cur = vec![BIG; lb + 1];
+        for (j, v) in prev.iter_mut().enumerate().take(radius + 1) {
+            *v = j;
+        }
+        for i in 1..=la {
+            cur.fill(BIG);
+            let lo = i.saturating_sub(radius);
+            let hi = (i + radius).min(lb);
+            for j in lo..=hi {
+                let mut v = BIG;
+                if j == 0 {
+                    v = i;
+                } else {
+                    let sub = prev[j - 1] + usize::from(a[i - 1] != b[j - 1]);
+                    v = v.min(sub);
+                    if prev[j] < BIG {
+                        v = v.min(prev[j] + 1);
+                    }
+                    if cur[j - 1] < BIG {
+                        v = v.min(cur[j - 1] + 1);
+                    }
+                }
+                cur[j] = v;
+            }
+            std::mem::swap(&mut prev, &mut cur);
+        }
+        Some(prev[lb])
+    }
+
+    #[test]
+    fn distance_basics() {
+        assert_eq!(myers_banded_distance(b"", b"", 0), Some(0));
+        assert_eq!(myers_banded_distance(b"A", b"A", 1), Some(0));
+        assert_eq!(myers_banded_distance(b"A", b"C", 1), Some(1));
+        assert_eq!(myers_banded_distance(b"ACGT", b"ACGT", 2), Some(0));
+        assert_eq!(myers_banded_distance(b"ACGT", b"AGGT", 2), Some(1));
+        assert_eq!(myers_banded_distance(b"ACGT", b"ACGGT", 2), Some(1));
+        assert_eq!(myers_banded_distance(b"ACGT", b"AC", 1), None);
+        assert_eq!(myers_banded_distance(b"GATTACA", b"", 7), Some(7));
+        assert_eq!(myers_banded_distance(b"ACGT", b"ACGT", 32), None);
+    }
+
+    #[test]
+    fn distance_matches_scalar_banded() {
+        let cases: &[(&[u8], &[u8])] = &[
+            (b"GATTACA", b"GATCACA"),
+            (b"ACGTACGTAACC", b"ACGACGTTAACC"),
+            (b"AAAA", b"TTTT"),
+            (b"ACGT", b"TGCA"),
+            (b"ACACACACAC", b"CACACACACA"),
+        ];
+        for &(a, b) in cases {
+            for radius in 0..8 {
+                assert_eq!(
+                    myers_banded_distance(a, b, radius),
+                    scalar_banded_distance(a, b, radius),
+                    "a={:?} b={:?} r={radius}",
+                    std::str::from_utf8(a),
+                    std::str::from_utf8(b),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distance_converts_to_banded_global_score() {
+        // With the canonical convertible scheme, score = (la+lb) − 2·dist.
+        let s = Scoring::edit_linear();
+        let (a, b) = (&b"ACGTACGTAACC"[..], &b"ACGACGTTAACC"[..]);
+        for radius in 0..12 {
+            let dist = myers_banded_distance(a, b, radius);
+            let score = banded_global_score(a, b, &s, radius);
+            match (dist, score) {
+                (Some(d), Some(v)) => {
+                    assert_eq!(v, (a.len() + b.len()) as i32 - 2 * d as i32, "r={radius}")
+                }
+                (None, None) => {}
+                other => panic!("eligibility mismatch at r={radius}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn extension_matches_scalar_on_presets() {
+        let s = Scoring::edit_linear();
+        let cases: &[(&[u8], &[u8])] = &[
+            (b"ACGT", b"ACGTTTTT"),
+            (b"ACGTACGT", b"ACGAACGT"),
+            (b"ACGTACGT", b"ACGTTACGT"),
+            (b"ACGTACGT", b"ACG"),
+            (b"", b"ACGT"),
+            (b"ACGT", b""),
+        ];
+        for &(a, b) in cases {
+            for radius in 0..6 {
+                let fast = myers_banded_extension(a, b, &s, radius).unwrap();
+                let slow = banded_extension(a, b, &s, radius);
+                assert_eq!(
+                    fast,
+                    slow,
+                    "a={:?} b={:?} r={radius}",
+                    std::str::from_utf8(a),
+                    std::str::from_utf8(b),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ineligible_inputs_fall_back() {
+        assert_eq!(
+            myers_banded_extension(b"ACGT", b"ACGT", &Scoring::default_est(), 2),
+            None
+        );
+        assert_eq!(
+            myers_banded_extension(b"ACGT", b"ACGT", &Scoring::unit(), 2),
+            None
+        );
+        assert_eq!(
+            myers_banded_extension(b"ACGT", b"ACGT", &Scoring::edit_linear(), 32),
+            None
+        );
+    }
+
+    #[test]
+    fn max_radius_band_still_fits_one_word() {
+        // radius 31 → width 63 bits: the widest supported band.
+        let a = vec![b'A'; 200];
+        let mut b = a.clone();
+        b[100] = b'C';
+        assert_eq!(myers_banded_distance(&a, &b, 31), Some(1));
+        assert_eq!(
+            myers_banded_distance(&a, &b[..170], 31),
+            scalar_banded_distance(&a, &b[..170], 31)
+        );
+    }
+
+    #[test]
+    fn anchored_myers_matches_scalar() {
+        use crate::anchored::align_anchored_with;
+        let s = Scoring::edit_linear();
+        let a = &b"AAAACCCCGGGG"[..];
+        let b = &b"CCCCGGGGTTTT"[..];
+        let anchor = Anchor {
+            a_pos: 4,
+            b_pos: 0,
+            len: 8,
+        };
+        let mut ws = AlignWorkspace::new();
+        for radius in 0..5 {
+            let fast = align_anchored_myers_with(a, b, anchor, &s, radius, &mut ws).unwrap();
+            let slow = align_anchored_with(a, b, anchor, &s, radius, &mut ws);
+            assert_eq!(fast, slow, "r={radius}");
+        }
+    }
+}

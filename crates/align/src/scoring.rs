@@ -73,6 +73,36 @@ impl Scoring {
         self.match_score * len as i32
     }
 
+    /// If this scheme is an exact affine transform of unit-cost edit
+    /// distance, return the transform's unit cost `c`.
+    ///
+    /// For a linear-gap scheme (`open == extend == g`), every alignment
+    /// path consuming `i` bases of one string and `j` of the other
+    /// satisfies `score = (match·(i+j) − 2·c·dist) / 2` with
+    /// `c = match − mismatch`, **iff** `2·(match − mismatch) == match − 2g`.
+    /// Under that condition maximizing the Gotoh score is identical to
+    /// minimizing Levenshtein distance, which is what lets the Myers
+    /// bit-parallel kernel ([`crate::myers`]) stand in for the scalar
+    /// banded DP with bit-for-bit equal scores. Returns `None` for
+    /// schemes outside the family (e.g. [`Scoring::default_est`]).
+    #[inline]
+    pub fn edit_unit_cost(&self) -> Option<i32> {
+        let c = self.match_score - self.mismatch;
+        if self.is_linear() && c > 0 && 2 * c == self.match_score - 2 * self.gap_open {
+            Some(c)
+        } else {
+            None
+        }
+    }
+
+    /// The canonical edit-convertible scheme (+2 match, 0 mismatch, −1
+    /// gap): `score = (i + j) − 2·dist`. Use this (or any other scheme
+    /// for which [`Scoring::edit_unit_cost`] is `Some`) to enable the
+    /// Myers bit-parallel kernel.
+    pub const fn edit_linear() -> Self {
+        Scoring::linear(2, 0, -1)
+    }
+
     /// Basic sanity check: match positive, penalties non-positive.
     pub fn validate(&self) -> Result<(), String> {
         if self.match_score <= 0 {
@@ -128,6 +158,18 @@ mod tests {
     fn linear_detection() {
         assert!(Scoring::unit().is_linear());
         assert!(!Scoring::default_est().is_linear());
+    }
+
+    #[test]
+    fn edit_unit_cost_detects_the_convertible_family() {
+        // (2, 0, −1): c = 2, 2·2 == 2 − 2·(−1). The canonical preset.
+        assert_eq!(Scoring::edit_linear().edit_unit_cost(), Some(2));
+        // (4, −1, −3): c = 5, 2·5 == 4 − 2·(−3).
+        assert_eq!(Scoring::linear(4, -1, -3).edit_unit_cost(), Some(5));
+        // Unit costs are NOT convertible (2·2 != 1 − 2·(−1)).
+        assert_eq!(Scoring::unit().edit_unit_cost(), None);
+        // Affine gaps never qualify.
+        assert_eq!(Scoring::default_est().edit_unit_cost(), None);
     }
 
     #[test]

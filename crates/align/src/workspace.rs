@@ -36,6 +36,10 @@ pub struct AlignWorkspace {
     /// so the DP scans contiguous forward slices.
     pub(crate) rev_a: Vec<u8>,
     pub(crate) rev_b: Vec<u8>,
+    /// Per-symbol match bitmasks for the Myers bit-parallel kernel,
+    /// `distinct symbols × word count` words, plus the symbol→slot map.
+    pub(crate) myers_peq: Vec<u64>,
+    pub(crate) myers_slots: Vec<u16>,
     /// Number of kernel invocations served (diagnostics/tests).
     uses: u64,
 }
@@ -68,6 +72,8 @@ impl AlignWorkspace {
             + self.semi_origin.capacity() * std::mem::size_of::<(u32, u32)>()
             + self.rev_a.capacity()
             + self.rev_b.capacity()
+            + self.myers_peq.capacity() * std::mem::size_of::<u64>()
+            + self.myers_slots.capacity() * std::mem::size_of::<u16>()
     }
 
     /// Take the reversed-prefix buffers out (cleared), freeing `self`
@@ -113,6 +119,20 @@ impl AlignWorkspace {
         ] {
             row.clear();
             row.resize(len, fill);
+        }
+    }
+
+    /// Reset the Myers match-mask scratch: clears the per-symbol bitmask
+    /// pool and the symbol→slot map (capacity is kept).
+    #[inline]
+    pub(crate) fn reset_myers(&mut self) {
+        self.uses += 1;
+        self.myers_peq.clear();
+        if self.myers_slots.len() != 256 {
+            self.myers_slots.clear();
+            self.myers_slots.resize(256, u16::MAX);
+        } else {
+            self.myers_slots.fill(u16::MAX);
         }
     }
 

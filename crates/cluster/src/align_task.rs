@@ -8,10 +8,11 @@
 
 use crate::config::ClusterConfig;
 use pace_align::{
-    align_anchored_with, decide_outcome, diagonal_identity, AlignWorkspace, Anchor, SeqView,
+    align_anchored_myers_with, align_anchored_with, decide_outcome, diagonal_identity,
+    AlignWorkspace, Anchor, SeqView,
 };
 use pace_pairgen::CandidatePair;
-use pace_seq::{PackedText, SequenceStore};
+use pace_seq::{PackedText, SequenceStore, SketchParams, SketchSet};
 
 /// Result of aligning one promising pair.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -38,6 +39,12 @@ pub struct AlignContext<'s> {
     /// packed codes instead of ASCII bytes (identical scores).
     packed: Option<&'s PackedText>,
     ws: AlignWorkspace,
+    /// MinHash bottom-sketches for the sketch prefilter, built lazily on
+    /// the first gated pair and reused for the context's lifetime (the
+    /// string count is remembered so an incrementally grown store gets a
+    /// fresh set).
+    sketches: Option<SketchSet>,
+    sketched_strings: usize,
     pairs_handled: u64,
     pairs_prefiltered: u64,
 }
@@ -49,6 +56,8 @@ impl<'s> AlignContext<'s> {
             store,
             packed,
             ws: AlignWorkspace::new(),
+            sketches: None,
+            sketched_strings: 0,
             pairs_handled: 0,
             pairs_prefiltered: 0,
         }
@@ -75,15 +84,50 @@ impl<'s> AlignContext<'s> {
         self.ws.capacity_bytes()
     }
 
+    /// Build (or rebuild, after the store grew) the per-string MinHash
+    /// sketches backing [`should_align`](Self::should_align).
+    fn ensure_sketches(&mut self, cfg: &ClusterConfig) {
+        let n = self.store.num_strings();
+        if self.sketches.is_none() || self.sketched_strings != n {
+            let params = SketchParams {
+                k: cfg.sketch_k,
+                s: cfg.sketch_size,
+            };
+            self.sketches = Some(SketchSet::from_store(self.store, params));
+            self.sketched_strings = n;
+        }
+    }
+
+    /// The sketch prefilter: `true` unless the Mash-style Jaccard
+    /// estimate between the pair's strings falls below
+    /// `prefilter_min_sketch_jaccard`. With the threshold at `0.0`
+    /// (default) the gate is open and no sketches are ever built. A
+    /// string too short to sketch yields no estimate, which passes — the
+    /// DP, not absence of evidence, should decide such pairs.
+    pub fn should_align(&mut self, pair: &CandidatePair, cfg: &ClusterConfig) -> bool {
+        if cfg.prefilter_min_sketch_jaccard <= 0.0 {
+            return true;
+        }
+        self.ensure_sketches(cfg);
+        let sketches = self.sketches.as_ref().expect("just built");
+        match sketches.jaccard(pair.s1, pair.s2) {
+            Some(j) => j >= cfg.prefilter_min_sketch_jaccard,
+            None => true,
+        }
+    }
+
     /// Align `pair` by extending its maximal-common-substring anchor in
     /// both directions with banded DP (Figure 5a) and applying the
     /// accept criterion against the four patterns of Figure 5b.
     ///
-    /// Before any DP runs, two cheap filters get a veto:
+    /// Before any DP runs, three cheap filters get a veto:
     /// 1. the *lossless* geometry bound ([`Anchor::max_overlap_reach`]):
     ///    if even a maximally gapped extension cannot reach
     ///    `overlap.min_overlap_len`, the pair is rejected outright;
-    /// 2. the optional *lossy* diagonal-identity threshold
+    /// 2. the optional *lossy* MinHash sketch threshold
+    ///    (`prefilter_min_sketch_jaccard > 0`, see
+    ///    [`should_align`](Self::should_align));
+    /// 3. the optional *lossy* diagonal-identity threshold
     ///    (`prefilter_min_diag_identity > 0`).
     ///
     /// Prefiltered pairs still produce a (rejected) [`PairOutcome`], so
@@ -103,6 +147,10 @@ impl<'s> AlignContext<'s> {
                 self.pairs_prefiltered += 1;
                 return rejected(pair);
             }
+        }
+        if !self.should_align(pair, cfg) {
+            self.pairs_prefiltered += 1;
+            return rejected(pair);
         }
         let (outcome, prefiltered) = match self.packed {
             Some(text) => extend_and_decide(
@@ -154,7 +202,17 @@ fn extend_and_decide<V: SeqView>(
     {
         return (rejected(pair), true);
     }
-    let aln = align_anchored_with(a, b, anchor, &cfg.scoring, cfg.band_radius, ws);
+    let aln = if cfg.myers_alignment {
+        // The bit-parallel kernel declines (returns None) when the
+        // scoring is not edit-convertible or the radius exceeds its
+        // one-word cap; fall back to the scalar band in that case.
+        match align_anchored_myers_with(a, b, anchor, &cfg.scoring, cfg.band_radius, ws) {
+            Some(aln) => aln,
+            None => align_anchored_with(a, b, anchor, &cfg.scoring, cfg.band_radius, ws),
+        }
+    } else {
+        align_anchored_with(a, b, anchor, &cfg.scoring, cfg.band_radius, ws)
+    };
     let decision = decide_outcome(&aln, &cfg.scoring, &cfg.overlap);
     (
         PairOutcome {
@@ -353,5 +411,106 @@ mod tests {
         assert!(!o.accepted);
         assert_eq!(strict.pairs_prefiltered(), 1);
         assert_eq!(strict.workspace_uses(), 0, "vetoed pair must skip DP");
+    }
+
+    #[test]
+    fn myers_path_decides_like_scalar_path() {
+        // Same pairs, same (edit-convertible) scoring: the bit-parallel
+        // kernel must reproduce the scalar outcomes exactly, on both the
+        // ASCII and packed representations.
+        let template = lcg_dna(2026, 160);
+        let (store, pairs) = pair_of(
+            &[&template[..95], &template[45..130], &template[80..]],
+            12,
+            4,
+        );
+        assert!(!pairs.is_empty());
+        let mut scalar_cfg = ClusterConfig::small();
+        scalar_cfg.scoring = pace_align::Scoring::edit_linear();
+        let mut myers_cfg = scalar_cfg.clone();
+        myers_cfg.myers_alignment = true;
+        myers_cfg.validate().expect("edit_linear is convertible");
+        let packed = PackedText::from_store(&store);
+
+        let mut scalar_ctx = AlignContext::new(&store, None);
+        let mut myers_ctx = AlignContext::new(&store, None);
+        let mut myers_packed_ctx = AlignContext::new(&store, Some(&packed));
+        for p in &pairs {
+            let want = scalar_ctx.align(p, &scalar_cfg);
+            assert_eq!(myers_ctx.align(p, &myers_cfg), want);
+            assert_eq!(myers_packed_ctx.align(p, &myers_cfg), want);
+        }
+    }
+
+    #[test]
+    fn sketch_prefilter_vetoes_unrelated_pairs() {
+        // A planted 12-mer anchor between otherwise-unrelated reads
+        // (same setup as the diagonal-identity test): the sketch
+        // Jaccard estimate is near zero, so a modest threshold vetoes
+        // the pair before any DP.
+        let mut a = lcg_dna(71, 40);
+        a.extend_from_slice(b"GGGGCCCCGGGG");
+        a.extend(lcg_dna(72, 40));
+        let mut b = lcg_dna(73, 40);
+        b.extend_from_slice(b"GGGGCCCCGGGG");
+        b.extend(lcg_dna(74, 40));
+        let store = SequenceStore::from_ests(&[&a, &b]).unwrap();
+        let pair = CandidatePair {
+            s1: EstId(0).str_id(Strand::Forward),
+            s2: EstId(1).str_id(Strand::Forward),
+            off1: 40,
+            off2: 40,
+            mcs_len: 12,
+        };
+        let mut cfg = ClusterConfig::small();
+        cfg.prefilter_overlap = false;
+        assert_eq!(
+            ClusterConfig::default().prefilter_min_sketch_jaccard,
+            0.0,
+            "sketch filter must be opt-in"
+        );
+
+        // Off by default: the pair goes through the full DP and no
+        // sketches are ever built.
+        let mut open = AlignContext::new(&store, None);
+        open.align(&pair, &cfg);
+        assert_eq!(open.pairs_prefiltered(), 0);
+        assert!(open.sketches.is_none(), "open gate must not build sketches");
+
+        // With a threshold, the unrelated pair is vetoed without DP.
+        cfg.prefilter_min_sketch_jaccard = 0.2;
+        let mut gated = AlignContext::new(&store, None);
+        let o = gated.align(&pair, &cfg);
+        assert!(!o.accepted);
+        assert_eq!(gated.pairs_prefiltered(), 1);
+        assert_eq!(gated.workspace_uses(), 0, "vetoed pair must skip DP");
+        assert!(gated.sketches.is_some(), "gate must have built sketches");
+    }
+
+    #[test]
+    fn sketch_prefilter_passes_genuine_overlaps() {
+        // A clean 50-base overlap sails through the same threshold that
+        // vetoes unrelated pairs, and the accept decision is unchanged.
+        let template = lcg_dna(5150, 120);
+        let (store, pairs) = pair_of(&[&template[..80], &template[30..]], 12, 4);
+        assert!(!pairs.is_empty());
+        let mut cfg = ClusterConfig::small();
+        cfg.overlap.min_overlap_len = 30;
+        let open: Vec<_> = {
+            let mut ctx = AlignContext::new(&store, None);
+            pairs.iter().map(|p| ctx.align(p, &cfg)).collect()
+        };
+        assert!(open.iter().any(|o| o.accepted));
+
+        cfg.prefilter_min_sketch_jaccard = 0.2;
+        let mut gated = AlignContext::new(&store, None);
+        for (p, want) in pairs.iter().zip(&open) {
+            assert_eq!(gated.align(p, &cfg), *want);
+        }
+        assert_eq!(
+            gated.pairs_prefiltered(),
+            0,
+            "genuine overlaps must pass the sketch gate"
+        );
     }
 }

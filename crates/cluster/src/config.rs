@@ -48,6 +48,23 @@ pub struct ClusterConfig {
     /// property-tested); the packed text costs one extra pass at startup
     /// but quarters the bytes the alignment kernel touches.
     pub packed_alignment: bool,
+    /// Extend anchors with the Myers bit-parallel banded kernel instead
+    /// of the scalar banded DP. Score-identical (property-tested) but
+    /// requires an edit-convertible scoring scheme
+    /// ([`Scoring::edit_unit_cost`]) and `band_radius ≤ 31`; `validate`
+    /// rejects configurations outside that envelope.
+    pub myers_alignment: bool,
+    /// `k`-mer length of the MinHash bottom-sketches backing the sketch
+    /// prefilter (1..=31).
+    pub sketch_k: usize,
+    /// Bottom-sketch size `s`: hashes kept per string.
+    pub sketch_size: usize,
+    /// Minimum Mash-style sketch Jaccard estimate for a pair to be
+    /// aligned at all. `0.0` disables the filter (the default); positive
+    /// values skip the DP for pairs whose estimated k-mer similarity
+    /// falls below the threshold (lossy — recall measured by the
+    /// `pace-quality` harness). Pairs too short to sketch always pass.
+    pub prefilter_min_sketch_jaccard: f64,
     /// Seconds the master waits for a slave's report before re-sending
     /// the outstanding `Work` batch. Generous by default — on the
     /// fault-free path no deadline ever fires.
@@ -83,6 +100,10 @@ impl Default for ClusterConfig {
             prefilter_overlap: true,
             prefilter_min_diag_identity: 0.0,
             packed_alignment: false,
+            myers_alignment: false,
+            sketch_k: 11,
+            sketch_size: 32,
+            prefilter_min_sketch_jaccard: 0.0,
             slave_timeout: 5.0,
             max_retries: 5,
             shards: 0,
@@ -141,6 +162,13 @@ impl ClusterConfig {
                 f(self.prefilter_min_diag_identity)
             ),
             format!("packed_alignment={}", u8::from(self.packed_alignment)),
+            format!("myers_alignment={}", u8::from(self.myers_alignment)),
+            format!("sketch_k={}", self.sketch_k),
+            format!("sketch_size={}", self.sketch_size),
+            format!(
+                "prefilter_min_sketch_jaccard={}",
+                f(self.prefilter_min_sketch_jaccard)
+            ),
             format!("slave_timeout={}", f(self.slave_timeout)),
             format!("max_retries={}", self.max_retries),
             format!("shards={}", self.shards),
@@ -203,6 +231,10 @@ impl ClusterConfig {
                 "prefilter_overlap" => cfg.prefilter_overlap = flag(v)?,
                 "prefilter_min_diag_identity" => cfg.prefilter_min_diag_identity = float(v)?,
                 "packed_alignment" => cfg.packed_alignment = flag(v)?,
+                "myers_alignment" => cfg.myers_alignment = flag(v)?,
+                "sketch_k" => cfg.sketch_k = int(v)?,
+                "sketch_size" => cfg.sketch_size = int(v)?,
+                "prefilter_min_sketch_jaccard" => cfg.prefilter_min_sketch_jaccard = float(v)?,
                 "slave_timeout" => cfg.slave_timeout = float(v)?,
                 "max_retries" => cfg.max_retries = int(v)?,
                 "shards" => cfg.shards = int(v)?,
@@ -247,6 +279,38 @@ impl ClusterConfig {
             return Err(format!(
                 "prefilter_min_diag_identity {} not a fraction",
                 self.prefilter_min_diag_identity
+            ));
+        }
+        if self.myers_alignment {
+            if self.scoring.edit_unit_cost().is_none() {
+                return Err(format!(
+                    "myers_alignment needs an edit-convertible scoring \
+                     (linear gaps with 2·(match − mismatch) == match − 2·gap, \
+                     e.g. match=2, mismatch=0, gap=-1); got match={} mismatch={} \
+                     gap_open={} gap_extend={}",
+                    self.scoring.match_score,
+                    self.scoring.mismatch,
+                    self.scoring.gap_open,
+                    self.scoring.gap_extend
+                ));
+            }
+            if self.band_radius > pace_align::MYERS_MAX_RADIUS {
+                return Err(format!(
+                    "myers_alignment supports band_radius <= {}, got {}",
+                    pace_align::MYERS_MAX_RADIUS,
+                    self.band_radius
+                ));
+            }
+        }
+        pace_seq::SketchParams {
+            k: self.sketch_k,
+            s: self.sketch_size,
+        }
+        .validate()?;
+        if !(0.0..=1.0).contains(&self.prefilter_min_sketch_jaccard) {
+            return Err(format!(
+                "prefilter_min_sketch_jaccard {} not a fraction",
+                self.prefilter_min_sketch_jaccard
             ));
         }
         if self.slave_timeout <= 0.0 || !self.slave_timeout.is_finite() {
@@ -402,6 +466,11 @@ mod tests {
         odd.slave_timeout = 0.3;
         odd.overlap.min_score_ratio = 0.1 + 0.2; // not representable cleanly
         odd.prefilter_min_diag_identity = 0.625;
+        odd.myers_alignment = true;
+        odd.scoring = pace_align::Scoring::edit_linear();
+        odd.sketch_k = 9;
+        odd.sketch_size = 48;
+        odd.prefilter_min_sketch_jaccard = 0.1 + 0.03;
         for cfg in [ClusterConfig::default(), ClusterConfig::small(), odd] {
             let s = cfg.to_kv_string();
             assert!(!s.contains(' '), "argv token must not contain spaces: {s}");
@@ -422,6 +491,50 @@ mod tests {
         assert_eq!(
             ClusterConfig::from_kv_string("").unwrap(),
             ClusterConfig::default()
+        );
+    }
+
+    #[test]
+    fn myers_flag_requires_convertible_scoring() {
+        // Off by default, and default scoring is not convertible.
+        let c = ClusterConfig::default();
+        assert!(!c.myers_alignment);
+        // Turning it on under the default (affine) scoring must fail.
+        let c = ClusterConfig {
+            myers_alignment: true,
+            ..ClusterConfig::default()
+        };
+        let err = c.validate().unwrap_err();
+        assert!(err.contains("edit-convertible"), "{err}");
+        // A convertible scheme passes…
+        let mut c = ClusterConfig::default();
+        c.myers_alignment = true;
+        c.scoring = pace_align::Scoring::edit_linear();
+        c.validate().unwrap();
+        // …until the radius leaves the single-word band.
+        c.band_radius = 32;
+        assert!(c.validate().unwrap_err().contains("band_radius"));
+    }
+
+    #[test]
+    fn sketch_settings_are_validated() {
+        for (k, s) in [(0usize, 32usize), (32, 32), (11, 0)] {
+            let c = ClusterConfig {
+                sketch_k: k,
+                sketch_size: s,
+                ..ClusterConfig::default()
+            };
+            assert!(c.validate().is_err(), "sketch k={k} s={s} accepted");
+        }
+        let c = ClusterConfig {
+            prefilter_min_sketch_jaccard: 1.5,
+            ..ClusterConfig::default()
+        };
+        assert!(c.validate().is_err());
+        assert_eq!(
+            ClusterConfig::default().prefilter_min_sketch_jaccard,
+            0.0,
+            "sketch prefilter must be opt-in"
         );
     }
 

@@ -1,0 +1,145 @@
+//! Recall harness for the MinHash sketch prefilter.
+//!
+//! The sketch gate (`prefilter_min_sketch_jaccard`) is *lossy*: it may
+//! veto a genuinely overlapping pair whose k-mer sketches happen not to
+//! intersect strongly enough. This harness measures how much that
+//! costs on the simulator's default error profile: cluster the same
+//! data set with the gate off (lossless reference) and on, then score
+//! the gated partition against the lossless one. Recall — the fraction
+//! of lossless co-clustered pairs preserved, `1 − UN` — must stay at or
+//! above 0.99 at the shipped default threshold.
+
+use pace_cluster::driver_seq::cluster_ests;
+use pace_cluster::ClusterConfig;
+use pace_quality::assess;
+use pace_simulate::{generate, SimConfig};
+
+/// The threshold recommended in DESIGN.md/EXPERIMENTS.md for turning
+/// the gate on. At the default sketch size `s = 32` an estimate is a
+/// multiple of roughly `1/32 ≈ 0.031`, so 0.03 demands at least one
+/// shared bottom hash — enough to veto pairs whose sketches barely
+/// intersect (anchor-only coincidences, heavily diverged repeats)
+/// while keeping recall of genuine, even short, overlaps ≥ 0.99.
+const RECOMMENDED_THRESHOLD: f64 = 0.03;
+
+fn base_cfg() -> ClusterConfig {
+    let mut c = ClusterConfig::small();
+    c.psi = 16;
+    c.overlap.min_overlap_len = 40;
+    c
+}
+
+/// Simulator defaults (error_rate 0.02, mix 60/20/20) at a fixed seed.
+fn dataset(num_ests: usize, seed: u64) -> pace_simulate::EstDataset {
+    let sim = SimConfig {
+        num_genes: 14,
+        num_ests,
+        est_len_mean: 260.0,
+        est_len_sd: 40.0,
+        est_len_min: 140,
+        exon_len: (250, 450),
+        exons_per_gene: (1, 3),
+        seed,
+        ..SimConfig::default()
+    };
+    assert!(
+        (sim.error_rate - 0.02).abs() < 1e-12,
+        "harness must run the simulator's default error profile"
+    );
+    generate(&sim)
+}
+
+#[test]
+fn sketch_prefilter_recall_is_at_least_099() {
+    // Default error profile, but an aggressive repeat family: one
+    // heavily diverged motif carried by most genes, so the candidate
+    // list contains spurious anchor-only pairs for the gate to veto
+    // (at the default repeat settings, 14 genes rarely even share a
+    // motif and the gate has nothing to do).
+    let mut sim = SimConfig {
+        num_genes: 14,
+        num_ests: 220,
+        est_len_mean: 260.0,
+        est_len_sd: 40.0,
+        est_len_min: 140,
+        exon_len: (250, 450),
+        exons_per_gene: (1, 3),
+        seed: 20260808,
+        ..SimConfig::default()
+    };
+    sim.repeat_motifs = 2;
+    sim.repeat_gene_prob = 0.6;
+    sim.repeat_divergence = 0.12;
+    assert!((sim.error_rate - 0.02).abs() < 1e-12);
+    let ds = generate(&sim);
+
+    let lossless_cfg = base_cfg();
+    assert_eq!(
+        lossless_cfg.prefilter_min_sketch_jaccard, 0.0,
+        "sketch gate must be off by default"
+    );
+    let lossless = cluster_ests(&ds.ests, &lossless_cfg);
+
+    let mut gated_cfg = base_cfg();
+    gated_cfg.prefilter_min_sketch_jaccard = RECOMMENDED_THRESHOLD;
+    let gated = cluster_ests(&ds.ests, &gated_cfg);
+
+    // The gate must actually have vetoed something, or the recall
+    // number below is vacuous.
+    assert!(
+        gated.stats.pairs_prefiltered > lossless.stats.pairs_prefiltered,
+        "sketch gate vetoed nothing (gated {} vs lossless {})",
+        gated.stats.pairs_prefiltered,
+        lossless.stats.pairs_prefiltered
+    );
+
+    let m = assess(&gated.labels, &lossless.labels);
+    let recall = m.recall();
+    eprintln!(
+        "sketch-prefilter recall {recall:.4} at threshold {RECOMMENDED_THRESHOLD} \
+         (vetoed {} of {} pairs)\n{m}",
+        gated.stats.pairs_prefiltered - lossless.stats.pairs_prefiltered,
+        gated.stats.pairs_processed,
+    );
+    assert!(
+        recall >= 0.99,
+        "sketch prefilter recall {recall:.4} below 0.99\n{m}"
+    );
+}
+
+#[test]
+fn recall_is_stable_across_seeds() {
+    // One seed could get lucky; demand the bar on several data sets.
+    for seed in [7, 99, 4242] {
+        let ds = dataset(140, seed);
+        let lossless = cluster_ests(&ds.ests, &base_cfg());
+        let mut gated_cfg = base_cfg();
+        gated_cfg.prefilter_min_sketch_jaccard = RECOMMENDED_THRESHOLD;
+        let gated = cluster_ests(&ds.ests, &gated_cfg);
+        let m = assess(&gated.labels, &lossless.labels);
+        assert!(
+            m.recall() >= 0.99,
+            "seed {seed}: recall {:.4} below 0.99\n{m}",
+            m.recall()
+        );
+    }
+}
+
+#[test]
+fn an_aggressive_threshold_is_measurably_lossy() {
+    // Sanity check on the harness itself: it can detect loss. At a
+    // deliberately absurd threshold the gate vetoes essentially every
+    // pair and recall collapses — if this ever *passes* the recall
+    // metric is not measuring anything.
+    let ds = dataset(140, 7);
+    let lossless = cluster_ests(&ds.ests, &base_cfg());
+    let mut harsh_cfg = base_cfg();
+    harsh_cfg.prefilter_min_sketch_jaccard = 0.999;
+    let harsh = cluster_ests(&ds.ests, &harsh_cfg);
+    let m = assess(&harsh.labels, &lossless.labels);
+    assert!(
+        m.recall() < 0.99,
+        "harness failed to detect loss at threshold 0.999 (recall {:.4})",
+        m.recall()
+    );
+}

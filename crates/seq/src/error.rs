@@ -12,6 +12,19 @@ pub enum SeqError {
         /// 0-based offset of the byte within the sequence.
         offset: usize,
     },
+    /// An IUPAC ambiguity code (or other non-ACGT byte) in a FASTA
+    /// record parsed under [`crate::fasta::AmbiguityPolicy::Reject`].
+    /// Unlike [`SeqError::InvalidBaseAt`] — which surfaces much later,
+    /// deep inside packing or storage — this is raised at parse time
+    /// and names the offending record.
+    AmbiguousBase {
+        /// Identifier from the record's header line.
+        id: String,
+        /// The offending byte (upper-cased).
+        byte: u8,
+        /// 0-based offset of the byte within the record's sequence.
+        offset: usize,
+    },
     /// A FASTA stream that does not start with a `>` header line.
     MissingFastaHeader,
     /// A FASTA record whose sequence body is empty.
@@ -62,6 +75,13 @@ impl std::fmt::Display for SeqError {
             SeqError::InvalidBaseAt { byte, offset } => write!(
                 f,
                 "invalid DNA base 0x{byte:02x} ({:?}) at offset {offset}",
+                *byte as char
+            ),
+            SeqError::AmbiguousBase { id, byte, offset } => write!(
+                f,
+                "FASTA record {id:?} contains ambiguity code {:?} (0x{byte:02x}) at \
+                 sequence offset {offset}; re-run with the normalize policy to map \
+                 such bytes to 'A'",
                 *byte as char
             ),
             SeqError::MissingFastaHeader => {

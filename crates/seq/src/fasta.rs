@@ -10,6 +10,26 @@ use crate::alphabet;
 use crate::error::SeqError;
 use std::io::{BufRead, Write};
 
+/// What to do with IUPAC ambiguity codes (`N`, `R`, `Y`, …) found in a
+/// record's sequence.
+///
+/// The clustering algorithms operate on the strict 4-letter alphabet;
+/// a stray `N` that slips through parsing only surfaces much later as
+/// an [`SeqError::InvalidBaseAt`] deep inside 2-bit packing or store
+/// construction, long after the offending record's identity is gone.
+/// The policy decides at *parse time* instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AmbiguityPolicy {
+    /// Fail with [`SeqError::AmbiguousBase`] naming the record, byte and
+    /// offset. The default: no silent data rewriting.
+    #[default]
+    Reject,
+    /// Map every non-ACGT byte to `A` (see [`sanitize_sequence`]),
+    /// keeping positions aligned — the policy real EST data usually
+    /// needs.
+    Normalize,
+}
+
 /// One FASTA record.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FastaRecord {
@@ -21,43 +41,36 @@ pub struct FastaRecord {
     pub sequence: Vec<u8>,
 }
 
-/// Parse all records from a FASTA-formatted string.
+/// Parse all records from a FASTA-formatted string, rejecting IUPAC
+/// ambiguity codes (the default [`AmbiguityPolicy`]).
 pub fn parse_fasta(input: &str) -> Result<Vec<FastaRecord>, SeqError> {
     parse_fasta_reader(input.as_bytes())
 }
 
-/// Parse all records from any buffered reader.
-pub fn parse_fasta_reader<R: BufRead>(reader: R) -> Result<Vec<FastaRecord>, SeqError> {
-    let mut records: Vec<FastaRecord> = Vec::new();
-    let mut current: Option<FastaRecord> = None;
+/// [`parse_fasta`] under an explicit [`AmbiguityPolicy`].
+pub fn parse_fasta_with(
+    input: &str,
+    policy: AmbiguityPolicy,
+) -> Result<Vec<FastaRecord>, SeqError> {
+    parse_fasta_reader_with(input.as_bytes(), policy)
+}
 
-    for line in reader.lines() {
-        let line = line?;
-        let line = line.trim_end_matches('\r');
-        if line.is_empty() {
-            continue;
-        }
-        if let Some(header) = line.strip_prefix('>') {
-            if let Some(rec) = current.take() {
-                finish_record(rec, &mut records)?;
-            }
-            let mut parts = header.splitn(2, char::is_whitespace);
-            let id = parts.next().unwrap_or("").to_string();
-            let description = parts.next().unwrap_or("").trim().to_string();
-            current = Some(FastaRecord {
-                id,
-                description,
-                sequence: Vec::new(),
-            });
-        } else {
-            let rec = current.as_mut().ok_or(SeqError::MissingFastaHeader)?;
-            rec.sequence
-                .extend(line.bytes().filter(|b| !b.is_ascii_whitespace()));
-        }
-    }
-    if let Some(rec) = current.take() {
-        finish_record(rec, &mut records)?;
-    }
+/// Parse all records from any buffered reader, rejecting IUPAC
+/// ambiguity codes (the default [`AmbiguityPolicy`]).
+pub fn parse_fasta_reader<R: BufRead>(reader: R) -> Result<Vec<FastaRecord>, SeqError> {
+    parse_fasta_reader_with(reader, AmbiguityPolicy::default())
+}
+
+/// [`parse_fasta_reader`] under an explicit [`AmbiguityPolicy`].
+pub fn parse_fasta_reader_with<R: BufRead>(
+    reader: R,
+    policy: AmbiguityPolicy,
+) -> Result<Vec<FastaRecord>, SeqError> {
+    let mut records: Vec<FastaRecord> = Vec::new();
+    for_each_fasta_record_with(reader, policy, |rec| {
+        records.push(rec);
+        Ok(())
+    })?;
     Ok(records)
 }
 
@@ -69,16 +82,57 @@ fn finalize_record(mut rec: FastaRecord) -> Result<FastaRecord, SeqError> {
     Ok(rec)
 }
 
-fn finish_record(rec: FastaRecord, out: &mut Vec<FastaRecord>) -> Result<(), SeqError> {
-    out.push(finalize_record(rec)?);
+/// Enforce `policy` on a finalized (upper-cased, non-empty) record.
+fn apply_policy(rec: &mut FastaRecord, policy: AmbiguityPolicy) -> Result<(), SeqError> {
+    match policy {
+        AmbiguityPolicy::Reject => {
+            if let Some(offset) = rec
+                .sequence
+                .iter()
+                .position(|b| !matches!(b, b'A' | b'C' | b'G' | b'T'))
+            {
+                return Err(SeqError::AmbiguousBase {
+                    byte: rec.sequence[offset],
+                    id: std::mem::take(&mut rec.id),
+                    offset,
+                });
+            }
+        }
+        AmbiguityPolicy::Normalize => {
+            sanitize_sequence(&mut rec.sequence);
+        }
+    }
     Ok(())
 }
 
 /// Stream records out of a FASTA reader one at a time, calling `f` as
 /// each record completes, without ever holding more than one record in
 /// memory. The streaming twin of [`parse_fasta_reader`], for inputs too
-/// large to materialize as a `Vec<FastaRecord>`.
+/// large to materialize as a `Vec<FastaRecord>`; rejects ambiguity
+/// codes like it.
 pub fn for_each_fasta_record<R: BufRead>(
+    reader: R,
+    f: impl FnMut(FastaRecord) -> Result<(), SeqError>,
+) -> Result<(), SeqError> {
+    for_each_fasta_record_with(reader, AmbiguityPolicy::default(), f)
+}
+
+/// [`for_each_fasta_record`] under an explicit [`AmbiguityPolicy`].
+pub fn for_each_fasta_record_with<R: BufRead>(
+    reader: R,
+    policy: AmbiguityPolicy,
+    mut f: impl FnMut(FastaRecord) -> Result<(), SeqError>,
+) -> Result<(), SeqError> {
+    for_each_raw(reader, |mut rec| {
+        apply_policy(&mut rec, policy)?;
+        f(rec)
+    })
+}
+
+/// The streaming loop itself: upper-cased, non-empty records, no
+/// ambiguity policy applied yet (callers that need to *count*
+/// sanitized bytes, like [`read_fasta_into_store`], use this).
+fn for_each_raw<R: BufRead>(
     reader: R,
     mut f: impl FnMut(FastaRecord) -> Result<(), SeqError>,
 ) -> Result<(), SeqError> {
@@ -115,7 +169,9 @@ pub fn for_each_fasta_record<R: BufRead>(
 }
 
 /// Stream a FASTA file straight into a [`SequenceStore`], sanitizing
-/// ambiguity codes as records arrive (see [`sanitize_sequence`]).
+/// ambiguity codes as records arrive ([`AmbiguityPolicy::Normalize`],
+/// deliberately — the out-of-core path is for bulk real-world data and
+/// reports how much it rewrote instead of refusing).
 ///
 /// Returns the store, the record ids in input order, and how many bytes
 /// were replaced by sanitization. Peak memory is one record plus the
@@ -129,7 +185,7 @@ pub fn read_fasta_into_store(
     let mut builder = crate::store::SequenceStoreBuilder::new();
     let mut ids = Vec::new();
     let mut replaced = 0usize;
-    for_each_fasta_record(std::io::BufReader::new(file), |mut rec| {
+    for_each_raw(std::io::BufReader::new(file), |mut rec| {
         replaced += sanitize_sequence(&mut rec.sequence);
         builder.push_est(&rec.sequence)?;
         ids.push(rec.id);
@@ -184,10 +240,19 @@ pub fn to_fasta_string(records: &[FastaRecord], width: usize) -> String {
     String::from_utf8(buf).expect("FASTA output is ASCII")
 }
 
-/// Parse a FASTA file from disk.
+/// Parse a FASTA file from disk, rejecting IUPAC ambiguity codes (the
+/// default [`AmbiguityPolicy`]).
 pub fn read_fasta_file(path: impl AsRef<std::path::Path>) -> Result<Vec<FastaRecord>, SeqError> {
+    read_fasta_file_with(path, AmbiguityPolicy::default())
+}
+
+/// [`read_fasta_file`] under an explicit [`AmbiguityPolicy`].
+pub fn read_fasta_file_with(
+    path: impl AsRef<std::path::Path>,
+    policy: AmbiguityPolicy,
+) -> Result<Vec<FastaRecord>, SeqError> {
     let file = std::fs::File::open(path)?;
-    parse_fasta_reader(std::io::BufReader::new(file))
+    parse_fasta_reader_with(std::io::BufReader::new(file), policy)
 }
 
 /// Write records to a FASTA file on disk (line width 70).
@@ -296,6 +361,75 @@ mod tests {
     fn read_missing_file_errors() {
         let err = read_fasta_file("/nonexistent/x.fa").unwrap_err();
         assert!(matches!(err, SeqError::Io(_)));
+    }
+
+    #[test]
+    fn ambiguity_codes_are_rejected_at_parse_time_with_identity() {
+        // Regression: 'N' used to pass parse_fasta silently and only
+        // blow up much later as InvalidBaseAt, with no record identity.
+        let err = parse_fasta(">clean\nACGT\n>dirty stuff\nACG\nTNCA\n").unwrap_err();
+        assert_eq!(
+            err,
+            SeqError::AmbiguousBase {
+                id: "dirty".into(),
+                byte: b'N',
+                offset: 4, // ACG + T, then N — offset within the record
+            }
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("dirty"), "{msg}");
+        assert!(msg.contains("offset 4"), "{msg}");
+
+        // Lower-case ambiguity codes are upper-cased first, so the
+        // reported byte is canonical.
+        let err = parse_fasta(">x\nacgry\n").unwrap_err();
+        assert_eq!(
+            err,
+            SeqError::AmbiguousBase {
+                id: "x".into(),
+                byte: b'R',
+                offset: 3,
+            }
+        );
+    }
+
+    #[test]
+    fn normalize_policy_maps_ambiguity_to_a() {
+        let recs =
+            parse_fasta_with(">a\nACNRGT\n", AmbiguityPolicy::Normalize).unwrap();
+        assert_eq!(recs[0].sequence, b"ACAAGT");
+
+        // The streaming API honours the same policy.
+        let mut seen = Vec::new();
+        for_each_fasta_record_with(
+            ">a\nACNRGT\n".as_bytes(),
+            AmbiguityPolicy::Normalize,
+            |rec| {
+                seen.push(rec.sequence);
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(seen, vec![b"ACAAGT".to_vec()]);
+    }
+
+    #[test]
+    fn streaming_reject_names_the_record() {
+        let err = for_each_fasta_record(">ok\nACGT\n>bad\nANA\n".as_bytes(), |_| Ok(()))
+            .unwrap_err();
+        assert!(matches!(err, SeqError::AmbiguousBase { ref id, .. } if id == "bad"));
+    }
+
+    #[test]
+    fn into_store_still_normalizes_and_counts() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("pace-fasta-ambig-{}.fa", std::process::id()));
+        std::fs::write(&path, ">a\nACNT\n>b\nRGGT\n").unwrap();
+        let (store, ids, replaced) = read_fasta_into_store(&path).unwrap();
+        assert_eq!(ids, vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(replaced, 2);
+        assert_eq!(store.num_ests(), 2);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

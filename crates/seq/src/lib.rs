@@ -31,6 +31,7 @@ pub mod error;
 pub mod fasta;
 pub mod ids;
 pub mod revcomp;
+pub mod sketch;
 pub mod stats;
 pub mod store;
 
@@ -38,10 +39,12 @@ pub use alphabet::{Base, ALPHABET_SIZE, DNA_BASES};
 pub use codec::{PackedDna, PackedSlice, PackedText};
 pub use error::SeqError;
 pub use fasta::{
-    for_each_fasta_record, parse_fasta, read_fasta_file, read_fasta_into_store, write_fasta,
-    write_fasta_file, FastaRecord,
+    for_each_fasta_record, for_each_fasta_record_with, parse_fasta, parse_fasta_with,
+    read_fasta_file, read_fasta_file_with, read_fasta_into_store, write_fasta, write_fasta_file,
+    AmbiguityPolicy, FastaRecord,
 };
 pub use ids::{EstId, StrId, Strand};
 pub use revcomp::{complement_base, reverse_complement, reverse_complement_in_place};
+pub use sketch::{jaccard_estimate, sketch_of, SketchParams, SketchSet};
 pub use stats::{base_composition, gc_content, length_stats, LengthStats};
 pub use store::{SequenceStore, SequenceStoreBuilder};

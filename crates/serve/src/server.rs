@@ -33,8 +33,22 @@ use std::io;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
+
+/// Recover the guard from a poisoned mutex.
+///
+/// A handler thread that panics while holding one of the daemon's locks
+/// poisons it; `.lock().unwrap()` would then propagate the panic into
+/// every other handler and the accept loop, turning one bad request
+/// into a dead daemon. The data under the view/latency locks cannot be
+/// torn (an `Arc` swap, a quantile sketch observation), so recovery is
+/// unconditionally safe there. The *core* lock is different — a fold
+/// may have died halfway through a mutation — so its callers also
+/// consult [`Shared::core_tainted`] before trusting the state.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -111,17 +125,41 @@ struct Shared {
     ingests: AtomicU64,
     query_lat: Mutex<LogQuantile>,
     ingest_lat: Mutex<LogQuantile>,
+    /// Set when the core lock is found poisoned: a fold panicked while
+    /// mutating the clusterer, so the writer-side state may be torn.
+    /// Queries keep serving the last published view; further ingests
+    /// are rejected; the final checkpoint is suppressed so a good
+    /// on-disk snapshot is never overwritten with a suspect one.
+    core_tainted: AtomicBool,
     started: Instant,
     obs: Obs,
 }
 
 impl Shared {
     fn current_view(&self) -> Arc<ReadView> {
-        self.view.lock().unwrap().clone()
+        lock_recover(&self.view).clone()
     }
 
     fn publish_view(&self, view: ReadView) {
-        *self.view.lock().unwrap() = Arc::new(view);
+        *lock_recover(&self.view) = Arc::new(view);
+    }
+
+    /// Take the core lock, recovering (and recording the taint) if a
+    /// previous holder panicked.
+    fn lock_core(&self) -> MutexGuard<'_, CoreState> {
+        match self.core.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                if !self.core_tainted.swap(true, Ordering::SeqCst) {
+                    self.obs.registry().add(metric::SERVE_ERRORS, 1);
+                    eprintln!(
+                        "paced: core state poisoned by a panicked fold; \
+                         serving last view read-only, rejecting further ingests"
+                    );
+                }
+                poisoned.into_inner()
+            }
+        }
     }
 
     fn build_view(core: &mut CoreState) -> ReadView {
@@ -196,6 +234,7 @@ impl Server {
             ingests: AtomicU64::new(0),
             query_lat: Mutex::new(LogQuantile::new()),
             ingest_lat: Mutex::new(LogQuantile::new()),
+            core_tainted: AtomicBool::new(false),
             started: Instant::now(),
             obs,
         });
@@ -265,8 +304,12 @@ impl Drop for ServerHandle {
 
 /// Final checkpoint + metrics, once the accept loop has exited.
 fn finalize(shared: &Shared) -> ServerStats {
-    let mut core = shared.core.lock().unwrap();
-    if let Some(dir) = &shared.cfg.checkpoint_dir {
+    let mut core = shared.lock_core();
+    if shared.core_tainted.load(Ordering::SeqCst) {
+        // Never let a torn clusterer overwrite the last good snapshot;
+        // the operator restarts from that checkpoint instead.
+        eprintln!("paced: core tainted by a panicked fold; final checkpoint suppressed");
+    } else if let Some(dir) = &shared.cfg.checkpoint_dir {
         if core.folds_since_checkpoint > 0
             && save_state(dir, &core.clusterer, core.ingest_batches).is_ok()
         {
@@ -277,8 +320,8 @@ fn finalize(shared: &Shared) -> ServerStats {
     let _ = std::fs::remove_file(&shared.cfg.socket_path);
 
     let reg = shared.obs.registry();
-    let (qp50, qp90, qp99) = shared.query_lat.lock().unwrap().p50_p90_p99();
-    let (ip50, _ip90, ip99) = shared.ingest_lat.lock().unwrap().p50_p90_p99();
+    let (qp50, qp90, qp99) = lock_recover(&shared.query_lat).p50_p90_p99();
+    let (ip50, _ip90, ip99) = lock_recover(&shared.ingest_lat).p50_p90_p99();
     reg.set_gauge(metric::SERVE_QUERY_P50_US, qp50);
     reg.set_gauge(metric::SERVE_QUERY_P90_US, qp90);
     reg.set_gauge(metric::SERVE_QUERY_P99_US, qp99);
@@ -455,14 +498,22 @@ fn dispatch(req: Request, shared: &Shared) -> Response {
 fn note_query(shared: &Shared, micros: f64) {
     shared.queries.fetch_add(1, Ordering::Relaxed);
     shared.obs.registry().add(metric::SERVE_QUERIES, 1);
-    shared.query_lat.lock().unwrap().observe(micros);
+    lock_recover(&shared.query_lat).observe(micros);
 }
 
 /// The single-writer ingest path: fold, checkpoint (maybe), publish the
 /// new view, then reply.
 fn do_ingest(shared: &Shared, ids: Vec<String>, seqs: Vec<Vec<u8>>) -> Response {
     let t0 = Instant::now();
-    let mut core = shared.core.lock().unwrap();
+    let mut core = shared.lock_core();
+    if shared.core_tainted.load(Ordering::SeqCst) {
+        shared.obs.registry().add(metric::SERVE_ERRORS, 1);
+        return Response::Err {
+            msg: "ingest rejected: core state tainted by an earlier fold panic; \
+                  restart the daemon from its checkpoint"
+                .into(),
+        };
+    }
     let summary = match core.clusterer.fold_batch(&ids, &seqs) {
         Ok(s) => s,
         Err(e) => {
@@ -499,11 +550,7 @@ fn do_ingest(shared: &Shared, ids: Vec<String>, seqs: Vec<Vec<u8>>) -> Response 
     let reg = shared.obs.registry();
     reg.add(metric::SERVE_INGEST_BATCHES, 1);
     reg.add(metric::SERVE_INGEST_ESTS, summary.new_ests as u64);
-    shared
-        .ingest_lat
-        .lock()
-        .unwrap()
-        .observe(t0.elapsed().as_secs_f64() * 1e6);
+    lock_recover(&shared.ingest_lat).observe(t0.elapsed().as_secs_f64() * 1e6);
 
     Response::Ingested {
         new_ests: summary.new_ests as u64,
@@ -511,5 +558,143 @@ fn do_ingest(shared: &Shared, ids: Vec<String>, seqs: Vec<Vec<u8>>) -> Response 
         num_clusters: summary.num_clusters as u64,
         merges: summary.merges,
         aligned: summary.aligned,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("pace-serve-poison-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn small_cluster_cfg() -> ClusterConfig {
+        let mut c = ClusterConfig::small();
+        c.psi = 16;
+        c.overlap.min_overlap_len = 40;
+        c
+    }
+
+    /// Deterministic pseudorandom DNA (LCG).
+    fn lcg_dna(seed: u64, len: usize) -> Vec<u8> {
+        let mut x = seed;
+        (0..len)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                [b'A', b'C', b'G', b'T'][(x >> 33) as usize % 4]
+            })
+            .collect()
+    }
+
+    /// A fold that panics while holding the core lock must not take
+    /// down query serving: the daemon keeps answering from the last
+    /// published view, rejects further ingests with a clean error, and
+    /// still stops without panicking (suppressing the final checkpoint
+    /// rather than overwriting a good one with torn state).
+    #[test]
+    fn poisoned_core_keeps_serving_queries() {
+        let dir = scratch("core");
+        let sock = dir.join("paced.sock");
+        let ckpt = dir.join("ckpt");
+        let mut sc = ServerConfig::new(&sock, small_cluster_cfg());
+        sc.checkpoint_dir = Some(ckpt.clone());
+        let handle = Server::start(sc, Obs::noop()).expect("start daemon");
+        let mut client =
+            Client::connect_with_retry(&sock, Duration::from_secs(5)).expect("connect");
+
+        // One good batch, checkpointed and queryable.
+        let template = lcg_dna(99, 140);
+        client
+            .ingest(
+                vec!["e0".into(), "e1".into()],
+                vec![template[..90].to_vec(), template[40..].to_vec()],
+            )
+            .expect("first ingest");
+        let (_, label, _) = client.member("e0").expect("member before poison");
+        let manifest_before = std::fs::read(ckpt.join(crate::checkpoint::SERVE_MANIFEST_FILE))
+            .expect("checkpoint written");
+
+        // Simulate a fold dying halfway: panic while holding the core
+        // lock, exactly what a bug inside fold_batch would do.
+        let poisoner = handle.shared.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.core.lock().unwrap();
+            panic!("simulated fold panic");
+        })
+        .join();
+
+        // Queries still serve the last view (on a fresh connection too).
+        let (_, label_after, size_after) = client.member("e0").expect("member after poison");
+        assert_eq!(label_after, label);
+        assert!(size_after >= 1);
+        let mut fresh =
+            Client::connect_with_retry(&sock, Duration::from_secs(5)).expect("reconnect");
+        assert!(fresh.ping().is_ok(), "ping after poison");
+
+        // Ingest is refused loudly instead of folding into torn state.
+        let resp = client
+            .call(&Request::Ingest {
+                ids: vec!["e2".into()],
+                seqs: vec![lcg_dna(7, 120)],
+            })
+            .expect("transport must survive");
+        match resp {
+            Response::Err { msg } => assert!(msg.contains("tainted"), "unexpected error: {msg}"),
+            other => panic!("tainted ingest must be refused, got {other:?}"),
+        }
+
+        // stop() neither panics nor overwrites the good checkpoint.
+        let stats = handle.stop().expect("clean stop");
+        assert!(stats.queries >= 2);
+        let manifest_after = std::fs::read(ckpt.join(crate::checkpoint::SERVE_MANIFEST_FILE))
+            .expect("checkpoint still present");
+        assert_eq!(
+            manifest_before, manifest_after,
+            "tainted shutdown must not rewrite the checkpoint"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Poison on the *view* / latency locks is recoverable without any
+    /// taint: nothing under them can be torn.
+    #[test]
+    fn poisoned_view_lock_recovers_transparently() {
+        let dir = scratch("view");
+        let sock = dir.join("paced.sock");
+        let handle = Server::start(ServerConfig::new(&sock, small_cluster_cfg()), Obs::noop())
+            .expect("start daemon");
+        let poisoner = handle.shared.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.view.lock().unwrap();
+            panic!("simulated panic under the view lock");
+        })
+        .join();
+        let latpoisoner = handle.shared.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = latpoisoner.query_lat.lock().unwrap();
+            panic!("simulated panic under the latency lock");
+        })
+        .join();
+
+        let mut client =
+            Client::connect_with_retry(&sock, Duration::from_secs(5)).expect("connect");
+        client.ping().expect("ping through poisoned view lock");
+        let template = lcg_dna(3, 140);
+        client
+            .ingest(
+                vec!["a".into(), "b".into()],
+                vec![template[..90].to_vec(), template[40..].to_vec()],
+            )
+            .expect("ingest still works: core was never poisoned");
+        assert!(client.member("a").is_ok());
+        handle.stop().expect("clean stop");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

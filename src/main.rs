@@ -90,7 +90,7 @@ USAGE:
                 [--memory-budget BYTES[K|M|G]] [--psi N] [--window N]
                 [--batchsize N] [--min-overlap N] [--min-ratio F]
                 [--metrics-out FILE] [--quiet]
-  pace ingest   --socket SOCKET --in FASTA [--batch N]
+  pace ingest   --socket SOCKET --in FASTA [--batch N] [--ambiguous reject|normalize]
   pace query    --socket SOCKET (--member ID | --cluster LABEL | --rep LABEL |
                 --stats | --ping | --shutdown)";
 
@@ -181,12 +181,17 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
 }
 
 fn read_fasta_file(path: &str) -> Result<Vec<pace::seq::FastaRecord>, String> {
-    let mut records = pace::seq::read_fasta_file(path).map_err(|e| format!("{path}: {e}"))?;
-    for rec in &mut records {
-        // Real EST data carries IUPAC ambiguity codes; map them to 'A'.
-        pace::seq::fasta::sanitize_sequence(&mut rec.sequence);
-    }
-    Ok(records)
+    // Real EST data carries IUPAC ambiguity codes; the batch commands
+    // map them to 'A' (ingest to a live daemon is stricter — see
+    // cmd_ingest and its --ambiguous flag).
+    read_fasta_policy(path, pace::seq::AmbiguityPolicy::Normalize)
+}
+
+fn read_fasta_policy(
+    path: &str,
+    policy: pace::seq::AmbiguityPolicy,
+) -> Result<Vec<pace::seq::FastaRecord>, String> {
+    pace::seq::read_fasta_file_with(path, policy).map_err(|e| format!("{path}: {e}"))
 }
 
 /// Read a `id<TAB>label` file into (ids, labels).
@@ -616,8 +621,16 @@ fn cmd_ingest(args: &[String]) -> Result<(), String> {
     if batch == 0 {
         return Err("--batch must be ≥ 1".into());
     }
+    // Strict by default: a dirty record fails here, cleanly, before any
+    // batch reaches the daemon — not mid-stream as a daemon-side packing
+    // error after earlier batches already folded.
+    let policy = match flags.get("ambiguous").map(String::as_str) {
+        None | Some("reject") => pace::seq::AmbiguityPolicy::Reject,
+        Some("normalize") => pace::seq::AmbiguityPolicy::Normalize,
+        Some(other) => return Err(format!("--ambiguous: {other:?} is not reject|normalize")),
+    };
 
-    let records = read_fasta_file(input)?;
+    let records = read_fasta_policy(input, policy)?;
     let mut client =
         pace::serve::Client::connect(socket).map_err(|e| format!("connecting to {socket}: {e}"))?;
     let mut sent = 0usize;
